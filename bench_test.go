@@ -1,0 +1,277 @@
+// Package repro's top-level benchmarks regenerate each of the paper's
+// tables and figures (§4) as testing.B benchmarks. Each benchmark
+// measures the part of the pipeline its table reports; the printed
+// tables themselves come from `go run ./cmd/spikebench -all`.
+//
+// The benchmarks run the profiles at reduced scale so `go test -bench`
+// stays interactive; metrics are reported per run via b.ReportMetric so
+// the *shape* (who is bigger, by what factor) is visible directly.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/layout"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/progen"
+)
+
+// benchScale keeps the testing.B benchmarks fast; cmd/spikebench runs
+// the real thing at scale 1.
+const benchScale = 0.1
+
+func generate(b *testing.B, name string) *prog.Program {
+	b.Helper()
+	prof, ok := progen.ProfileByName(name)
+	if !ok {
+		b.Fatalf("unknown profile %s", name)
+	}
+	return progen.Generate(prof.Scale(benchScale), progen.DefaultOptions(1))
+}
+
+// analyzeBench measures the full interprocedural analysis of one
+// benchmark profile — the quantity of Table 2's time column and
+// Figure 14.
+func analyzeBench(b *testing.B, name string) {
+	p := generate(b, name)
+	b.ResetTimer()
+	var st core.Stats
+	for i := 0; i < b.N; i++ {
+		a, err := core.Analyze(p, core.PaperConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = a.Stats
+	}
+	b.ReportMetric(float64(st.Instructions), "instructions")
+	b.ReportMetric(float64(st.BasicBlocks), "blocks")
+	b.ReportMetric(float64(st.PSGNodes), "psg-nodes")
+	b.ReportMetric(float64(st.PSGEdges), "psg-edges")
+}
+
+// Table 2 / Figure 14: analysis time across representative benchmarks
+// of each size class.
+func BenchmarkTable2AnalyzeCompress(b *testing.B) { analyzeBench(b, "compress") }
+func BenchmarkTable2AnalyzeLi(b *testing.B)       { analyzeBench(b, "li") }
+func BenchmarkTable2AnalyzePerl(b *testing.B)     { analyzeBench(b, "perl") }
+func BenchmarkTable2AnalyzeGcc(b *testing.B)      { analyzeBench(b, "gcc") }
+func BenchmarkTable2AnalyzeVc(b *testing.B)       { analyzeBench(b, "vc") }
+func BenchmarkTable2AnalyzeWinword(b *testing.B)  { analyzeBench(b, "winword") }
+func BenchmarkTable2AnalyzeAcad(b *testing.B)     { analyzeBench(b, "acad") }
+
+// Table 3: PSG construction alone (nodes and edges per routine drive
+// its cost); measured by rebuilding the PSG-bearing part of the
+// analysis on a call-heavy profile.
+func BenchmarkTable3PSGBuildMaxeda(b *testing.B) {
+	p := generate(b, "maxeda")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(p, core.PaperConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 4: the branch-node ablation — the same program analyzed with
+// and without §3.6 branch nodes.
+func BenchmarkTable4BranchNodes(b *testing.B) {
+	p := generate(b, "sqlservr") // the paper's biggest reduction (80%)
+	with, without := core.PaperConfig(), core.PaperConfig()
+	without.BranchNodes = false
+	var edgesWith, edgesWithout int
+	b.Run("with", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := core.Analyze(p, with)
+			if err != nil {
+				b.Fatal(err)
+			}
+			edgesWith = a.Stats.PSGEdges
+		}
+		b.ReportMetric(float64(edgesWith), "psg-edges")
+	})
+	b.Run("without", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, err := core.Analyze(p, without)
+			if err != nil {
+				b.Fatal(err)
+			}
+			edgesWithout = a.Stats.PSGEdges
+		}
+		b.ReportMetric(float64(edgesWithout), "psg-edges")
+	})
+}
+
+// Table 5: PSG analysis versus whole-program-CFG analysis over the same
+// program — the compactness claim.
+func BenchmarkTable5PSGvsCFG(b *testing.B) {
+	p := generate(b, "gcc")
+	b.Run("psg", func(b *testing.B) {
+		var nodes, edges int
+		for i := 0; i < b.N; i++ {
+			a, err := core.Analyze(p, core.PaperConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes, edges = a.Stats.PSGNodes, a.Stats.PSGEdges
+		}
+		b.ReportMetric(float64(nodes), "nodes")
+		b.ReportMetric(float64(edges), "edges")
+	})
+	b.Run("cfg-baseline", func(b *testing.B) {
+		var blocks, arcs int
+		for i := 0; i < b.N; i++ {
+			sg, _ := baseline.AnalyzeOpen(p)
+			blocks, arcs = sg.NumBlocks(), sg.NumArcs()
+		}
+		b.ReportMetric(float64(blocks), "nodes")
+		b.ReportMetric(float64(arcs), "edges")
+	})
+}
+
+// Figure 13: per-stage timing, reported as metrics from one analysis.
+func BenchmarkFigure13Stages(b *testing.B) {
+	p := generate(b, "excel")
+	var st core.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Analyze(p, core.PaperConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = a.Stats
+	}
+	fr := st.StageFractions()
+	b.ReportMetric(fr[0]*100, "%cfg")
+	b.ReportMetric(fr[1]*100, "%init")
+	b.ReportMetric(fr[2]*100, "%psg")
+	b.ReportMetric(fr[3]*100, "%phase1")
+	b.ReportMetric(fr[4]*100, "%phase2")
+}
+
+// Figure 15: memory — the analytic graph footprint per instruction.
+func BenchmarkFigure15Memory(b *testing.B) {
+	p := generate(b, "ustation")
+	var bytes uint64
+	var instr int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Analyze(p, core.PaperConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes, instr = a.Stats.GraphBytes, a.Stats.Instructions
+	}
+	b.ReportMetric(float64(bytes)/(1<<20), "graph-MB")
+	b.ReportMetric(float64(bytes)/float64(instr), "bytes/instr")
+}
+
+// The §1 claim: optimizations enabled by the summaries improve dynamic
+// instruction counts. Reported as percent improvement over the
+// compiler baseline (the paper's programs came from "the same highly
+// optimizing back-end", so the workload is pre-optimized with
+// intraprocedural DCE first).
+func BenchmarkOptimizations(b *testing.B) {
+	raw := progen.Generate(progen.TestProfile(60), progen.PaperOptOptions(1))
+	p, _, err := opt.Optimize(raw, opt.CompilerOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	before, err := emu.Run(p.Clone(), 500_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var improv float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := opt.Optimize(p, opt.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		after, err := emu.Run(out, 500_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !emu.SameOutput(before, after) {
+			b.Fatal("output changed")
+		}
+		improv = (1 - float64(after.Steps)/float64(before.Steps)) * 100
+		b.StartTimer()
+	}
+	b.ReportMetric(improv, "%dyn-improv")
+}
+
+// Ablation: the default shared-forward edge labeling versus the paper's
+// literal per-edge Figure 6 procedure (identical results, different
+// cost — the design choice DESIGN.md calls out).
+func BenchmarkAblationEdgeLabeling(b *testing.B) {
+	p := generate(b, "vortex") // the edge-heaviest profile
+	forward := core.PaperConfig()
+	perEdge := core.PaperConfig()
+	perEdge.PerEdgeLabeling = true
+	b.Run("forward-shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p, forward); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-edge-fig6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(p, perEdge); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Extension benchmark: profile-driven layout's modelled i-cache effect.
+func BenchmarkLayoutICache(b *testing.B) {
+	p := progen.Generate(progen.TestProfile(60), progen.DefaultOptions(2))
+	m := emu.New(p.Clone())
+	profile := m.EnableProfile()
+	if _, err := m.Run(500_000_000); err != nil {
+		b.Fatal(err)
+	}
+	missRate := func(q *prog.Program) float64 {
+		mm := emu.New(q.Clone())
+		c := emu.NewICache()
+		c.Lines = 64
+		mm.EnableICache(c)
+		if _, err := mm.Run(500_000_000); err != nil {
+			b.Fatal(err)
+		}
+		return c.MissRate()
+	}
+	before := missRate(p)
+	var after float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := layout.Optimize(p, profile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		after = missRate(out)
+		b.StartTimer()
+	}
+	b.ReportMetric(before*100, "%miss-before")
+	b.ReportMetric(after*100, "%miss-after")
+}
+
+// Sanity benchmark for the harness itself at tiny scale.
+func BenchmarkHarnessRun(b *testing.B) {
+	prof, _ := progen.ProfileByName("compress")
+	prof = prof.Scale(0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(prof, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

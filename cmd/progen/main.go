@@ -1,0 +1,86 @@
+// Command progen generates synthetic benchmark executables matching the
+// structural profiles of the paper's SPECint95 and PC-application
+// benchmarks.
+//
+// Usage:
+//
+//	progen -profile gcc -scale 0.5 -o gcc.sxe
+//	progen -list
+//	progen -routines 40 -seed 7 -o small.sxe   (small runnable workload)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cfg"
+	"repro/internal/prog"
+	"repro/internal/progen"
+	"repro/internal/sxe"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "", "paper benchmark profile name (see -list)")
+		scale    = flag.Float64("scale", 1.0, "profile scale factor")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		routines = flag.Int("routines", 0, "generate a small runnable workload with N routines instead of a profile")
+		outFile  = flag.String("o", "", "output SXE file")
+		asmOut   = flag.Bool("S", false, "print assembly to stdout")
+		list     = flag.Bool("list", false, "list available profiles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-16s %9s %13s %13s\n", "name", "suite", "routines", "basic blocks", "instructions")
+		for _, p := range progen.Profiles {
+			fmt.Printf("%-10s %-16s %9d %13d %13d\n",
+				p.Name, p.Suite, p.Routines, p.BasicBlocks, p.Instructions)
+		}
+		return
+	}
+
+	var prof progen.Profile
+	switch {
+	case *routines > 0:
+		prof = progen.TestProfile(*routines)
+	case *profile != "":
+		p, ok := progen.ProfileByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "progen: unknown profile %q (use -list)\n", *profile)
+			os.Exit(2)
+		}
+		prof = p.Scale(*scale)
+	default:
+		fmt.Fprintln(os.Stderr, "progen: need -profile or -routines")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := progen.Generate(prof, progen.DefaultOptions(*seed))
+	s := prog.CollectStats(p)
+	blocks := 0
+	for _, g := range cfg.BuildAll(p) {
+		blocks += len(g.Blocks)
+	}
+	fmt.Printf("generated %s: %d routines, %d blocks, %d instructions, %d calls, %d branches\n",
+		prof.Name, s.Routines, blocks, s.Instructions, s.Calls, s.Branches)
+
+	if *asmOut {
+		fmt.Print(prog.Disassemble(p))
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "progen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sxe.Write(f, p); err != nil {
+			fmt.Fprintln(os.Stderr, "progen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *outFile)
+	}
+}

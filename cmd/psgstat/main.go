@@ -1,0 +1,91 @@
+// Command psgstat reports Program Summary Graph statistics for an
+// executable: PSG nodes/edges against CFG blocks/arcs (Table 5's
+// comparison), the branch-node edge reduction (Table 4), and the
+// per-stage analysis time breakdown (Figure 13).
+//
+// Usage:
+//
+//	psgstat [-asm] input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/sxe"
+)
+
+func main() {
+	asmIn := flag.Bool("asm", false, "input is assembly text")
+	dotFor := flag.String("dot", "", "emit the named routine's PSG as Graphviz DOT and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psgstat [-asm] [-dot routine] input")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *asmIn, *dotFor); err != nil {
+		fmt.Fprintln(os.Stderr, "psgstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, asmIn bool, dotFor string) error {
+	data, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var p *prog.Program
+	if asmIn {
+		p, err = prog.Assemble(string(data))
+	} else {
+		p, err = sxe.Decode(data)
+	}
+	if err != nil {
+		return err
+	}
+
+	a, err := core.Analyze(p, core.PaperConfig())
+	if err != nil {
+		return err
+	}
+	if dotFor != "" {
+		ri, ok := p.Index(dotFor)
+		if !ok {
+			return fmt.Errorf("no routine named %q", dotFor)
+		}
+		a.PSG.WriteDot(os.Stdout, ri)
+		return nil
+	}
+	noBranch := core.PaperConfig()
+	noBranch.BranchNodes = false
+	nb, err := core.Analyze(p.Clone(), noBranch)
+	if err != nil {
+		return err
+	}
+	sg, _ := baseline.AnalyzeOpen(p)
+
+	s := &a.Stats
+	fmt.Printf("program: %d routines, %d instructions\n", s.Routines, s.Instructions)
+	fmt.Printf("\nPSG vs CFG (Table 5 comparison):\n")
+	fmt.Printf("  psg nodes:    %8d      basic blocks: %8d      nodes/block: %.2f\n",
+		s.PSGNodes, s.BasicBlocks, float64(s.PSGNodes)/float64(s.BasicBlocks))
+	fmt.Printf("  psg edges:    %8d      cfg arcs:     %8d      edges/arc:   %.2f\n",
+		s.PSGEdges, sg.NumArcs(), float64(s.PSGEdges)/float64(sg.NumArcs()))
+	fmt.Printf("\nbranch nodes (Table 4 comparison):\n")
+	fmt.Printf("  edges with:    %8d\n", s.PSGEdges)
+	fmt.Printf("  edges without: %8d\n", nb.Stats.PSGEdges)
+	fmt.Printf("  edge reduction: %.1f%%   node increase: %.1f%%\n",
+		(1-float64(s.PSGEdges)/float64(nb.Stats.PSGEdges))*100,
+		(float64(s.PSGNodes)/float64(nb.Stats.PSGNodes)-1)*100)
+	fr := s.StageFractions()
+	fmt.Printf("\nanalysis time %v (Figure 13 breakdown):\n", s.Total())
+	for i, stage := range []string{"cfg build", "initialization", "psg build", "phase 1", "phase 2"} {
+		fmt.Printf("  %-15s %5.1f%%\n", stage, fr[i]*100)
+	}
+	fmt.Printf("\ngraph memory: %.2f MB\n", float64(s.GraphBytes)/(1<<20))
+	return nil
+}

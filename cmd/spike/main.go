@@ -1,0 +1,171 @@
+// Command spike is the post-link-time optimizer driver: it reads an
+// executable (SXE) or assembly file, performs interprocedural dataflow
+// analysis, optionally applies the Figure 1 optimizations, and writes
+// the optimized executable.
+//
+// Usage:
+//
+//	spike [flags] input
+//
+//	-asm          treat the input as assembly text instead of an SXE image
+//	-o file       write the (optimized) program as an SXE image
+//	-S            print the program as assembly instead of encoding
+//	-opt          apply the optimizations (dead code, spills, save/restore)
+//	-summaries    print each routine's five interprocedural summary sets
+//	-stats        print analysis stage timing and graph sizes
+//	-verify       run the program before and after optimization and
+//	              compare observable output
+//	-open-world   use the paper's §3.5 indirect-call assumptions instead
+//	              of the closed-world default
+//	-no-branch-nodes  disable §3.6 branch nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/sxe"
+)
+
+func main() {
+	var (
+		asmIn     = flag.Bool("asm", false, "input is assembly text")
+		outFile   = flag.String("o", "", "output SXE file")
+		asmOut    = flag.Bool("S", false, "print assembly instead of encoding")
+		doOpt     = flag.Bool("opt", false, "apply optimizations")
+		summaries = flag.Bool("summaries", false, "print routine summaries")
+		stats     = flag.Bool("stats", false, "print analysis statistics")
+		verify    = flag.Bool("verify", false, "verify behaviour via the emulator")
+		openWorld = flag.Bool("open-world", false, "paper §3.5 indirect-call handling")
+		noBranch  = flag.Bool("no-branch-nodes", false, "disable §3.6 branch nodes")
+		maxSteps  = flag.Int64("max-steps", 100_000_000, "emulator step budget for -verify")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spike [flags] input")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *asmIn, *outFile, *asmOut, *doOpt, *summaries,
+		*stats, *verify, *openWorld, *noBranch, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "spike:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, asmIn bool, outFile string, asmOut, doOpt, summaries,
+	stats, verify, openWorld, noBranch bool, maxSteps int64) error {
+	data, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var p *prog.Program
+	if asmIn {
+		p, err = prog.Assemble(string(data))
+	} else {
+		p, err = sxe.Decode(data)
+	}
+	if err != nil {
+		return err
+	}
+
+	conf := core.DefaultConfig()
+	if openWorld {
+		conf = core.PaperConfig()
+	}
+	conf.BranchNodes = !noBranch
+
+	a, err := core.Analyze(p, conf)
+	if err != nil {
+		return err
+	}
+	if stats {
+		printStats(&a.Stats)
+	}
+	if summaries {
+		printSummaries(a)
+	}
+
+	out := p
+	if doOpt {
+		var before emu.Result
+		if verify {
+			if before, err = emu.Run(p.Clone(), maxSteps); err != nil {
+				return fmt.Errorf("pre-optimization run: %w", err)
+			}
+		}
+		opts := opt.DefaultOptions()
+		opts.Analysis = conf
+		var rep *opt.Report
+		out, rep, err = opt.Optimize(p, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if verify {
+			after, err := emu.Run(out.Clone(), maxSteps)
+			if err != nil {
+				return fmt.Errorf("post-optimization run: %w", err)
+			}
+			if !emu.SameOutput(before, after) {
+				return fmt.Errorf("verification failed: output changed")
+			}
+			improv := 1 - float64(after.Steps)/float64(before.Steps)
+			fmt.Printf("verified: output identical; dynamic instructions %d → %d (%.1f%% improvement)\n",
+				before.Steps, after.Steps, improv*100)
+		}
+	}
+
+	if asmOut {
+		fmt.Print(prog.Disassemble(out))
+	}
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sxe.Write(f, out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d routines, %d instructions)\n",
+			outFile, len(out.Routines), out.NumInstructions())
+	}
+	return nil
+}
+
+func printStats(s *core.Stats) {
+	fmt.Printf("routines:      %d\n", s.Routines)
+	fmt.Printf("instructions:  %d\n", s.Instructions)
+	fmt.Printf("basic blocks:  %d\n", s.BasicBlocks)
+	fmt.Printf("cfg arcs:      %d (intraprocedural)\n", s.CFGArcs)
+	fmt.Printf("psg nodes:     %d\n", s.PSGNodes)
+	fmt.Printf("psg edges:     %d\n", s.PSGEdges)
+	fmt.Printf("graph memory:  %.2f MB\n", float64(s.GraphBytes)/(1<<20))
+	fr := s.StageFractions()
+	fmt.Printf("analysis time: %v (cfg %.0f%%, init %.0f%%, psg %.0f%%, phase1 %.0f%%, phase2 %.0f%%)\n",
+		s.Total(), fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
+}
+
+func printSummaries(a *core.Analysis) {
+	for ri, r := range a.Prog.Routines {
+		s := a.Summary(ri)
+		fmt.Printf("%s:\n", r.Name)
+		for e := range s.CallUsed {
+			fmt.Printf("  entry %d: call-used=%v call-defined=%v call-killed=%v live-at-entry=%v\n",
+				e, s.CallUsed[e], s.CallDefined[e], s.CallKilled[e], s.LiveAtEntry[e])
+		}
+		for x := range s.LiveAtExit {
+			fmt.Printf("  exit %d (block %d): live-at-exit=%v\n",
+				x, s.ExitBlocks[x], s.LiveAtExit[x])
+		}
+		if !s.SavedRestored.IsEmpty() {
+			fmt.Printf("  saved/restored: %v\n", s.SavedRestored)
+		}
+	}
+}

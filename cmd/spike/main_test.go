@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sxe"
+)
+
+const testSrc = `
+.start main
+.routine main
+  lda a0, 5(zero)
+  lda a1, 9(zero)    ; dead: double ignores a1
+  jsr double
+  print v0
+  halt
+.routine double
+  add v0, a0, a0
+  ret
+`
+
+func TestRunAsmOptimizeVerifyEncode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	out := filepath.Join(dir, "p.sxe")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(in, true /* asm */, out, false, true /* opt */, true, /* summaries */
+		true /* stats */, true /* verify */, false, false, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sxe.Decode(data)
+	if err != nil {
+		t.Fatalf("output does not decode: %v", err)
+	}
+	// The dead a1 setup must be gone.
+	if p.NumInstructions() >= 8 {
+		t.Errorf("optimization did not shrink the program: %d instructions",
+			p.NumInstructions())
+	}
+}
+
+func TestRunSXEInput(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	mid := filepath.Join(dir, "p.sxe")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, true, mid, false, false, false, false, false, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the SXE back in with the open-world, no-branch-node config.
+	if err := run(mid, false, "", true, false, false, true, false, true, true, 0); err != nil {
+		t.Fatalf("sxe round trip run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent/file", false, "", false, false, false, false, false, false, false, 0); err == nil {
+		t.Error("missing input must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.s")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if err := run(bad, true, "", false, false, false, false, false, false, false, 0); err == nil {
+		t.Error("bad assembly must fail")
+	}
+	if err := run(bad, false, "", false, false, false, false, false, false, false, 0); err == nil {
+		t.Error("bad SXE must fail")
+	}
+}

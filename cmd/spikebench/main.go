@@ -1,0 +1,93 @@
+// Command spikebench regenerates the paper's evaluation (§4): Tables
+// 1–5 and Figures 13–15 over all sixteen benchmark profiles, plus the
+// §1 optimization-improvement experiment.
+//
+// Usage:
+//
+//	spikebench -all                 full-scale run of every experiment
+//	spikebench -scale 0.1 -all      quick run at 10% size
+//	spikebench -tables 2,4          selected tables only
+//	spikebench -opt                 the optimization experiment only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every table and figure")
+		tables = flag.String("tables", "", "comma-separated table/figure list, e.g. 2,3,f13")
+		scale  = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = paper size)")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		doOpt  = flag.Bool("opt", false, "run the optimization-improvement experiment")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *all {
+		for _, t := range []string{"1", "2", "3", "4", "5", "f13", "f14", "f15"} {
+			want[t] = true
+		}
+	}
+	for _, t := range strings.Split(*tables, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			want[t] = true
+		}
+	}
+	if len(want) == 0 && !*doOpt {
+		fmt.Fprintln(os.Stderr, "spikebench: nothing to do (use -all, -tables or -opt)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if len(want) > 0 {
+		var progress io.Writer
+		if !*quiet {
+			progress = os.Stderr
+		}
+		results, err := bench.RunAll(*scale, *seed, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spikebench:", err)
+			os.Exit(1)
+		}
+		emit := func(key string, f func()) {
+			if want[key] {
+				f()
+				fmt.Println()
+			}
+		}
+		emit("1", func() { bench.Table1(os.Stdout, results) })
+		emit("2", func() { bench.Table2(os.Stdout, results) })
+		emit("3", func() { bench.Table3(os.Stdout, results) })
+		emit("4", func() { bench.Table4(os.Stdout, results) })
+		emit("5", func() { bench.Table5(os.Stdout, results) })
+		emit("f13", func() { bench.Figure13(os.Stdout, results) })
+		emit("f14", func() {
+			bench.Figure14(os.Stdout, results)
+			fmt.Println()
+			bench.PlotFigure14(os.Stdout, results)
+		})
+		emit("f15", func() {
+			bench.Figure15(os.Stdout, results)
+			fmt.Println()
+			bench.PlotFigure15(os.Stdout, results)
+		})
+	}
+
+	if *doOpt || *all {
+		optResults, err := bench.RunOpt(60, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spikebench:", err)
+			os.Exit(1)
+		}
+		bench.OptTable(os.Stdout, optResults)
+	}
+}

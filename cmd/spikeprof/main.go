@@ -1,0 +1,145 @@
+// Command spikeprof is the profile-driven half of the Spike pipeline:
+// it runs an executable under the emulator to collect an execution
+// profile, restructures the code (Pettis–Hansen block chaining and
+// call-affinity routine placement), and reports the instruction-cache
+// effect of the new layout.
+//
+// Usage:
+//
+//	spikeprof [flags] input.sxe
+//
+//	-asm          input is assembly text
+//	-o file       write the restructured executable
+//	-cache-lines  lines in the modelled 32-byte-line i-cache (default 256)
+//	-hot n        print the n hottest routines (default 5)
+//	-max-steps    emulator step budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/emu"
+	"repro/internal/layout"
+	"repro/internal/prog"
+	"repro/internal/sxe"
+)
+
+func main() {
+	var (
+		asmIn      = flag.Bool("asm", false, "input is assembly text")
+		outFile    = flag.String("o", "", "output SXE file")
+		cacheLines = flag.Int("cache-lines", 256, "i-cache lines (32-byte lines)")
+		hotN       = flag.Int("hot", 5, "print the N hottest routines")
+		maxSteps   = flag.Int64("max-steps", 500_000_000, "emulator step budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spikeprof [flags] input")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *asmIn, *outFile, *cacheLines, *hotN, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "spikeprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, asmIn bool, outFile string, cacheLines, hotN int, maxSteps int64) error {
+	data, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var p *prog.Program
+	if asmIn {
+		p, err = prog.Assemble(string(data))
+	} else {
+		p, err = sxe.Decode(data)
+	}
+	if err != nil {
+		return err
+	}
+
+	missRate := func(q *prog.Program) (float64, int64, error) {
+		m := emu.New(q.Clone())
+		c := emu.NewICache()
+		c.Lines = cacheLines
+		m.EnableICache(c)
+		res, err := m.Run(maxSteps)
+		return c.MissRate(), res.Steps, err
+	}
+
+	// Profile run.
+	m := emu.New(p.Clone())
+	profile := m.EnableProfile()
+	res, err := m.Run(maxSteps)
+	if err != nil {
+		return fmt.Errorf("profile run: %w", err)
+	}
+	fmt.Printf("profiled %d dynamic instructions\n", res.Steps)
+
+	// Hottest routines.
+	type hot struct {
+		name  string
+		count int64
+	}
+	var hots []hot
+	for ri, r := range p.Routines {
+		hots = append(hots, hot{r.Name, profile.RoutineCount(ri)})
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].count > hots[j].count })
+	fmt.Println("hottest routines:")
+	for i := 0; i < hotN && i < len(hots); i++ {
+		fmt.Printf("  %-16s %12d instructions (%.1f%%)\n",
+			hots[i].name, hots[i].count, 100*float64(hots[i].count)/float64(res.Steps))
+	}
+
+	beforeRate, _, err := missRate(p)
+	if err != nil {
+		return err
+	}
+
+	out, rep, err := layout.Optimize(p, profile)
+	if err != nil {
+		return err
+	}
+	afterRate, afterSteps, err := missRate(out)
+	if err != nil {
+		return fmt.Errorf("post-layout run: %w", err)
+	}
+
+	// Verify behaviour.
+	check, err := emu.Run(out.Clone(), maxSteps)
+	if err != nil {
+		return err
+	}
+	orig, err := emu.Run(p.Clone(), maxSteps)
+	if err != nil {
+		return err
+	}
+	if !emu.SameOutput(orig, check) {
+		return fmt.Errorf("layout changed observable output")
+	}
+
+	fmt.Printf("\nlayout: %d routines reordered, %+d branches, routine order changed: %v\n",
+		rep.RoutinesReordered, rep.BranchesAdded-rep.BranchesRemoved, rep.RoutineOrderChanged)
+	fmt.Printf("i-cache (%d lines × 32 B): miss rate %.4f%% → %.4f%%\n",
+		cacheLines, beforeRate*100, afterRate*100)
+	fmt.Printf("dynamic instructions: %d → %d\n", res.Steps, afterSteps)
+	fmt.Println("verified: observable output identical")
+
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sxe.Write(f, out); err != nil {
+			return err
+		}
+		fmt.Println("wrote", outFile)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command sxedump inspects an SXE executable image: header, sections,
+// the symbol table, data-segment jump tables, and optionally the full
+// disassembly.
+//
+// Usage:
+//
+//	sxedump [-d] [-r routine] input.sxe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/sxe"
+)
+
+func main() {
+	var (
+		disasm  = flag.Bool("d", false, "disassemble all code")
+		routine = flag.String("r", "", "disassemble one routine")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sxedump [-d] [-r routine] input.sxe")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *disasm, *routine); err != nil {
+		fmt.Fprintln(os.Stderr, "sxedump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, disasm bool, routine string) error {
+	data, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	p, err := sxe.Decode(data)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: SXE image, %d bytes\n", input, len(data))
+	fmt.Printf("entry routine: %s (#%d)\n", p.Routines[p.Entry].Name, p.Entry)
+	fmt.Printf("data segment:  %d words (%d packed jump tables)\n",
+		len(p.Data), totalTables(p))
+
+	if routine != "" {
+		ri, ok := p.Index(routine)
+		if !ok {
+			return fmt.Errorf("no routine named %q", routine)
+		}
+		dumpRoutine(p, ri)
+		return nil
+	}
+
+	fmt.Printf("\n%-5s %-16s %6s %7s %6s %6s %5s %s\n",
+		"#", "name", "instrs", "entries", "tables", "calls", "exits", "flags")
+	totalInstr := 0
+	for ri, r := range p.Routines {
+		flags := ""
+		if r.AddressTaken {
+			flags = "addr-taken"
+		}
+		fmt.Printf("%-5d %-16s %6d %7d %6d %6d %5d %s\n",
+			ri, r.Name, len(r.Code), len(r.Entries), len(r.Tables),
+			r.NumCalls(), r.NumExits(), flags)
+		totalInstr += len(r.Code)
+	}
+	fmt.Printf("total: %d routines, %d instructions\n", len(p.Routines), totalInstr)
+
+	if disasm {
+		fmt.Println()
+		fmt.Print(prog.Disassemble(p))
+	}
+	return nil
+}
+
+func totalTables(p *prog.Program) int {
+	n := 0
+	for _, r := range p.Routines {
+		n += len(r.Tables)
+	}
+	return n
+}
+
+func dumpRoutine(p *prog.Program, ri int) {
+	r := p.Routines[ri]
+	fmt.Printf("\nroutine %s (#%d): %d instructions, entries %v\n",
+		r.Name, ri, len(r.Code), r.Entries)
+	for ti, t := range r.Tables {
+		off := "?"
+		if ti < len(r.TableOffsets) {
+			off = fmt.Sprintf("data+%d", r.TableOffsets[ti])
+		}
+		fmt.Printf("  table %d at %s: targets %v\n", ti, off, t)
+	}
+	for i := range r.Code {
+		in := &r.Code[i]
+		note := ""
+		if in.Op == isa.OpJsr {
+			note = "  ; " + p.Routines[in.Target].Name
+		}
+		fmt.Printf("  %4d: %s%s\n", i, in.String(), note)
+	}
+}

@@ -1,0 +1,270 @@
+// Package baseline implements interprocedural liveness over a program's
+// entire control-flow graph, the approach the paper contrasts the PSG
+// against (§1, [Srivastava93]): every routine's CFG is stitched into one
+// supergraph with arcs representing calls and returns, and a single
+// backward dataflow runs over all basic blocks.
+//
+// The baseline serves three roles in the reproduction:
+//
+//   - Table 5 compares PSG nodes/edges against the supergraph's basic
+//     blocks and arcs (including call and return arcs).
+//   - It is a timing/memory comparator: the PSG's payoff is doing the
+//     same job over a smaller graph.
+//   - It is a correctness oracle: baseline liveness is context
+//     insensitive (it merges every caller's return path, i.e. includes
+//     the invalid paths the PSG's two-phase analysis excludes), so for
+//     programs without indirect control flow the PSG's live sets must be
+//     a subset of the baseline's at every matching point.
+package baseline
+
+import (
+	"repro/internal/callstd"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// Supergraph is the whole-program CFG: all basic blocks of all routines
+// plus call and return arcs.
+type Supergraph struct {
+	Prog   *prog.Program
+	Graphs []*cfg.Graph
+
+	// base[ri] is the global ID of routine ri's block 0; a routine's
+	// block b has global ID base[ri]+b.
+	base []int
+
+	// nblocks is the total number of global blocks, including the
+	// synthetic "external callee" block appended for indirect calls.
+	nblocks int
+
+	// external is the global ID of the synthetic block modelling an
+	// unknown indirect-call target per the calling standard, or -1 if
+	// the program has no indirect calls.
+	external int
+
+	succs [][]int
+	preds [][]int
+	ubd   []regset.Set
+	def   []regset.Set
+	seed  []regset.Set
+}
+
+// GlobalID returns the supergraph ID of block b of routine ri.
+func (sg *Supergraph) GlobalID(ri, b int) int { return sg.base[ri] + b }
+
+// NumBlocks returns the number of blocks in the supergraph, excluding
+// the synthetic external block so that counts match the program.
+func (sg *Supergraph) NumBlocks() int {
+	n := sg.nblocks
+	if sg.external >= 0 {
+		n--
+	}
+	return n
+}
+
+// NumArcs returns the number of arcs in the supergraph, including call
+// and return arcs. Arcs through the synthetic external block are the
+// call/return arcs of indirect calls and are counted like any others.
+func (sg *Supergraph) NumArcs() int {
+	n := 0
+	for _, ss := range sg.succs {
+		n += len(ss)
+	}
+	return n
+}
+
+// Build constructs the supergraph. The graphs must already have DEF/UBD
+// computed (cfg.ComputeDefUBD). With closedWorld set, indirect calls
+// additionally link to every address-taken routine (the oracle
+// configuration); otherwise they route only through the synthetic
+// external block with calling-standard effects, matching the paper.
+func Build(p *prog.Program, graphs []*cfg.Graph, closedWorld bool) *Supergraph {
+	sg := &Supergraph{Prog: p, Graphs: graphs, base: make([]int, len(graphs)), external: -1}
+	n := 0
+	for ri, g := range graphs {
+		sg.base[ri] = n
+		n += len(g.Blocks)
+	}
+	// One synthetic block for unknown indirect-call targets.
+	hasIndirect := false
+	for _, g := range graphs {
+		for _, b := range g.Blocks {
+			if b.Term == cfg.TermCall && g.Terminator(b).Op == isa.OpJsrInd {
+				hasIndirect = true
+			}
+		}
+	}
+	if hasIndirect {
+		sg.external = n
+		n++
+	}
+	sg.nblocks = n
+	sg.succs = make([][]int, n)
+	sg.preds = make([][]int, n)
+	sg.ubd = make([]regset.Set, n)
+	sg.def = make([]regset.Set, n)
+	sg.seed = make([]regset.Set, n)
+
+	if sg.external >= 0 {
+		std := callstd.UnknownCallSummary()
+		sg.ubd[sg.external] = std.Used
+		sg.def[sg.external] = std.Defined
+	}
+
+	var addrTaken []int
+	if closedWorld {
+		for ri, r := range p.Routines {
+			if r.AddressTaken {
+				addrTaken = append(addrTaken, ri)
+			}
+		}
+	}
+
+	addArc := func(from, to int) {
+		sg.succs[from] = append(sg.succs[from], to)
+		sg.preds[to] = append(sg.preds[to], from)
+	}
+
+	for ri, g := range graphs {
+		for _, b := range g.Blocks {
+			id := sg.GlobalID(ri, b.ID)
+			sg.ubd[id] = b.UBD
+			sg.def[id] = b.Def
+			switch b.Term {
+			case cfg.TermCall:
+				retPoint := sg.GlobalID(ri, b.Succs[0])
+				in := g.Terminator(b)
+				if in.Op == isa.OpJsr {
+					callee := in.Target
+					entryInstr := p.Routines[callee].Entries[in.Imm]
+					entryBlock := graphs[callee].InstrBlock[entryInstr]
+					addArc(id, sg.GlobalID(callee, entryBlock))
+					for _, xb := range exitBlocks(graphs[callee]) {
+						addArc(sg.GlobalID(callee, xb), retPoint)
+					}
+				} else {
+					// Indirect call: external block plus every
+					// address-taken routine (closed world).
+					addArc(id, sg.external)
+					addArc(sg.external, retPoint)
+					for _, ti := range addrTaken {
+						entryBlock := graphs[ti].EntryBlocks[0]
+						addArc(id, sg.GlobalID(ti, entryBlock))
+						for _, xb := range exitBlocks(graphs[ti]) {
+							addArc(sg.GlobalID(ti, xb), retPoint)
+						}
+					}
+				}
+			case cfg.TermUnknownJump:
+				sg.seed[id] = callstd.UnknownJumpLive()
+			default:
+				for _, s := range b.Succs {
+					addArc(id, sg.GlobalID(ri, s))
+				}
+			}
+			// Address-taken routines may return to unknown callers.
+			if b.Term == cfg.TermExit && p.Routines[ri].AddressTaken &&
+				g.Terminator(b).Op == isa.OpRet {
+				sg.seed[id] = sg.seed[id].Union(
+					callstd.Return.Union(callstd.CalleeSaved).
+						Union(regset.Of(regset.SP, regset.GP)))
+			}
+		}
+	}
+	return sg
+}
+
+// exitBlocks returns the IDs of blocks ending in ret (not halt: halt
+// terminates the program and returns nowhere).
+func exitBlocks(g *cfg.Graph) []int {
+	var out []int
+	for _, b := range g.Blocks {
+		if b.Term == cfg.TermExit && g.Terminator(b).Op == isa.OpRet {
+			out = append(out, b.ID)
+		}
+	}
+	return out
+}
+
+// Result holds the converged supergraph liveness.
+type Result struct {
+	sg *Supergraph
+
+	// LiveIn and LiveOut are indexed by global block ID.
+	LiveIn  []regset.Set
+	LiveOut []regset.Set
+}
+
+// Liveness runs backward may-liveness to a fixed point over the whole
+// supergraph.
+func (sg *Supergraph) Liveness() *Result {
+	res := &Result{
+		sg:      sg,
+		LiveIn:  make([]regset.Set, sg.nblocks),
+		LiveOut: make([]regset.Set, sg.nblocks),
+	}
+	wl := dataflow.NewWorklist(sg.nblocks)
+	for i := sg.nblocks - 1; i >= 0; i-- {
+		wl.Push(i)
+	}
+	for !wl.Empty() {
+		id := wl.Pop()
+		out := sg.seed[id]
+		for _, s := range sg.succs[id] {
+			out = out.Union(res.LiveIn[s])
+		}
+		res.LiveOut[id] = out
+		in := sg.ubd[id].Union(out.Minus(sg.def[id]))
+		if in != res.LiveIn[id] {
+			res.LiveIn[id] = in
+			for _, p := range sg.preds[id] {
+				wl.Push(p)
+			}
+		}
+	}
+	return res
+}
+
+// LiveAtEntry returns the live set at entrance e of routine ri.
+func (r *Result) LiveAtEntry(ri, e int) regset.Set {
+	g := r.sg.Graphs[ri]
+	return r.LiveIn[r.sg.GlobalID(ri, g.EntryBlocks[e])]
+}
+
+// LiveAtBlockIn returns the live set at the top of block b of routine
+// ri.
+func (r *Result) LiveAtBlockIn(ri, b int) regset.Set {
+	return r.LiveIn[r.sg.GlobalID(ri, b)]
+}
+
+// LiveAtBlockOut returns the live set at the bottom of block b of
+// routine ri; for a ret block this is the baseline's live-at-exit.
+func (r *Result) LiveAtBlockOut(ri, b int) regset.Set {
+	return r.LiveOut[r.sg.GlobalID(ri, b)]
+}
+
+// Analyze builds CFGs, DEF/UBD sets and the supergraph in the
+// closed-world oracle configuration, then runs liveness: the whole
+// baseline pipeline.
+func Analyze(p *prog.Program) (*Supergraph, *Result) {
+	return analyze(p, true)
+}
+
+// AnalyzeOpen is Analyze with the paper's open-world treatment of
+// indirect calls, used when comparing sizes and timings against the
+// PSG.
+func AnalyzeOpen(p *prog.Program) (*Supergraph, *Result) {
+	return analyze(p, false)
+}
+
+func analyze(p *prog.Program, closedWorld bool) (*Supergraph, *Result) {
+	graphs := cfg.BuildAll(p)
+	for _, g := range graphs {
+		cfg.ComputeDefUBD(g)
+	}
+	sg := Build(p, graphs, closedWorld)
+	return sg, sg.Liveness()
+}

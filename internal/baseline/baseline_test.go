@@ -1,0 +1,275 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+const callerCalleeSrc = `
+.start main
+.routine main
+  lda r0, 1(zero)
+  lda r1, 2(zero)
+  jsr p2
+  print r0
+  halt
+.routine p2
+  mov r2, r1
+  beq r2, skip
+  lda r3, 3(zero)
+skip:
+  ret
+`
+
+func TestSupergraphArcCounts(t *testing.T) {
+	p := prog.MustAssemble(callerCalleeSrc)
+	sg, _ := Analyze(p)
+	// main: 2 blocks (call-terminated, halt); p2: 3 blocks.
+	if got := sg.NumBlocks(); got != 5 {
+		t.Errorf("NumBlocks = %d, want 5", got)
+	}
+	// Intraproc arcs: p2 has b0→{b1,b2}, b1→b2 = 3; main has none
+	// intraproc (the call arc replaces the fallthrough).
+	// Interproc: call arc main.b0→p2.b0, return arc p2.b2→main.b1.
+	if got := sg.NumArcs(); got != 5 {
+		t.Errorf("NumArcs = %d, want 5", got)
+	}
+}
+
+func TestBaselineLivenessThroughCall(t *testing.T) {
+	p := prog.MustAssemble(callerCalleeSrc)
+	_, res := Analyze(p)
+	p2, _ := p.Index("p2")
+	// r1 is used by p2 before definition: live at p2's entry.
+	if got := res.LiveAtEntry(p2, 0); !got.Contains(regset.R1) {
+		t.Errorf("r1 must be live at p2 entry: %v", got)
+	}
+	// r0 is live across the call (used in main after return), so the
+	// baseline sees it live throughout p2.
+	if got := res.LiveAtEntry(p2, 0); !got.Contains(regset.R0) {
+		t.Errorf("r0 must be live through p2: %v", got)
+	}
+}
+
+func TestBaselineIncludesInvalidPaths(t *testing.T) {
+	// Two callers of p2; only one uses r0 after the call. The baseline
+	// merges return paths, so r0 appears live at BOTH return points'
+	// predecessors, unlike the PSG's valid-path solution.
+	src := `
+.start main
+.routine main
+  jsr a
+  jsr b
+  halt
+.routine a
+  lda r0, 1(zero)
+  jsr p2
+  print r0
+  ret
+.routine b
+  jsr p2
+  ret
+.routine p2
+  ret
+`
+	p := prog.MustAssemble(src)
+	_, res := Analyze(p)
+	bi, _ := p.Index("b")
+	// Baseline: r0 live at b's call to p2 (invalid path through a's
+	// return site).
+	if got := res.LiveAtBlockIn(bi, 0); !got.Contains(regset.R0) {
+		t.Errorf("baseline should leak r0 into b via invalid paths: %v", got)
+	}
+
+	// The PSG's valid-path solution must not have this leak at b's
+	// return node; its live-at-exit for p2 still includes r0.
+	p2i, _ := p.Index("p2")
+	a, err := core.Analyze(prog.MustAssemble(src), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Summary(p2i).LiveAtExit[0].Contains(regset.R0) {
+		t.Error("r0 must be live at p2 exit (a's return path)")
+	}
+}
+
+func TestPSGLivenessSubsetOfBaseline(t *testing.T) {
+	// For direct-call programs the PSG's live sets must be contained
+	// in the baseline's at every routine entry and exit.
+	srcs := []string{
+		callerCalleeSrc,
+		`
+.start main
+.routine main
+  lda a0, 9(zero)
+  jsr fact
+  print v0
+  halt
+.routine fact
+  bne a0, rec
+  lda v0, 1(zero)
+  ret
+rec:
+  lda sp, -16(sp)
+  st  ra, 0(sp)
+  st  a0, 8(sp)
+  lda t0, -1(zero)
+  add a0, a0, t0
+  jsr fact
+  ld  a0, 8(sp)
+  ld  ra, 0(sp)
+  lda sp, 16(sp)
+  mul v0, v0, a0
+  ret
+`,
+		`
+.start main
+.routine main
+.table T0 = x, y
+  lda t9, 1(zero)
+  jmp t9, T0
+x:
+  jsr f
+  halt
+y:
+  jsr g
+  halt
+.routine f
+  lda r1, 1(zero)
+  ret
+.routine g
+  print r2
+  ret
+`,
+	}
+	for i, src := range srcs {
+		p := prog.MustAssemble(src)
+		sg, res := Analyze(p)
+		a, err := core.Analyze(prog.MustAssemble(src), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for ri := range p.Routines {
+			s := a.Summary(ri)
+			for e, live := range s.LiveAtEntry {
+				base := res.LiveAtEntry(ri, e)
+				if !live.SubsetOf(base) {
+					t.Errorf("case %d routine %d entry %d: PSG live %v ⊄ baseline %v",
+						i, ri, e, live, base)
+				}
+			}
+			for x, live := range s.LiveAtExit {
+				base := res.LiveAtBlockOut(ri, s.ExitBlocks[x])
+				if !live.SubsetOf(base) {
+					t.Errorf("case %d routine %d exit %d: PSG live %v ⊄ baseline %v",
+						i, ri, x, live, base)
+				}
+			}
+		}
+		_ = sg
+	}
+}
+
+func TestIndirectCallLinksAddressTaken(t *testing.T) {
+	src := `
+.start main
+.routine main
+  jsri pv
+  print s0
+  halt
+.routine cb
+.addrtaken
+  print r5
+  ret
+`
+	p := prog.MustAssemble(src)
+	_, res := Analyze(p)
+	mi := p.Entry
+	// r5 used by the possible callee: live at main's entry.
+	if got := res.LiveAtBlockIn(mi, 0); !got.Contains(regset.R5) {
+		t.Errorf("r5 must be live at main entry via indirect callee: %v", got)
+	}
+	// s0 used after the call: live at cb's exit via the return arc.
+	ci, _ := p.Index("cb")
+	g := cfg.Build(p, ci)
+	var retBlock int = -1
+	for _, b := range g.Blocks {
+		if b.Term == cfg.TermExit {
+			retBlock = b.ID
+		}
+	}
+	if got := res.LiveAtBlockOut(ci, retBlock); !got.Contains(regset.S0) {
+		t.Errorf("s0 must be live at cb's exit: %v", got)
+	}
+}
+
+func TestUnknownJumpSeed(t *testing.T) {
+	src := `
+.start main
+.routine main
+  jmp t0, ?
+`
+	p := prog.MustAssemble(src)
+	_, res := Analyze(p)
+	if got := res.LiveAtBlockIn(0, 0); !got.Contains(regset.S4) {
+		t.Errorf("unknown jump must make everything live: %v", got)
+	}
+}
+
+func TestHaltReturnsNowhere(t *testing.T) {
+	// A routine ending in halt contributes no return arcs.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  halt
+`
+	p := prog.MustAssemble(src)
+	sg, _ := Analyze(p)
+	// main: 2 blocks, f: 1 block. Arcs: call arc only (halt returns
+	// nowhere, so main's return point is unreachable).
+	if got := sg.NumArcs(); got != 1 {
+		t.Errorf("NumArcs = %d, want 1 (single call arc)", got)
+	}
+}
+
+func TestMultiEntryCallArcs(t *testing.T) {
+	// main calls f's secondary entrance; the call arc must target the
+	// block containing that entrance, so r1's use at entry 0 does not
+	// leak into main.
+	p := prog.New()
+	main := prog.NewRoutine("main",
+		isa.Instr{Op: isa.OpJsr, Target: 1, Imm: 1},
+		isa.Halt(),
+	)
+	p.Add(main)
+	f := &prog.Routine{
+		Name: "f",
+		Code: []isa.Instr{
+			isa.Print(regset.R1), // entry 0 uses r1
+			isa.Ret(),
+			isa.Print(regset.R2), // entry 1 (index 2) uses r2
+			isa.Ret(),
+		},
+		Entries: []int{0, 2},
+	}
+	p.Add(f)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, res := Analyze(p)
+	got := res.LiveAtBlockIn(0, 0)
+	if !got.Contains(regset.R2) {
+		t.Errorf("r2 must be live at main (callee entry 1 uses it): %v", got)
+	}
+	if got.Contains(regset.R1) {
+		t.Errorf("r1 belongs to the uncalled entrance; must not be live: %v", got)
+	}
+}

@@ -1,0 +1,147 @@
+// Package bench regenerates the paper's experimental results: Tables
+// 1–5 and Figures 13–15 of the evaluation (§4), plus the §1
+// optimization-improvement claim, over synthetic benchmarks generated
+// to match each paper benchmark's structural profile.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/progen"
+)
+
+// Result holds everything measured for one benchmark.
+type Result struct {
+	Profile progen.Profile
+
+	// Stats from the default analysis (branch nodes on).
+	Stats core.Stats
+
+	// NoBranchStats from the analysis with branch nodes disabled
+	// (Table 4's comparison).
+	NoBranchStats core.Stats
+
+	// Prog holds the generated program's structural statistics.
+	Prog prog.Stats
+
+	// BaselineArcs counts the whole-program CFG's arcs including call
+	// and return arcs (Table 5's comparison).
+	BaselineArcs int
+
+	// HeapDelta is the measured heap growth across the analysis, the
+	// run-time analogue of the paper's memory column.
+	HeapDelta uint64
+
+	// BaselineTime is the time for the whole-program-CFG liveness, the
+	// approach the PSG replaces.
+	BaselineTime time.Duration
+}
+
+// Run generates the benchmark for prof and measures everything the
+// tables and figures need.
+func Run(prof progen.Profile, seed uint64) (*Result, error) {
+	p := progen.Generate(prof, progen.DefaultOptions(seed))
+	res := &Result{Profile: prof, Prog: prog.CollectStats(p)}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	a, err := core.Analyze(p, core.PaperConfig())
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	res.Stats = a.Stats
+	if after.HeapAlloc > before.HeapAlloc {
+		res.HeapDelta = after.HeapAlloc - before.HeapAlloc
+	}
+
+	noBranch := core.PaperConfig()
+	noBranch.BranchNodes = false
+	nb, err := core.Analyze(p, noBranch)
+	if err != nil {
+		return nil, err
+	}
+	res.NoBranchStats = nb.Stats
+
+	start := time.Now()
+	sg, _ := baseline.AnalyzeOpen(p)
+	res.BaselineTime = time.Since(start)
+	res.BaselineArcs = sg.NumArcs()
+	return res, nil
+}
+
+// RunAll measures every paper profile at the given scale (1.0 =
+// paper-sized programs). Progress lines go to progress when non-nil.
+func RunAll(scale float64, seed uint64, progress io.Writer) ([]*Result, error) {
+	var out []*Result
+	for _, prof := range progen.Profiles {
+		if progress != nil {
+			fmt.Fprintf(progress, "running %-10s (scale %.2f)...\n", prof.Name, scale)
+		}
+		r, err := Run(prof.Scale(scale), seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", prof.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// OptResult holds the §1 optimization experiment for one workload.
+type OptResult struct {
+	Seed          uint64
+	Report        *opt.Report
+	StepsBefore   int64
+	StepsAfter    int64
+	DynamicImprov float64 // fraction of dynamic instructions eliminated
+}
+
+// RunOpt generates runnable workloads, pre-optimizes them with the
+// compiler baseline (intraprocedural dead-code elimination under
+// calling-standard assumptions — the paper's programs were produced by
+// "the same highly optimizing back-end"), then applies the
+// interprocedural optimizations, verifies behaviour with the emulator,
+// and reports the improvement the summaries added — the paper's
+// "5–10%, up to 20%" claim (§1).
+func RunOpt(nRoutines int, seeds []uint64) ([]*OptResult, error) {
+	var out []*OptResult
+	for _, seed := range seeds {
+		raw := progen.Generate(progen.TestProfile(nRoutines), progen.PaperOptOptions(seed))
+		p, _, err := opt.Optimize(raw, opt.CompilerOptions())
+		if err != nil {
+			return nil, fmt.Errorf("seed %d compiler baseline: %w", seed, err)
+		}
+		before, err := emu.Run(p.Clone(), 500_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d pre-run: %w", seed, err)
+		}
+		optimized, rep, err := opt.Optimize(p, opt.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		after, err := emu.Run(optimized, 500_000_000)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d post-run: %w", seed, err)
+		}
+		if !emu.SameOutput(before, after) {
+			return nil, fmt.Errorf("seed %d: optimization changed observable output", seed)
+		}
+		out = append(out, &OptResult{
+			Seed:          seed,
+			Report:        rep,
+			StepsBefore:   before.Steps,
+			StepsAfter:    after.Steps,
+			DynamicImprov: 1 - float64(after.Steps)/float64(before.Steps),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// ASCII scatter plots of Figures 14 and 15: the paper presents these as
+// graphs, so the harness can render the measured series the same way.
+
+type point struct {
+	x, y  float64
+	label byte
+}
+
+// scatter renders points on a w×h grid with log-log axes (both figures
+// span two-plus orders of magnitude).
+func scatter(out io.Writer, title, xlabel, ylabel string, pts []point, w, h int) {
+	fmt.Fprintln(out, title)
+	if len(pts) == 0 {
+		fmt.Fprintln(out, "  (no data)")
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		if p.x <= 0 || p.y <= 0 {
+			continue
+		}
+		minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+		minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+	}
+	lx := func(v float64) float64 { return math.Log10(v) }
+	spanX := lx(maxX) - lx(minX)
+	spanY := lx(maxY) - lx(minY)
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = make([]byte, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, p := range pts {
+		if p.x <= 0 || p.y <= 0 {
+			continue
+		}
+		col := int((lx(p.x) - lx(minX)) / spanX * float64(w-1))
+		row := h - 1 - int((lx(p.y)-lx(minY))/spanY*float64(h-1))
+		grid[row][col] = p.label
+	}
+	fmt.Fprintf(out, "%12.3g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < h-1; i++ {
+		fmt.Fprintf(out, "%12s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(out, "%12.3g ┤%s\n", minY, string(grid[h-1]))
+	fmt.Fprintf(out, "%12s └%s\n", "", rule(w))
+	fmt.Fprintf(out, "%14s%-12.3g%*s%12.3g\n", "", minX, w-24, "", maxX)
+	fmt.Fprintf(out, "%14sx: %s (log)   y: %s (log)\n", "", xlabel, ylabel)
+}
+
+func rule(w int) string {
+	b := make([]byte, w)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// PlotFigure14 renders analysis time against basic blocks for every
+// benchmark ('s' marks SPECint95, 'P' marks PC applications).
+func PlotFigure14(out io.Writer, results []*Result) {
+	var pts []point
+	for _, r := range results {
+		label := byte('s')
+		if r.Profile.Suite == "PC Applications" {
+			label = 'P'
+		}
+		pts = append(pts, point{float64(r.Stats.BasicBlocks), r.Stats.Total().Seconds(), label})
+	}
+	scatter(out, "Figure 14 (plot): analysis time vs basic blocks",
+		"basic blocks", "seconds", pts, 60, 16)
+}
+
+// PlotFigure15 renders graph memory against basic blocks.
+func PlotFigure15(out io.Writer, results []*Result) {
+	var pts []point
+	for _, r := range results {
+		label := byte('s')
+		if r.Profile.Suite == "PC Applications" {
+			label = 'P'
+		}
+		pts = append(pts, point{float64(r.Stats.BasicBlocks), float64(r.Stats.GraphBytes) / (1 << 20), label})
+	}
+	scatter(out, "Figure 15 (plot): graph memory vs basic blocks",
+		"basic blocks", "MB", pts, 60, 16)
+}

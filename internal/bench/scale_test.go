@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/progen"
+)
+
+func TestDebugFullScale(t *testing.T) {
+	for _, name := range []string{"gcc", "acad"} {
+		prof, _ := progen.ProfileByName(name)
+		start := time.Now()
+		r, err := Run(prof, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%s: gen+all %v | analysis %v (cfg %v init %v psg %v p1 %v p2 %v) | heap %.1fMB | nodes %dk edges %dk blocks %dk arcs %dk | baseline %v\n",
+			name, time.Since(start), r.Stats.Total(), r.Stats.CFGBuild, r.Stats.Init, r.Stats.PSGBuild,
+			r.Stats.Phase1, r.Stats.Phase2, float64(r.HeapDelta)/(1<<20),
+			r.Stats.PSGNodes/1000, r.Stats.PSGEdges/1000, r.Stats.BasicBlocks/1000, r.BaselineArcs/1000,
+			r.BaselineTime)
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1 writes the PC-application descriptions (Table 1).
+func Table1(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 1: Description of each PC application benchmark.")
+	fmt.Fprintf(w, "%-10s %-30s %s\n", "PC App", "Full Name", "Description")
+	for _, r := range results {
+		if r.Profile.Suite != "PC Applications" {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %-30s %s\n", r.Profile.Name, r.Profile.FullName, r.Profile.Description)
+	}
+}
+
+// Table2 writes benchmark size, analysis time and memory (Table 2).
+func Table2(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 2: Benchmark size, dataflow analysis time and memory usage.")
+	fmt.Fprintf(w, "%-16s %-10s %9s %13s %14s %11s %12s\n",
+		"Suite", "Benchmark", "Routines", "Basic Blocks", "Instr (k)", "Time (sec)", "Mem (MB)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16s %-10s %9d %13d %14.1f %11.3f %12.2f\n",
+			r.Profile.Suite, r.Profile.Name,
+			r.Stats.Routines, r.Stats.BasicBlocks,
+			float64(r.Stats.Instructions)/1000,
+			r.Stats.Total().Seconds(),
+			float64(r.HeapDelta)/(1<<20))
+	}
+}
+
+// Table3 writes the per-routine characteristics (Table 3).
+func Table3(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 3: Benchmark characteristics influencing PSG size and construction time.")
+	fmt.Fprintf(w, "%-10s %11s %8s %8s %10s %11s %11s\n",
+		"Benchmark", "Entrances/", "Exits/", "Calls/", "Branches/", "PSG Nodes/", "PSG Edges/")
+	fmt.Fprintf(w, "%-10s %11s %8s %8s %10s %11s %11s\n",
+		"", "Routine", "Routine", "Routine", "Routine", "Routine", "Routine")
+	for _, r := range results {
+		n := float64(r.Prog.Routines)
+		fmt.Fprintf(w, "%-10s %11.2f %8.2f %8.2f %10.2f %11.2f %11.2f\n",
+			r.Profile.Name,
+			float64(r.Prog.Entrances)/n,
+			float64(r.Prog.Exits)/n,
+			float64(r.Prog.Calls)/n,
+			float64(r.Prog.Branches)/n,
+			float64(r.Stats.PSGNodes)/n,
+			float64(r.Stats.PSGEdges)/n)
+	}
+}
+
+// Table4 writes the PSG edge reduction provided by branch nodes
+// (Table 4).
+func Table4(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 4: PSG edge reduction provided by branch nodes.")
+	fmt.Fprintf(w, "%-10s %14s %14s\n", "Benchmark", "Edge Reduction", "Node Increase")
+	for _, r := range results {
+		edgeRed := 1 - float64(r.Stats.PSGEdges)/float64(r.NoBranchStats.PSGEdges)
+		nodeInc := float64(r.Stats.PSGNodes)/float64(r.NoBranchStats.PSGNodes) - 1
+		fmt.Fprintf(w, "%-10s %13.1f%% %13.1f%%\n",
+			r.Profile.Name, edgeRed*100, nodeInc*100)
+	}
+}
+
+// Table5 compares PSG nodes/edges to CFG basic blocks and arcs
+// (Table 5). Arc counts include call and return arcs, as in the paper.
+func Table5(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Table 5: Comparison of PSG nodes and edges to CFG basic blocks and arcs.")
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %12s %12s %10s\n",
+		"Benchmark", "PSG Nodes(k)", "PSG Edges(k)", "Basic Blocks(k)", "CFG Arcs(k)", "Nodes/Block", "Edges/Arc")
+	var sumNodeRatio, sumEdgeRatio float64
+	for _, r := range results {
+		nodeRatio := float64(r.Stats.PSGNodes) / float64(r.Stats.BasicBlocks)
+		edgeRatio := float64(r.Stats.PSGEdges) / float64(r.BaselineArcs)
+		sumNodeRatio += nodeRatio
+		sumEdgeRatio += edgeRatio
+		fmt.Fprintf(w, "%-10s %12.2f %12.2f %14.2f %12.2f %12.2f %10.2f\n",
+			r.Profile.Name,
+			float64(r.Stats.PSGNodes)/1000,
+			float64(r.Stats.PSGEdges)/1000,
+			float64(r.Stats.BasicBlocks)/1000,
+			float64(r.BaselineArcs)/1000,
+			nodeRatio, edgeRatio)
+	}
+	n := float64(len(results))
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %12s %12.2f %10.2f\n",
+		"average", "", "", "", "", sumNodeRatio/n, sumEdgeRatio/n)
+}
+
+// Figure13 writes the fraction of analysis time per stage (Figure 13).
+func Figure13(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 13: Fraction of total time spent in different stages of the dataflow analysis.")
+	fmt.Fprintf(w, "%-10s %10s %14s %10s %9s %9s\n",
+		"Benchmark", "CFG Build", "Initialization", "PSG Build", "Phase 1", "Phase 2")
+	for _, r := range results {
+		fr := r.Stats.StageFractions()
+		fmt.Fprintf(w, "%-10s %9.1f%% %13.1f%% %9.1f%% %8.1f%% %8.1f%%\n",
+			r.Profile.Name, fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
+	}
+}
+
+// Figure14 writes analysis time against the three size measures
+// (Figure 14) as plottable series.
+func Figure14(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 14: Total interprocedural dataflow analysis time vs program size.")
+	fmt.Fprintf(w, "%-10s %9s %13s %14s %11s %14s\n",
+		"Benchmark", "Routines", "Basic Blocks", "Instructions", "Time (sec)", "Baseline (sec)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %9d %13d %14d %11.3f %14.3f\n",
+			r.Profile.Name, r.Stats.Routines, r.Stats.BasicBlocks,
+			r.Stats.Instructions, r.Stats.Total().Seconds(),
+			r.BaselineTime.Seconds())
+	}
+}
+
+// Figure15 writes memory usage against the three size measures
+// (Figure 15).
+func Figure15(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Figure 15: Memory usage vs program size.")
+	fmt.Fprintf(w, "%-10s %9s %13s %14s %13s %13s\n",
+		"Benchmark", "Routines", "Basic Blocks", "Instructions", "Heap (MB)", "Graphs (MB)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %9d %13d %14d %13.2f %13.2f\n",
+			r.Profile.Name, r.Stats.Routines, r.Stats.BasicBlocks,
+			r.Stats.Instructions,
+			float64(r.HeapDelta)/(1<<20),
+			float64(r.Stats.GraphBytes)/(1<<20))
+	}
+}
+
+// OptTable writes the §1 optimization-improvement experiment.
+func OptTable(w io.Writer, results []*OptResult) {
+	fmt.Fprintln(w, "Optimization improvement (§1 claim: 5-10%, up to 20%).")
+	fmt.Fprintf(w, "%-6s %10s %10s %8s %12s %12s %9s\n",
+		"Seed", "Instr", "Instr", "Dead", "Spills", "Save/Rest", "Dynamic")
+	fmt.Fprintf(w, "%-6s %10s %10s %8s %12s %12s %9s\n",
+		"", "Before", "After", "", "Removed", "Rewrites", "Improv")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-6d %10d %10d %8d %12d %12d %8.1f%%\n",
+			r.Seed, r.Report.InstructionsBefore, r.Report.InstructionsAfter,
+			r.Report.DeadInstructions, r.Report.SpillsRemoved,
+			r.Report.SaveRestoreRewrites, r.DynamicImprov*100)
+	}
+}

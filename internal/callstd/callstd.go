@@ -1,0 +1,105 @@
+// Package callstd encodes the Alpha/NT calling standard register classes
+// that Spike's interprocedural analysis relies on.
+//
+// Section 3.4 of the paper uses the calling standard's callee-saved set to
+// filter a routine's outward-facing summary: a callee-saved register that a
+// routine saves and restores is invisible to the routine's callers. Section
+// 3.5 uses the standard's argument, return-value and temporary classes to
+// summarize indirect calls to unknown targets.
+//
+// The register assignments follow the Alpha NT calling standard: v0 returns
+// integer values, t0–t11 and pv/at are caller-saved temporaries, s0–s5 and
+// fp are callee-saved, a0–a5 pass integer arguments, ra holds the return
+// address, and gp/sp are dedicated. The floating bank mirrors this: f0–f1
+// return values, f2–f9 callee-saved, f10–f15 and f22–f30 temporaries,
+// f16–f21 arguments.
+package callstd
+
+import "repro/internal/regset"
+
+// Register classes of the Alpha/NT calling standard.
+var (
+	// IntArgs are the integer argument registers a0–a5.
+	IntArgs = regset.Range(regset.A0, regset.A5)
+
+	// FloatArgs are the floating-point argument registers f16–f21.
+	FloatArgs = regset.Range(regset.F16, regset.F21)
+
+	// Args is the set of all argument registers.
+	Args = IntArgs.Union(FloatArgs)
+
+	// IntReturn is the integer return-value register v0.
+	IntReturn = regset.Of(regset.V0)
+
+	// FloatReturn is the floating-point return-value registers f0–f1.
+	FloatReturn = regset.Range(regset.F0, regset.F1)
+
+	// Return is the set of all return-value registers.
+	Return = IntReturn.Union(FloatReturn)
+
+	// CalleeSaved are the registers a routine must preserve: s0–s5, fp,
+	// and f2–f9. sp is also preserved but is handled as a dedicated
+	// register below.
+	CalleeSaved = regset.Range(regset.S0, regset.S5).
+			Union(regset.Of(regset.FP)).
+			Union(regset.Range(regset.F2, regset.F9))
+
+	// Temporaries are the caller-saved scratch registers: t0–t7, t8–t11,
+	// pv, at, f10–f15, f22–f30. Argument and return registers are also
+	// volatile across calls but are tracked in their own classes.
+	Temporaries = regset.Range(regset.T0, regset.T7).
+			Union(regset.Range(regset.T8, regset.T11)).
+			Union(regset.Of(regset.PV, regset.AT)).
+			Union(regset.Range(regset.F10, regset.F15)).
+			Union(regset.Range(regset.F22, regset.F30))
+
+	// Dedicated registers have a fixed role and never carry program
+	// values across an optimization: ra, gp, sp, and the hardwired
+	// zeros.
+	Dedicated = regset.Of(regset.RA, regset.GP, regset.SP, regset.Zero, regset.FZero)
+
+	// CallerSaved is every register a call may legally clobber:
+	// temporaries, argument registers, return registers and ra.
+	CallerSaved = Temporaries.Union(Args).Union(Return).Union(regset.Of(regset.RA))
+
+	// Allocatable is the set of registers an optimizer may reassign:
+	// everything except the dedicated registers.
+	Allocatable = regset.All.Minus(Dedicated)
+)
+
+// UnknownCall is the conservative summary assumed for an indirect call
+// whose target cannot be determined (§3.5): the argument registers are
+// call-used, the return-value registers are call-defined, and the
+// temporaries (plus everything volatile) are call-killed.
+type Summary struct {
+	Used    regset.Set // call-used: may be read before being written
+	Defined regset.Set // call-defined: written on every path
+	Killed  regset.Set // call-killed: may be written
+}
+
+// UnknownCallSummary returns the §3.5 conservative summary for an indirect
+// call to an unknown target. The gp register is also assumed used and
+// killed, since cross-image calls reload it.
+func UnknownCallSummary() Summary {
+	used := Args.Union(regset.Of(regset.GP, regset.SP, regset.RA))
+	killed := CallerSaved.Union(regset.Of(regset.GP))
+	return Summary{
+		Used:    used,
+		Defined: Return,
+		Killed:  killed.Union(Return),
+	}
+}
+
+// UnknownJumpLive returns the conservative live set assumed at the target
+// of an indirect jump whose targets cannot be determined (§3.5): all
+// registers are live, except the hardwired zeros which never carry
+// values.
+func UnknownJumpLive() regset.Set {
+	return regset.All.Minus(regset.Of(regset.Zero, regset.FZero))
+}
+
+// IsCalleeSaved reports whether r is in the callee-saved class.
+func IsCalleeSaved(r regset.Reg) bool { return CalleeSaved.Contains(r) }
+
+// IsCallerSaved reports whether a call may clobber r.
+func IsCallerSaved(r regset.Reg) bool { return CallerSaved.Contains(r) }

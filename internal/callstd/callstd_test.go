@@ -1,0 +1,120 @@
+package callstd
+
+import (
+	"testing"
+
+	"repro/internal/regset"
+)
+
+func TestClassesAreDisjoint(t *testing.T) {
+	classes := map[string]regset.Set{
+		"Args":        Args,
+		"Return":      Return,
+		"CalleeSaved": CalleeSaved,
+		"Temporaries": Temporaries,
+		"Dedicated":   Dedicated,
+	}
+	names := []string{"Args", "Return", "CalleeSaved", "Temporaries", "Dedicated"}
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			if classes[a].Intersects(classes[b]) {
+				t.Errorf("classes %s and %s overlap: %v", a, b,
+					classes[a].Intersect(classes[b]))
+			}
+		}
+	}
+}
+
+func TestClassesCoverAllRegisters(t *testing.T) {
+	all := Args.Union(Return).Union(CalleeSaved).Union(Temporaries).Union(Dedicated)
+	if all != regset.All {
+		t.Errorf("classes miss registers: %v", regset.All.Minus(all))
+	}
+}
+
+func TestExpectedMembers(t *testing.T) {
+	cases := []struct {
+		reg  regset.Reg
+		in   regset.Set
+		name string
+	}{
+		{regset.V0, Return, "v0 in Return"},
+		{regset.F0, Return, "f0 in Return"},
+		{regset.F1, Return, "f1 in Return"},
+		{regset.A0, Args, "a0 in Args"},
+		{regset.F16, Args, "f16 in Args"},
+		{regset.S0, CalleeSaved, "s0 in CalleeSaved"},
+		{regset.S5, CalleeSaved, "s5 in CalleeSaved"},
+		{regset.FP, CalleeSaved, "fp in CalleeSaved"},
+		{regset.F2, CalleeSaved, "f2 in CalleeSaved"},
+		{regset.F9, CalleeSaved, "f9 in CalleeSaved"},
+		{regset.T0, Temporaries, "t0 in Temporaries"},
+		{regset.T11, Temporaries, "t11 in Temporaries"},
+		{regset.PV, Temporaries, "pv in Temporaries"},
+		{regset.SP, Dedicated, "sp in Dedicated"},
+		{regset.Zero, Dedicated, "zero in Dedicated"},
+	}
+	for _, c := range cases {
+		if !c.in.Contains(c.reg) {
+			t.Errorf("%s: missing", c.name)
+		}
+	}
+}
+
+func TestCallerSavedExcludesCalleeSaved(t *testing.T) {
+	if CallerSaved.Intersects(CalleeSaved) {
+		t.Errorf("caller-saved and callee-saved overlap: %v",
+			CallerSaved.Intersect(CalleeSaved))
+	}
+	for _, r := range []regset.Reg{regset.T0, regset.R19, regset.V0, regset.F10} {
+		if !IsCallerSaved(r) {
+			t.Errorf("%v should be caller-saved", r)
+		}
+	}
+	for _, r := range []regset.Reg{regset.R11, regset.FP, regset.F5} {
+		if !IsCalleeSaved(r) {
+			t.Errorf("%v should be callee-saved", r)
+		}
+		if IsCallerSaved(r) {
+			t.Errorf("%v must not be caller-saved", r)
+		}
+	}
+}
+
+func TestAllocatableExcludesDedicated(t *testing.T) {
+	if Allocatable.Intersects(Dedicated) {
+		t.Error("allocatable set contains dedicated registers")
+	}
+	if Allocatable.Union(Dedicated) != regset.All {
+		t.Error("allocatable ∪ dedicated must cover all registers")
+	}
+}
+
+func TestUnknownCallSummary(t *testing.T) {
+	s := UnknownCallSummary()
+	if !Args.SubsetOf(s.Used) {
+		t.Error("unknown call must use all argument registers")
+	}
+	if !Return.SubsetOf(s.Defined) {
+		t.Error("unknown call must define return registers")
+	}
+	if !s.Defined.SubsetOf(s.Killed) {
+		t.Error("defined must be a subset of killed")
+	}
+	if !Temporaries.SubsetOf(s.Killed) {
+		t.Error("unknown call must kill temporaries")
+	}
+	if s.Killed.Intersects(CalleeSaved) {
+		t.Error("unknown call must not kill callee-saved registers")
+	}
+}
+
+func TestUnknownJumpLive(t *testing.T) {
+	live := UnknownJumpLive()
+	if live.Contains(regset.Zero) || live.Contains(regset.FZero) {
+		t.Error("hardwired zeros are never live")
+	}
+	if live.Len() != regset.NumRegs-2 {
+		t.Errorf("unknown indirect jump must assume all non-hardwired registers live, got %d", live.Len())
+	}
+}

@@ -1,0 +1,360 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+func buildFromSrc(t *testing.T, src string, routine string) *Graph {
+	t.Helper()
+	p, err := prog.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	ri, ok := p.Index(routine)
+	if !ok {
+		t.Fatalf("routine %q not found", routine)
+	}
+	return Build(p, ri)
+}
+
+// The paper's Figure 4(a): four basic blocks and a single call.
+const fig4Src = `
+.routine callee
+  ret
+
+.routine f
+  lda  t0, 1(zero)     ; block 1
+  beq  t0, b3
+  lda  t1, 2(zero)     ; block 2
+  br   b4
+b3:
+  jsr  callee          ; block 3 (ends at the call)
+b4:
+  ret                  ; block 4
+`
+
+func TestBuildFigure4(t *testing.T) {
+	g := buildFromSrc(t, fig4Src, "f")
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	// Block 0: instr 0-1 (lda, beq), cond branch.
+	if g.Blocks[0].Term != TermCondBranch {
+		t.Errorf("block 0 term = %v", g.Blocks[0].Term)
+	}
+	wantSuccs := [][]int{{1, 2}, {3}, {3}, nil}
+	for i, want := range wantSuccs {
+		got := g.Blocks[i].Succs
+		if len(got) != len(want) {
+			t.Errorf("block %d succs = %v, want %v", i, got, want)
+			continue
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("block %d succs = %v, want %v", i, got, want)
+				break
+			}
+		}
+	}
+	if g.Blocks[2].Term != TermCall {
+		t.Errorf("call block term = %v", g.Blocks[2].Term)
+	}
+	if g.Blocks[3].Term != TermExit {
+		t.Errorf("exit block term = %v", g.Blocks[3].Term)
+	}
+	if got := g.NumArcs(); got != 4 {
+		t.Errorf("arcs = %d, want 4", got)
+	}
+}
+
+func TestPredsMirrorSuccs(t *testing.T) {
+	g := buildFromSrc(t, fig4Src, "f")
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range g.Blocks[s].Preds {
+				if p == b.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("block %d -> %d not mirrored in preds", b.ID, s)
+			}
+		}
+	}
+}
+
+func TestBlocksEndAtCalls(t *testing.T) {
+	src := `
+.routine g
+  ret
+.routine f
+  lda t0, 1(zero)
+  jsr g
+  lda t1, 2(zero)
+  jsr g
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (calls end blocks)", len(g.Blocks))
+	}
+	if g.Blocks[0].Term != TermCall || g.Blocks[1].Term != TermCall {
+		t.Error("call blocks not classified as TermCall")
+	}
+	if g.CallTargetOf(g.Blocks[0]) != 0 {
+		t.Errorf("call target = %d", g.CallTargetOf(g.Blocks[0]))
+	}
+	if g.CallTargetOf(g.Blocks[2]) != -1 {
+		t.Error("non-call block must have no call target")
+	}
+}
+
+func TestIndirectCallTarget(t *testing.T) {
+	src := `
+.routine f
+  jsri pv
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	if g.Blocks[0].Term != TermCall {
+		t.Fatalf("indirect call term = %v", g.Blocks[0].Term)
+	}
+	if g.CallTargetOf(g.Blocks[0]) != -1 {
+		t.Error("indirect call must report target -1")
+	}
+}
+
+func TestMultiwayJump(t *testing.T) {
+	src := `
+.routine f
+.table T0 = a, b, c
+  jmp t0, T0
+a:
+  br done
+b:
+  br done
+c:
+  br done
+done:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	b0 := g.Blocks[0]
+	if b0.Term != TermMultiway {
+		t.Fatalf("term = %v", b0.Term)
+	}
+	if len(b0.Succs) != 3 {
+		t.Errorf("multiway succs = %v", b0.Succs)
+	}
+}
+
+func TestUnknownJump(t *testing.T) {
+	src := `
+.routine f
+  jmp t0, ?
+`
+	g := buildFromSrc(t, src, "f")
+	if g.Blocks[0].Term != TermUnknownJump {
+		t.Fatalf("term = %v", g.Blocks[0].Term)
+	}
+	if len(g.Blocks[0].Succs) != 0 {
+		t.Error("unknown jump must have no intraprocedural successors")
+	}
+}
+
+func TestDuplicateTableTargetsDeduplicated(t *testing.T) {
+	src := `
+.routine f
+.table T0 = a, a, b
+  jmp t0, T0
+a:
+  br done
+b:
+  br done
+done:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	if len(g.Blocks[0].Succs) != 2 {
+		t.Errorf("succs = %v, want deduplicated [1 2]", g.Blocks[0].Succs)
+	}
+}
+
+func TestMultipleEntries(t *testing.T) {
+	src := `
+.routine f
+.entry alt
+  lda t0, 1(zero)
+  br join
+alt:
+  lda t0, 2(zero)
+join:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	if len(g.EntryBlocks) != 2 {
+		t.Fatalf("entry blocks = %v", g.EntryBlocks)
+	}
+	if g.EntryBlocks[0] != 0 || g.EntryBlocks[1] != 1 {
+		t.Errorf("entry blocks = %v, want [0 1]", g.EntryBlocks)
+	}
+}
+
+func TestInstrBlockMapping(t *testing.T) {
+	g := buildFromSrc(t, fig4Src, "f")
+	for _, b := range g.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			if g.InstrBlock[i] != b.ID {
+				t.Errorf("InstrBlock[%d] = %d, want %d", i, g.InstrBlock[i], b.ID)
+			}
+		}
+	}
+}
+
+func TestComputeDefUBD(t *testing.T) {
+	p := prog.New()
+	r := prog.NewRoutine("f",
+		isa.Mov(regset.T0, regset.A0),                       // use a0, def t0
+		isa.Bin(isa.OpAdd, regset.T1, regset.T0, regset.A1), // use t0 (defined), a1; def t1
+		isa.Print(regset.T2),                                // use t2 (UBD)
+		isa.Ret(),
+	)
+	p.Add(r)
+	g := Build(p, 0)
+	ComputeDefUBD(g)
+	b := g.Blocks[0]
+	wantDef := regset.Of(regset.T0, regset.T1)
+	wantUBD := regset.Of(regset.A0, regset.A1, regset.T2, regset.RA)
+	if b.Def != wantDef {
+		t.Errorf("Def = %v, want %v", b.Def, wantDef)
+	}
+	if b.UBD != wantUBD {
+		t.Errorf("UBD = %v, want %v", b.UBD, wantUBD)
+	}
+}
+
+func TestDefUBDUseBeforeDefOrdering(t *testing.T) {
+	p := prog.New()
+	// t0 is defined then used: not UBD. t1 is used then defined: UBD.
+	r := prog.NewRoutine("f",
+		isa.LdaImm(regset.T0, 1),
+		isa.Bin(isa.OpAdd, regset.T1, regset.T0, regset.T1),
+		isa.Halt(),
+	)
+	p.Add(r)
+	g := Build(p, 0)
+	ComputeDefUBD(g)
+	b := g.Blocks[0]
+	if b.UBD.Contains(regset.T0) {
+		t.Error("t0 defined before use must not be UBD")
+	}
+	if !b.UBD.Contains(regset.T1) {
+		t.Error("t1 used before def must be UBD")
+	}
+	if !b.Def.Contains(regset.T0) || !b.Def.Contains(regset.T1) {
+		t.Error("both t0 and t1 are defined in the block")
+	}
+}
+
+func TestCallSummaryEndsBlockAndDefUBD(t *testing.T) {
+	p := prog.New()
+	r := prog.NewRoutine("f",
+		isa.CallSummary(regset.Of(regset.A0), regset.Of(regset.V0), regset.Of(regset.T0)),
+		isa.Print(regset.V0),
+		isa.Ret(),
+	)
+	p.Add(r)
+	g := Build(p, 0)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(g.Blocks))
+	}
+	if g.Blocks[0].Term != TermCall {
+		t.Errorf("call-summary block term = %v", g.Blocks[0].Term)
+	}
+	ComputeDefUBD(g)
+	if !g.Blocks[0].UBD.Contains(regset.A0) {
+		t.Error("call summary use must appear in UBD")
+	}
+	if !g.Blocks[0].Def.Contains(regset.V0) {
+		t.Error("call summary def must appear in Def")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	src := `
+.routine f
+  br done
+dead:
+  lda t0, 1(zero)
+  br done
+done:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	seen := g.Reachable()
+	reachCount := 0
+	for _, s := range seen {
+		if s {
+			reachCount++
+		}
+	}
+	if reachCount != 2 {
+		t.Errorf("reachable blocks = %d, want 2 (entry + done)", reachCount)
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	p := prog.MustAssemble(`
+.routine a
+  jsr b
+  ret
+.routine b
+  ret
+`)
+	gs := BuildAll(p)
+	if len(gs) != 2 {
+		t.Fatalf("graphs = %d", len(gs))
+	}
+	for ri, g := range gs {
+		if g.RoutineIndex != ri {
+			t.Errorf("graph %d has RoutineIndex %d", ri, g.RoutineIndex)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	kinds := []TermKind{TermFall, TermBranch, TermCondBranch, TermMultiway,
+		TermUnknownJump, TermCall, TermExit}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("TermKind %d has bad/duplicate String %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCondBranchToSelfLoop(t *testing.T) {
+	src := `
+.routine f
+loop:
+  sub t0, t0, t1
+  bne t0, loop
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(g.Blocks))
+	}
+	b0 := g.Blocks[0]
+	want := []int{0, 1}
+	if len(b0.Succs) != 2 || b0.Succs[0] != want[0] || b0.Succs[1] != want[1] {
+		t.Errorf("loop succs = %v, want %v", b0.Succs, want)
+	}
+}

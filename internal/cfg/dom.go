@@ -1,0 +1,248 @@
+package cfg
+
+// Dominator computation (Cooper–Harvey–Kennedy "A Simple, Fast
+// Dominance Algorithm") and natural-loop detection. Spike's
+// profile-driven restructuring works at basic-block granularity; loop
+// membership and dominance drive both the §3.6 branch-node placement
+// heuristics and the hot/cold splitting of internal/layout.
+
+// Dominators holds the dominator tree of one routine's CFG, rooted at a
+// virtual entry that covers all entrances (routines can have several,
+// §2).
+type Dominators struct {
+	// Idom[b] is the immediate dominator of block b, or -1 when b has
+	// none: entry blocks, blocks only the virtual root dominates
+	// (join points of multiple entrances), and unreachable blocks.
+	Idom []int
+
+	graph *Graph
+	// idom includes the virtual root at index len(Blocks); every
+	// reachable block's chain ends there.
+	idom []int
+	// order is a reverse-postorder numbering of reachable blocks.
+	order   []int
+	rpoNum  []int
+	reached []bool
+}
+
+// ComputeDominators builds the dominator tree. Blocks unreachable from
+// the routine's entrances get Idom -1 and dominate nothing.
+func ComputeDominators(g *Graph) *Dominators {
+	n := len(g.Blocks)
+	root := n // virtual root
+	d := &Dominators{
+		Idom:    make([]int, n),
+		idom:    make([]int, n+1),
+		graph:   g,
+		rpoNum:  make([]int, n+1),
+		reached: make([]bool, n),
+	}
+	for i := range d.idom {
+		d.idom[i] = -1
+		d.rpoNum[i] = -1
+	}
+	d.idom[root] = root
+	d.rpoNum[root] = -1 // numerically before every real block
+
+	// Postorder DFS from every entrance; iterative to handle deep
+	// graphs.
+	var post []int
+	state := make([]int8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		block int
+		next  int
+	}
+	var stack []frame
+	for _, e := range g.EntryBlocks {
+		if state[e] != 0 {
+			continue
+		}
+		state[e] = 1
+		stack = append(stack, frame{e, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			b := g.Blocks[f.block]
+			if f.next < len(b.Succs) {
+				s := b.Succs[f.next]
+				f.next++
+				if state[s] == 0 {
+					state[s] = 1
+					stack = append(stack, frame{s, 0})
+				}
+				continue
+			}
+			state[f.block] = 2
+			post = append(post, f.block)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Reverse postorder.
+	d.order = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		d.order = append(d.order, post[i])
+	}
+	for i, b := range d.order {
+		d.rpoNum[b] = i
+		d.reached[b] = true
+	}
+
+	// Every entrance hangs off the virtual root.
+	isEntry := make([]bool, n)
+	for _, e := range g.EntryBlocks {
+		isEntry[e] = true
+		d.idom[e] = root
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.order {
+			if isEntry[b] {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if !d.reached[p] || d.idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for b := 0; b < n; b++ {
+		if d.idom[b] == root || d.idom[b] == -1 {
+			d.Idom[b] = -1
+		} else {
+			d.Idom[b] = d.idom[b]
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b int) int {
+	for a != b {
+		for d.rpoNum[a] > d.rpoNum[b] {
+			a = d.idom[a]
+		}
+		for d.rpoNum[b] > d.rpoNum[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether block a dominates block b (reflexively).
+func (d *Dominators) Dominates(a, b int) bool {
+	if !d.reached[b] || !d.reached[a] {
+		return false
+	}
+	root := len(d.graph.Blocks)
+	for {
+		if a == b {
+			return true
+		}
+		if b == root {
+			return false
+		}
+		b = d.idom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}
+
+// Reachable reports whether block b is reachable from an entrance.
+func (d *Dominators) Reachable(b int) bool { return d.reached[b] }
+
+// Loop is a natural loop: a back edge tail→head where head dominates
+// tail, plus every block that can reach the tail without passing
+// through the head.
+type Loop struct {
+	// Head is the loop header block.
+	Head int
+
+	// Blocks lists the loop's member blocks (including Head), sorted.
+	Blocks []int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	for _, x := range l.Blocks {
+		if x == b {
+			return true
+		}
+		if x > b {
+			return false
+		}
+	}
+	return false
+}
+
+// FindLoops returns the natural loops of the graph, one per header
+// (back edges sharing a header are merged), ordered by header block ID.
+func FindLoops(g *Graph, d *Dominators) []*Loop {
+	if d == nil {
+		d = ComputeDominators(g)
+	}
+	members := map[int]map[int]bool{} // head → set of member blocks
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !d.Reachable(b.ID) || !d.Dominates(s, b.ID) {
+				continue
+			}
+			// Back edge b → s.
+			set := members[s]
+			if set == nil {
+				set = map[int]bool{s: true}
+				members[s] = set
+			}
+			// Walk predecessors from the tail up to the header.
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if set[x] {
+					continue
+				}
+				set[x] = true
+				stack = append(stack, g.Blocks[x].Preds...)
+			}
+		}
+	}
+	var loops []*Loop
+	for head := range members {
+		loops = append(loops, &Loop{Head: head})
+	}
+	sortLoops(loops)
+	for _, l := range loops {
+		set := members[l.Head]
+		for b := range set {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sortInts(l.Blocks)
+	}
+	return loops
+}
+
+func sortLoops(ls []*Loop) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j-1].Head > ls[j].Head; j-- {
+			ls[j-1], ls[j] = ls[j], ls[j-1]
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+)
+
+const domSrc = `
+.routine f
+  beq t0, right      ; b0
+  lda t1, 1(zero)    ; b1 (left)
+  br join
+right:
+  lda t1, 2(zero)    ; b2 (right)
+join:
+  beq t1, out        ; b3 (join)
+loop:
+  sub t2, t2, t1     ; b4 (loop body)
+  bne t2, loop
+out:
+  ret                ; b5
+`
+
+func TestDominators(t *testing.T) {
+	g := buildFromSrc(t, domSrc, "f")
+	d := ComputeDominators(g)
+	if len(g.Blocks) != 6 {
+		t.Fatalf("blocks = %d, want 6", len(g.Blocks))
+	}
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {0, 3, true}, {0, 4, true}, {0, 5, true},
+		{1, 3, false}, {2, 3, false}, // neither arm dominates the join
+		{3, 4, true}, {3, 5, true},
+		{4, 5, false}, // the loop can be skipped
+		{1, 1, true},  // reflexive
+		{5, 0, false},
+	}
+	for _, c := range cases {
+		if got := d.Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if d.Idom[0] != -1 {
+		t.Errorf("entry idom = %d, want -1", d.Idom[0])
+	}
+	if d.Idom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0", d.Idom[3])
+	}
+	if d.Idom[4] != 3 {
+		t.Errorf("idom(loop) = %d, want 3", d.Idom[4])
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	src := `
+.routine f
+  br out
+dead:
+  lda t0, 1(zero)
+  br out
+out:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	d := ComputeDominators(g)
+	if d.Reachable(1) {
+		t.Error("dead block must be unreachable")
+	}
+	if d.Dominates(0, 1) || d.Dominates(1, 2) {
+		t.Error("unreachable blocks dominate nothing and are dominated by nothing")
+	}
+}
+
+func TestDominatorsMultiEntry(t *testing.T) {
+	src := `
+.routine f
+.entry alt
+  lda t0, 1(zero)
+  br join
+alt:
+  lda t0, 2(zero)
+join:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	d := ComputeDominators(g)
+	// Neither entrance dominates the join: control may arrive from
+	// either.
+	if d.Dominates(0, 2) || d.Dominates(1, 2) {
+		t.Error("join reachable from both entrances must not be dominated by either")
+	}
+	if d.Idom[0] != -1 || d.Idom[1] != -1 {
+		t.Error("entrances have no immediate dominator")
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	g := buildFromSrc(t, domSrc, "f")
+	loops := FindLoops(g, nil)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Head != 4 {
+		t.Errorf("loop head = %d, want 4", l.Head)
+	}
+	if len(l.Blocks) != 1 || l.Blocks[0] != 4 {
+		t.Errorf("loop blocks = %v, want [4]", l.Blocks)
+	}
+	if !l.Contains(4) || l.Contains(3) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	src := `
+.routine f
+outer:
+  lda t0, 3(zero)    ; b0: outer header
+inner:
+  sub t1, t1, t0     ; b1: inner header+body
+  bne t1, inner
+  sub t0, t0, t2     ; b2
+  bne t0, outer
+  ret                ; b3
+`
+	g := buildFromSrc(t, src, "f")
+	loops := FindLoops(g, nil)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (nested)", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Head != 0 || inner.Head != 1 {
+		t.Fatalf("heads = %d, %d", outer.Head, inner.Head)
+	}
+	// The outer loop contains the inner loop's blocks.
+	for _, b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Errorf("outer loop missing inner block %d", b)
+		}
+	}
+	if outer.Contains(3) {
+		t.Error("exit block is not in the loop")
+	}
+}
+
+func TestFindLoopsSharedHeader(t *testing.T) {
+	// Two back edges to the same header merge into one loop.
+	src := `
+.routine f
+top:
+  beq t0, a          ; b0 header
+  sub t1, t1, t0     ; b1
+  bne t1, top
+  br out
+a:
+  sub t2, t2, t0     ; b3
+  bne t2, top
+out:
+  ret
+`
+	g := buildFromSrc(t, src, "f")
+	loops := FindLoops(g, nil)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1 (merged back edges)", len(loops))
+	}
+	l := loops[0]
+	if l.Head != 0 {
+		t.Errorf("head = %d", l.Head)
+	}
+	if !l.Contains(1) || !l.Contains(3) {
+		t.Errorf("loop must contain both tails: %v", l.Blocks)
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	g := buildFromSrc(t, fig4Src, "f")
+	if loops := FindLoops(g, nil); len(loops) != 0 {
+		t.Errorf("acyclic CFG reported loops: %v", loops)
+	}
+}
+
+func TestDominatorsOnGenerated(t *testing.T) {
+	// Structural sanity on a spread of real shapes: every reachable
+	// non-entry block's idom is reachable and dominates it.
+	p := prog.MustAssemble(domSrc + `
+.routine g
+.table T0 = x, y
+  jmp t9, T0
+x:
+  br done
+y:
+  br done
+done:
+  ret
+`)
+	for ri := range p.Routines {
+		g := Build(p, ri)
+		d := ComputeDominators(g)
+		entry := map[int]bool{}
+		for _, e := range g.EntryBlocks {
+			entry[e] = true
+		}
+		for _, b := range g.Blocks {
+			if !d.Reachable(b.ID) || entry[b.ID] {
+				continue
+			}
+			id := d.Idom[b.ID]
+			if id < 0 || !d.Reachable(id) {
+				t.Fatalf("routine %d block %d: bad idom %d", ri, b.ID, id)
+			}
+			if !d.Dominates(id, b.ID) {
+				t.Fatalf("routine %d: idom does not dominate its child", ri)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"time"
+	"unsafe"
+
+	"repro/internal/callstd"
+
+	"repro/internal/cfg"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// Stats records where analysis time is spent, matching the stage
+// decomposition of Figure 13, along with the structural counts the
+// paper's tables report.
+type Stats struct {
+	// Stage durations (Figure 13).
+	CFGBuild time.Duration // building the CFG of each routine
+	Init     time.Duration // generating DEF and UBD sets per block
+	PSGBuild time.Duration // generating PSG nodes and edges
+	Phase1   time.Duration // call-used/killed/defined dataflow
+	Phase2   time.Duration // live-at-entry/exit dataflow
+
+	// Structural counts (Tables 2, 3, 5).
+	Routines     int
+	Instructions int
+	BasicBlocks  int
+	CFGArcs      int // intraprocedural arcs only
+	PSGNodes     int
+	PSGEdges     int
+
+	// GraphBytes estimates the memory footprint of the analysis
+	// structures (CFG blocks + PSG nodes and edges), the deterministic
+	// analogue of the paper's memory column.
+	GraphBytes uint64
+}
+
+// Total returns the sum of the stage durations.
+func (s *Stats) Total() time.Duration {
+	return s.CFGBuild + s.Init + s.PSGBuild + s.Phase1 + s.Phase2
+}
+
+// StageFractions returns each stage's share of the total, in Figure 13's
+// order: CFG build, initialization, PSG build, phase 1, phase 2.
+func (s *Stats) StageFractions() [5]float64 {
+	total := s.Total().Seconds()
+	if total == 0 {
+		return [5]float64{}
+	}
+	return [5]float64{
+		s.CFGBuild.Seconds() / total,
+		s.Init.Seconds() / total,
+		s.PSGBuild.Seconds() / total,
+		s.Phase1.Seconds() / total,
+		s.Phase2.Seconds() / total,
+	}
+}
+
+// RoutineSummary holds the five dataflow summaries of one routine (§2).
+type RoutineSummary struct {
+	// Per entrance (parallel to Routine.Entries).
+	CallUsed    []regset.Set // MAY-USE at each entry, §3.4-filtered
+	CallDefined []regset.Set // MUST-DEF at each entry, §3.4-filtered
+	CallKilled  []regset.Set // MAY-DEF at each entry, §3.4-filtered
+	LiveAtEntry []regset.Set
+
+	// Per exit, in the order the routine's ret/halt instructions
+	// appear. ExitBlocks gives each exit's basic-block ID.
+	LiveAtExit []regset.Set
+	ExitBlocks []int
+
+	// SavedRestored is the §3.4 set removed from the outward-facing
+	// summary.
+	SavedRestored regset.Set
+}
+
+// Analysis is the result of interprocedural dataflow analysis over a
+// program.
+type Analysis struct {
+	Prog      *prog.Program
+	Config    Config
+	Graphs    []*cfg.Graph
+	PSG       *PSG
+	Stats     Stats
+	Summaries []RoutineSummary
+}
+
+// Analyze performs the full interprocedural dataflow analysis of the
+// paper: CFG construction, DEF/UBD initialization, PSG construction,
+// phase 1 and phase 2.
+func Analyze(p *prog.Program, conf Config) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	a := &Analysis{Prog: p, Config: conf}
+
+	start := time.Now()
+	a.Graphs = cfg.BuildAll(p)
+	a.Stats.CFGBuild = time.Since(start)
+
+	start = time.Now()
+	for _, g := range a.Graphs {
+		cfg.ComputeDefUBD(g)
+	}
+	a.Stats.Init = time.Since(start)
+
+	start = time.Now()
+	a.PSG = buildPSG(p, a.Graphs, conf)
+	a.Stats.PSGBuild = time.Since(start)
+
+	start = time.Now()
+	a.PSG.runPhase1(conf)
+	a.Stats.Phase1 = time.Since(start)
+
+	start = time.Now()
+	a.PSG.runPhase2(conf)
+	a.Stats.Phase2 = time.Since(start)
+
+	a.collectSummaries()
+	a.collectCounts()
+	return a, nil
+}
+
+// collectSummaries reads the converged node sets out of the PSG: the
+// phase-1 snapshot for call-used/defined/killed (§3.4-filtered) and the
+// phase-2 MAY-USE sets for live-at-entry/exit.
+func (a *Analysis) collectSummaries() {
+	a.Summaries = make([]RoutineSummary, len(a.Prog.Routines))
+	for ri := range a.Prog.Routines {
+		sr := a.PSG.SavedRestored[ri]
+		s := RoutineSummary{SavedRestored: sr}
+		for _, nid := range a.PSG.EntryNodes[ri] {
+			n := a.PSG.Nodes[nid]
+			s.CallUsed = append(s.CallUsed, n.phase1Use.Minus(sr))
+			s.CallDefined = append(s.CallDefined, n.MustDef.Minus(sr))
+			s.CallKilled = append(s.CallKilled, n.MayDef.Minus(sr))
+			s.LiveAtEntry = append(s.LiveAtEntry, n.MayUse)
+		}
+		for _, nid := range a.PSG.ExitNodes[ri] {
+			n := a.PSG.Nodes[nid]
+			s.LiveAtExit = append(s.LiveAtExit, n.MayUse)
+			s.ExitBlocks = append(s.ExitBlocks, n.Block)
+		}
+		a.Summaries[ri] = s
+	}
+}
+
+func (a *Analysis) collectCounts() {
+	st := &a.Stats
+	st.Routines = len(a.Prog.Routines)
+	st.Instructions = a.Prog.NumInstructions()
+	for _, g := range a.Graphs {
+		st.BasicBlocks += len(g.Blocks)
+		st.CFGArcs += g.NumArcs()
+	}
+	st.PSGNodes = a.PSG.NumNodes()
+	st.PSGEdges = a.PSG.NumEdges()
+	st.GraphBytes = a.graphBytes()
+}
+
+// graphBytes estimates the analysis's memory footprint from the sizes of
+// its graph structures.
+func (a *Analysis) graphBytes() uint64 {
+	var b uint64
+	var blk cfg.Block
+	var nd Node
+	var ed Edge
+	blockSize := uint64(unsafe.Sizeof(blk))
+	nodeSize := uint64(unsafe.Sizeof(nd))
+	edgeSize := uint64(unsafe.Sizeof(ed))
+	for _, g := range a.Graphs {
+		b += uint64(len(g.Blocks)) * blockSize
+		b += uint64(len(g.InstrBlock)) * 8
+		for _, bb := range g.Blocks {
+			b += uint64(len(bb.Succs)+len(bb.Preds)) * 8
+		}
+	}
+	b += uint64(len(a.PSG.Nodes)) * nodeSize
+	b += uint64(len(a.PSG.Edges)) * edgeSize
+	for _, n := range a.PSG.Nodes {
+		b += uint64(len(n.In)+len(n.Out)+len(n.retSites)) * 8
+	}
+	return b
+}
+
+// Summary returns the summary of the routine with the given index.
+func (a *Analysis) Summary(ri int) *RoutineSummary { return &a.Summaries[ri] }
+
+// CallSummaryFor returns the call-used, call-defined and call-killed
+// sets to apply at a direct call to entrance e of routine ri.
+func (a *Analysis) CallSummaryFor(ri, e int) (used, defined, killed regset.Set) {
+	s := &a.Summaries[ri]
+	return s.CallUsed[e], s.CallDefined[e], s.CallKilled[e]
+}
+
+// IndirectCallSummary returns the sets to apply at an indirect call
+// site: the §3.5 calling-standard assumption, widened — under the
+// closed-world configuration — with the summaries of every
+// address-taken routine (any of them could be the target).
+func (a *Analysis) IndirectCallSummary() (used, defined, killed regset.Set) {
+	std := callstd.UnknownCallSummary()
+	used, defined, killed = std.Used, std.Defined, std.Killed
+	if !a.Config.LinkIndirectCalls {
+		return used, defined, killed
+	}
+	for ri, r := range a.Prog.Routines {
+		if !r.AddressTaken {
+			continue
+		}
+		s := &a.Summaries[ri]
+		used = used.Union(s.CallUsed[0])
+		defined = defined.Intersect(s.CallDefined[0])
+		killed = killed.Union(s.CallKilled[0])
+	}
+	return used, defined, killed
+}

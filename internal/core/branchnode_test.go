@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// figure12Src encodes the paper's Figure 12: a 3-way branch inside a
+// loop with a call at each target. Every return can reach every call, so
+// without branch nodes the return/call edges form a complete bipartite
+// graph.
+const figure12Src = `
+.start main
+.routine main
+  jsr f
+  halt
+
+.routine g
+  ret
+
+.routine f
+.table T0 = c1, c2, c3
+top:
+  beq t9, out
+  jmp t0, T0
+c1:
+  jsr g
+  br top
+c2:
+  jsr g
+  br top
+c3:
+  jsr g
+  br top
+out:
+  ret
+`
+
+func edgeCountsFor(t *testing.T, src string, conf Config, routine string) (flow, cr, nodes int) {
+	t.Helper()
+	p, err := prog.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	a, err := Analyze(p, conf)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	ri, _ := p.Index(routine)
+	for _, e := range a.PSG.Edges {
+		if a.PSG.Nodes[e.Src].Routine != ri {
+			continue
+		}
+		if e.Kind == EdgeFlow {
+			flow++
+		} else {
+			cr++
+		}
+	}
+	for _, n := range a.PSG.Nodes {
+		if n.Routine == ri {
+			nodes++
+		}
+	}
+	return flow, cr, nodes
+}
+
+func TestBranchNodesReduceEdges(t *testing.T) {
+	with := DefaultConfig()
+	without := DefaultConfig()
+	without.BranchNodes = false
+
+	flowWith, crWith, nodesWith := edgeCountsFor(t, figure12Src, with, "f")
+	flowWithout, crWithout, nodesWithout := edgeCountsFor(t, figure12Src, without, "f")
+
+	if crWith != 3 || crWithout != 3 {
+		t.Fatalf("call-return edges = %d/%d, want 3/3", crWith, crWithout)
+	}
+	if flowWith >= flowWithout {
+		t.Errorf("branch node must reduce flow edges: with=%d without=%d",
+			flowWith, flowWithout)
+	}
+	if nodesWith != nodesWithout+1 {
+		t.Errorf("branch node adds exactly one node: with=%d without=%d",
+			nodesWith, nodesWithout)
+	}
+
+	// Without branch nodes: each return reaches every call (9 edges),
+	// entry reaches every call (3), every return reaches the exit and
+	// the entry reaches the exit (4), returns do not reach... plus
+	// entry/return → exit. Check the complete bipartite blowup exists.
+	if flowWithout < 9 {
+		t.Errorf("without branch nodes expected ≥9 flow edges, got %d", flowWithout)
+	}
+}
+
+func TestBranchNodeResultsUnchanged(t *testing.T) {
+	// The branch node is an optimization of representation; the
+	// converged summaries must be identical with and without it.
+	srcs := []string{figure2Src, figure4Src, figure12Src}
+	for i, src := range srcs {
+		p1, _ := prog.Assemble(src)
+		p2, _ := prog.Assemble(src)
+		with, err := Analyze(p1, Config{BranchNodes: true, LinkIndirectCalls: true})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		without, err := Analyze(p2, Config{BranchNodes: false, LinkIndirectCalls: true})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for ri := range p1.Routines {
+			sw, sn := with.Summary(ri), without.Summary(ri)
+			for e := range sw.CallUsed {
+				if sw.CallUsed[e] != sn.CallUsed[e] {
+					t.Errorf("case %d routine %d: call-used differs: %v vs %v",
+						i, ri, sw.CallUsed[e], sn.CallUsed[e])
+				}
+				if sw.CallDefined[e] != sn.CallDefined[e] {
+					t.Errorf("case %d routine %d: call-defined differs: %v vs %v",
+						i, ri, sw.CallDefined[e], sn.CallDefined[e])
+				}
+				if sw.CallKilled[e] != sn.CallKilled[e] {
+					t.Errorf("case %d routine %d: call-killed differs: %v vs %v",
+						i, ri, sw.CallKilled[e], sn.CallKilled[e])
+				}
+				if sw.LiveAtEntry[e] != sn.LiveAtEntry[e] {
+					t.Errorf("case %d routine %d: live-at-entry differs: %v vs %v",
+						i, ri, sw.LiveAtEntry[e], sn.LiveAtEntry[e])
+				}
+			}
+			for x := range sw.LiveAtExit {
+				if sw.LiveAtExit[x] != sn.LiveAtExit[x] {
+					t.Errorf("case %d routine %d: live-at-exit differs: %v vs %v",
+						i, ri, sw.LiveAtExit[x], sn.LiveAtExit[x])
+				}
+			}
+		}
+	}
+}
+
+func TestBranchNodeDataflowThroughTable(t *testing.T) {
+	// A register defined before the multiway branch and used at one of
+	// its targets must flow through the branch node.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+.table T0 = a, b
+  lda r1, 1(zero)
+  jmp t9, T0
+a:
+  print r1
+  ret
+b:
+  lda r2, 2(zero)
+  ret
+`
+	p, _ := prog.Assemble(src)
+	a, err := Analyze(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := p.Index("f")
+	used, defined, killed := a.CallSummaryFor(fi, 0)
+	// t9 (the switch index) is used; r1 defined before its use at
+	// target a.
+	if !used.Contains(regset.T9) {
+		t.Errorf("switch index t9 must be call-used: %v", used)
+	}
+	if used.Contains(regset.R1) {
+		t.Errorf("r1 defined before its use; not call-used: %v", used)
+	}
+	// r1 defined on all paths; r2 only on path b.
+	if !defined.Contains(regset.R1) {
+		t.Errorf("r1 must be call-defined: %v", defined)
+	}
+	if defined.Contains(regset.R2) {
+		t.Errorf("r2 only defined on one arm; not call-defined: %v", defined)
+	}
+	if !killed.Contains(regset.R2) {
+		t.Errorf("r2 must be call-killed: %v", killed)
+	}
+}
+
+func TestPSGStructuralInvariants(t *testing.T) {
+	for _, src := range []string{figure2Src, figure4Src, figure12Src} {
+		p, _ := prog.Assemble(src)
+		a, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := a.PSG
+		for _, e := range g.Edges {
+			if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+				t.Fatalf("edge %d has out-of-range endpoints", e.ID)
+			}
+			src, dst := g.Nodes[e.Src], g.Nodes[e.Dst]
+			switch e.Kind {
+			case EdgeFlow:
+				if src.Kind == NodeCall || src.Kind == NodeExit {
+					t.Errorf("flow edge from %v node", src.Kind)
+				}
+				if dst.Kind == NodeEntry || dst.Kind == NodeReturn {
+					t.Errorf("flow edge into %v node", dst.Kind)
+				}
+				if src.Routine != dst.Routine {
+					t.Error("flow edge crosses routines")
+				}
+			case EdgeCallReturn:
+				if src.Kind != NodeCall || dst.Kind != NodeReturn {
+					t.Error("call-return edge endpoints wrong")
+				}
+			}
+		}
+		// Every call node has exactly one call-return edge.
+		for _, n := range g.Nodes {
+			if n.Kind != NodeCall {
+				continue
+			}
+			cr := 0
+			for _, eid := range n.Out {
+				if g.Edges[eid].Kind == EdgeCallReturn {
+					cr++
+				}
+			}
+			if cr != 1 {
+				t.Errorf("call node %d has %d call-return edges", n.ID, cr)
+			}
+		}
+		// In/Out adjacency is consistent.
+		for _, n := range g.Nodes {
+			for _, eid := range n.Out {
+				if g.Edges[eid].Src != n.ID {
+					t.Errorf("node %d Out lists edge %d with Src %d", n.ID, eid, g.Edges[eid].Src)
+				}
+			}
+			for _, eid := range n.In {
+				if g.Edges[eid].Dst != n.ID {
+					t.Errorf("node %d In lists edge %d with Dst %d", n.ID, eid, g.Edges[eid].Dst)
+				}
+			}
+		}
+	}
+}
+
+func TestNodeKindStrings(t *testing.T) {
+	kinds := []NodeKind{NodeEntry, NodeExit, NodeCall, NodeReturn, NodeBranch}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("NodeKind %d has bad String %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	a := analyze(t, figure4Src)
+	fi, _ := a.Prog.Index("f")
+	var sb strings.Builder
+	a.PSG.WriteDot(&sb, fi)
+	out := sb.String()
+	for _, frag := range []string{
+		"digraph psg_f {",
+		"entry 0",
+		"exit 0",
+		"call g",
+		"return",
+		"style=dashed", // the call-return edge
+		"}",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dot output missing %q", frag)
+		}
+	}
+	// One dashed edge (call-return), three solid flow edges.
+	if got := strings.Count(out, "style=dashed"); got != 1 {
+		t.Errorf("dashed edges = %d, want 1", got)
+	}
+	if got := strings.Count(out, "style=solid"); got != 3 {
+		t.Errorf("solid edges = %d, want 3", got)
+	}
+}
+
+func TestWriteDotBranchAndUnknown(t *testing.T) {
+	a := analyze(t, figure12Src)
+	fi, _ := a.Prog.Index("f")
+	var sb strings.Builder
+	a.PSG.WriteDot(&sb, fi)
+	if !strings.Contains(sb.String(), "shape=diamond") {
+		t.Error("branch node not rendered as diamond")
+	}
+
+	a2 := analyze(t, `
+.start main
+.routine main
+  jmp t0, ?
+`)
+	var sb2 strings.Builder
+	a2.PSG.WriteDot(&sb2, 0)
+	if !strings.Contains(sb2.String(), "unknown jump") {
+		t.Error("unknown-jump pseudo-exit not labeled")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"main":     "main",
+		"foo.bar":  "foo_bar",
+		"a-b c":    "a_b_c",
+		"proc42":   "proc42",
+		"weird!@#": "weird___",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// nonConformantSrc has an address-taken routine that reads t5 before
+// defining it — a violation of the §3.5 calling-standard assumption
+// that unknown callees read only argument registers.
+const nonConformantSrc = `
+.start main
+.routine main
+  jsri pv
+  halt
+.routine rogue
+.addrtaken
+  print t5
+  lda v0, 1(zero)
+  ret
+`
+
+func TestClosedWorldIndirectSummaryIncludesRealUses(t *testing.T) {
+	// With the closed-world default, callers of the indirect call must
+	// see t5 as used (the rogue routine might be the target).
+	a := analyze(t, nonConformantSrc)
+	mi := a.Prog.Entry
+	s := a.Summary(mi)
+	if !s.LiveAtEntry[0].Contains(regset.T5) {
+		t.Errorf("closed world: t5 must be live at main entry: %v", s.LiveAtEntry[0])
+	}
+}
+
+func TestOpenWorldIndirectUsesCallingStandardOnly(t *testing.T) {
+	// PaperConfig reproduces §3.5 exactly: the indirect call is assumed
+	// to use only the standard's argument registers, so the rogue use
+	// of t5 is invisible — the documented (and paper-stated) assumption.
+	p := prog.MustAssemble(nonConformantSrc)
+	a, err := Analyze(p, PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Summary(a.Prog.Entry)
+	if s.LiveAtEntry[0].Contains(regset.T5) {
+		t.Errorf("open world: t5 must not be live at main entry: %v", s.LiveAtEntry[0])
+	}
+	if !s.LiveAtEntry[0].Contains(regset.A0) {
+		t.Errorf("open world: argument registers are assumed used: %v", s.LiveAtEntry[0])
+	}
+}
+
+func TestClosedWorldIndirectMustDefIntersects(t *testing.T) {
+	// An address-taken routine that defines v0 on only one path: the
+	// closed-world indirect summary must not claim v0 must-defined.
+	src := `
+.start main
+.routine main
+  jsri pv
+  print v0
+  halt
+.routine maybe
+.addrtaken
+  beq a0, skip
+  lda v0, 1(zero)
+skip:
+  ret
+`
+	a := analyze(t, src)
+	for _, e := range a.PSG.Edges {
+		if e.Kind == EdgeCallReturn && a.PSG.Nodes[e.Src].CallTarget < 0 {
+			if e.MustDef.Contains(regset.V0) {
+				t.Errorf("closed world: v0 one-sided in callee; must not be in edge MUST-DEF: %v", e.MustDef)
+			}
+			if !e.MayUse.Contains(regset.A0) {
+				t.Errorf("indirect edge must keep the standard's uses: %v", e.MayUse)
+			}
+		}
+	}
+}
+
+func TestClosedWorldWithoutAddressTakenFallsBackToStandard(t *testing.T) {
+	src := `
+.start main
+.routine main
+  jsri pv
+  print v0
+  halt
+`
+	a := analyze(t, src)
+	for _, e := range a.PSG.Edges {
+		if e.Kind == EdgeCallReturn {
+			if !e.MayUse.Contains(regset.A0) || !e.MustDef.Contains(regset.V0) {
+				t.Errorf("no address-taken routines: edge must carry the standard summary: use=%v def=%v",
+					e.MayUse, e.MustDef)
+			}
+		}
+	}
+}

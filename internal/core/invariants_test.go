@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/progen"
+	"repro/internal/regset"
+	"repro/internal/sxe"
+)
+
+// Cross-cutting invariants checked over a spread of generated programs:
+// these hold for any input, so they run against many seeds.
+
+func generatedPrograms(t *testing.T, n int) []*prog.Program {
+	t.Helper()
+	out := make([]*prog.Program, 0, n)
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		out = append(out, progen.Generate(progen.TestProfile(20+int(seed%15)),
+			progen.DefaultOptions(seed)))
+	}
+	return out
+}
+
+func TestInvariantDefinedSubsetOfKilled(t *testing.T) {
+	// A register defined on every path is certainly defined on some
+	// path: MUST-DEF ⊆ MAY-DEF, i.e. call-defined ⊆ call-killed.
+	for pi, p := range generatedPrograms(t, 12) {
+		a, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range p.Routines {
+			s := a.Summary(ri)
+			for e := range s.CallDefined {
+				if !s.CallDefined[e].SubsetOf(s.CallKilled[e]) {
+					t.Fatalf("program %d routine %d: call-defined %v ⊄ call-killed %v",
+						pi, ri, s.CallDefined[e], s.CallKilled[e])
+				}
+			}
+		}
+	}
+}
+
+func TestInvariantEdgeMustDefSubsetOfMayDef(t *testing.T) {
+	for _, p := range generatedPrograms(t, 6) {
+		a, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range a.PSG.Edges {
+			if e.Kind != EdgeFlow {
+				continue
+			}
+			if !e.MustDef.SubsetOf(e.MayDef) {
+				t.Fatalf("edge %d: MUST-DEF %v ⊄ MAY-DEF %v", e.ID, e.MustDef, e.MayDef)
+			}
+		}
+	}
+}
+
+func TestInvariantHardwiredNeverInSets(t *testing.T) {
+	hardwired := regset.Of(regset.Zero, regset.FZero)
+	for _, p := range generatedPrograms(t, 6) {
+		a, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range p.Routines {
+			s := a.Summary(ri)
+			for e := range s.CallUsed {
+				if s.CallUsed[e].Intersects(hardwired) ||
+					s.CallKilled[e].Intersects(hardwired) ||
+					s.LiveAtEntry[e].Intersects(hardwired) {
+					t.Fatalf("routine %d: hardwired registers leaked into summaries", ri)
+				}
+			}
+		}
+	}
+}
+
+func TestInvariantSavedRestoredIsCalleeSaved(t *testing.T) {
+	for _, p := range generatedPrograms(t, 6) {
+		a, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range p.Routines {
+			s := a.Summary(ri)
+			if s.SavedRestored.Intersects(s.CallKilled[0]) {
+				t.Fatalf("routine %d: saved/restored registers %v appear call-killed %v",
+					ri, s.SavedRestored, s.CallKilled[0])
+			}
+		}
+	}
+}
+
+func TestInvariantAnalysisDeterministic(t *testing.T) {
+	p1 := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(5))
+	p2 := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(5))
+	a1, err := Analyze(p1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(p2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Stats.PSGNodes != a2.Stats.PSGNodes || a1.Stats.PSGEdges != a2.Stats.PSGEdges {
+		t.Fatal("PSG sizes differ between identical runs")
+	}
+	for ri := range p1.Routines {
+		s1, s2 := a1.Summary(ri), a2.Summary(ri)
+		for e := range s1.CallUsed {
+			if s1.CallUsed[e] != s2.CallUsed[e] ||
+				s1.CallDefined[e] != s2.CallDefined[e] ||
+				s1.CallKilled[e] != s2.CallKilled[e] ||
+				s1.LiveAtEntry[e] != s2.LiveAtEntry[e] {
+				t.Fatalf("routine %d: summaries differ between identical runs", ri)
+			}
+		}
+	}
+}
+
+func TestInvariantAnalysisSurvivesSXERoundTrip(t *testing.T) {
+	// Encoding and decoding an executable must not change any result.
+	p := progen.Generate(progen.TestProfile(25), progen.DefaultOptions(9))
+	data, err := sxe.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sxe.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Analyze(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range p.Routines {
+		s1, s2 := a1.Summary(ri), a2.Summary(ri)
+		for e := range s1.CallUsed {
+			if s1.CallUsed[e] != s2.CallUsed[e] || s1.LiveAtEntry[e] != s2.LiveAtEntry[e] {
+				t.Fatalf("routine %d: summaries changed across SXE round trip", ri)
+			}
+		}
+	}
+}
+
+func TestInvariantPhase1UseContainsNoEntryDefined(t *testing.T) {
+	// A register defined at the very first instruction of a routine's
+	// only entry cannot be call-used (it is written before any read).
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  lda t3, 1(zero)
+  print t3
+  ret
+`
+	a := analyze(t, src)
+	fi, _ := a.Prog.Index("f")
+	used, _, _ := a.CallSummaryFor(fi, 0)
+	if used.Contains(regset.T3) {
+		t.Errorf("t3 defined at entry; not call-used: %v", used)
+	}
+}
+
+func TestInvariantLinkIndirectMoreConservative(t *testing.T) {
+	// Closed-world summaries must contain the open-world ones for
+	// MAY-USE/MAY-DEF at every entry (the closed world adds uses and
+	// kills; never removes them).
+	for _, p := range generatedPrograms(t, 6) {
+		closed, err := Analyze(p.Clone(), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		open, err := Analyze(p.Clone(), PaperConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri := range p.Routines {
+			sc, so := closed.Summary(ri), open.Summary(ri)
+			for e := range sc.CallUsed {
+				if !so.CallUsed[e].SubsetOf(sc.CallUsed[e]) {
+					t.Fatalf("routine %d: open-world call-used %v ⊄ closed-world %v",
+						ri, so.CallUsed[e], sc.CallUsed[e])
+				}
+				if !so.CallKilled[e].SubsetOf(sc.CallKilled[e]) {
+					t.Fatalf("routine %d: open-world call-killed %v ⊄ closed-world %v",
+						ri, so.CallKilled[e], sc.CallKilled[e])
+				}
+			}
+		}
+	}
+}

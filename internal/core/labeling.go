@@ -1,0 +1,215 @@
+package core
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/regset"
+)
+
+// Per-edge labeling: the paper's literal Figure 6 procedure. For each
+// flow-summary edge E = (N_X, N_Y), construct the subgraph of the CFG
+// containing the blocks on any path from X to Y, run the backward
+// dataflow of Figure 6 over it, and label E with the sets at X.
+//
+// The default builder (psg.go) uses an equivalent forward formulation
+// that shares one region dataflow across all edges with the same source;
+// this file exists (a) as an executable transcription of the paper's
+// equations, (b) as a differential oracle — both labelings must agree on
+// every edge — and (c) as the ablation benchmark comparing their costs
+// (Config.PerEdgeLabeling, BenchmarkLabeling*).
+
+// labelEdgePerEdge computes the Figure 6 label of the edge from source
+// node src to the sink at block sinkBlock, literally: subgraph
+// construction then backward iteration.
+func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock int) (mayUse, mayDef, mustDef regset.Set) {
+	starts := sourceStartBlocks(graph, src)
+
+	// Forward reachability from the source's start blocks, not crossing
+	// interposing terminators.
+	fwd := make([]bool, len(graph.Blocks))
+	var stack []int
+	for _, s := range starts {
+		if !fwd[s] {
+			fwd[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := graph.Blocks[id]
+		if rn.isStop(b) {
+			continue
+		}
+		for _, s := range b.Succs {
+			if !fwd[s] {
+				fwd[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	// Backward reachability from the sink block: a predecessor is
+	// crossed only if its terminator does not interpose.
+	bwd := make([]bool, len(graph.Blocks))
+	bwd[sinkBlock] = true
+	stack = append(stack[:0], sinkBlock)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range graph.Blocks[id].Preds {
+			if bwd[p] || rn.isStop(graph.Blocks[p]) {
+				continue
+			}
+			bwd[p] = true
+			stack = append(stack, p)
+		}
+	}
+
+	// Subgraph = forward ∩ backward (the sink block itself is in both).
+	inSub := func(id int) bool { return fwd[id] && bwd[id] }
+	if !inSub(sinkBlock) {
+		return regset.Empty, regset.Empty, regset.Empty
+	}
+
+	// Figure 6, verbatim: initialize all sets empty, iterate
+	//   MAY-USE_IN[B]  = UBD[B] ∪ (MAY-USE_OUT[B] − DEF[B])
+	//   MAY-DEF_IN[B]  = MAY-DEF_OUT[B] ∪ DEF[B]
+	//   MUST-DEF_IN[B] = MUST-DEF_OUT[B] ∪ DEF[B]
+	//   OUT = ∪/∪/∩ over subgraph successors
+	// with the sink block's OUT pinned empty (paths end at Y).
+	n := len(graph.Blocks)
+	type sets struct{ mu, md, msd regset.Set }
+	in := make([]sets, n)
+	// Pessimistic MUST-DEF initialization is the paper's (all ∅); it
+	// converges because the subgraph dataflow reaches a fixed point
+	// where MUST-DEF_OUT = ∩ of successors computed from below. To get
+	// the same greatest-fixpoint precision as the forward labeling on
+	// cyclic subgraphs, initialize MUST-DEF optimistically instead and
+	// let the intersection shrink it.
+	for i := range in {
+		in[i].msd = regset.All
+	}
+	wl := newIntQueue(n)
+	for id := n - 1; id >= 0; id-- {
+		if inSub(id) {
+			wl.push(id)
+		}
+	}
+	for !wl.empty() {
+		id := wl.pop()
+		b := graph.Blocks[id]
+		var out sets
+		if id == sinkBlock || rn.isStop(b) {
+			// Paths end here; nothing follows within the edge.
+			out = sets{regset.Empty, regset.Empty, regset.Empty}
+		} else {
+			first := true
+			for _, s := range b.Succs {
+				if !inSub(s) {
+					continue
+				}
+				out.mu = out.mu.Union(in[s].mu)
+				out.md = out.md.Union(in[s].md)
+				if first {
+					out.msd = in[s].msd
+					first = false
+				} else {
+					out.msd = out.msd.Intersect(in[s].msd)
+				}
+			}
+			if first {
+				out.msd = regset.Empty
+			}
+		}
+		newIn := sets{
+			mu:  b.UBD.Union(out.mu.Minus(b.Def)),
+			md:  out.md.Union(b.Def),
+			msd: out.msd.Union(b.Def),
+		}
+		if newIn == in[id] {
+			continue
+		}
+		in[id] = newIn
+		for _, p := range b.Preds {
+			if inSub(p) && !rn.isStop(graph.Blocks[p]) {
+				wl.push(p)
+			}
+		}
+	}
+
+	// The edge label is the meet over the source's start blocks that
+	// participate in the subgraph (branch nodes have several starts).
+	first := true
+	for _, s := range starts {
+		if !inSub(s) {
+			continue
+		}
+		mayUse = mayUse.Union(in[s].mu)
+		mayDef = mayDef.Union(in[s].md)
+		if first {
+			mustDef = in[s].msd
+			first = false
+		} else {
+			mustDef = mustDef.Intersect(in[s].msd)
+		}
+	}
+	return mayUse, mayDef, mustDef
+}
+
+// buildFlowEdgesPerEdge is the per-edge variant of buildFlowEdges: it
+// first discovers the edges (reachable sinks per source), then labels
+// each with labelEdgePerEdge.
+func (g *PSG) buildFlowEdgesPerEdge(graph *cfg.Graph, rn routineNodes) {
+	var sources []*Node
+	for _, id := range g.EntryNodes[graph.RoutineIndex] {
+		sources = append(sources, g.Nodes[id])
+	}
+	for blockID := range graph.Blocks {
+		if id, ok := rn.returnAt[blockID]; ok {
+			sources = append(sources, g.Nodes[id])
+		}
+		if id, ok := rn.branchAt[blockID]; ok {
+			sources = append(sources, g.Nodes[id])
+		}
+	}
+	reach := make([]bool, len(graph.Blocks))
+	for _, src := range sources {
+		// Discover reachable sinks.
+		for i := range reach {
+			reach[i] = false
+		}
+		var stack []int
+		for _, s := range sourceStartBlocks(graph, src) {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			b := graph.Blocks[id]
+			if rn.isStop(b) {
+				continue
+			}
+			for _, s := range b.Succs {
+				if !reach[s] {
+					reach[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		for blockID, ok := range reach {
+			if !ok {
+				continue
+			}
+			sinkID, isSink := rn.sinkAt[blockID]
+			if !isSink {
+				continue
+			}
+			mu, md, msd := labelEdgePerEdge(graph, rn, src, blockID)
+			e := g.addEdge(EdgeFlow, src.ID, sinkID)
+			e.MayUse, e.MayDef, e.MustDef = mu, md, msd
+		}
+	}
+}

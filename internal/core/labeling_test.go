@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/progen"
+)
+
+// edgeKey identifies an edge independent of creation order.
+type edgeKey struct {
+	srcRoutine int
+	srcKind    NodeKind
+	srcBlock   int
+	dstKind    NodeKind
+	dstBlock   int
+}
+
+func edgeLabels(t *testing.T, p *prog.Program, conf Config) map[edgeKey][3]uint64 {
+	t.Helper()
+	a, err := Analyze(p, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[edgeKey][3]uint64)
+	for _, e := range a.PSG.Edges {
+		if e.Kind != EdgeFlow {
+			continue
+		}
+		src, dst := a.PSG.Nodes[e.Src], a.PSG.Nodes[e.Dst]
+		k := edgeKey{src.Routine, src.Kind, src.Block, dst.Kind, dst.Block}
+		out[k] = [3]uint64{uint64(e.MayUse), uint64(e.MayDef), uint64(e.MustDef)}
+	}
+	return out
+}
+
+// TestPerEdgeLabelingAgrees checks that the paper's literal Figure 6
+// per-edge procedure and the default shared forward formulation produce
+// identical edges with identical labels.
+func TestPerEdgeLabelingAgrees(t *testing.T) {
+	srcs := []string{figure2Src, figure4Src, figure12Src}
+	for i, src := range srcs {
+		fwd := edgeLabels(t, prog.MustAssemble(src), DefaultConfig())
+		per := edgeLabels(t, prog.MustAssemble(src),
+			Config{BranchNodes: true, LinkIndirectCalls: true, PerEdgeLabeling: true})
+		compareLabels(t, i, fwd, per)
+	}
+}
+
+func TestPerEdgeLabelingAgreesOnGenerated(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := progen.Generate(progen.TestProfile(25), progen.DefaultOptions(seed))
+		fwd := edgeLabels(t, p.Clone(), DefaultConfig())
+		per := edgeLabels(t, p.Clone(),
+			Config{BranchNodes: true, LinkIndirectCalls: true, PerEdgeLabeling: true})
+		compareLabels(t, int(seed), fwd, per)
+	}
+}
+
+func TestPerEdgeLabelingSummariesIdentical(t *testing.T) {
+	// End to end: the converged summaries must match exactly.
+	p := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(3))
+	a1, err := Analyze(p.Clone(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(p.Clone(),
+		Config{BranchNodes: true, LinkIndirectCalls: true, PerEdgeLabeling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range p.Routines {
+		s1, s2 := a1.Summary(ri), a2.Summary(ri)
+		for e := range s1.CallUsed {
+			if s1.CallUsed[e] != s2.CallUsed[e] ||
+				s1.CallDefined[e] != s2.CallDefined[e] ||
+				s1.CallKilled[e] != s2.CallKilled[e] ||
+				s1.LiveAtEntry[e] != s2.LiveAtEntry[e] {
+				t.Fatalf("routine %d: summaries differ between labeling methods", ri)
+			}
+		}
+		for x := range s1.LiveAtExit {
+			if s1.LiveAtExit[x] != s2.LiveAtExit[x] {
+				t.Fatalf("routine %d exit %d: live-at-exit differs", ri, x)
+			}
+		}
+	}
+}
+
+func compareLabels(t *testing.T, caseID int, fwd, per map[edgeKey][3]uint64) {
+	t.Helper()
+	if len(fwd) != len(per) {
+		t.Errorf("case %d: edge counts differ: %d vs %d", caseID, len(fwd), len(per))
+	}
+	keys := make([]edgeKey, 0, len(fwd))
+	for k := range fwd {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.srcRoutine != b.srcRoutine {
+			return a.srcRoutine < b.srcRoutine
+		}
+		if a.srcBlock != b.srcBlock {
+			return a.srcBlock < b.srcBlock
+		}
+		return a.dstBlock < b.dstBlock
+	})
+	for _, k := range keys {
+		pl, ok := per[k]
+		if !ok {
+			t.Errorf("case %d: edge %+v missing from per-edge labeling", caseID, k)
+			continue
+		}
+		if fwd[k] != pl {
+			t.Errorf("case %d: edge %+v labels differ: %v vs %v", caseID, k, fwd[k], pl)
+		}
+	}
+}

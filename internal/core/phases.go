@@ -1,0 +1,303 @@
+package core
+
+import (
+	"repro/internal/callstd"
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+// Phase 1 (§3.2, Figure 8) computes the call-used, call-defined and
+// call-killed sets: a backward dataflow over the PSG in which
+// information flows from each routine's exits to its entrances, and
+// from entrances across call-return edges into callers.
+//
+// Soundness deviation from the paper's Figure 8 (documented in
+// DESIGN.md): at a node with several outgoing edges the MUST-DEF sets
+// are intersected, not unioned — a register is only "defined by the
+// call" if it is defined along every path.
+
+// indirect reports whether a call-return edge belongs to an indirect
+// call: there is no single callee entry node to refine it (§3.5).
+func (e *Edge) indirect(g *PSG) bool {
+	return e.Kind == EdgeCallReturn && g.Nodes[e.Src].CallTarget < 0
+}
+
+// phase1Seed returns the pinned contribution of nodes that have no
+// outgoing flow edges: real exits contribute nothing (register uses
+// after a return belong to phase 2); unknown-jump pseudo-exits
+// contribute the §3.5 worst case.
+func phase1Seed(n *Node) (mayUse, mayDef regset.Set) {
+	if n.Unknown {
+		all := callstd.UnknownJumpLive()
+		return all, all
+	}
+	return regset.Empty, regset.Empty
+}
+
+// recompute applies the Figure 8 node equations, returning the new sets
+// for node n. seedUse/seedDef fold in pinned conservative information.
+func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Set) {
+	mayUse, mayDef = phase1Seed(n)
+	if phase2 {
+		mayUse = g.phase2Seed(n)
+		for _, rs := range n.retSites {
+			mayUse = mayUse.Union(g.Nodes[rs].MayUse)
+		}
+	}
+	first := true
+	for _, eid := range n.Out {
+		e := g.Edges[eid]
+		y := g.Nodes[e.Dst]
+		mayUse = mayUse.Union(e.MayUse).Union(y.MayUse.Minus(e.MustDef))
+		if phase2 {
+			continue
+		}
+		mayDef = mayDef.Union(e.MayDef).Union(y.MayDef)
+		md := e.MustDef.Union(y.MustDef)
+		if first {
+			mustDef = md
+			first = false
+		} else {
+			mustDef = mustDef.Intersect(md)
+		}
+	}
+	return mayUse, mayDef, mustDef
+}
+
+// runPhase1 iterates the Figure 8 equations to a fixed point.
+//
+// MAY sets start empty and grow; MUST-DEF starts optimistically at All
+// and shrinks under intersection, which is what lets recursive and
+// mutually recursive routines keep registers that every path through the
+// recursion defines. Nodes without outgoing edges (exits) recompute to
+// the empty set on their first visit, so the optimism is bounded by the
+// real paths. Direct call-return edges start optimistic too; the entry
+// broadcast refines them downward.
+func (g *PSG) runPhase1(conf Config) {
+	var indirectEdges []int
+	addrTakenEntries := map[int]bool{} // entry-node IDs of address-taken routines
+	for _, e := range g.Edges {
+		if e.indirect(g) {
+			indirectEdges = append(indirectEdges, e.ID)
+		}
+	}
+	if conf.LinkIndirectCalls && len(indirectEdges) > 0 {
+		for ri, r := range g.Prog.Routines {
+			if r.AddressTaken {
+				// Function pointers denote the primary entrance.
+				addrTakenEntries[g.EntryNodes[ri][0]] = true
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		n.MayUse, n.MayDef, n.MustDef = regset.Empty, regset.Empty, regset.All
+	}
+	for _, e := range g.Edges {
+		if e.Kind != EdgeCallReturn {
+			continue
+		}
+		if !e.indirect(g) || conf.LinkIndirectCalls {
+			// Direct edges are refined downward by the entry
+			// broadcast; closed-world indirect edges likewise fold in
+			// the address-taken summaries as they converge. Both need
+			// the optimistic MUST-DEF start.
+			e.MayUse, e.MayDef, e.MustDef = regset.Empty, regset.Empty, regset.All
+		}
+		// Open-world indirect edges keep the §3.5 calling-standard
+		// label set at construction.
+	}
+
+	wl := newIntQueue(len(g.Nodes))
+
+	// updateIndirect relabels every indirect call-return edge with the
+	// closed-world combination of the calling-standard summary and all
+	// address-taken routines' (§3.4-filtered) entry summaries.
+	updateIndirect := func() {
+		std := callstd.UnknownCallSummary()
+		mu, md, msd := std.Used, std.Killed, std.Defined
+		for id := range addrTakenEntries {
+			n := g.Nodes[id]
+			sr := g.SavedRestored[n.Routine]
+			mu = mu.Union(n.MayUse.Minus(sr))
+			md = md.Union(n.MayDef.Minus(sr))
+			msd = msd.Intersect(n.MustDef.Minus(sr))
+		}
+		for _, eid := range indirectEdges {
+			e := g.Edges[eid]
+			if e.MayUse != mu || e.MayDef != md || e.MustDef != msd {
+				e.MayUse, e.MayDef, e.MustDef = mu, md, msd
+				wl.push(e.Src)
+			}
+		}
+	}
+
+	// Seed in reverse so exits (created after entries per routine)
+	// tend to be processed before the nodes that depend on them.
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		wl.push(i)
+	}
+	if conf.LinkIndirectCalls && len(indirectEdges) > 0 {
+		updateIndirect() // establish the calling-standard baseline
+	}
+	for !wl.empty() {
+		n := g.Nodes[wl.pop()]
+		mu, md, msd := g.recompute(n, false)
+		if mu == n.MayUse && md == n.MayDef && msd == n.MustDef {
+			continue
+		}
+		n.MayUse, n.MayDef, n.MustDef = mu, md, msd
+		// Propagate to in-neighbours within the routine.
+		for _, eid := range n.In {
+			wl.push(g.Edges[eid].Src)
+		}
+		// §3.2: entry nodes broadcast their sets to every
+		// call-return edge representing a call to this entrance,
+		// after filtering saved-and-restored callee-saved registers
+		// (§3.4).
+		if n.Kind == NodeEntry {
+			sr := g.SavedRestored[n.Routine]
+			fu, fd, fm := mu.Minus(sr), md.Minus(sr), msd.Minus(sr)
+			for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
+				e := g.Edges[eid]
+				if e.MayUse != fu || e.MayDef != fd || e.MustDef != fm {
+					e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
+					wl.push(e.Src)
+				}
+			}
+			if addrTakenEntries[n.ID] {
+				updateIndirect()
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		n.phase1Use = n.MayUse
+	}
+}
+
+// Phase 2 (§3.3, Figure 10) computes liveness: MAY-USE flows backward
+// within each routine over the phase-1 edge labels, and from each
+// return site to the exits of the routines that could return there.
+
+// phase2Seed returns the pinned liveness of exit-class nodes:
+// unknown-jump pseudo-exits make every register live (§3.5);
+// address-taken routines may return to unknown callers, which per the
+// calling standard may rely on the return values, the callee-saved
+// registers and the dedicated registers.
+func (g *PSG) phase2Seed(n *Node) regset.Set {
+	if n.Unknown {
+		return callstd.UnknownJumpLive()
+	}
+	if n.Kind == NodeExit && g.Prog.Routines[n.Routine].AddressTaken &&
+		g.isRetExit(n) {
+		return callstd.Return.Union(callstd.CalleeSaved).
+			Union(regset.Of(regset.SP, regset.GP))
+	}
+	return regset.Empty
+}
+
+// isRetExit reports whether an exit node's block ends in ret (halt exits
+// terminate the program and return to no caller).
+func (g *PSG) isRetExit(n *Node) bool {
+	graph := g.Graphs[n.Routine]
+	return graph.Terminator(graph.Blocks[n.Block]).Op == isa.OpRet
+}
+
+// linkReturnSites populates each exit node's retSites list: liveness at
+// a return node flows to the exits of every routine the call could have
+// invoked (§3.3). Direct calls link to their callee's exits; indirect
+// calls link to every address-taken routine's exits when the
+// closed-world option is on.
+func (g *PSG) linkReturnSites(conf Config) {
+	// retExits filters a routine's exits down to the ones that actually
+	// return (halt exits terminate the program).
+	retExits := func(ri int) []int {
+		var out []int
+		for _, x := range g.ExitNodes[ri] {
+			if g.isRetExit(g.Nodes[x]) {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	var addrTakenExits []int
+	if conf.LinkIndirectCalls {
+		for ri, r := range g.Prog.Routines {
+			if r.AddressTaken {
+				addrTakenExits = append(addrTakenExits, retExits(ri)...)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != NodeCall {
+			continue
+		}
+		// The call's return node is the destination of its
+		// call-return edge.
+		retID := -1
+		for _, eid := range n.Out {
+			if g.Edges[eid].Kind == EdgeCallReturn {
+				retID = g.Edges[eid].Dst
+			}
+		}
+		if retID < 0 {
+			continue
+		}
+		var exits []int
+		if n.CallTarget >= 0 {
+			exits = retExits(n.CallTarget)
+		} else {
+			exits = addrTakenExits
+		}
+		for _, x := range exits {
+			g.Nodes[x].retSites = append(g.Nodes[x].retSites, retID)
+		}
+	}
+}
+
+// exitDependents maps return-node ID → exit-node IDs whose retSites
+// include it, the reverse of linkReturnSites, so changes propagate.
+func (g *PSG) exitDependents() map[int][]int {
+	dep := make(map[int][]int)
+	for _, n := range g.Nodes {
+		if n.Kind != NodeExit {
+			continue
+		}
+		for _, rs := range n.retSites {
+			dep[rs] = append(dep[rs], n.ID)
+		}
+	}
+	return dep
+}
+
+// runPhase2 iterates the Figure 10 equations to a fixed point. The
+// MUST-DEF and MAY-USE labels of call-return edges computed during
+// phase 1 are retained (§3.3); node MAY-USE sets are recomputed from
+// scratch as liveness.
+func (g *PSG) runPhase2(conf Config) {
+	g.linkReturnSites(conf)
+	dep := g.exitDependents()
+	for _, n := range g.Nodes {
+		n.MayUse = regset.Empty
+	}
+	wl := newIntQueue(len(g.Nodes))
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		wl.push(i)
+	}
+	for !wl.empty() {
+		n := g.Nodes[wl.pop()]
+		mu, _, _ := g.recompute(n, true)
+		if mu == n.MayUse {
+			continue
+		}
+		n.MayUse = mu
+		for _, eid := range n.In {
+			wl.push(g.Edges[eid].Src)
+		}
+		if n.Kind == NodeReturn {
+			for _, x := range dep[n.ID] {
+				wl.push(x)
+			}
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package core implements the paper's primary contribution: the Program
+// Summary Graph (PSG) and the two-phase interprocedural dataflow analysis
+// that computes, for every routine, the live-at-entry, live-at-exit,
+// call-used, call-defined and call-killed register sets (§2, §3).
+package core
+
+import (
+	"repro/internal/callstd"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// NodeKind classifies PSG nodes (§3.1, §3.6).
+type NodeKind uint8
+
+const (
+	// NodeEntry represents one entrance to a routine.
+	NodeEntry NodeKind = iota
+
+	// NodeExit represents one exit (ret/halt) from a routine, or —
+	// when Unknown is set — an indirect jump with unknown targets,
+	// which the analysis treats as an exit where every register is
+	// conservatively live (§3.5).
+	NodeExit
+
+	// NodeCall represents a call instruction, located at the end of
+	// the basic block the call terminates.
+	NodeCall
+
+	// NodeReturn represents the point execution re-enters the caller
+	// after a call, located at the start of the block following the
+	// call.
+	NodeReturn
+
+	// NodeBranch represents a multiway branch (§3.6), splitting the
+	// O(n²) edges among the branch's sources and targets into O(n).
+	NodeBranch
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeEntry:
+		return "entry"
+	case NodeExit:
+		return "exit"
+	case NodeCall:
+		return "call"
+	case NodeReturn:
+		return "return"
+	case NodeBranch:
+		return "branch"
+	}
+	return "node?"
+}
+
+// Node is a PSG node. Each node records the MAY-USE, MAY-DEF and
+// MUST-DEF sets for the program location it represents (§3.1).
+type Node struct {
+	ID      int
+	Kind    NodeKind
+	Routine int // routine index within the program
+	Block   int // block ID within the routine's CFG
+
+	// EntryIdx is, for entry nodes, the index into Routine.Entries;
+	// for exit nodes, the ordinal of the exit within the routine.
+	EntryIdx int
+
+	// CallTarget is the callee routine index for direct call nodes,
+	// or -1 for indirect calls. CallEntry selects the callee entrance.
+	CallTarget int
+	CallEntry  int
+
+	// Unknown marks pseudo-exit nodes produced for indirect jumps with
+	// unknown targets.
+	Unknown bool
+
+	// MayUse, MayDef and MustDef are the node's dataflow sets. Phase 1
+	// leaves the call-used/call-killed/call-defined information in the
+	// entry nodes; phase 2 recomputes MayUse as liveness.
+	MayUse  regset.Set
+	MayDef  regset.Set
+	MustDef regset.Set
+
+	// Out and In list edge IDs with this node as source/sink.
+	Out []int
+	In  []int
+
+	// retSites lists, for exit nodes, the return-node IDs whose
+	// liveness flows into this exit during phase 2 (§3.3).
+	retSites []int
+
+	// phase1Use snapshots MayUse at the end of phase 1, since phase 2
+	// overwrites MayUse with liveness. For entry nodes this is the
+	// unfiltered call-used set.
+	phase1Use regset.Set
+}
+
+// EdgeKind classifies PSG edges (§3.1).
+type EdgeKind uint8
+
+const (
+	// EdgeFlow is a flow-summary edge: it represents all
+	// intraprocedural control-flow paths between its nodes and is
+	// labeled with the MUST-DEF, MAY-DEF and MAY-USE sets of those
+	// paths (Figure 6).
+	EdgeFlow EdgeKind = iota
+
+	// EdgeCallReturn connects a call node to its return node and is
+	// labeled with the callee's summary during phase 1 (Figure 8).
+	EdgeCallReturn
+)
+
+// Edge is a PSG edge.
+type Edge struct {
+	ID   int
+	Kind EdgeKind
+	Src  int // source node ID (dataflow flows Dst → Src)
+	Dst  int
+
+	// MayUse, MayDef and MustDef label the edge: the register uses and
+	// definitions that occur along the control-flow paths the edge
+	// represents.
+	MayUse  regset.Set
+	MayDef  regset.Set
+	MustDef regset.Set
+}
+
+// PSG is the program summary graph for a whole program.
+type PSG struct {
+	Prog   *prog.Program
+	Graphs []*cfg.Graph
+	Nodes  []*Node
+	Edges  []*Edge
+
+	// EntryNodes[r][e] is the node ID of entrance e of routine r.
+	EntryNodes [][]int
+
+	// ExitNodes[r] lists the node IDs of routine r's exits (real
+	// exits only, not unknown-jump pseudo-exits).
+	ExitNodes [][]int
+
+	// CallerEdges[r] lists the call-return edge IDs of direct calls
+	// targeting routine r, used to broadcast entry summaries (§3.2).
+	// Indexed per entrance: CallerEdges[r][e] lists edges calling
+	// entrance e.
+	CallerEdges [][][]int
+
+	// SavedRestored[r] is the set of callee-saved registers routine r
+	// saves in its prologues and restores in its epilogues (§3.4).
+	SavedRestored []regset.Set
+}
+
+// Config controls PSG construction.
+type Config struct {
+	// BranchNodes inserts a branch node for each multiway branch
+	// (§3.6). On by default via DefaultConfig.
+	BranchNodes bool
+
+	// LinkIndirectCalls additionally links indirect-call return sites
+	// to the exits of every address-taken routine during phase 2,
+	// keeping the analysis sound in a closed world. The paper relies
+	// on calling-standard conformance instead (§3.5); disabling this
+	// reproduces that behaviour exactly.
+	LinkIndirectCalls bool
+
+	// PerEdgeLabeling uses the paper's literal Figure 6 procedure —
+	// one subgraph dataflow per flow-summary edge — instead of the
+	// default forward formulation that shares one region dataflow per
+	// source node. Results are identical; this exists as a fidelity
+	// check and an ablation benchmark.
+	PerEdgeLabeling bool
+}
+
+// DefaultConfig returns the library default: branch nodes on, and the
+// closed-world indirect linkage on — safe even for programs whose
+// address-taken routines do not conform to the calling standard.
+func DefaultConfig() Config {
+	return Config{BranchNodes: true, LinkIndirectCalls: true}
+}
+
+// PaperConfig reproduces Spike's published behaviour exactly: branch
+// nodes on, indirect calls and returns handled purely through the
+// calling-standard assumptions of §3.5 ("these assumptions have proven
+// safe for all programs optimized to date"). The benchmark harness uses
+// this configuration.
+func PaperConfig() Config {
+	return Config{BranchNodes: true, LinkIndirectCalls: false}
+}
+
+// node construction -------------------------------------------------------
+
+// buildNodes creates the PSG nodes and intraprocedural flow-summary and
+// call-return edges for every routine (§3.1), labeling flow-summary edges
+// with the Figure 6 dataflow over CFG subgraphs.
+func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) *PSG {
+	g := &PSG{
+		Prog:        p,
+		Graphs:      graphs,
+		EntryNodes:  make([][]int, len(p.Routines)),
+		ExitNodes:   make([][]int, len(p.Routines)),
+		CallerEdges: make([][][]int, len(p.Routines)),
+	}
+	for ri := range p.Routines {
+		g.CallerEdges[ri] = make([][]int, len(p.Routines[ri].Entries))
+	}
+	for ri := range p.Routines {
+		g.buildRoutine(ri, conf)
+	}
+	g.computeSavedRestored()
+	return g
+}
+
+// routineNodes carries the per-routine node placement used while
+// constructing edges.
+type routineNodes struct {
+	// entryAt[blockID] lists entry node IDs starting at that block.
+	entryAt map[int][]int
+	// returnAt[blockID] is the return node starting at that block.
+	returnAt map[int]int
+	// branchAt[blockID] is the branch node for a multiway block.
+	branchAt map[int]int
+	// sinkAt[blockID] is the node ID that terminates paths entering
+	// the block (call, exit, pseudo-exit or branch node).
+	sinkAt map[int]int
+}
+
+func (g *PSG) addNode(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func (g *PSG) addEdge(kind EdgeKind, src, dst int) *Edge {
+	e := &Edge{ID: len(g.Edges), Kind: kind, Src: src, Dst: dst}
+	g.Edges = append(g.Edges, e)
+	g.Nodes[src].Out = append(g.Nodes[src].Out, e.ID)
+	g.Nodes[dst].In = append(g.Nodes[dst].In, e.ID)
+	return e
+}
+
+func (g *PSG) buildRoutine(ri int, conf Config) {
+	graph := g.Graphs[ri]
+	rn := routineNodes{
+		entryAt:  make(map[int][]int),
+		returnAt: make(map[int]int),
+		branchAt: make(map[int]int),
+		sinkAt:   make(map[int]int),
+	}
+
+	// Entry nodes: one per entrance (§3.1).
+	for ei, blockID := range graph.EntryBlocks {
+		n := g.addNode(&Node{Kind: NodeEntry, Routine: ri, Block: blockID, EntryIdx: ei})
+		g.EntryNodes[ri] = append(g.EntryNodes[ri], n.ID)
+		rn.entryAt[blockID] = append(rn.entryAt[blockID], n.ID)
+	}
+
+	exitOrdinal := 0
+	for _, b := range graph.Blocks {
+		switch b.Term {
+		case cfg.TermExit:
+			n := g.addNode(&Node{Kind: NodeExit, Routine: ri, Block: b.ID, EntryIdx: exitOrdinal})
+			exitOrdinal++
+			g.ExitNodes[ri] = append(g.ExitNodes[ri], n.ID)
+			rn.sinkAt[b.ID] = n.ID
+		case cfg.TermUnknownJump:
+			n := g.addNode(&Node{Kind: NodeExit, Routine: ri, Block: b.ID, Unknown: true})
+			rn.sinkAt[b.ID] = n.ID
+		case cfg.TermCall:
+			in := graph.Terminator(b)
+			call := g.addNode(&Node{
+				Kind: NodeCall, Routine: ri, Block: b.ID,
+				CallTarget: -1,
+			})
+			if in.Op == isa.OpJsr {
+				call.CallTarget = in.Target
+				call.CallEntry = int(in.Imm)
+			}
+			rn.sinkAt[b.ID] = call.ID
+			// The return node lives at the start of the call's
+			// unique successor block.
+			retBlock := b.Succs[0]
+			ret := g.addNode(&Node{Kind: NodeReturn, Routine: ri, Block: retBlock})
+			rn.returnAt[retBlock] = ret.ID
+			// Call-return edge (§3.1); labeled during phase 1 for
+			// direct calls, pinned to the calling-standard summary
+			// for indirect calls (§3.5).
+			e := g.addEdge(EdgeCallReturn, call.ID, ret.ID)
+			if call.CallTarget >= 0 {
+				tgt := call.CallTarget
+				g.CallerEdges[tgt][call.CallEntry] = append(g.CallerEdges[tgt][call.CallEntry], e.ID)
+			} else {
+				s := callstd.UnknownCallSummary()
+				e.MayUse, e.MustDef, e.MayDef = s.Used, s.Defined, s.Killed
+			}
+		case cfg.TermMultiway:
+			// §3.6: multiway branches *inside loops* are the ones that
+			// multiply PSG edges (every return reaches every call
+			// through the back edge); an isolated switch with one
+			// source and one sink would gain an edge from the split.
+			if conf.BranchNodes && blockInLoop(graph, b) {
+				n := g.addNode(&Node{Kind: NodeBranch, Routine: ri, Block: b.ID})
+				rn.branchAt[b.ID] = n.ID
+				rn.sinkAt[b.ID] = n.ID
+			}
+		}
+	}
+
+	if conf.PerEdgeLabeling {
+		g.buildFlowEdgesPerEdge(graph, rn)
+	} else {
+		g.buildFlowEdges(graph, rn, conf)
+	}
+}
+
+// blockInLoop reports whether control can flow from b back to b.
+func blockInLoop(graph *cfg.Graph, b *cfg.Block) bool {
+	seen := make([]bool, len(graph.Blocks))
+	stack := append([]int(nil), b.Succs...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id == b.ID {
+			return true
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, graph.Blocks[id].Succs...)
+	}
+	return false
+}
+
+// sourceStartBlocks returns the CFG blocks at which paths from node n
+// begin: the node's own block for entry and return nodes, the jump-table
+// targets for branch nodes.
+func sourceStartBlocks(graph *cfg.Graph, n *Node) []int {
+	if n.Kind != NodeBranch {
+		return []int{n.Block}
+	}
+	return graph.Blocks[n.Block].Succs
+}
+
+// isStop reports whether paths may not continue through block b's
+// terminator: the terminator is itself represented by a PSG node (call,
+// branch node) or ends the routine (exit, unknown jump). A multiway
+// block interposes only when a branch node was actually placed on it.
+func (rn *routineNodes) isStop(b *cfg.Block) bool {
+	switch b.Term {
+	case cfg.TermCall, cfg.TermExit, cfg.TermUnknownJump:
+		return true
+	case cfg.TermMultiway:
+		_, ok := rn.branchAt[b.ID]
+		return ok
+	}
+	return false
+}
+
+// buildFlowEdges creates and labels the flow-summary edges for one
+// routine. For each source node it runs a forward dataflow over the
+// region reachable without crossing another PSG location; the state at
+// each reachable sink block (after the block's instructions) is exactly
+// the Figure 6 label of the edge source → sink.
+//
+// Forward transfer through block B with incoming state (MAY-USE,
+// MAY-DEF, MUST-DEF):
+//
+//	MAY-USE'  = MAY-USE  ∪ (UBD[B] − MUST-DEF)
+//	MAY-DEF'  = MAY-DEF  ∪ DEF[B]
+//	MUST-DEF' = MUST-DEF ∪ DEF[B]
+//
+// with merges ∪/∪/∩ at joins — the mirror image of the backward
+// equations in Figure 6, computed once per source instead of once per
+// edge.
+type flowState struct {
+	mayUse  regset.Set
+	mayDef  regset.Set
+	mustDef regset.Set
+	valid   bool // distinguishes "unreached" from the empty state
+}
+
+func (s *flowState) merge(t flowState) bool {
+	if !t.valid {
+		return false
+	}
+	if !s.valid {
+		*s = t
+		return true
+	}
+	mu := s.mayUse.Union(t.mayUse)
+	md := s.mayDef.Union(t.mayDef)
+	msd := s.mustDef.Intersect(t.mustDef)
+	changed := mu != s.mayUse || md != s.mayDef || msd != s.mustDef
+	s.mayUse, s.mayDef, s.mustDef = mu, md, msd
+	return changed
+}
+
+func (g *PSG) buildFlowEdges(graph *cfg.Graph, rn routineNodes, conf Config) {
+	// Collect the source nodes of this routine in deterministic order:
+	// entries first, then return and branch nodes by block ID.
+	var sources []*Node
+	for _, id := range g.EntryNodes[graph.RoutineIndex] {
+		sources = append(sources, g.Nodes[id])
+	}
+	for blockID := range graph.Blocks {
+		if id, ok := rn.returnAt[blockID]; ok {
+			sources = append(sources, g.Nodes[id])
+		}
+		if id, ok := rn.branchAt[blockID]; ok {
+			sources = append(sources, g.Nodes[id])
+		}
+	}
+
+	nBlocks := len(graph.Blocks)
+	in := make([]flowState, nBlocks)
+	out := make([]flowState, nBlocks)
+
+	for _, src := range sources {
+		for i := range in {
+			in[i] = flowState{}
+			out[i] = flowState{}
+		}
+		starts := sourceStartBlocks(graph, src)
+		// Iterative forward dataflow over the region.
+		wl := newIntQueue(nBlocks)
+		for _, s := range starts {
+			in[s].merge(flowState{valid: true})
+			wl.push(s)
+		}
+		for !wl.empty() {
+			id := wl.pop()
+			b := graph.Blocks[id]
+			st := in[id]
+			st.mayUse = st.mayUse.Union(b.UBD.Minus(st.mustDef))
+			st.mayDef = st.mayDef.Union(b.Def)
+			st.mustDef = st.mustDef.Union(b.Def)
+			if st.mayUse == out[id].mayUse && st.mayDef == out[id].mayDef &&
+				st.mustDef == out[id].mustDef && out[id].valid {
+				continue
+			}
+			out[id] = st
+			if rn.isStop(b) {
+				continue // paths end here; do not cross the terminator
+			}
+			for _, s := range b.Succs {
+				if in[s].merge(st) || !wasQueuedEver(out, s) {
+					wl.push(s)
+				}
+			}
+		}
+		// Emit one edge per reachable sink.
+		for blockID, st := range out {
+			if !st.valid {
+				continue
+			}
+			sinkID, ok := rn.sinkAt[blockID]
+			if !ok {
+				continue
+			}
+			e := g.addEdge(EdgeFlow, src.ID, sinkID)
+			e.MayUse, e.MayDef, e.MustDef = st.mayUse, st.mayDef, st.mustDef
+		}
+	}
+}
+
+// wasQueuedEver reports whether block s has been processed at least once
+// (its out state is valid); unprocessed blocks must be queued even when
+// the merge into their in state reports no change (first merge of the
+// empty state into the empty state).
+func wasQueuedEver(out []flowState, s int) bool { return out[s].valid }
+
+// intQueue is a small FIFO with duplicate suppression, local to PSG
+// construction.
+type intQueue struct {
+	q      []int
+	queued []bool
+}
+
+func newIntQueue(n int) *intQueue { return &intQueue{queued: make([]bool, n)} }
+
+func (w *intQueue) push(id int) {
+	if !w.queued[id] {
+		w.queued[id] = true
+		w.q = append(w.q, id)
+	}
+}
+
+func (w *intQueue) pop() int {
+	id := w.q[0]
+	w.q = w.q[1:]
+	w.queued[id] = false
+	return id
+}
+
+func (w *intQueue) empty() bool { return len(w.q) == 0 }
+
+// NumNodes returns the number of PSG nodes.
+func (g *PSG) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the number of PSG edges.
+func (g *PSG) NumEdges() int { return len(g.Edges) }

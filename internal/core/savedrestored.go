@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/callstd"
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+// computeSavedRestored detects, for every routine, the callee-saved
+// registers the routine saves in its prologue(s) and restores in its
+// epilogue(s) (§3.4). Definitions and uses of such registers must not
+// propagate to callers: after phase 1 computes an entry node's sets, the
+// routine's saved-and-restored registers are removed from them.
+//
+// Detection follows the code patterns a compiler emits and progen
+// generates: a prologue is a run of stack-pointer-relative stores (and
+// stack adjustments) at an entrance; an epilogue is a run of
+// stack-pointer-relative loads (and stack adjustments) immediately
+// before an exit. A register qualifies only if it is saved at *every*
+// entrance and restored before *every* exit, with matching slots left to
+// the program's discipline.
+func (g *PSG) computeSavedRestored() {
+	g.SavedRestored = make([]regset.Set, len(g.Prog.Routines))
+	for ri, r := range g.Prog.Routines {
+		saved := regset.All
+		for _, e := range r.Entries {
+			saved = saved.Intersect(prologueSaves(r.Code, e))
+		}
+		restored := regset.All
+		anyExit := false
+		for i := range r.Code {
+			if r.Code[i].Op == isa.OpRet {
+				anyExit = true
+				restored = restored.Intersect(epilogueRestores(r.Code, i))
+			}
+		}
+		if !anyExit {
+			restored = regset.Empty
+		}
+		g.SavedRestored[ri] = saved.Intersect(restored).Intersect(callstd.CalleeSaved)
+	}
+}
+
+// prologueSaves scans forward from entry index e collecting the
+// registers stored to sp-relative slots before any other kind of
+// instruction intervenes.
+func prologueSaves(code []isa.Instr, e int) regset.Set {
+	var saved regset.Set
+	for i := e; i < len(code); i++ {
+		in := &code[i]
+		switch {
+		case in.Op == isa.OpSt && in.Src1 == regset.SP:
+			saved = saved.Add(in.Src2)
+		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
+			// stack frame adjustment; keep scanning
+		default:
+			return saved
+		}
+	}
+	return saved
+}
+
+// epilogueRestores scans backward from the ret at index x collecting the
+// registers loaded from sp-relative slots before any other kind of
+// instruction intervenes.
+func epilogueRestores(code []isa.Instr, x int) regset.Set {
+	var restored regset.Set
+	for i := x - 1; i >= 0; i-- {
+		in := &code[i]
+		switch {
+		case in.Op == isa.OpLd && in.Src1 == regset.SP:
+			restored = restored.Add(in.Dest)
+		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
+			// stack frame release; keep scanning
+		default:
+			return restored
+		}
+	}
+	return restored
+}

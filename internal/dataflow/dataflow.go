@@ -1,0 +1,192 @@
+// Package dataflow implements conventional intraprocedural dataflow
+// analyses over a routine's CFG.
+//
+// The optimizer consumes routines in *summarized form* (§2): every call
+// instruction replaced by a call-summary pseudo-instruction, an entry
+// pseudo-instruction at each entrance defining the live-at-entry set, and
+// an exit pseudo-instruction at each exit using the live-at-exit set. In
+// that form ordinary intraprocedural liveness is exact with respect to
+// the whole program.
+//
+// Raw (unsummarized) call instructions are handled with the §3.5
+// calling-standard assumptions so the analyses remain safe on programs
+// that have not been through the interprocedural phases.
+package dataflow
+
+import (
+	"repro/internal/callstd"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+// Opts customizes the liveness analysis with interprocedural knowledge.
+// The zero value falls back to the calling-standard assumptions.
+type Opts struct {
+	// CallTransfer returns the (call-used, call-defined) summary of a
+	// call instruction, typically from the interprocedural analysis.
+	// Returning ok == false falls back to the calling-standard
+	// assumption for that call.
+	CallTransfer func(in *isa.Instr) (use, def regset.Set, ok bool)
+
+	// ExitLiveOut returns the registers live when the routine exits
+	// through block b (the interprocedural live-at-exit set). When nil,
+	// exits contribute nothing.
+	ExitLiveOut func(b *cfg.Block) regset.Set
+}
+
+// Liveness holds the result of a backward liveness analysis over one
+// routine.
+type Liveness struct {
+	graph *cfg.Graph
+	opts  Opts
+
+	// In[b] is the set of registers live at entry to block b; Out[b] at
+	// exit from block b.
+	In  []regset.Set
+	Out []regset.Set
+}
+
+// callXfer returns the (use, mustDef) transfer for a call instruction.
+func (o *Opts) callXfer(in *isa.Instr) (use, def regset.Set) {
+	if o.CallTransfer != nil {
+		if u, d, ok := o.CallTransfer(in); ok {
+			return u, d
+		}
+	}
+	s := callstd.UnknownCallSummary()
+	return s.Used, s.Defined
+}
+
+// instrXfer applies the backward liveness transfer of one instruction:
+// live-before = (live-after − mustDefs) ∪ uses. Calls compose the callee
+// summary with the instruction's own register effects (jsr defines ra).
+func (o *Opts) instrXfer(in *isa.Instr, after regset.Set) regset.Set {
+	uses, defs := in.Uses(), in.Defs()
+	if in.Op == isa.OpJsr || in.Op == isa.OpJsrInd {
+		cu, cd := o.callXfer(in)
+		// The call first evaluates its own operands and defines ra,
+		// then the callee runs: compose callee transfer then call
+		// instruction transfer.
+		after = after.Minus(cd).Union(cu)
+	}
+	return after.Minus(defs).Union(uses)
+}
+
+// blockXfer applies the backward transfer of a whole block to the
+// live-out set.
+func (o *Opts) blockXfer(g *cfg.Graph, b *cfg.Block, out regset.Set) regset.Set {
+	live := out
+	for i := b.End - 1; i >= b.Start; i-- {
+		live = o.instrXfer(&g.Routine.Code[i], live)
+	}
+	return live
+}
+
+// blockSeed returns the liveness contributed at the bottom of a block by
+// its terminator class rather than by intraprocedural successors: blocks
+// ending in an indirect jump with unknown targets make every register
+// live (§3.5); exit blocks contribute the live-at-exit set.
+func (o *Opts) blockSeed(b *cfg.Block) regset.Set {
+	switch b.Term {
+	case cfg.TermUnknownJump:
+		return callstd.UnknownJumpLive()
+	case cfg.TermExit:
+		if o.ExitLiveOut != nil {
+			return o.ExitLiveOut(b)
+		}
+	}
+	return regset.Empty
+}
+
+// ComputeLiveness runs backward may-liveness to a fixed point over the
+// routine's blocks using the calling-standard assumptions for calls.
+func ComputeLiveness(g *cfg.Graph) *Liveness {
+	return ComputeLivenessOpts(g, Opts{})
+}
+
+// ComputeLivenessOpts runs backward may-liveness with interprocedural
+// summaries supplied by opts.
+func ComputeLivenessOpts(g *cfg.Graph, opts Opts) *Liveness {
+	n := len(g.Blocks)
+	lv := &Liveness{
+		graph: g,
+		opts:  opts,
+		In:    make([]regset.Set, n),
+		Out:   make([]regset.Set, n),
+	}
+	wl := NewWorklist(n)
+	// Seed in reverse order so backward problems converge quickly.
+	for i := n - 1; i >= 0; i-- {
+		wl.Push(i)
+	}
+	for !wl.Empty() {
+		id := wl.Pop()
+		b := g.Blocks[id]
+		out := opts.blockSeed(b)
+		for _, s := range b.Succs {
+			out = out.Union(lv.In[s])
+		}
+		lv.Out[id] = out
+		in := opts.blockXfer(g, b, out)
+		if in != lv.In[id] {
+			lv.In[id] = in
+			for _, p := range b.Preds {
+				wl.Push(p)
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAfter returns the set of registers live immediately after the
+// instruction at index instr of the routine.
+func (lv *Liveness) LiveAfter(instr int) regset.Set {
+	g := lv.graph
+	b := g.Blocks[g.InstrBlock[instr]]
+	live := lv.Out[b.ID]
+	for i := b.End - 1; i > instr; i-- {
+		live = lv.opts.instrXfer(&g.Routine.Code[i], live)
+	}
+	return live
+}
+
+// LiveBefore returns the set of registers live immediately before the
+// instruction at index instr of the routine.
+func (lv *Liveness) LiveBefore(instr int) regset.Set {
+	return lv.opts.instrXfer(&lv.graph.Routine.Code[instr], lv.LiveAfter(instr))
+}
+
+// Worklist is a FIFO node worklist with O(1) duplicate suppression, the
+// driver for every iterative dataflow solver in this codebase.
+type Worklist struct {
+	queue  []int
+	queued []bool
+}
+
+// NewWorklist returns a worklist for node IDs in [0, n).
+func NewWorklist(n int) *Worklist {
+	return &Worklist{queued: make([]bool, n)}
+}
+
+// Push adds id to the worklist if it is not already queued.
+func (w *Worklist) Push(id int) {
+	if !w.queued[id] {
+		w.queued[id] = true
+		w.queue = append(w.queue, id)
+	}
+}
+
+// Pop removes and returns the next node. It panics if the list is empty.
+func (w *Worklist) Pop() int {
+	id := w.queue[0]
+	w.queue = w.queue[1:]
+	w.queued[id] = false
+	return id
+}
+
+// Empty reports whether the worklist has no queued nodes.
+func (w *Worklist) Empty() bool { return len(w.queue) == 0 }
+
+// Len returns the number of queued nodes.
+func (w *Worklist) Len() int { return len(w.queue) }

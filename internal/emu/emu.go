@@ -1,0 +1,287 @@
+// Package emu executes programs of the synthetic ISA.
+//
+// The emulator is the reproduction's ground truth: the optimizer's
+// transformations are verified by running a program before and after
+// optimization and comparing the observable output (the sequence of
+// values printed by OpPrint). It also counts dynamically executed
+// instructions, the proxy used for the paper's performance-improvement
+// claims.
+//
+// Code addresses (return addresses, function pointers, computed jump
+// targets) are modelled as tagged 64-bit values so that programs may
+// store and reload them through memory exactly as compiled code spills
+// the return-address register.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// haltToken is the sentinel return address installed before the entry
+// routine runs: returning through it ends the program like returning
+// from main.
+const haltToken = prog.HaltToken
+
+// CodeAddr returns the tagged value denoting instruction instr of
+// routine ri — what a label's address evaluates to at run time.
+func CodeAddr(ri, instr int) int64 { return prog.CodeAddr(ri, instr) }
+
+// RoutineAddr returns the tagged value denoting routine ri's primary
+// entrance: the run-time value of a function pointer.
+func RoutineAddr(p *prog.Program, ri int) int64 { return p.RoutineAddr(ri) }
+
+func decodeAddr(v int64) (ri, instr int, ok bool) { return prog.DecodeAddr(v) }
+
+// spBase is the initial stack pointer. The stack grows down; memory is
+// sparse, so the value only needs to be out of the way of tagged
+// addresses.
+const spBase = int64(1) << 40
+
+// gpBase is the initial global pointer.
+const gpBase = int64(1) << 41
+
+// ErrStepLimit is returned when execution exceeds the step budget.
+var ErrStepLimit = errors.New("emu: step limit exceeded")
+
+// Result holds the observable outcome of a run.
+type Result struct {
+	// Output is the sequence of values printed by OpPrint — the
+	// program's observable behaviour.
+	Output []int64
+
+	// Steps is the number of instructions executed, the dynamic
+	// instruction count used for performance comparisons.
+	Steps int64
+}
+
+// Machine executes one program.
+type Machine struct {
+	prog  *prog.Program
+	regs  [regset.NumRegs]int64
+	mem   map[int64]int64
+	out   []int64
+	steps int64
+
+	// Optional instrumentation (see profile.go).
+	profile *Profile
+	icache  *ICache
+	bases   []int64
+}
+
+// New returns a machine ready to run p from its entry routine.
+func New(p *prog.Program) *Machine {
+	m := &Machine{prog: p, mem: make(map[int64]int64)}
+	m.regs[regset.SP] = spBase
+	m.regs[regset.GP] = gpBase
+	m.regs[regset.RA] = haltToken
+	return m
+}
+
+// SetReg sets a register's initial value (e.g. program arguments in a0).
+func (m *Machine) SetReg(r regset.Reg, v int64) {
+	if r != regset.Zero && r != regset.FZero {
+		m.regs[r] = v
+	}
+}
+
+// Reg returns the current value of a register.
+func (m *Machine) Reg(r regset.Reg) int64 { return m.get(r) }
+
+func (m *Machine) get(r regset.Reg) int64 {
+	if r == regset.Zero || r == regset.FZero {
+		return 0
+	}
+	return m.regs[r]
+}
+
+func (m *Machine) set(r regset.Reg, v int64) {
+	if r != regset.Zero && r != regset.FZero {
+		m.regs[r] = v
+	}
+}
+
+func f2i(f float64) int64 { return int64(math.Float64bits(f)) }
+func i2f(v int64) float64 { return math.Float64frombits(uint64(v)) }
+
+// Run executes the program for at most maxSteps instructions.
+func (m *Machine) Run(maxSteps int64) (Result, error) {
+	ri := m.prog.Entry
+	pc := m.prog.Routines[ri].Entries[0]
+	for {
+		if m.steps >= maxSteps {
+			return Result{m.out, m.steps}, fmt.Errorf("%w (stopped in %s at instruction %d)",
+				ErrStepLimit, m.prog.Routines[ri].Name, pc)
+		}
+		r := m.prog.Routines[ri]
+		if pc < 0 || pc >= len(r.Code) {
+			return Result{m.out, m.steps}, fmt.Errorf("emu: pc %d out of range in %s", pc, r.Name)
+		}
+		in := &r.Code[pc]
+		m.steps++
+		if m.profile != nil {
+			m.profile.InstrCounts[ri][pc]++
+			if in.Op == isa.OpJsr {
+				m.profile.CallCounts[[2]int{ri, in.Target}]++
+			}
+		}
+		if m.icache != nil {
+			m.icache.access(m.bases[ri] + 4*int64(pc))
+		}
+		next := pc + 1
+		switch in.Op {
+		case isa.OpNop, isa.OpEntry, isa.OpExit:
+			// Entry/exit markers execute as no-ops so summarized
+			// routines remain runnable when their calls are real.
+		case isa.OpCallSummary:
+			return Result{m.out, m.steps}, fmt.Errorf("emu: call-summary pseudo-instruction is not executable (in %s at %d)", r.Name, pc)
+		case isa.OpLda:
+			m.set(in.Dest, m.get(in.Src1)+in.Imm)
+		case isa.OpMov:
+			m.set(in.Dest, m.get(in.Src1))
+		case isa.OpAdd:
+			m.set(in.Dest, m.get(in.Src1)+m.get(in.Src2))
+		case isa.OpSub:
+			m.set(in.Dest, m.get(in.Src1)-m.get(in.Src2))
+		case isa.OpMul:
+			m.set(in.Dest, m.get(in.Src1)*m.get(in.Src2))
+		case isa.OpAnd:
+			m.set(in.Dest, m.get(in.Src1)&m.get(in.Src2))
+		case isa.OpOr:
+			m.set(in.Dest, m.get(in.Src1)|m.get(in.Src2))
+		case isa.OpXor:
+			m.set(in.Dest, m.get(in.Src1)^m.get(in.Src2))
+		case isa.OpSll:
+			m.set(in.Dest, m.get(in.Src1)<<uint(m.get(in.Src2)&63))
+		case isa.OpSrl:
+			m.set(in.Dest, int64(uint64(m.get(in.Src1))>>uint(m.get(in.Src2)&63)))
+		case isa.OpCmpeq:
+			m.set(in.Dest, b2i(m.get(in.Src1) == m.get(in.Src2)))
+		case isa.OpCmplt:
+			m.set(in.Dest, b2i(m.get(in.Src1) < m.get(in.Src2)))
+		case isa.OpCmple:
+			m.set(in.Dest, b2i(m.get(in.Src1) <= m.get(in.Src2)))
+		case isa.OpNot:
+			m.set(in.Dest, ^m.get(in.Src1))
+		case isa.OpNeg:
+			m.set(in.Dest, -m.get(in.Src1))
+		case isa.OpAddf:
+			m.set(in.Dest, f2i(i2f(m.get(in.Src1))+i2f(m.get(in.Src2))))
+		case isa.OpSubf:
+			m.set(in.Dest, f2i(i2f(m.get(in.Src1))-i2f(m.get(in.Src2))))
+		case isa.OpMulf:
+			m.set(in.Dest, f2i(i2f(m.get(in.Src1))*i2f(m.get(in.Src2))))
+		case isa.OpDivf:
+			m.set(in.Dest, f2i(i2f(m.get(in.Src1))/i2f(m.get(in.Src2))))
+		case isa.OpCvtif:
+			m.set(in.Dest, f2i(float64(m.get(in.Src1))))
+		case isa.OpCvtfi:
+			m.set(in.Dest, int64(i2f(m.get(in.Src1))))
+		case isa.OpLd:
+			m.set(in.Dest, m.mem[m.get(in.Src1)+in.Imm])
+		case isa.OpSt:
+			m.mem[m.get(in.Src1)+in.Imm] = m.get(in.Src2)
+		case isa.OpBr:
+			next = in.Target
+		case isa.OpBeq:
+			if m.get(in.Src1) == 0 {
+				next = in.Target
+			}
+		case isa.OpBne:
+			if m.get(in.Src1) != 0 {
+				next = in.Target
+			}
+		case isa.OpBlt:
+			if m.get(in.Src1) < 0 {
+				next = in.Target
+			}
+		case isa.OpBge:
+			if m.get(in.Src1) >= 0 {
+				next = in.Target
+			}
+		case isa.OpJmp:
+			if in.Table != isa.UnknownTable {
+				tbl := r.Tables[in.Table]
+				idx := m.get(in.Src1) % int64(len(tbl))
+				if idx < 0 {
+					idx += int64(len(tbl))
+				}
+				next = tbl[idx]
+			} else {
+				tri, tpc, ok := decodeAddr(m.get(in.Src1))
+				if !ok {
+					return Result{m.out, m.steps}, fmt.Errorf("emu: indirect jump through non-address value %#x in %s", m.get(in.Src1), r.Name)
+				}
+				if tri != ri {
+					ri = tri
+				}
+				next = tpc
+			}
+		case isa.OpJsr:
+			m.set(regset.RA, CodeAddr(ri, pc+1))
+			callee := m.prog.Routines[in.Target]
+			ri = in.Target
+			next = callee.Entries[in.Imm]
+		case isa.OpJsrInd:
+			tri, tpc, ok := decodeAddr(m.get(in.Src1))
+			if !ok {
+				return Result{m.out, m.steps}, fmt.Errorf("emu: indirect call through non-address value %#x in %s", m.get(in.Src1), r.Name)
+			}
+			if m.profile != nil {
+				m.profile.CallCounts[[2]int{ri, tri}]++
+			}
+			m.set(regset.RA, CodeAddr(ri, pc+1))
+			ri = tri
+			next = tpc
+		case isa.OpRet:
+			v := m.get(regset.RA)
+			if v == haltToken {
+				return Result{m.out, m.steps}, nil
+			}
+			tri, tpc, ok := decodeAddr(v)
+			if !ok {
+				return Result{m.out, m.steps}, fmt.Errorf("emu: return through non-address value %#x in %s", v, r.Name)
+			}
+			ri = tri
+			next = tpc
+		case isa.OpPrint:
+			m.out = append(m.out, m.get(in.Src1))
+		case isa.OpHalt:
+			return Result{m.out, m.steps}, nil
+		default:
+			return Result{m.out, m.steps}, fmt.Errorf("emu: unimplemented opcode %v", in.Op)
+		}
+		pc = next
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes p with default settings and a generous step budget.
+func Run(p *prog.Program, maxSteps int64) (Result, error) {
+	return New(p).Run(maxSteps)
+}
+
+// SameOutput reports whether two results have identical observable
+// output.
+func SameOutput(a, b Result) bool {
+	if len(a.Output) != len(b.Output) {
+		return false
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			return false
+		}
+	}
+	return true
+}

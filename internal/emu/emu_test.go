@@ -1,0 +1,479 @@
+package emu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+func run(t *testing.T, src string) Result {
+	t.Helper()
+	p, err := prog.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	res, err := Run(p, 1_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func wantOutput(t *testing.T, res Result, want ...int64) {
+	t.Helper()
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("output = %v, want %v", res.Output, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda t0, 6(zero)
+  lda t1, 7(zero)
+  mul t2, t0, t1
+  print t2
+  add t2, t2, t0
+  print t2
+  sub t2, t2, t1
+  print t2
+  neg t3, t0
+  print t3
+  not t4, zero
+  print t4
+  halt
+`)
+	wantOutput(t, res, 42, 48, 41, -6, -1)
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda t0, 12(zero)
+  lda t1, 10(zero)
+  and t2, t0, t1
+  print t2
+  or  t2, t0, t1
+  print t2
+  xor t2, t0, t1
+  print t2
+  lda t3, 2(zero)
+  sll t2, t0, t3
+  print t2
+  srl t2, t0, t3
+  print t2
+  halt
+`)
+	wantOutput(t, res, 8, 14, 6, 48, 3)
+}
+
+func TestComparisons(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda t0, 3(zero)
+  lda t1, 5(zero)
+  cmpeq t2, t0, t1
+  print t2
+  cmplt t2, t0, t1
+  print t2
+  cmple t2, t1, t1
+  print t2
+  halt
+`)
+	wantOutput(t, res, 0, 1, 1)
+}
+
+func TestFloatOps(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda   t0, 7(zero)
+  lda   t1, 2(zero)
+  cvtif f1, t0
+  cvtif f2, t1
+  divf  f3, f1, f2
+  cvtfi t2, f3
+  print t2        ; 7.0/2.0 = 3.5 → 3
+  mulf  f4, f3, f2
+  cvtfi t3, f4
+  print t3        ; 3.5*2.0 = 7
+  addf  f5, f1, f2
+  subf  f5, f5, f2
+  cvtfi t4, f5
+  print t4        ; 7+2-2 = 7
+  halt
+`)
+	wantOutput(t, res, 3, 7, 7)
+}
+
+func TestMemory(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda t0, 99(zero)
+  st  t0, -8(sp)
+  lda t0, 0(zero)
+  ld  t1, -8(sp)
+  print t1
+  halt
+`)
+	wantOutput(t, res, 99)
+}
+
+func TestLoop(t *testing.T) {
+	// sum 1..5
+	res := run(t, `
+.routine main
+  lda t0, 5(zero)
+  lda t1, 0(zero)
+loop:
+  add t1, t1, t0
+  lda t2, -1(zero)
+  add t0, t0, t2
+  bne t0, loop
+  print t1
+  halt
+`)
+	wantOutput(t, res, 15)
+}
+
+func TestCallAndReturn(t *testing.T) {
+	res := run(t, `
+.start main
+.routine main
+  lda a0, 5(zero)
+  jsr double
+  print v0
+  halt
+.routine double
+  add v0, a0, a0
+  ret
+`)
+	wantOutput(t, res, 10)
+}
+
+func TestNestedCallsWithRASpill(t *testing.T) {
+	res := run(t, `
+.start main
+.routine main
+  lda a0, 3(zero)
+  jsr outer
+  print v0
+  halt
+.routine outer
+  lda sp, -8(sp)
+  st  ra, 0(sp)
+  jsr inner
+  add v0, v0, a0
+  ld  ra, 0(sp)
+  lda sp, 8(sp)
+  ret
+.routine inner
+  add v0, a0, a0
+  ret
+`)
+	wantOutput(t, res, 9) // inner: 6, outer adds 3
+}
+
+func TestRecursion(t *testing.T) {
+	// factorial(5) with ra/a0 saved across the recursive call
+	res := run(t, `
+.start main
+.routine main
+  lda a0, 5(zero)
+  jsr fact
+  print v0
+  halt
+.routine fact
+  bne a0, rec
+  lda v0, 1(zero)
+  ret
+rec:
+  lda sp, -16(sp)
+  st  ra, 0(sp)
+  st  a0, 8(sp)
+  lda t0, -1(zero)
+  add a0, a0, t0
+  jsr fact
+  ld  a0, 8(sp)
+  ld  ra, 0(sp)
+  lda sp, 16(sp)
+  mul v0, v0, a0
+  ret
+`)
+	wantOutput(t, res, 120)
+}
+
+func TestJumpTable(t *testing.T) {
+	src := `
+.start main
+.routine main
+.table T0 = case0, case1, case2
+  lda t0, %d(zero)
+  jmp t0, T0
+case0:
+  lda t1, 100(zero)
+  br done
+case1:
+  lda t1, 200(zero)
+  br done
+case2:
+  lda t1, 300(zero)
+  br done
+done:
+  print t1
+  halt
+`
+	for idx, want := range map[int]int64{0: 100, 1: 200, 2: 300} {
+		text := strings.Replace(src, "%d", itoa(idx), 1)
+		res := run(t, text)
+		wantOutput(t, res, want)
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+func TestJumpTableWrapsModulo(t *testing.T) {
+	// Index 4 into a 3-entry table wraps to entry 1.
+	res := run(t, strings.Replace(`
+.start main
+.routine main
+.table T0 = case0, case1, case2
+  lda t0, 4(zero)
+  jmp t0, T0
+case0:
+  lda t1, 100(zero)
+  br done
+case1:
+  lda t1, 200(zero)
+  br done
+case2:
+  lda t1, 300(zero)
+  br done
+done:
+  print t1
+  halt
+`, "%d", "4", 1))
+	wantOutput(t, res, 200)
+}
+
+func TestIndirectCall(t *testing.T) {
+	p := prog.New()
+	main := prog.NewRoutine("main",
+		isa.Nop(), // patched below with the function-pointer load
+		isa.JsrInd(regset.PV),
+		isa.Print(regset.V0),
+		isa.Halt(),
+	)
+	p.Add(main)
+	cb := prog.NewRoutine("cb",
+		isa.LdaImm(regset.V0, 77),
+		isa.Ret(),
+	)
+	cb.AddressTaken = true
+	ci := p.Add(cb)
+	main.Code[0] = isa.LdaImm(regset.PV, RoutineAddr(p, ci))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res, 77)
+}
+
+func TestComputedGotoThroughMemory(t *testing.T) {
+	// Store a code address, reload it, jump through it.
+	p := prog.New()
+	main := prog.NewRoutine("main",
+		isa.Nop(), // patched: lda t0, codeaddr
+		isa.St(regset.T0, regset.SP, -8),
+		isa.Ld(regset.T1, regset.SP, -8),
+		isa.Jmp(regset.T1, isa.UnknownTable),
+		isa.Print(regset.Zero),   // skipped
+		isa.Halt(),               // skipped
+		isa.LdaImm(regset.T2, 5), // 6: jump target
+		isa.Print(regset.T2),
+		isa.Halt(),
+	)
+	p.Add(main)
+	main.Code[0] = isa.LdaImm(regset.T0, CodeAddr(0, 6))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res, 5)
+}
+
+func TestZeroRegisterReadsZeroAndDiscardsWrites(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda zero, 42(zero)
+  print zero
+  add t0, zero, zero
+  print t0
+  halt
+`)
+	wantOutput(t, res, 0, 0)
+}
+
+func TestHaltViaSentinelReturn(t *testing.T) {
+	// Returning from the entry routine ends the program.
+	res := run(t, `
+.routine main
+  lda t0, 1(zero)
+  print t0
+  ret
+`)
+	wantOutput(t, res, 1)
+}
+
+func TestStepLimit(t *testing.T) {
+	p := prog.MustAssemble(`
+.routine main
+loop:
+  br loop
+`)
+	_, err := Run(p, 100)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestBadIndirectTargets(t *testing.T) {
+	cases := []string{
+		".routine main\n  jsri pv\n  halt\n",
+		".routine main\n  jmp t0, ?\n",
+	}
+	for _, src := range cases {
+		p := prog.MustAssemble(src)
+		if _, err := Run(p, 100); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCallSummaryNotExecutable(t *testing.T) {
+	p := prog.New()
+	p.Add(prog.NewRoutine("main",
+		isa.CallSummary(regset.Empty, regset.Empty, regset.Empty),
+		isa.Halt(),
+	))
+	if _, err := Run(p, 100); err == nil {
+		t.Error("call-summary must not execute")
+	}
+}
+
+func TestEntryExitPseudoOpsAreNops(t *testing.T) {
+	p := prog.New()
+	p.Add(prog.NewRoutine("main",
+		isa.Entry(regset.Of(regset.A0)),
+		isa.LdaImm(regset.T0, 3),
+		isa.Print(regset.T0),
+		isa.Exit(regset.Empty),
+		isa.Halt(),
+	))
+	res, err := Run(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res, 3)
+}
+
+func TestSetRegAndConditionalBranches(t *testing.T) {
+	p := prog.MustAssemble(`
+.routine main
+  blt a0, neg
+  bge a0, pos
+neg:
+  lda t0, -1(zero)
+  print t0
+  halt
+pos:
+  lda t0, 1(zero)
+  print t0
+  halt
+`)
+	m := New(p)
+	m.SetReg(regset.A0, -5)
+	res, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res, -1)
+
+	m2 := New(p)
+	m2.SetReg(regset.A0, 5)
+	res2, err := m2.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res2, 1)
+}
+
+func TestSameOutput(t *testing.T) {
+	a := Result{Output: []int64{1, 2, 3}}
+	b := Result{Output: []int64{1, 2, 3}, Steps: 99}
+	c := Result{Output: []int64{1, 2}}
+	d := Result{Output: []int64{1, 2, 4}}
+	if !SameOutput(a, b) {
+		t.Error("same outputs with different step counts must match")
+	}
+	if SameOutput(a, c) || SameOutput(a, d) {
+		t.Error("different outputs must not match")
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	res := run(t, `
+.routine main
+  lda t0, 1(zero)
+  lda t1, 2(zero)
+  halt
+`)
+	if res.Steps != 3 {
+		t.Errorf("Steps = %d, want 3", res.Steps)
+	}
+}
+
+func TestMultiEntryCall(t *testing.T) {
+	p := prog.New()
+	main := prog.NewRoutine("main",
+		isa.Jsr(1), // entry 0
+		isa.Print(regset.V0),
+		isa.Instr{Op: isa.OpJsr, Target: 1, Imm: 1}, // entry 1
+		isa.Print(regset.V0),
+		isa.Halt(),
+	)
+	p.Add(main)
+	f := &prog.Routine{
+		Name: "f",
+		Code: []isa.Instr{
+			isa.LdaImm(regset.V0, 10), // entry 0
+			isa.Ret(),
+			isa.LdaImm(regset.V0, 20), // entry 1 (index 2)
+			isa.Ret(),
+		},
+		Entries: []int{0, 2},
+	}
+	p.Add(f)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, res, 10, 20)
+}

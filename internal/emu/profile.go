@@ -1,0 +1,115 @@
+package emu
+
+import (
+	"repro/internal/prog"
+)
+
+// Profile records execution frequencies: the input to Spike's
+// profile-driven optimizations (§1 cites Pettis–Hansen code positioning
+// and Hot–Cold optimization, both of which consume exactly this).
+type Profile struct {
+	// InstrCounts[ri][pc] is how many times the instruction executed.
+	InstrCounts [][]int64
+
+	// CallCounts[caller][callee] accumulates dynamic call counts
+	// between routines — the affinity input for routine placement.
+	CallCounts map[[2]int]int64
+}
+
+// NewProfile returns an empty profile shaped for p.
+func NewProfile(p *prog.Program) *Profile {
+	pr := &Profile{
+		InstrCounts: make([][]int64, len(p.Routines)),
+		CallCounts:  make(map[[2]int]int64),
+	}
+	for ri, r := range p.Routines {
+		pr.InstrCounts[ri] = make([]int64, len(r.Code))
+	}
+	return pr
+}
+
+// RoutineCount returns the total instructions executed in routine ri.
+func (pr *Profile) RoutineCount(ri int) int64 {
+	var n int64
+	for _, c := range pr.InstrCounts[ri] {
+		n += c
+	}
+	return n
+}
+
+// ICache is a direct-mapped instruction-cache model. Spike's code
+// restructuring exists to improve instruction-cache behaviour
+// [Pettis90]; the model makes that improvement measurable for the
+// reproduction's synthetic programs.
+//
+// Instructions occupy 4 bytes at base address RoutineBase[ri] + 4*pc;
+// routine bases are assigned from the program's routine order, so
+// reordering routines or blocks changes cache behaviour exactly as a
+// real layout change would.
+type ICache struct {
+	LineBytes int // bytes per line (default 32)
+	Lines     int // number of lines (default 256 → 8 KB)
+
+	tags []int64
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewICache returns an 8 KB direct-mapped cache with 32-byte lines.
+func NewICache() *ICache {
+	return &ICache{LineBytes: 32, Lines: 256}
+}
+
+func (c *ICache) access(addr int64) {
+	if c.tags == nil {
+		c.tags = make([]int64, c.Lines)
+		for i := range c.tags {
+			c.tags[i] = -1
+		}
+	}
+	line := addr / int64(c.LineBytes)
+	slot := line % int64(c.Lines)
+	c.Accesses++
+	if c.tags[slot] != line {
+		c.tags[slot] = line
+		c.Misses++
+	}
+}
+
+// MissRate returns misses per access.
+func (c *ICache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// RoutineBases assigns each routine a byte address in program order,
+// 4 bytes per instruction, routines padded to a line boundary.
+func RoutineBases(p *prog.Program, lineBytes int) []int64 {
+	bases := make([]int64, len(p.Routines))
+	addr := int64(0)
+	for ri, r := range p.Routines {
+		bases[ri] = addr
+		addr += int64(len(r.Code)) * 4
+		if rem := addr % int64(lineBytes); rem != 0 {
+			addr += int64(lineBytes) - rem
+		}
+	}
+	return bases
+}
+
+// EnableProfile makes the machine record execution counts into a new
+// profile, returned for inspection after Run.
+func (m *Machine) EnableProfile() *Profile {
+	m.profile = NewProfile(m.prog)
+	return m.profile
+}
+
+// EnableICache attaches an instruction-cache model; every instruction
+// fetch is simulated against it.
+func (m *Machine) EnableICache(c *ICache) {
+	m.icache = c
+	m.bases = RoutineBases(m.prog, c.LineBytes)
+}

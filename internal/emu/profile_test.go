@@ -1,0 +1,152 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+func TestProfileCountsInstructions(t *testing.T) {
+	p := prog.MustAssemble(`
+.start main
+.routine main
+  lda t0, 3(zero)
+loop:
+  jsr f
+  lda t0, -1(t0)
+  bne t0, loop
+  halt
+.routine f
+  lda v0, 1(zero)
+  ret
+`)
+	m := New(p)
+	pr := m.EnableProfile()
+	res, err := m.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop body runs 3 times.
+	mi := p.Entry
+	if got := pr.InstrCounts[mi][1]; got != 3 {
+		t.Errorf("jsr executed %d times, want 3", got)
+	}
+	if got := pr.InstrCounts[mi][0]; got != 1 {
+		t.Errorf("prologue executed %d times, want 1", got)
+	}
+	fi, _ := p.Index("f")
+	if got := pr.RoutineCount(fi); got != 6 {
+		t.Errorf("f executed %d instructions, want 6 (2 × 3 calls)", got)
+	}
+	// Total profiled instructions equal the step count.
+	var total int64
+	for ri := range pr.InstrCounts {
+		total += pr.RoutineCount(ri)
+	}
+	if total != res.Steps {
+		t.Errorf("profiled %d instructions, emulator stepped %d", total, res.Steps)
+	}
+	// Call counts.
+	if got := pr.CallCounts[[2]int{mi, fi}]; got != 3 {
+		t.Errorf("call count main→f = %d, want 3", got)
+	}
+}
+
+func TestProfileIndirect(t *testing.T) {
+	src := `
+.start main
+.routine main
+  jsri pv
+  halt
+.routine cb
+.addrtaken
+  lda v0, 9(zero)
+  ret
+`
+	p := prog.MustAssemble(src)
+	ci, _ := p.Index("cb")
+	// Patch a pv load in front: easier to build in memory.
+	m := New(p)
+	m.SetReg(regset.PV, p.RoutineAddr(ci))
+	pr := m.EnableProfile()
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.CallCounts[[2]int{p.Entry, ci}]; got != 1 {
+		t.Errorf("indirect call count = %d, want 1", got)
+	}
+}
+
+func TestICacheBasics(t *testing.T) {
+	c := NewICache()
+	if c.LineBytes != 32 || c.Lines != 256 {
+		t.Fatalf("default geometry wrong: %d × %d", c.Lines, c.LineBytes)
+	}
+	// Same line twice: one miss, one hit.
+	c.access(0)
+	c.access(4)
+	if c.Accesses != 2 || c.Misses != 1 {
+		t.Errorf("accesses=%d misses=%d, want 2/1", c.Accesses, c.Misses)
+	}
+	// A conflicting line (same slot, different tag) misses.
+	c.access(int64(c.Lines * c.LineBytes))
+	if c.Misses != 2 {
+		t.Errorf("conflict miss not counted: %d", c.Misses)
+	}
+	// And evicts: the original line misses again.
+	c.access(0)
+	if c.Misses != 3 {
+		t.Errorf("eviction not modelled: %d", c.Misses)
+	}
+	if got := c.MissRate(); got != 0.75 {
+		t.Errorf("MissRate = %v, want 0.75", got)
+	}
+}
+
+func TestICacheEmptyRate(t *testing.T) {
+	if got := NewICache().MissRate(); got != 0 {
+		t.Errorf("empty cache miss rate = %v", got)
+	}
+}
+
+func TestRoutineBasesLineAligned(t *testing.T) {
+	p := prog.MustAssemble(`
+.routine a
+  lda t0, 1(zero)
+  halt
+.routine b
+  halt
+`)
+	bases := RoutineBases(p, 32)
+	if bases[0] != 0 {
+		t.Errorf("first base = %d", bases[0])
+	}
+	if bases[1]%32 != 0 {
+		t.Errorf("base not line aligned: %d", bases[1])
+	}
+	if bases[1] < 8 {
+		t.Errorf("routines overlap: %d", bases[1])
+	}
+}
+
+func TestICacheCountsMatchSteps(t *testing.T) {
+	p := prog.MustAssemble(`
+.routine main
+  lda t0, 10(zero)
+loop:
+  lda t0, -1(t0)
+  bne t0, loop
+  halt
+`)
+	m := New(p)
+	c := NewICache()
+	m.EnableICache(c)
+	res, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accesses != res.Steps {
+		t.Errorf("cache accesses %d != steps %d", c.Accesses, res.Steps)
+	}
+}

@@ -1,0 +1,226 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/regset"
+)
+
+// Instr is a single machine instruction.
+//
+// Branch targets (Target for OpBr/OpBeq/…) are instruction indices within
+// the enclosing routine. Call targets (Target for OpJsr) are routine
+// indices within the enclosing program. Table indexes the enclosing
+// routine's jump-table list for OpJmp, or is UnknownTable.
+type Instr struct {
+	Op   Opcode
+	Dest regset.Reg // destination register; regset.Zero when unused
+	Src1 regset.Reg
+	Src2 regset.Reg
+	Imm  int64
+
+	// Target is a branch target (instruction index) or call target
+	// (routine index) depending on Op.
+	Target int
+
+	// Table names a jump table of the enclosing routine for OpJmp.
+	Table int
+
+	// Use, Def and Kill carry the register sets of the pseudo
+	// instructions OpEntry, OpExit and OpCallSummary. Kill must always
+	// be a superset of Def for OpCallSummary.
+	Use  regset.Set
+	Def  regset.Set
+	Kill regset.Set
+}
+
+// hardwired registers never participate in dataflow: reads always yield
+// zero and writes are discarded.
+var hardwired = regset.Of(regset.Zero, regset.FZero)
+
+// Uses returns the registers this instruction may read before writing.
+func (in *Instr) Uses() regset.Set {
+	var s regset.Set
+	switch in.Op.Format() {
+	case FmtDSS:
+		s = regset.Of(in.Src1, in.Src2)
+	case FmtDS, FmtDSI, FmtS, FmtCallInd:
+		s = regset.Of(in.Src1)
+	case FmtSSI:
+		s = regset.Of(in.Src1, in.Src2)
+	case FmtSTarget, FmtJump:
+		s = regset.Of(in.Src1)
+	case FmtSets:
+		s = in.Use
+	case FmtNone, FmtTarget, FmtCall:
+		// no register reads
+	}
+	if in.Op == OpRet {
+		s = s.Add(regset.RA)
+	}
+	return s.Minus(hardwired)
+}
+
+// Defs returns the registers this instruction writes on every execution.
+func (in *Instr) Defs() regset.Set {
+	var s regset.Set
+	switch in.Op.Format() {
+	case FmtDSS, FmtDS, FmtDSI:
+		s = regset.Of(in.Dest)
+	case FmtSets:
+		s = in.Def
+	}
+	if in.Op.IsCall() {
+		s = s.Add(regset.RA)
+	}
+	return s.Minus(hardwired)
+}
+
+// Kills returns the registers this instruction may write: a superset of
+// Defs. For ordinary instructions Kills equals Defs; OpCallSummary
+// additionally kills its call-killed set.
+func (in *Instr) Kills() regset.Set {
+	s := in.Defs()
+	if in.Op == OpCallSummary {
+		s = s.Union(in.Kill.Minus(hardwired))
+	}
+	return s
+}
+
+// IsBlockEnd reports whether this instruction terminates a basic block
+// under the paper's convention (§4): branches, returns and calls all end
+// blocks. OpCallSummary replaces a call and therefore also ends a block.
+func (in *Instr) IsBlockEnd() bool {
+	return in.Op.IsBranch() || in.Op.IsReturn() || in.Op.IsCall() ||
+		in.Op == OpCallSummary
+}
+
+// String renders the instruction in assembler syntax (without resolving
+// symbolic names; branch and call targets print as raw indices).
+func (in *Instr) String() string {
+	switch in.Op.Format() {
+	case FmtNone:
+		return in.Op.String()
+	case FmtDSS:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dest, in.Src1, in.Src2)
+	case FmtDS:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dest, in.Src1)
+	case FmtDSI:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Dest, in.Imm, in.Src1)
+	case FmtSSI:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Src2, in.Imm, in.Src1)
+	case FmtTarget:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case FmtSTarget:
+		return fmt.Sprintf("%s %s, @%d", in.Op, in.Src1, in.Target)
+	case FmtJump:
+		if in.Table == UnknownTable {
+			return fmt.Sprintf("%s %s, ?", in.Op, in.Src1)
+		}
+		return fmt.Sprintf("%s %s, table%d", in.Op, in.Src1, in.Table)
+	case FmtCall:
+		return fmt.Sprintf("%s proc%d", in.Op, in.Target)
+	case FmtCallInd:
+		return fmt.Sprintf("%s %s", in.Op, in.Src1)
+	case FmtS:
+		return fmt.Sprintf("%s %s", in.Op, in.Src1)
+	case FmtSets:
+		var parts []string
+		if !in.Use.IsEmpty() || in.Op == OpExit {
+			parts = append(parts, "use="+in.Use.String())
+		}
+		if !in.Def.IsEmpty() || in.Op == OpEntry {
+			parts = append(parts, "def="+in.Def.String())
+		}
+		if in.Op == OpCallSummary {
+			parts = append(parts, "kill="+in.Kill.String())
+		}
+		return fmt.Sprintf("%s [%s]", in.Op, strings.Join(parts, " "))
+	}
+	return in.Op.String()
+}
+
+// Constructors for the common instruction shapes. They keep test and
+// generator code terse and ensure fields irrelevant to an opcode stay
+// zero.
+
+// Nop returns a no-op instruction.
+func Nop() Instr { return Instr{Op: OpNop} }
+
+// Lda returns dest = src + imm.
+func Lda(dest, src regset.Reg, imm int64) Instr {
+	return Instr{Op: OpLda, Dest: dest, Src1: src, Imm: imm}
+}
+
+// LdaImm returns dest = imm.
+func LdaImm(dest regset.Reg, imm int64) Instr {
+	return Lda(dest, regset.Zero, imm)
+}
+
+// Mov returns dest = src.
+func Mov(dest, src regset.Reg) Instr {
+	return Instr{Op: OpMov, Dest: dest, Src1: src}
+}
+
+// Bin returns a binary ALU instruction dest = src1 op src2.
+func Bin(op Opcode, dest, src1, src2 regset.Reg) Instr {
+	return Instr{Op: op, Dest: dest, Src1: src1, Src2: src2}
+}
+
+// Un returns a unary ALU instruction dest = op src1.
+func Un(op Opcode, dest, src1 regset.Reg) Instr {
+	return Instr{Op: op, Dest: dest, Src1: src1}
+}
+
+// Ld returns dest = mem[base + imm].
+func Ld(dest, base regset.Reg, imm int64) Instr {
+	return Instr{Op: OpLd, Dest: dest, Src1: base, Imm: imm}
+}
+
+// St returns mem[base + imm] = val.
+func St(val, base regset.Reg, imm int64) Instr {
+	return Instr{Op: OpSt, Src1: base, Src2: val, Imm: imm}
+}
+
+// Br returns an unconditional branch to the instruction index target.
+func Br(target int) Instr { return Instr{Op: OpBr, Target: target} }
+
+// CondBr returns a conditional branch on src to target.
+func CondBr(op Opcode, src regset.Reg, target int) Instr {
+	return Instr{Op: op, Src1: src, Target: target}
+}
+
+// Jmp returns an indirect jump through src using jump table table
+// (UnknownTable for unknown targets).
+func Jmp(src regset.Reg, table int) Instr {
+	return Instr{Op: OpJmp, Src1: src, Table: table}
+}
+
+// Jsr returns a direct call to routine index target.
+func Jsr(target int) Instr { return Instr{Op: OpJsr, Target: target} }
+
+// JsrInd returns an indirect call through src.
+func JsrInd(src regset.Reg) Instr { return Instr{Op: OpJsrInd, Src1: src} }
+
+// Ret returns a return instruction.
+func Ret() Instr { return Instr{Op: OpRet} }
+
+// Print returns an instruction that emits src to the output stream.
+func Print(src regset.Reg) Instr { return Instr{Op: OpPrint, Src1: src} }
+
+// Halt returns a program-terminating instruction.
+func Halt() Instr { return Instr{Op: OpHalt} }
+
+// Entry returns the pseudo-instruction defining the live-at-entry set.
+func Entry(def regset.Set) Instr { return Instr{Op: OpEntry, Def: def} }
+
+// Exit returns the pseudo-instruction using the live-at-exit set.
+func Exit(use regset.Set) Instr { return Instr{Op: OpExit, Use: use} }
+
+// CallSummary returns the pseudo-instruction summarizing a call (§2):
+// it uses the call-used set, defines the call-defined set and kills the
+// call-killed set.
+func CallSummary(use, def, kill regset.Set) Instr {
+	return Instr{Op: OpCallSummary, Use: use, Def: def, Kill: kill.Union(def)}
+}

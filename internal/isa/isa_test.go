@@ -1,0 +1,222 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/regset"
+)
+
+func TestOpcodeNamesRoundTrip(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if !op.Valid() {
+			t.Fatalf("opcode %d has no table entry", op)
+		}
+		name := op.String()
+		back, ok := OpcodeByName(name)
+		if !ok || back != op {
+			t.Errorf("opcode %v round trip via %q failed", op, name)
+		}
+	}
+	if Opcode(200).Valid() {
+		t.Error("out-of-range opcode must be invalid")
+	}
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Error("unknown mnemonic must not resolve")
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	branches := []Opcode{OpBr, OpBeq, OpBne, OpBlt, OpBge, OpJmp}
+	for _, op := range branches {
+		if !op.IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	for _, op := range []Opcode{OpBeq, OpBne, OpBlt, OpBge} {
+		if !op.IsCondBranch() {
+			t.Errorf("%v should be conditional", op)
+		}
+	}
+	if OpBr.IsCondBranch() || OpJmp.IsCondBranch() {
+		t.Error("br and jmp are not conditional branches")
+	}
+	for _, op := range []Opcode{OpJsr, OpJsrInd} {
+		if !op.IsCall() || op.IsBranch() {
+			t.Errorf("%v classification wrong", op)
+		}
+	}
+	for _, op := range []Opcode{OpRet, OpHalt} {
+		if !op.IsReturn() || !op.IsBarrier() {
+			t.Errorf("%v classification wrong", op)
+		}
+	}
+	for _, op := range []Opcode{OpBr, OpJmp, OpRet, OpHalt} {
+		if !op.IsBarrier() {
+			t.Errorf("%v should be a barrier", op)
+		}
+	}
+	for _, op := range []Opcode{OpBeq, OpJsr, OpAdd, OpNop} {
+		if op.IsBarrier() {
+			t.Errorf("%v should not be a barrier", op)
+		}
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instr
+		uses regset.Set
+		defs regset.Set
+	}{
+		{"add", Bin(OpAdd, regset.T0, regset.R16, regset.R17),
+			regset.Of(regset.R16, regset.R17), regset.Of(regset.T0)},
+		{"mov", Mov(regset.T1, regset.T2),
+			regset.Of(regset.T2), regset.Of(regset.T1)},
+		{"lda-imm", LdaImm(regset.V0, 42),
+			regset.Empty, regset.Of(regset.V0)},
+		{"lda-base", Lda(regset.T0, regset.SP, 8),
+			regset.Of(regset.SP), regset.Of(regset.T0)},
+		{"ld", Ld(regset.T3, regset.SP, 16),
+			regset.Of(regset.SP), regset.Of(regset.T3)},
+		{"st", St(regset.T3, regset.SP, 16),
+			regset.Of(regset.SP, regset.T3), regset.Empty},
+		{"br", Br(0), regset.Empty, regset.Empty},
+		{"beq", CondBr(OpBeq, regset.T0, 0),
+			regset.Of(regset.T0), regset.Empty},
+		{"jmp", Jmp(regset.T0, 0),
+			regset.Of(regset.T0), regset.Empty},
+		{"jsr", Jsr(0), regset.Empty, regset.Of(regset.RA)},
+		{"jsri", JsrInd(regset.PV),
+			regset.Of(regset.PV), regset.Of(regset.RA)},
+		{"ret", Ret(), regset.Of(regset.RA), regset.Empty},
+		{"print", Print(regset.V0), regset.Of(regset.V0), regset.Empty},
+		{"halt", Halt(), regset.Empty, regset.Empty},
+		{"nop", Nop(), regset.Empty, regset.Empty},
+	}
+	for _, c := range cases {
+		if got := c.in.Uses(); got != c.uses {
+			t.Errorf("%s: Uses = %v, want %v", c.name, got, c.uses)
+		}
+		if got := c.in.Defs(); got != c.defs {
+			t.Errorf("%s: Defs = %v, want %v", c.name, got, c.defs)
+		}
+	}
+}
+
+func TestHardwiredRegistersExcluded(t *testing.T) {
+	in := Bin(OpAdd, regset.Zero, regset.Zero, regset.T0)
+	if !in.Defs().IsEmpty() {
+		t.Error("write to zero register must not count as a def")
+	}
+	if got := in.Uses(); got != regset.Of(regset.T0) {
+		t.Errorf("zero register must not count as a use: %v", got)
+	}
+	fin := Bin(OpAddf, regset.FZero, regset.FZero, regset.F2)
+	if !fin.Defs().IsEmpty() {
+		t.Error("write to fzero must not count as a def")
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	entry := Entry(regset.Of(regset.A0, regset.A1))
+	if got := entry.Defs(); got != regset.Of(regset.A0, regset.A1) {
+		t.Errorf("entry Defs = %v", got)
+	}
+	if !entry.Uses().IsEmpty() {
+		t.Error("entry must not use registers")
+	}
+
+	exit := Exit(regset.Of(regset.V0))
+	if got := exit.Uses(); got != regset.Of(regset.V0) {
+		t.Errorf("exit Uses = %v", got)
+	}
+	if !exit.Defs().IsEmpty() {
+		t.Error("exit must not define registers")
+	}
+
+	cs := CallSummary(
+		regset.Of(regset.A0),
+		regset.Of(regset.V0),
+		regset.Of(regset.T0, regset.T1))
+	if got := cs.Uses(); got != regset.Of(regset.A0) {
+		t.Errorf("call summary Uses = %v", got)
+	}
+	if got := cs.Defs(); got != regset.Of(regset.V0) {
+		t.Errorf("call summary Defs = %v", got)
+	}
+	wantKill := regset.Of(regset.V0, regset.T0, regset.T1)
+	if got := cs.Kills(); got != wantKill {
+		t.Errorf("call summary Kills = %v, want %v", got, wantKill)
+	}
+	if !cs.Defs().SubsetOf(cs.Kills()) {
+		t.Error("defs must be a subset of kills")
+	}
+}
+
+func TestKillsEqualsDefsForOrdinaryInstrs(t *testing.T) {
+	ins := []Instr{
+		Bin(OpAdd, regset.T0, regset.T1, regset.T2),
+		Mov(regset.T0, regset.T1),
+		Ld(regset.T0, regset.SP, 0),
+		St(regset.T0, regset.SP, 0),
+		Jsr(0),
+		Ret(),
+	}
+	for _, in := range ins {
+		if in.Kills() != in.Defs() {
+			t.Errorf("%v: Kills != Defs for non-summary instruction", in.Op)
+		}
+	}
+}
+
+func TestIsBlockEnd(t *testing.T) {
+	ends := []Instr{Br(0), CondBr(OpBne, regset.T0, 0), Jmp(regset.T0, UnknownTable),
+		Jsr(0), JsrInd(regset.PV), Ret(), Halt(),
+		CallSummary(regset.Empty, regset.Empty, regset.Empty)}
+	for _, in := range ends {
+		if !in.IsBlockEnd() {
+			t.Errorf("%v must end a basic block", in.Op)
+		}
+	}
+	notEnds := []Instr{Nop(), Mov(regset.T0, regset.T1), Print(regset.V0),
+		Entry(regset.Empty), Exit(regset.Empty)}
+	for _, in := range notEnds {
+		if in.IsBlockEnd() {
+			t.Errorf("%v must not end a basic block", in.Op)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Bin(OpAdd, regset.T0, regset.R16, regset.R17), "add t0, a0, a1"},
+		{Mov(regset.T0, regset.T1), "mov t0, t1"},
+		{LdaImm(regset.V0, 7), "lda v0, 7(zero)"},
+		{St(regset.T0, regset.SP, 8), "st t0, 8(sp)"},
+		{Br(3), "br @3"},
+		{CondBr(OpBeq, regset.T0, 5), "beq t0, @5"},
+		{Jmp(regset.T0, UnknownTable), "jmp t0, ?"},
+		{Jmp(regset.T0, 1), "jmp t0, table1"},
+		{Jsr(2), "jsr proc2"},
+		{JsrInd(regset.PV), "jsri pv"},
+		{Ret(), "ret"},
+		{Halt(), "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	sum := CallSummary(regset.Of(regset.A0), regset.Of(regset.V0), regset.Of(regset.T0))
+	s := sum.String()
+	for _, frag := range []string{"use={a0}", "def={v0}", "kill="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("call summary String %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package isa defines the Alpha-like instruction set over which the
+// reproduction operates.
+//
+// Spike consumes Alpha/NT executables; this reproduction substitutes a
+// compact synthetic ISA that preserves everything the interprocedural
+// dataflow analysis observes: per-instruction register definitions and
+// uses, direct and indirect control transfers, calls and returns, and
+// jump tables for multiway branches. Numeric semantics exist so that the
+// emulator (internal/emu) can execute programs and verify that the
+// optimizer preserves observable behaviour.
+package isa
+
+import "fmt"
+
+// Opcode enumerates the instruction kinds.
+type Opcode uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota
+
+	// OpLda computes dest = src1 + imm. With src1 = zero it loads an
+	// immediate; with src1 = sp it forms a stack address.
+	OpLda
+
+	// OpMov copies src1 to dest.
+	OpMov
+
+	// Binary integer ALU operations: dest = src1 ⊕ src2.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpCmpeq
+	OpCmplt
+	OpCmple
+
+	// Unary integer operations: dest = ⊕ src1.
+	OpNot
+	OpNeg
+
+	// Binary floating operations: dest = src1 ⊕ src2 (register numbers
+	// are expected, not enforced, to be in the floating bank).
+	OpAddf
+	OpSubf
+	OpMulf
+	OpDivf
+
+	// Conversions between the banks: dest = convert(src1).
+	OpCvtif
+	OpCvtfi
+
+	// OpLd loads dest = mem[src1 + imm].
+	OpLd
+
+	// OpSt stores mem[src1 + imm] = src2.
+	OpSt
+
+	// OpBr branches unconditionally to Target (an instruction index
+	// within the routine).
+	OpBr
+
+	// Conditional branches on src1, to Target.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+
+	// OpJmp jumps indirectly through src1. If Table >= 0 it names a
+	// jump table in the enclosing routine whose entries are the
+	// possible targets (§3.5); if Table == UnknownTable the targets are
+	// unknown and the analysis assumes all registers live at the
+	// destination.
+	OpJmp
+
+	// OpJsr calls routine Target (a routine index) and defines ra.
+	OpJsr
+
+	// OpJsrInd calls indirectly through src1 (conventionally pv) and
+	// defines ra. The target set is unknown; the analysis applies the
+	// calling-standard summary (§3.5).
+	OpJsrInd
+
+	// OpRet returns through ra.
+	OpRet
+
+	// OpPrint emits the value of src1 to the program's output stream.
+	// It is the ISA's observable side effect, used to verify that
+	// optimizations preserve behaviour.
+	OpPrint
+
+	// OpHalt terminates the program.
+	OpHalt
+
+	// Pseudo-instructions inserted by the analysis/optimizer (§2).
+
+	// OpEntry marks a routine entrance and defines the registers in
+	// Def (the live-at-entry set).
+	OpEntry
+
+	// OpExit marks a routine exit and uses the registers in Use (the
+	// live-at-exit set).
+	OpExit
+
+	// OpCallSummary replaces a call instruction: it uses Use
+	// (call-used), defines Def (call-defined) and kills Kill
+	// (call-killed).
+	OpCallSummary
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// UnknownTable as an Instr.Table value marks an indirect jump whose
+// targets could not be determined.
+const UnknownTable = -1
+
+// opInfo describes the static properties of an opcode.
+type opInfo struct {
+	name    string
+	format  Format
+	branch  bool // may transfer control within the routine
+	call    bool // transfers control to another routine
+	ret     bool // exits the routine
+	barrier bool // ends a basic block unconditionally (no fallthrough)
+}
+
+// Format describes an opcode's operand shape, used by the assembler,
+// disassembler and binary encoder.
+type Format uint8
+
+const (
+	FmtNone    Format = iota // no operands
+	FmtDSS                   // dest, src1, src2
+	FmtDS                    // dest, src1
+	FmtDSI                   // dest, imm(src1)
+	FmtSSI                   // src2, imm(src1)   (stores)
+	FmtTarget                // branch target
+	FmtSTarget               // src1, branch target
+	FmtJump                  // src1, table|?
+	FmtCall                  // routine target
+	FmtCallInd               // src1
+	FmtS                     // src1
+	FmtSets                  // pseudo: register sets
+)
+
+var opTable = [numOpcodes]opInfo{
+	OpNop:         {name: "nop", format: FmtNone},
+	OpLda:         {name: "lda", format: FmtDSI},
+	OpMov:         {name: "mov", format: FmtDS},
+	OpAdd:         {name: "add", format: FmtDSS},
+	OpSub:         {name: "sub", format: FmtDSS},
+	OpMul:         {name: "mul", format: FmtDSS},
+	OpAnd:         {name: "and", format: FmtDSS},
+	OpOr:          {name: "or", format: FmtDSS},
+	OpXor:         {name: "xor", format: FmtDSS},
+	OpSll:         {name: "sll", format: FmtDSS},
+	OpSrl:         {name: "srl", format: FmtDSS},
+	OpCmpeq:       {name: "cmpeq", format: FmtDSS},
+	OpCmplt:       {name: "cmplt", format: FmtDSS},
+	OpCmple:       {name: "cmple", format: FmtDSS},
+	OpNot:         {name: "not", format: FmtDS},
+	OpNeg:         {name: "neg", format: FmtDS},
+	OpAddf:        {name: "addf", format: FmtDSS},
+	OpSubf:        {name: "subf", format: FmtDSS},
+	OpMulf:        {name: "mulf", format: FmtDSS},
+	OpDivf:        {name: "divf", format: FmtDSS},
+	OpCvtif:       {name: "cvtif", format: FmtDS},
+	OpCvtfi:       {name: "cvtfi", format: FmtDS},
+	OpLd:          {name: "ld", format: FmtDSI},
+	OpSt:          {name: "st", format: FmtSSI},
+	OpBr:          {name: "br", format: FmtTarget, branch: true, barrier: true},
+	OpBeq:         {name: "beq", format: FmtSTarget, branch: true},
+	OpBne:         {name: "bne", format: FmtSTarget, branch: true},
+	OpBlt:         {name: "blt", format: FmtSTarget, branch: true},
+	OpBge:         {name: "bge", format: FmtSTarget, branch: true},
+	OpJmp:         {name: "jmp", format: FmtJump, branch: true, barrier: true},
+	OpJsr:         {name: "jsr", format: FmtCall, call: true},
+	OpJsrInd:      {name: "jsri", format: FmtCallInd, call: true},
+	OpRet:         {name: "ret", format: FmtNone, ret: true, barrier: true},
+	OpPrint:       {name: "print", format: FmtS},
+	OpHalt:        {name: "halt", format: FmtNone, ret: true, barrier: true},
+	OpEntry:       {name: ".entrydef", format: FmtSets},
+	OpExit:        {name: ".exituse", format: FmtSets},
+	OpCallSummary: {name: ".callsum", format: FmtSets},
+}
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return int(op) < len(opTable) && opTable[op].name != ""
+}
+
+// Format returns the operand format of op.
+func (op Opcode) Format() Format {
+	if op.Valid() {
+		return opTable[op].format
+	}
+	return FmtNone
+}
+
+// IsBranch reports whether op may transfer control within its routine.
+func (op Opcode) IsBranch() bool { return op.Valid() && opTable[op].branch }
+
+// IsCondBranch reports whether op is a conditional branch (has a
+// fallthrough successor in addition to its target).
+func (op Opcode) IsCondBranch() bool {
+	return op == OpBeq || op == OpBne || op == OpBlt || op == OpBge
+}
+
+// IsCall reports whether op transfers control to another routine and
+// returns.
+func (op Opcode) IsCall() bool { return op.Valid() && opTable[op].call }
+
+// IsReturn reports whether op exits the routine (ret or halt).
+func (op Opcode) IsReturn() bool { return op.Valid() && opTable[op].ret }
+
+// IsBarrier reports whether control never falls through op to the next
+// instruction.
+func (op Opcode) IsBarrier() bool { return op.Valid() && opTable[op].barrier }
+
+// opByName maps mnemonics back to opcodes for the assembler.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opTable))
+	for op, info := range opTable {
+		if info.name != "" {
+			m[info.name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+// OpcodeByName returns the opcode with the given assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

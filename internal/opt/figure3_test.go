@@ -1,0 +1,94 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// The paper's Figure 3 shows the routines of Figure 2 after summary
+// substitution: the call to P2 is replaced by a call-summary
+// instruction that uses R1, defines R2, and kills R2 and R3; P2 gets an
+// entry instruction defining {R0, R1} and an exit instruction using
+// {R0}.
+func TestFigure3SummarySubstitution(t *testing.T) {
+	p := prog.MustAssemble(`
+.start main
+.routine main
+  jsr p1
+  jsr p3
+  halt
+
+.routine p1
+  lda r0, 1(zero)
+  lda r1, 2(zero)
+  jsr p2
+  print r0
+  ret
+
+.routine p2
+  mov r2, r1
+  beq r2, skip
+  lda r3, 3(zero)
+skip:
+  ret
+
+.routine p3
+  lda r1, 4(zero)
+  jsr p2
+  ret
+`)
+	a, err := core.Analyze(p, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := opt.Summarize(a)
+	paperRegs := regset.Of(regset.R0, regset.R1, regset.R2, regset.R3)
+
+	// P1's call to P2 (Figure 3, left): "uses R1, defines R2, kills R2
+	// and R3".
+	p1 := s.Routine("p1")
+	var sum *isa.Instr
+	for i := range p1.Code {
+		if p1.Code[i].Op == isa.OpCallSummary {
+			sum = &p1.Code[i]
+		}
+	}
+	if sum == nil {
+		t.Fatal("no call-summary in p1")
+	}
+	if got := sum.Use.Intersect(paperRegs); got != regset.Of(regset.R1) {
+		t.Errorf("call-summary use = %v, want {R1}", got)
+	}
+	if got := sum.Def.Intersect(paperRegs); got != regset.Of(regset.R2) {
+		t.Errorf("call-summary def = %v, want {R2}", got)
+	}
+	if got := sum.Kill.Intersect(paperRegs); got != regset.Of(regset.R2, regset.R3) {
+		t.Errorf("call-summary kill = %v, want {R2, R3}", got)
+	}
+
+	// P2's entry instruction defines {R0, R1}; its exit uses {R0}.
+	p2 := s.Routine("p2")
+	if p2.Code[0].Op != isa.OpEntry {
+		t.Fatalf("p2 must start with entry, got %v", p2.Code[0].Op)
+	}
+	if got := p2.Code[0].Def.Intersect(paperRegs); got != regset.Of(regset.R0, regset.R1) {
+		t.Errorf("p2 entry defines %v, want {R0, R1}", got)
+	}
+	var exit *isa.Instr
+	for i := range p2.Code {
+		if p2.Code[i].Op == isa.OpExit {
+			exit = &p2.Code[i]
+		}
+	}
+	if exit == nil {
+		t.Fatal("no exit instruction in p2")
+	}
+	if got := exit.Use.Intersect(paperRegs); got != regset.Of(regset.R0) {
+		t.Errorf("p2 exit uses %v, want {R0}", got)
+	}
+}

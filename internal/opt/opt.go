@@ -1,0 +1,141 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+)
+
+// Report summarizes what the optimizer did.
+type Report struct {
+	// DeadInstructions counts instructions removed by interprocedural
+	// dead-code elimination (Figure 1(a)/(b)).
+	DeadInstructions int
+
+	// SpillsRemoved counts store/load instructions removed around
+	// calls (Figure 1(c)).
+	SpillsRemoved int
+
+	// SaveRestoreRewrites counts callee-saved → caller-saved register
+	// reassignments (Figure 1(d)); each deletes one save and one
+	// restore per entrance/exit.
+	SaveRestoreRewrites int
+
+	// Rounds is the number of analyze-transform iterations performed.
+	Rounds int
+
+	// InstructionsBefore and InstructionsAfter measure static code
+	// size.
+	InstructionsBefore int
+	InstructionsAfter  int
+}
+
+// Removed returns the total number of instructions deleted.
+func (r *Report) Removed() int { return r.InstructionsBefore - r.InstructionsAfter }
+
+func (r *Report) String() string {
+	return fmt.Sprintf("opt: %d dead, %d spills removed, %d save/restore rewrites, %d→%d instructions in %d rounds",
+		r.DeadInstructions, r.SpillsRemoved, r.SaveRestoreRewrites,
+		r.InstructionsBefore, r.InstructionsAfter, r.Rounds)
+}
+
+// Options configures the optimizer.
+type Options struct {
+	// Analysis configures the interprocedural analysis run before each
+	// round.
+	Analysis core.Config
+
+	// MaxRounds bounds the analyze-transform iterations (default 4).
+	MaxRounds int
+
+	// Disable individual passes.
+	NoDeadCode     bool
+	NoSpillRemoval bool
+	NoSaveRestore  bool
+
+	// ConservativeLiveness restricts dead-code elimination to what a
+	// traditional compiler could justify: intraprocedural liveness
+	// with calling-standard assumptions at every call and exit. Used
+	// to model the paper's baseline ("the same highly optimizing
+	// back-end"), so the measured improvement is what interprocedural
+	// summaries add.
+	ConservativeLiveness bool
+}
+
+// DefaultOptions returns the standard pipeline configuration.
+func DefaultOptions() Options {
+	return Options{Analysis: core.DefaultConfig(), MaxRounds: 4}
+}
+
+// CompilerOptions returns the baseline pipeline modelling a traditional
+// optimizing compiler: dead-code elimination only, justified without
+// any interprocedural information.
+func CompilerOptions() Options {
+	return Options{
+		Analysis:             core.DefaultConfig(),
+		MaxRounds:            4,
+		NoSpillRemoval:       true,
+		NoSaveRestore:        true,
+		ConservativeLiveness: true,
+	}
+}
+
+// Optimize clones p and applies the Figure 1 optimizations to the clone
+// until a fixed point (or the round budget) is reached. Each pass runs
+// against a fresh interprocedural analysis, so every decision is
+// justified by summaries consistent with the current code.
+func Optimize(p *prog.Program, opts Options) (*prog.Program, *Report, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 4
+	}
+	out := p.Clone()
+	rep := &Report{InstructionsBefore: p.NumInstructions()}
+	// Pass order matters: the save/restore reassignment (d) and spill
+	// removal (c) must see the compiler's patterns before dead-code
+	// elimination dismantles them (interprocedural liveness already
+	// proves a dead restore deletable, which would leave the paired
+	// store behind).
+	for round := 0; round < opts.MaxRounds; round++ {
+		rep.Rounds = round + 1
+		changed := 0
+		if !opts.NoSaveRestore {
+			a, err := core.Analyze(out, opts.Analysis)
+			if err != nil {
+				return nil, nil, err
+			}
+			n := reassignCalleeSaved(a)
+			rep.SaveRestoreRewrites += n
+			changed += n
+			Compact(out)
+		}
+		if !opts.NoSpillRemoval {
+			a, err := core.Analyze(out, opts.Analysis)
+			if err != nil {
+				return nil, nil, err
+			}
+			n := removeCallSpills(a)
+			rep.SpillsRemoved += n
+			changed += n
+			Compact(out)
+		}
+		if !opts.NoDeadCode {
+			a, err := core.Analyze(out, opts.Analysis)
+			if err != nil {
+				return nil, nil, err
+			}
+			n := eliminateDeadCode(a, opts.ConservativeLiveness)
+			rep.DeadInstructions += n
+			changed += n
+			Compact(out)
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("opt: produced invalid program: %w", err)
+	}
+	rep.InstructionsAfter = out.NumInstructions()
+	return out, rep, nil
+}

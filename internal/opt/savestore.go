@@ -1,0 +1,256 @@
+package opt
+
+import (
+	"repro/internal/callstd"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// reassignCalleeSaved implements Figure 1(d): a value held in a saved
+// and restored callee-saved register Rs can move to a caller-saved
+// register Rt when no call in the routine kills Rt; the save and restore
+// of Rs are then deleted.
+//
+// Conditions for a routine R and candidate Rt:
+//
+//   - Rs ∈ SavedRestored(R) with identifiable prologue stores and
+//     epilogue loads,
+//   - Rt appears in no instruction of R,
+//   - Rt is not live at any entrance or exit of R,
+//   - no call in R kills Rt — including kills added to callees by this
+//     same pass, tracked transitively through the call graph, and the
+//     hypothetical kill this rewrite adds to R itself (which rejects
+//     recursive routines whose recursion would clobber Rt).
+func reassignCalleeSaved(a *core.Analysis) int {
+	p := a.Prog
+	// Two direction-symmetric guards keep same-pass rewrites from
+	// colliding, regardless of processing order:
+	//
+	//   - extraKill[m] accumulates registers newly clobbered by
+	//     routines m can (transitively) call, so a later caller will
+	//     not hold a value in a register an already-rewritten callee
+	//     now kills;
+	//   - forbid[k] accumulates registers already claimed by routines
+	//     that can (transitively) call k, so a later callee will not
+	//     claim a register an already-rewritten caller keeps live
+	//     across its calls.
+	extraKill := make([]regset.Set, len(p.Routines))
+	forbid := make([]regset.Set, len(p.Routines))
+	reach := callGraphReachability(p)
+
+	rewrites := 0
+	for ri, r := range p.Routines {
+		s := a.Summary(ri)
+		if s.SavedRestored.IsEmpty() {
+			continue
+		}
+		// Registers killed by any call in the routine, including this
+		// pass's pending kills and the hypothetical self-kill.
+		callKills, anyIndirect := routineCallKills(a, ri, extraKill, reach)
+		if anyIndirect {
+			// Indirect calls kill all caller-saved registers: no
+			// candidate can survive.
+			continue
+		}
+		for _, rs := range s.SavedRestored.Regs() {
+			rt, ok := pickCandidate(a, ri, callKills.Union(forbid[ri]), reach[ri][ri])
+			if !ok {
+				break
+			}
+			if !rewriteRoutine(r, rs, rt) {
+				continue
+			}
+			rewrites++
+			// R now clobbers Rt: every routine that can reach R must
+			// see the kill, and every routine R can reach must not
+			// claim Rt for itself.
+			for mi := range p.Routines {
+				if reach[mi][ri] || mi == ri {
+					extraKill[mi] = extraKill[mi].Add(rt)
+				}
+				if reach[ri][mi] {
+					forbid[mi] = forbid[mi].Add(rt)
+				}
+			}
+			callKills = callKills.Add(rt) // self-reaching calls
+		}
+	}
+	return rewrites
+}
+
+// routineCallKills unions the kill sets of every call in routine ri,
+// augmented with this pass's pending kills.
+func routineCallKills(a *core.Analysis, ri int, extraKill []regset.Set, reach [][]bool) (regset.Set, bool) {
+	r := a.Prog.Routines[ri]
+	var kills regset.Set
+	anyIndirect := false
+	for i := range r.Code {
+		switch r.Code[i].Op {
+		case isa.OpJsr:
+			tgt := r.Code[i].Target
+			_, _, killed := a.CallSummaryFor(tgt, int(r.Code[i].Imm))
+			kills = kills.Union(killed).Union(extraKill[tgt])
+		case isa.OpJsrInd:
+			anyIndirect = true
+		}
+	}
+	return kills, anyIndirect
+}
+
+// pickCandidate returns a caller-saved register that is completely
+// unused in routine ri, dead at its boundaries, and not killed by any
+// of its calls. selfRecursive additionally rejects all candidates whose
+// adoption would be clobbered by the routine's own recursion.
+func pickCandidate(a *core.Analysis, ri int, callKills regset.Set, selfRecursive bool) (regset.Reg, bool) {
+	if selfRecursive {
+		// Any register we adopt is killed by the recursive call.
+		return 0, false
+	}
+	r := a.Prog.Routines[ri]
+	s := a.Summary(ri)
+	candidates := callstd.Temporaries.Minus(callKills)
+	for i := range r.Code {
+		in := &r.Code[i]
+		candidates = candidates.Minus(in.Uses()).Minus(in.Kills())
+	}
+	for _, live := range s.LiveAtEntry {
+		candidates = candidates.Minus(live)
+	}
+	for _, live := range s.LiveAtExit {
+		candidates = candidates.Minus(live)
+	}
+	if candidates.IsEmpty() {
+		return 0, false
+	}
+	return candidates.Pick(), true
+}
+
+// rewriteRoutine replaces every occurrence of rs with rt, deleting rs's
+// prologue stores and epilogue loads. It returns false (leaving the
+// routine untouched) if any save/restore site cannot be identified.
+func rewriteRoutine(r *prog.Routine, rs, rt regset.Reg) bool {
+	var saves, restores []int
+	for _, e := range r.Entries {
+		idx, ok := findPrologueSave(r.Code, e, rs)
+		if !ok {
+			return false
+		}
+		saves = append(saves, idx)
+	}
+	for i := range r.Code {
+		if r.Code[i].Op == isa.OpRet {
+			idx, ok := findEpilogueRestore(r.Code, i, rs)
+			if !ok {
+				return false
+			}
+			restores = append(restores, idx)
+		}
+	}
+	deleted := make(map[int]bool)
+	for _, i := range saves {
+		deleted[i] = true
+	}
+	for _, i := range restores {
+		deleted[i] = true
+	}
+	for i := range r.Code {
+		if deleted[i] {
+			r.Code[i] = isa.Nop()
+			continue
+		}
+		in := &r.Code[i]
+		if in.Dest == rs {
+			in.Dest = rt
+		}
+		if in.Src1 == rs {
+			in.Src1 = rt
+		}
+		if in.Src2 == rs {
+			in.Src2 = rt
+		}
+	}
+	return true
+}
+
+func findPrologueSave(code []isa.Instr, e int, rs regset.Reg) (int, bool) {
+	for i := e; i < len(code); i++ {
+		in := &code[i]
+		switch {
+		case in.Op == isa.OpSt && in.Src1 == regset.SP:
+			if in.Src2 == rs {
+				return i, true
+			}
+		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+func findEpilogueRestore(code []isa.Instr, ret int, rs regset.Reg) (int, bool) {
+	for i := ret - 1; i >= 0; i-- {
+		in := &code[i]
+		switch {
+		case in.Op == isa.OpLd && in.Src1 == regset.SP:
+			if in.Dest == rs {
+				return i, true
+			}
+		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// callGraphReachability computes reach[a][b]: routine a's calls can
+// (transitively) invoke routine b. Indirect calls reach every
+// address-taken routine.
+func callGraphReachability(p *prog.Program) [][]bool {
+	n := len(p.Routines)
+	direct := make([][]int, n)
+	var addrTaken []int
+	for ri, r := range p.Routines {
+		if r.AddressTaken {
+			addrTaken = append(addrTaken, ri)
+		}
+	}
+	for ri, r := range p.Routines {
+		seen := map[int]bool{}
+		for i := range r.Code {
+			switch r.Code[i].Op {
+			case isa.OpJsr:
+				t := r.Code[i].Target
+				if !seen[t] {
+					seen[t] = true
+					direct[ri] = append(direct[ri], t)
+				}
+			case isa.OpJsrInd:
+				for _, t := range addrTaken {
+					if !seen[t] {
+						seen[t] = true
+						direct[ri] = append(direct[ri], t)
+					}
+				}
+			}
+		}
+	}
+	reach := make([][]bool, n)
+	for ri := range reach {
+		reach[ri] = make([]bool, n)
+		stack := append([]int(nil), direct[ri]...)
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[ri][t] {
+				continue
+			}
+			reach[ri][t] = true
+			stack = append(stack, direct[t]...)
+		}
+	}
+	return reach
+}

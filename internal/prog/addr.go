@@ -1,0 +1,37 @@
+package prog
+
+// Code addresses model what label addresses evaluate to at run time:
+// return addresses, function pointers and computed-goto targets are
+// tagged 64-bit values packing a routine index and an instruction index.
+// They live in the program model (rather than the emulator) because the
+// optimizer must recognize and remap them when instructions are deleted
+// and indices shift.
+
+// AddrTag marks a 64-bit value as a code address.
+const AddrTag = int64(1) << 56
+
+// HaltToken is the sentinel return address installed before the entry
+// routine runs: returning through it ends the program like returning
+// from main.
+const HaltToken = AddrTag | (int64(1) << 55)
+
+// CodeAddr returns the tagged value denoting instruction instr of
+// routine ri.
+func CodeAddr(ri, instr int) int64 {
+	return AddrTag | int64(ri)<<28 | int64(instr)
+}
+
+// RoutineAddr returns the tagged value denoting routine ri's primary
+// entrance: the run-time value of a function pointer.
+func (p *Program) RoutineAddr(ri int) int64 {
+	return CodeAddr(ri, p.Routines[ri].Entries[0])
+}
+
+// DecodeAddr unpacks a code address. ok is false for values that are not
+// tagged code addresses (including HaltToken).
+func DecodeAddr(v int64) (ri, instr int, ok bool) {
+	if v&AddrTag == 0 || v == HaltToken || v < 0 {
+		return 0, 0, false
+	}
+	return int(v >> 28 & 0x7FFFFFF), int(v & 0xFFFFFFF), true
+}

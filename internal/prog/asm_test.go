@@ -1,0 +1,287 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+const sampleSrc = `
+; a small two-routine program
+.start main
+
+.routine main
+  lda   a0, 5(zero)
+  jsr   double
+  print v0
+  halt
+
+.routine double
+  add   v0, a0, a0
+  ret
+`
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(sampleSrc)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if len(p.Routines) != 2 {
+		t.Fatalf("routines = %d", len(p.Routines))
+	}
+	if p.Routines[p.Entry].Name != "main" {
+		t.Errorf("entry routine = %s", p.Routines[p.Entry].Name)
+	}
+	main := p.Routine("main")
+	if main.Code[1].Op != isa.OpJsr {
+		t.Fatalf("main[1] = %v", main.Code[1].Op)
+	}
+	di, _ := p.Index("double")
+	if main.Code[1].Target != di {
+		t.Errorf("call target = %d, want %d", main.Code[1].Target, di)
+	}
+	if main.Code[0].Imm != 5 || main.Code[0].Dest != regset.A0 {
+		t.Errorf("lda parsed wrong: %+v", main.Code[0])
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	src := `
+.routine f
+loop:
+  sub  t0, t0, t1
+  bne  t0, loop
+  br   done
+done:
+  ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	f := p.Routine("f")
+	if f.Code[1].Target != 0 {
+		t.Errorf("bne target = %d, want 0", f.Code[1].Target)
+	}
+	if f.Code[2].Target != 3 {
+		t.Errorf("br target = %d, want 3", f.Code[2].Target)
+	}
+}
+
+func TestAssembleJumpTables(t *testing.T) {
+	src := `
+.routine f
+.table T0 = case0, case1, case2
+  jmp t0, T0
+case0:
+  br done
+case1:
+  br done
+case2:
+  br done
+done:
+  ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	f := p.Routine("f")
+	if len(f.Tables) != 1 {
+		t.Fatalf("tables = %d", len(f.Tables))
+	}
+	want := []int{1, 2, 3}
+	for i, tgt := range f.Tables[0] {
+		if tgt != want[i] {
+			t.Errorf("table[0][%d] = %d, want %d", i, tgt, want[i])
+		}
+	}
+	if f.Code[0].Table != 0 {
+		t.Errorf("jmp table index = %d", f.Code[0].Table)
+	}
+}
+
+func TestAssembleUnknownJump(t *testing.T) {
+	src := `
+.routine f
+  jmp t0, ?
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if p.Routine("f").Code[0].Table != isa.UnknownTable {
+		t.Error("unknown jump must use UnknownTable")
+	}
+}
+
+func TestAssembleMultipleEntries(t *testing.T) {
+	src := `
+.routine f
+.entry alt
+  lda t0, 1(zero)
+  br join
+alt:
+  lda t0, 2(zero)
+join:
+  ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	f := p.Routine("f")
+	if len(f.Entries) != 2 || f.Entries[0] != 0 || f.Entries[1] != 2 {
+		t.Errorf("Entries = %v, want [0 2]", f.Entries)
+	}
+}
+
+func TestAssembleForwardCallReference(t *testing.T) {
+	src := `
+.routine a
+  jsr b
+  ret
+.routine b
+  ret
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	bi, _ := p.Index("b")
+	if p.Routine("a").Code[0].Target != bi {
+		t.Error("forward call reference not resolved")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"no routines", "  \n ; nothing\n", "no routines"},
+		{"instr outside routine", "add t0, t1, t2\n", "outside"},
+		{"unknown mnemonic", ".routine f\n  bogus t0\n  ret\n", "unknown mnemonic"},
+		{"bad operand count", ".routine f\n  add t0, t1\n  ret\n", "expects 3 operands"},
+		{"bad register", ".routine f\n  mov q9, t1\n  ret\n", "unknown register"},
+		{"unknown label", ".routine f\n  br nowhere\n", "unknown label"},
+		{"unknown routine", ".routine f\n  jsr ghost\n  ret\n", "unknown routine"},
+		{"unknown table", ".routine f\n  jmp t0, T9\n  ret\n", "unknown jump table"},
+		{"duplicate label", ".routine f\nx:\nx:\n  ret\n", "duplicate label"},
+		{"duplicate table", ".routine f\n.table T0 = x\n.table T0 = x\nx:\n  ret\n", "duplicate table"},
+		{"bad start", ".start ghost\n.routine f\n  ret\n", "unknown routine"},
+		{"bad memory operand", ".routine f\n  ld t0, 8sp\n  ret\n", "imm(base)"},
+		{"empty table label", ".routine f\n.table T0 = \nx:\n  ret\n", "empty label"},
+		{"pseudo rejected", ".routine f\n  .callsum t0\n  ret\n", "cannot be assembled"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: Assemble accepted bad input", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	srcs := []string{
+		sampleSrc,
+		`
+.routine f
+.table T0 = a, b
+  jmp t0, T0
+a:
+  br done
+b:
+  ld t1, 8(sp)
+  st t1, -8(sp)
+done:
+  ret
+`,
+		`
+.start second
+.routine first
+  jsri pv
+  jmp t9, ?
+.routine second
+.entry alt
+  beq a0, alt
+  jsr first
+alt:
+  halt
+`,
+	}
+	for i, src := range srcs {
+		p1, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("case %d: Assemble: %v", i, err)
+		}
+		text := Disassemble(p1)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("case %d: reassemble: %v\n%s", i, err, text)
+		}
+		if !sameProgram(p1, p2) {
+			t.Errorf("case %d: round trip mismatch:\n%s\nvs\n%s", i, Disassemble(p1), Disassemble(p2))
+		}
+	}
+}
+
+func sameProgram(a, b *Program) bool {
+	if len(a.Routines) != len(b.Routines) || a.Entry != b.Entry {
+		return false
+	}
+	for i := range a.Routines {
+		ra, rb := a.Routines[i], b.Routines[i]
+		if ra.Name != rb.Name || len(ra.Code) != len(rb.Code) ||
+			len(ra.Entries) != len(rb.Entries) || len(ra.Tables) != len(rb.Tables) {
+			return false
+		}
+		for j := range ra.Code {
+			if ra.Code[j] != rb.Code[j] {
+				return false
+			}
+		}
+		for j := range ra.Entries {
+			if ra.Entries[j] != rb.Entries[j] {
+				return false
+			}
+		}
+		for j := range ra.Tables {
+			if len(ra.Tables[j]) != len(rb.Tables[j]) {
+				return false
+			}
+			for k := range ra.Tables[j] {
+				if ra.Tables[j][k] != rb.Tables[j][k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad input")
+		}
+	}()
+	MustAssemble("garbage")
+}
+
+func TestAssembleValidatesResult(t *testing.T) {
+	// A routine ending in a conditional branch falls through the end.
+	src := `
+.routine f
+top:
+  beq t0, top
+`
+	if _, err := Assemble(src); err == nil {
+		t.Error("Assemble must run Validate on the result")
+	}
+}

@@ -1,0 +1,313 @@
+// Package prog models whole programs: routines, jump tables and the
+// symbol table — the in-memory form of the executables Spike optimizes.
+//
+// A Routine is a flat instruction sequence; branch targets are instruction
+// indices within the routine and call targets are routine indices within
+// the program. This mirrors a post-link view of the code: all addresses
+// are resolved, and jump tables (extracted from the executable's data
+// segment, §3.5) are attached to the routine that indexes them.
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+// Routine is a sequence of instructions generated for a high-level
+// procedure, with one or more entrances (§2).
+type Routine struct {
+	// Name is the routine's symbol-table name.
+	Name string
+
+	// Code is the instruction sequence. Branch targets index into it.
+	Code []isa.Instr
+
+	// Entries lists the instruction indices at which the routine may be
+	// entered. Most routines have exactly one entry at index 0.
+	Entries []int
+
+	// Tables holds the routine's jump tables. Each table lists the
+	// possible targets (instruction indices) of one multiway branch.
+	Tables [][]int
+
+	// TableOffsets records where each table lives in the program's
+	// data segment (set by Program.PackTables; consumed by the §3.5
+	// extraction in Program.ExtractTables). Parallel to Tables.
+	TableOffsets []int
+
+	// AddressTaken marks a routine whose address escapes into data (a
+	// function pointer, vtable slot, or export), making it a possible
+	// target of indirect calls (§3.5).
+	AddressTaken bool
+}
+
+// NewRoutine returns a routine with a single entry at instruction 0.
+func NewRoutine(name string, code ...isa.Instr) *Routine {
+	return &Routine{Name: name, Code: code, Entries: []int{0}}
+}
+
+// AddTable appends a jump table and returns its index for use in an
+// OpJmp instruction.
+func (r *Routine) AddTable(targets ...int) int {
+	r.Tables = append(r.Tables, targets)
+	return len(r.Tables) - 1
+}
+
+// NumExits counts the routine's exit instructions (ret and halt).
+func (r *Routine) NumExits() int {
+	n := 0
+	for i := range r.Code {
+		if r.Code[i].Op.IsReturn() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumCalls counts the routine's call instructions (direct and indirect),
+// including call-summary pseudo-instructions that replaced calls.
+func (r *Routine) NumCalls() int {
+	n := 0
+	for i := range r.Code {
+		if r.Code[i].Op.IsCall() || r.Code[i].Op == isa.OpCallSummary {
+			n++
+		}
+	}
+	return n
+}
+
+// NumBranches counts the routine's branch instructions: conditional and
+// unconditional branches and indirect jumps.
+func (r *Routine) NumBranches() int {
+	n := 0
+	for i := range r.Code {
+		if r.Code[i].Op.IsBranch() {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the routine.
+func (r *Routine) Clone() *Routine {
+	c := &Routine{
+		Name:         r.Name,
+		Code:         append([]isa.Instr(nil), r.Code...),
+		Entries:      append([]int(nil), r.Entries...),
+		AddressTaken: r.AddressTaken,
+	}
+	if r.Tables != nil {
+		c.Tables = make([][]int, len(r.Tables))
+		for i, t := range r.Tables {
+			c.Tables[i] = append([]int(nil), t...)
+		}
+	}
+	c.TableOffsets = append([]int(nil), r.TableOffsets...)
+	return c
+}
+
+// Program is a complete executable: a set of routines and a designated
+// entry routine.
+type Program struct {
+	// Routines holds every routine; call targets index into it.
+	Routines []*Routine
+
+	// Entry is the index of the routine where execution begins.
+	Entry int
+
+	// Data is the executable's data segment: 64-bit words holding the
+	// packed jump tables (see tables.go).
+	Data []int64
+
+	byName map[string]int
+}
+
+// New returns an empty program.
+func New() *Program {
+	return &Program{byName: make(map[string]int)}
+}
+
+// Add appends a routine and returns its index. Adding a routine whose
+// name is already present panics: post-link symbol names are unique.
+func (p *Program) Add(r *Routine) int {
+	if p.byName == nil {
+		p.byName = make(map[string]int)
+	}
+	if _, dup := p.byName[r.Name]; dup {
+		panic(fmt.Sprintf("prog: duplicate routine name %q", r.Name))
+	}
+	p.Routines = append(p.Routines, r)
+	idx := len(p.Routines) - 1
+	p.byName[r.Name] = idx
+	return idx
+}
+
+// Index returns the index of the routine with the given name.
+func (p *Program) Index(name string) (int, bool) {
+	i, ok := p.byName[name]
+	return i, ok
+}
+
+// Routine returns the routine with the given name, or nil.
+func (p *Program) Routine(name string) *Routine {
+	if i, ok := p.byName[name]; ok {
+		return p.Routines[i]
+	}
+	return nil
+}
+
+// NumInstructions returns the total instruction count across routines.
+func (p *Program) NumInstructions() int {
+	n := 0
+	for _, r := range p.Routines {
+		n += len(r.Code)
+	}
+	return n
+}
+
+// RebuildIndex recomputes the name → index map after the caller has
+// permuted or replaced Routines (e.g. profile-driven routine
+// placement).
+func (p *Program) RebuildIndex() {
+	p.byName = make(map[string]int, len(p.Routines))
+	for i, r := range p.Routines {
+		p.byName[r.Name] = i
+	}
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	c := New()
+	c.Entry = p.Entry
+	c.Data = append([]int64(nil), p.Data...)
+	for _, r := range p.Routines {
+		c.Add(r.Clone())
+	}
+	return c
+}
+
+// Validate checks the structural invariants the analyses depend on. It
+// returns the first violation found, or nil.
+func (p *Program) Validate() error {
+	if len(p.Routines) == 0 {
+		return fmt.Errorf("prog: program has no routines")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Routines) {
+		return fmt.Errorf("prog: entry routine index %d out of range", p.Entry)
+	}
+	for ri, r := range p.Routines {
+		if err := p.validateRoutine(ri, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateRoutine(ri int, r *Routine) error {
+	where := func(i int) string {
+		return fmt.Sprintf("prog: routine %d (%s), instruction %d", ri, r.Name, i)
+	}
+	if len(r.Code) == 0 {
+		return fmt.Errorf("prog: routine %d (%s) is empty", ri, r.Name)
+	}
+	if len(r.Entries) == 0 {
+		return fmt.Errorf("prog: routine %d (%s) has no entries", ri, r.Name)
+	}
+	for _, e := range r.Entries {
+		if e < 0 || e >= len(r.Code) {
+			return fmt.Errorf("prog: routine %d (%s): entry %d out of range", ri, r.Name, e)
+		}
+	}
+	for ti, table := range r.Tables {
+		if len(table) == 0 {
+			return fmt.Errorf("prog: routine %d (%s): jump table %d is empty", ri, r.Name, ti)
+		}
+		for _, tgt := range table {
+			if tgt < 0 || tgt >= len(r.Code) {
+				return fmt.Errorf("prog: routine %d (%s): jump table %d target %d out of range", ri, r.Name, ti, tgt)
+			}
+		}
+	}
+	for i := range r.Code {
+		in := &r.Code[i]
+		if !in.Op.Valid() {
+			return fmt.Errorf("%s: invalid opcode %d", where(i), in.Op)
+		}
+		if !validRegs(in) {
+			return fmt.Errorf("%s: invalid register operand", where(i))
+		}
+		switch {
+		case in.Op.IsBranch() && in.Op != isa.OpJmp:
+			if in.Target < 0 || in.Target >= len(r.Code) {
+				return fmt.Errorf("%s: branch target %d out of range", where(i), in.Target)
+			}
+		case in.Op == isa.OpJmp:
+			if in.Table != isa.UnknownTable && (in.Table < 0 || in.Table >= len(r.Tables)) {
+				return fmt.Errorf("%s: jump table %d out of range", where(i), in.Table)
+			}
+		case in.Op == isa.OpJsr:
+			if in.Target < 0 || in.Target >= len(p.Routines) {
+				return fmt.Errorf("%s: call target %d out of range", where(i), in.Target)
+			}
+			// Imm selects which entrance of the target is called.
+			callee := p.Routines[in.Target]
+			if in.Imm < 0 || int(in.Imm) >= len(callee.Entries) {
+				return fmt.Errorf("%s: call entry selector %d out of range for %s", where(i), in.Imm, callee.Name)
+			}
+		case in.Op == isa.OpCallSummary:
+			if !in.Def.SubsetOf(in.Kill) {
+				return fmt.Errorf("%s: call summary def set not a subset of kill set", where(i))
+			}
+		}
+	}
+	// Control must never fall off the end of a routine.
+	last := &r.Code[len(r.Code)-1]
+	fallsThrough := !last.Op.IsBarrier()
+	if last.Op == isa.OpCallSummary || last.Op.IsCall() || last.Op.IsCondBranch() {
+		fallsThrough = true // calls and conditional branches fall through
+	}
+	if fallsThrough {
+		return fmt.Errorf("prog: routine %d (%s): control falls off the end", ri, r.Name)
+	}
+	return nil
+}
+
+func validRegs(in *isa.Instr) bool {
+	ok := true
+	check := func(r regset.Reg) {
+		if !r.Valid() {
+			ok = false
+		}
+	}
+	check(in.Dest)
+	check(in.Src1)
+	check(in.Src2)
+	return ok
+}
+
+// Stats summarizes the structural characteristics the paper reports in
+// Tables 2 and 3.
+type Stats struct {
+	Routines     int
+	Instructions int
+	Entrances    int
+	Exits        int
+	Calls        int
+	Branches     int
+}
+
+// CollectStats computes whole-program structural statistics.
+func CollectStats(p *Program) Stats {
+	var s Stats
+	s.Routines = len(p.Routines)
+	for _, r := range p.Routines {
+		s.Instructions += len(r.Code)
+		s.Entrances += len(r.Entries)
+		s.Exits += r.NumExits()
+		s.Calls += r.NumCalls()
+		s.Branches += r.NumBranches()
+	}
+	return s
+}

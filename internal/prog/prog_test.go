@@ -1,0 +1,189 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+func validProgram() *Program {
+	p := New()
+	main := NewRoutine("main",
+		isa.LdaImm(regset.R16, 1),
+		isa.Jsr(1),
+		isa.Print(regset.V0),
+		isa.Halt(),
+	)
+	helper := NewRoutine("helper",
+		isa.Mov(regset.V0, regset.R16),
+		isa.Ret(),
+	)
+	p.Add(main)
+	p.Add(helper)
+	return p
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		frag   string
+	}{
+		{"empty program", func(p *Program) { p.Routines = nil }, "no routines"},
+		{"bad entry index", func(p *Program) { p.Entry = 9 }, "entry routine"},
+		{"empty routine", func(p *Program) { p.Routines[1].Code = nil }, "is empty"},
+		{"no entries", func(p *Program) { p.Routines[0].Entries = nil }, "no entries"},
+		{"entry out of range", func(p *Program) { p.Routines[0].Entries = []int{99} }, "out of range"},
+		{"branch out of range", func(p *Program) {
+			p.Routines[0].Code[0] = isa.Br(99)
+		}, "branch target"},
+		{"call out of range", func(p *Program) {
+			p.Routines[0].Code[1] = isa.Jsr(57)
+		}, "call target"},
+		{"fallthrough off end", func(p *Program) {
+			p.Routines[1].Code[1] = isa.Nop()
+		}, "falls off the end"},
+		{"cond branch at end", func(p *Program) {
+			p.Routines[1].Code[1] = isa.CondBr(isa.OpBeq, regset.T0, 0)
+		}, "falls off the end"},
+		{"bad jump table index", func(p *Program) {
+			p.Routines[0].Code[0] = isa.Jmp(regset.T0, 3)
+		}, "jump table"},
+		{"empty jump table", func(p *Program) {
+			p.Routines[0].AddTable()
+		}, "is empty"},
+		{"table target out of range", func(p *Program) {
+			p.Routines[0].AddTable(99)
+		}, "out of range"},
+		{"invalid register", func(p *Program) {
+			p.Routines[0].Code[0] = isa.Mov(regset.Reg(77), regset.T0)
+		}, "invalid register"},
+		{"summary def not in kill", func(p *Program) {
+			in := isa.CallSummary(regset.Empty, regset.Of(regset.V0), regset.Empty)
+			in.Kill = regset.Empty // violate the invariant directly
+			p.Routines[0].Code[1] = in
+		}, "subset"},
+	}
+	for _, c := range cases {
+		p := validProgram()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a malformed program", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestAddRejectsDuplicateNames(t *testing.T) {
+	p := New()
+	p.Add(NewRoutine("f", isa.Ret()))
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with duplicate name should panic")
+		}
+	}()
+	p.Add(NewRoutine("f", isa.Ret()))
+}
+
+func TestIndexAndRoutineLookup(t *testing.T) {
+	p := validProgram()
+	i, ok := p.Index("helper")
+	if !ok || i != 1 {
+		t.Errorf("Index(helper) = %d, %v", i, ok)
+	}
+	if r := p.Routine("main"); r == nil || r.Name != "main" {
+		t.Error("Routine(main) lookup failed")
+	}
+	if p.Routine("nothere") != nil {
+		t.Error("Routine on unknown name must return nil")
+	}
+	if _, ok := p.Index("nothere"); ok {
+		t.Error("Index on unknown name must return false")
+	}
+}
+
+func TestRoutineCounts(t *testing.T) {
+	r := NewRoutine("f",
+		isa.CondBr(isa.OpBeq, regset.T0, 3), // branch
+		isa.Jsr(0),                          // call
+		isa.JsrInd(regset.PV),               // call
+		isa.Br(5),                           // branch
+		isa.Ret(),                           // exit
+		isa.Halt(),                          // exit
+	)
+	if got := r.NumBranches(); got != 2 {
+		t.Errorf("NumBranches = %d, want 2", got)
+	}
+	if got := r.NumCalls(); got != 2 {
+		t.Errorf("NumCalls = %d, want 2", got)
+	}
+	if got := r.NumExits(); got != 2 {
+		t.Errorf("NumExits = %d, want 2", got)
+	}
+}
+
+func TestCallSummaryCountsAsCall(t *testing.T) {
+	r := NewRoutine("f",
+		isa.CallSummary(regset.Empty, regset.Empty, regset.Empty),
+		isa.Ret(),
+	)
+	if got := r.NumCalls(); got != 1 {
+		t.Errorf("NumCalls = %d, want 1 (call summary replaces a call)", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := validProgram()
+	p.Routines[0].AddTable(0, 2)
+	c := p.Clone()
+	c.Routines[0].Code[0] = isa.Nop()
+	c.Routines[0].Tables[0][0] = 2
+	c.Routines[0].Entries[0] = 3
+	if p.Routines[0].Code[0].Op == isa.OpNop {
+		t.Error("Clone shares Code")
+	}
+	if p.Routines[0].Tables[0][0] == 2 {
+		t.Error("Clone shares Tables")
+	}
+	if p.Routines[0].Entries[0] == 3 {
+		t.Error("Clone shares Entries")
+	}
+	if _, ok := c.Index("helper"); !ok {
+		t.Error("Clone lost the symbol table")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	p := validProgram()
+	s := CollectStats(p)
+	if s.Routines != 2 {
+		t.Errorf("Routines = %d", s.Routines)
+	}
+	if s.Instructions != 6 {
+		t.Errorf("Instructions = %d", s.Instructions)
+	}
+	if s.Entrances != 2 {
+		t.Errorf("Entrances = %d", s.Entrances)
+	}
+	if s.Exits != 2 {
+		t.Errorf("Exits = %d", s.Exits)
+	}
+	if s.Calls != 1 {
+		t.Errorf("Calls = %d", s.Calls)
+	}
+	if s.Branches != 0 {
+		t.Errorf("Branches = %d", s.Branches)
+	}
+}

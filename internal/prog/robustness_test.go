@@ -1,0 +1,61 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The assembler must reject arbitrary input with an error, never a
+// panic.
+func TestAssembleNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "\x00\x01\x02", ".routine", ".routine \n", ".table",
+		".routine f\n.table =\n", ".routine f\n:\n",
+		".routine f\n  ld t0, (\n", ".routine f\n  ld t0, 99999999999999999999(sp)\n",
+		".routine f\n  add ,,,\n", ".start\n", ".entry x\n",
+		".routine f\n  jmp\n", ".routine f\n  jsr\n",
+		".routine f\nx:\n  br x\n  br x\n", // infinite loop is still valid structure
+		".routine ✓\n  ret\n",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Assemble(%q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = Assemble(in)
+		}()
+	}
+	// Random line soup.
+	if err := quick.Check(func(lines []string) bool {
+		src := ""
+		for _, l := range lines {
+			src += l + "\n"
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Assemble panicked on random input: %v", r)
+			}
+		}()
+		_, _ = Assemble(src)
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Disassemble must handle every valid program, including ones with
+// pseudo-instructions and packed tables.
+func TestDisassembleNeverPanics(t *testing.T) {
+	p := tableProgram()
+	p.PackTables()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Disassemble panicked: %v", r)
+		}
+	}()
+	if out := Disassemble(p); len(out) == 0 {
+		t.Error("empty disassembly")
+	}
+}

@@ -1,0 +1,76 @@
+package prog
+
+import "fmt"
+
+// Jump-table extraction (§3.5): "Spike extracts the jump-table stored
+// with the program to find all possible targets of the jump."
+//
+// A linked executable stores jump tables in its data segment as arrays
+// of code addresses; the optimizer must find and decode them to build
+// the CFG. The model here mirrors that: PackTables serializes every
+// routine's tables into the program's data segment as tagged code
+// addresses (what the compiler/linker produced), and ExtractTables
+// rebuilds Routine.Tables from those words (what Spike's loader does),
+// validating that every word is an intra-routine code address.
+//
+// The SXE format carries the data segment; sxe.Decode re-extracts the
+// tables and cross-checks them against the directly encoded ones, so
+// the extraction path is exercised on every load.
+
+// PackTables writes every routine's jump tables into p.Data and records
+// each table's offset in Routine.TableOffsets. Existing data is
+// replaced.
+func (p *Program) PackTables() {
+	p.Data = p.Data[:0]
+	for ri, r := range p.Routines {
+		r.TableOffsets = r.TableOffsets[:0]
+		for _, table := range r.Tables {
+			r.TableOffsets = append(r.TableOffsets, len(p.Data))
+			// Length prefix, then one code address per target.
+			p.Data = append(p.Data, int64(len(table)))
+			for _, tgt := range table {
+				p.Data = append(p.Data, CodeAddr(ri, tgt))
+			}
+		}
+	}
+}
+
+// ExtractTables rebuilds every routine's Tables from the data segment
+// using TableOffsets — the §3.5 extraction. It fails if an offset is
+// out of range, a word is not a code address, or a target escapes the
+// routine.
+func (p *Program) ExtractTables() error {
+	for ri, r := range p.Routines {
+		if len(r.TableOffsets) == 0 {
+			continue
+		}
+		tables := make([][]int, 0, len(r.TableOffsets))
+		for ti, off := range r.TableOffsets {
+			if off < 0 || off >= len(p.Data) {
+				return fmt.Errorf("prog: routine %s: table %d offset %d outside data segment", r.Name, ti, off)
+			}
+			n := p.Data[off]
+			if n <= 0 || off+1+int(n) > len(p.Data) {
+				return fmt.Errorf("prog: routine %s: table %d has bad length %d", r.Name, ti, n)
+			}
+			table := make([]int, 0, n)
+			for k := 0; k < int(n); k++ {
+				word := p.Data[off+1+k]
+				tri, tinstr, ok := DecodeAddr(word)
+				if !ok {
+					return fmt.Errorf("prog: routine %s: table %d entry %d is not a code address (%#x)", r.Name, ti, k, word)
+				}
+				if tri != ri {
+					return fmt.Errorf("prog: routine %s: table %d entry %d targets routine %d", r.Name, ti, k, tri)
+				}
+				if tinstr < 0 || tinstr >= len(r.Code) {
+					return fmt.Errorf("prog: routine %s: table %d entry %d target %d out of range", r.Name, ti, k, tinstr)
+				}
+				table = append(table, tinstr)
+			}
+			tables = append(tables, table)
+		}
+		r.Tables = tables
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func tableProgram() *Program {
+	return MustAssemble(`
+.routine f
+.table T0 = a, b, c
+.table T1 = a, c
+  jmp t0, T0
+a:
+  jmp t1, T1
+b:
+  br done
+c:
+  br done
+done:
+  ret
+`)
+}
+
+func TestPackExtractRoundTrip(t *testing.T) {
+	p := tableProgram()
+	want := p.Clone()
+	p.PackTables()
+	if len(p.Data) == 0 {
+		t.Fatal("PackTables produced no data")
+	}
+	// Wipe the direct tables and re-extract them from the data segment.
+	for _, r := range p.Routines {
+		r.Tables = nil
+	}
+	if err := p.ExtractTables(); err != nil {
+		t.Fatalf("ExtractTables: %v", err)
+	}
+	got, wantR := p.Routines[0].Tables, want.Routines[0].Tables
+	if len(got) != len(wantR) {
+		t.Fatalf("tables = %d, want %d", len(got), len(wantR))
+	}
+	for ti := range wantR {
+		for k := range wantR[ti] {
+			if got[ti][k] != wantR[ti][k] {
+				t.Errorf("table %d entry %d = %d, want %d", ti, k, got[ti][k], wantR[ti][k])
+			}
+		}
+	}
+}
+
+func TestPackTablesDataLayout(t *testing.T) {
+	p := tableProgram()
+	p.PackTables()
+	r := p.Routines[0]
+	if len(r.TableOffsets) != 2 {
+		t.Fatalf("offsets = %v", r.TableOffsets)
+	}
+	// First word at each offset is the length; entries are tagged code
+	// addresses.
+	for ti, off := range r.TableOffsets {
+		if got := p.Data[off]; got != int64(len(r.Tables[ti])) {
+			t.Errorf("table %d length word = %d", ti, got)
+		}
+		for k := range r.Tables[ti] {
+			ri, instr, ok := DecodeAddr(p.Data[off+1+k])
+			if !ok || ri != 0 || instr != r.Tables[ti][k] {
+				t.Errorf("table %d entry %d decodes to (%d,%d,%v)", ti, k, ri, instr, ok)
+			}
+		}
+	}
+}
+
+func TestExtractTablesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		frag   string
+	}{
+		{"offset out of range", func(p *Program) {
+			p.Routines[0].TableOffsets[0] = 999
+		}, "outside data segment"},
+		{"bad length", func(p *Program) {
+			p.Data[p.Routines[0].TableOffsets[0]] = -1
+		}, "bad length"},
+		{"length overruns", func(p *Program) {
+			p.Data[p.Routines[0].TableOffsets[0]] = 99
+		}, "bad length"},
+		{"not a code address", func(p *Program) {
+			p.Data[p.Routines[0].TableOffsets[0]+1] = 12345
+		}, "not a code address"},
+		{"wrong routine", func(p *Program) {
+			p.Data[p.Routines[0].TableOffsets[0]+1] = CodeAddr(7, 0)
+		}, "targets routine"},
+		{"target out of range", func(p *Program) {
+			p.Data[p.Routines[0].TableOffsets[0]+1] = CodeAddr(0, 999)
+		}, "out of range"},
+	}
+	for _, c := range cases {
+		p := tableProgram()
+		p.PackTables()
+		c.mutate(p)
+		err := p.ExtractTables()
+		if err == nil {
+			t.Errorf("%s: extraction accepted corrupt data", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestExtractTablesNoOffsetsIsNoop(t *testing.T) {
+	p := New()
+	p.Add(NewRoutine("f", isa.Ret()))
+	if err := p.ExtractTables(); err != nil {
+		t.Fatalf("no-op extraction failed: %v", err)
+	}
+}

@@ -1,0 +1,748 @@
+package progen
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// rng is a splitmix64 generator: tiny, fast, and stable across Go
+// releases so generated benchmarks never drift.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// poisson draws from a Poisson distribution (Knuth's method; fine for
+// the means the profiles use).
+func (r *rng) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := expNeg(mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.float()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > int(mean*8)+16 {
+			return k // tail guard
+		}
+	}
+}
+
+// expNeg computes e^-x without importing math (keeps the generator
+// dependency-free and bit-stable): exp(-x) = 1/exp(x) via a series plus
+// squaring.
+func expNeg(x float64) float64 {
+	// exp(x) with x >= 0 via exp(x) = (exp(x/2^k))^(2^k), series for
+	// the small argument.
+	k := 0
+	for x > 0.5 {
+		x /= 2
+		k++
+	}
+	// 10-term Taylor series of e^x for |x| <= 0.5.
+	term, sum := 1.0, 1.0
+	for i := 1; i <= 10; i++ {
+		term *= x / float64(i)
+		sum += term
+	}
+	for i := 0; i < k; i++ {
+		sum *= sum
+	}
+	return 1 / sum
+}
+
+// Options controls generation beyond the structural profile.
+type Options struct {
+	Seed uint64
+
+	// SpillSites injects the Figure 1(c) pattern at this fraction of
+	// eligible call sites; SaveRestore injects the Figure 1(d) pattern
+	// in this fraction of non-leaf routines; DeadDefs injects dead
+	// definitions (Figure 1(a)/(b) fodder) at this rate per routine.
+	SpillSites  float64
+	SaveRestore float64
+	DeadDefs    float64
+}
+
+// DefaultOptions returns the generation rates used by the tests: every
+// optimization gets plenty to find.
+func DefaultOptions(seed uint64) Options {
+	return Options{Seed: seed, SpillSites: 0.25, SaveRestore: 0.3, DeadDefs: 0.4}
+}
+
+// PaperOptOptions returns generation rates calibrated so the optimizer
+// finds roughly the slack a production compiler leaves behind — the
+// paper reports 5–10% improvements, up to 20% (§1).
+func PaperOptOptions(seed uint64) Options {
+	return Options{Seed: seed, SpillSites: 0.08, SaveRestore: 0.10, DeadDefs: 0.10}
+}
+
+// temps available for value flow; t11 is reserved as the dead-def
+// scratch register and pv for indirect call targets.
+var valueTemps = []regset.Reg{regset.T0, regset.T1, regset.T2, regset.T3,
+	regset.T4, regset.T5, regset.T6, regset.T7, regset.T8, regset.T9, regset.T10}
+
+// callDepth is the number of call-graph levels. Routines are split into
+// callDepth+1 bands by index and call only into the next band, bounding
+// both recursion (none) and the dynamic amplification of nested calls
+// and loops, so every generated program terminates quickly.
+const callDepth = 5
+
+// Frame layout used by generated routines.
+const (
+	frameSize    = 128
+	raSlot       = 0
+	s0Slot       = 8
+	spillSlot0   = 16
+	spillSlots   = 6
+	counterSlot0 = 64
+	counterSlots = 7
+)
+
+// Generate produces a program matching the profile. The same profile,
+// options and seed always produce the identical program.
+func Generate(p Profile, opts Options) *prog.Program {
+	g := &generator{
+		prof: p,
+		opts: opts,
+		rng:  newRng(opts.Seed ^ 0xC0FFEE),
+	}
+	return g.run()
+}
+
+type generator struct {
+	prof Profile
+	opts Options
+	rng  *rng
+	prog *prog.Program
+}
+
+func (g *generator) run() *prog.Program {
+	g.prog = prog.New()
+	n := g.prof.Routines
+	meanInstr := float64(g.prof.Instructions) / float64(n)
+
+	// Decide address-taken routines up front (targets of indirect
+	// calls must be known while generating callers). Routine 0 is the
+	// program entry and never address-taken.
+	addrTaken := make([]bool, n)
+	var addrTakenList []int
+	for ri := 1; ri < n; ri++ {
+		if g.rng.float() < g.prof.AddressTakenFrac {
+			addrTaken[ri] = true
+			addrTakenList = append(addrTakenList, ri)
+		}
+	}
+
+	for ri := 0; ri < n; ri++ {
+		rb := &routineGen{
+			g:             g,
+			ri:            ri,
+			n:             n,
+			addrTaken:     addrTakenList,
+			addrTakenSelf: addrTaken[ri],
+		}
+		r := rb.build(meanInstr)
+		r.Name = fmt.Sprintf("proc%d", ri)
+		if ri == 0 {
+			r.Name = "main"
+		}
+		r.AddressTaken = addrTaken[ri]
+		g.prog.Add(r)
+	}
+	g.prog.Entry = 0
+	fixupEntrySelectors(g.prog)
+	if err := g.prog.Validate(); err != nil {
+		panic(fmt.Sprintf("progen: generated invalid program: %v", err))
+	}
+	return g.prog
+}
+
+// routineGen builds one routine.
+type routineGen struct {
+	g             *generator
+	ri            int
+	n             int
+	addrTaken     []int
+	addrTakenSelf bool
+
+	code    []isa.Instr
+	tables  [][]int
+	entries []int
+
+	pool      []regset.Reg // the temp subset this routine allocates from
+	reserved  regset.Set   // registers loops depend on; not reallocated
+	counters  []counterReg // live loop counters, spilled around calls
+	defined   []regset.Reg // temps currently holding values
+	hasCalls  bool
+	usesS0    bool
+	nextSpill int
+
+	// budgets
+	calls    int
+	branches int
+	instrs   int
+}
+
+func (rb *routineGen) rng() *rng { return rb.g.rng }
+
+func (rb *routineGen) emit(in isa.Instr) int {
+	rb.code = append(rb.code, in)
+	return len(rb.code) - 1
+}
+
+func (rb *routineGen) here() int { return len(rb.code) }
+
+// patch sets the branch target of the instruction at idx to the current
+// position.
+func (rb *routineGen) patch(idx int) { rb.code[idx].Target = rb.here() }
+
+func (rb *routineGen) pickSrc() regset.Reg {
+	if len(rb.defined) == 0 {
+		return regset.Zero
+	}
+	return rb.defined[rb.rng().intn(len(rb.defined))]
+}
+
+// pickDest allocates from the routine's register pool — a random subset
+// of the temporaries, mirroring how register pressure varies between
+// compiled functions. Callees therefore leave some temporaries
+// untouched, which is what makes Figure 1(c)/(d) opportunities real.
+func (rb *routineGen) pickDest() regset.Reg {
+	start := rb.rng().intn(len(rb.pool))
+	for i := 0; i < len(rb.pool); i++ {
+		d := rb.pool[(start+i)%len(rb.pool)]
+		if rb.reserved.Contains(d) {
+			continue
+		}
+		for _, r := range rb.defined {
+			if r == d {
+				return d
+			}
+		}
+		rb.defined = append(rb.defined, d)
+		return d
+	}
+	// Unreachable in practice: pools have at least four registers and
+	// at most two are reserved at a time.
+	panic("progen: register pool exhausted")
+}
+
+// counterReg is a live loop counter and the frame slot it is spilled to
+// around calls (callees are free to clobber any temporary, so counters
+// cannot stay in registers across a call — exactly the spill pattern a
+// compiler emits).
+type counterReg struct {
+	reg  regset.Reg
+	slot int64
+}
+
+// reserveCounter allocates and protects a loop-control register until
+// the returned release function runs. While reserved, every call site
+// saves and reloads it through its frame slot.
+func (rb *routineGen) reserveCounter() (regset.Reg, func()) {
+	c := rb.pickDest()
+	rb.reserved = rb.reserved.Add(c)
+	slot := int64(counterSlot0 + 8*(len(rb.counters)%counterSlots))
+	rb.counters = append(rb.counters, counterReg{c, slot})
+	return c, func() {
+		rb.reserved = rb.reserved.Remove(c)
+		rb.counters = rb.counters[:len(rb.counters)-1]
+	}
+}
+
+var fillerOps = []isa.Opcode{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr,
+	isa.OpXor, isa.OpMul, isa.OpCmplt, isa.OpCmpeq}
+
+// filler emits k value-flow ALU instructions.
+func (rb *routineGen) filler(k int) {
+	for i := 0; i < k; i++ {
+		rb.instrs--
+		switch rb.rng().intn(5) {
+		case 0:
+			rb.emit(isa.LdaImm(rb.pickDest(), int64(rb.rng().intn(1000))))
+		case 1:
+			rb.emit(isa.Mov(rb.pickDest(), rb.pickSrc()))
+		default:
+			op := fillerOps[rb.rng().intn(len(fillerOps))]
+			rb.emit(isa.Bin(op, rb.pickDest(), rb.pickSrc(), rb.pickSrc()))
+		}
+	}
+}
+
+// deadDef emits a definition of the reserved scratch register that
+// nothing ever reads: Figure 1 fodder for the optimizer.
+func (rb *routineGen) deadDef() {
+	rb.emit(isa.LdaImm(regset.T11, int64(rb.rng().intn(1<<16))))
+	rb.instrs--
+}
+
+// callSite emits argument setup, the call, and a result use.
+func (rb *routineGen) callSite() {
+	r := rb.rng()
+	target := rb.callTarget()
+	if target < 0 {
+		rb.calls = 0
+		return
+	}
+	// Argument setup.
+	nargs := 1 + r.intn(2)
+	for a := 0; a < nargs; a++ {
+		rb.emit(isa.Mov(regset.A0+regset.Reg(a), rb.pickSrc()))
+		rb.instrs--
+	}
+	// Indirect calls must also respect the layering (an address-taken
+	// routine in an earlier band would create a cycle).
+	var indirectTargets []int
+	for _, ti := range rb.addrTaken {
+		if band(ti, rb.n) == band(rb.ri, rb.n)+1 {
+			indirectTargets = append(indirectTargets, ti)
+		}
+	}
+	indirect := r.float() < rb.g.prof.IndirectCallFrac && len(indirectTargets) > 0
+	spill := !indirect && r.float() < rb.g.opts.SpillSites && rb.nextSpill < spillSlots && len(rb.defined) > 0
+
+	var spillReg regset.Reg
+	var spillOff int64
+	if spill {
+		spillReg = rb.pickSrc()
+		spillOff = int64(spillSlot0 + 8*rb.nextSpill)
+		rb.nextSpill++
+		rb.emit(isa.St(spillReg, regset.SP, spillOff))
+		rb.instrs--
+	}
+	// Live loop counters cannot survive the callee's register usage:
+	// save them to their frame slots and reload after the call.
+	for _, c := range rb.counters {
+		rb.emit(isa.St(c.reg, regset.SP, c.slot))
+		rb.instrs--
+	}
+	if indirect {
+		ti := indirectTargets[r.intn(len(indirectTargets))]
+		rb.emit(isa.LdaImm(regset.PV, prog.CodeAddr(ti, 0)))
+		rb.emit(isa.JsrInd(regset.PV))
+		rb.instrs -= 2
+	} else {
+		in := isa.Jsr(target)
+		// Occasionally call a secondary entrance (the generator only
+		// adds them to leaf routines, which is all we know here; the
+		// entry selector is clamped during a fixup pass).
+		if r.float() < 0.3 {
+			in.Imm = 1 // clamped later if the target has one entry
+		}
+		rb.emit(in)
+		rb.instrs--
+	}
+	for _, c := range rb.counters {
+		rb.emit(isa.Ld(c.reg, regset.SP, c.slot))
+		rb.instrs--
+	}
+	if spill {
+		rb.emit(isa.Ld(spillReg, regset.SP, spillOff))
+		rb.instrs--
+	}
+	// Use the return value.
+	rb.emit(isa.Bin(isa.OpAdd, rb.pickDest(), regset.V0, rb.pickSrc()))
+	rb.instrs--
+	rb.calls--
+	rb.hasCalls = true
+}
+
+// band returns the call-graph level of routine ri.
+func band(ri, n int) int {
+	b := ri * (callDepth + 1) / n
+	if b > callDepth {
+		b = callDepth
+	}
+	return b
+}
+
+// bandBounds returns the index range [lo, hi) of routines in band b,
+// the exact inverse of band() so no routine can ever call its own band.
+func bandBounds(b, n int) (lo, hi int) {
+	lo = (b*n + callDepth) / (callDepth + 1)
+	hi = ((b+1)*n + callDepth) / (callDepth + 1)
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// callTarget picks a routine in the next call-graph band, keeping the
+// call graph a strictly layered DAG.
+func (rb *routineGen) callTarget() int {
+	next := band(rb.ri, rb.n) + 1
+	if next > callDepth {
+		return -1
+	}
+	lo, hi := bandBounds(next, rb.n)
+	if lo >= hi {
+		return -1
+	}
+	return lo + rb.rng().intn(hi-lo)
+}
+
+// diamond emits an if/else.
+func (rb *routineGen) diamond() {
+	cond := rb.pickSrc()
+	beq := rb.emit(isa.CondBr(isa.OpBeq, cond, 0))
+	rb.instrs--
+	rb.filler(1 + rb.rng().intn(3))
+	br := rb.emit(isa.Br(0))
+	rb.instrs--
+	rb.patch(beq)
+	rb.filler(1 + rb.rng().intn(3))
+	rb.patch(br)
+	rb.branches -= 2
+}
+
+// loop emits a counted loop with a small trip count.
+func (rb *routineGen) loop(bodyCalls int) {
+	counter, release := rb.reserveCounter()
+	defer release()
+	rb.emit(isa.LdaImm(counter, int64(2+rb.rng().intn(2))))
+	rb.instrs--
+	top := rb.here()
+	rb.filler(1 + rb.rng().intn(3))
+	for i := 0; i < bodyCalls && rb.calls > 0; i++ {
+		rb.callSite()
+	}
+	rb.emit(isa.Lda(counter, counter, -1))
+	rb.emit(isa.CondBr(isa.OpBne, counter, top))
+	rb.instrs -= 2
+	rb.branches--
+}
+
+// multiway emits a k-way jump table whose arms rejoin. With forceCalls,
+// every arm contains a call regardless of the remaining budget — the
+// shape of an interpreter's dispatch loop, where each opcode arm invokes
+// a handler.
+func (rb *routineGen) multiway(k int, forceCalls bool) {
+	idx := rb.pickSrc()
+	table := make([]int, k)
+	ti := len(rb.tables)
+	rb.tables = append(rb.tables, table)
+	rb.emit(isa.Jmp(idx, ti))
+	rb.instrs--
+	rb.branches--
+	var joins []int
+	for arm := 0; arm < k; arm++ {
+		table[arm] = rb.here()
+		rb.filler(1 + rb.rng().intn(2))
+		if forceCalls || rb.calls > 0 {
+			rb.callSite()
+		}
+		joins = append(joins, rb.emit(isa.Br(0)))
+		rb.instrs--
+		rb.branches--
+	}
+	for _, j := range joins {
+		rb.patch(j)
+	}
+}
+
+// smallArity returns the arm count for an ordinary (non-dispatch)
+// switch.
+func (rb *routineGen) smallArity() int { return 3 + rb.rng().intn(3) }
+
+// fig12Arity returns the arm count for a dispatch switch, drawn around
+// the profile's SwitchArity.
+func (rb *routineGen) fig12Arity() int {
+	mean := rb.g.prof.SwitchArity
+	if mean < 5 {
+		return rb.smallArity()
+	}
+	k := 3 + rb.rng().poisson(mean-3)
+	if k > 48 {
+		k = 48
+	}
+	return k
+}
+
+// fig12 emits the paper's Figure 12 pattern: a multiway branch inside a
+// loop with a call at each target. This is what branch nodes compress:
+// every arm's return reaches every arm's call through the back edge,
+// O(k²) edges without a branch node and O(k) with one.
+func (rb *routineGen) fig12() {
+	counter, release := rb.reserveCounter()
+	defer release()
+	rb.emit(isa.LdaImm(counter, 2))
+	rb.instrs--
+	top := rb.here()
+	rb.multiway(rb.fig12Arity(), true)
+	rb.emit(isa.Lda(counter, counter, -1))
+	rb.emit(isa.CondBr(isa.OpBne, counter, top))
+	rb.instrs -= 2
+	rb.branches--
+}
+
+// condLoop emits the vortex pattern: a loop body full of two-way
+// branches guarding calls — PSG edges branch nodes cannot reduce.
+func (rb *routineGen) condLoop() {
+	counter, release := rb.reserveCounter()
+	defer release()
+	rb.emit(isa.LdaImm(counter, 2))
+	rb.instrs--
+	top := rb.here()
+	arms := 2 + rb.rng().intn(3)
+	for i := 0; i < arms; i++ {
+		cond := rb.pickSrc()
+		beq := rb.emit(isa.CondBr(isa.OpBeq, cond, 0))
+		rb.instrs--
+		rb.branches--
+		if rb.calls > 0 {
+			rb.callSite()
+		} else {
+			rb.filler(2)
+		}
+		rb.patch(beq)
+	}
+	rb.emit(isa.Lda(counter, counter, -1))
+	rb.emit(isa.CondBr(isa.OpBne, counter, top))
+	rb.instrs -= 2
+	rb.branches--
+}
+
+// unknownJump emits an indirect jump through a code address computed
+// into a register — runnable, but opaque to jump-table extraction. The
+// address register is removed from the value pool afterwards: programs
+// that feed their own code addresses into arithmetic would observe the
+// layout changes any post-link optimizer makes.
+func (rb *routineGen) unknownJump() {
+	t := rb.pickDest()
+	lda := rb.emit(isa.LdaImm(t, 0)) // patched below with the code address
+	rb.emit(isa.Jmp(t, isa.UnknownTable))
+	rb.instrs -= 2
+	rb.branches--
+	rb.code[lda].Imm = prog.CodeAddr(rb.ri, rb.here())
+	for i, reg := range rb.defined {
+		if reg == t {
+			rb.defined = append(rb.defined[:i], rb.defined[i+1:]...)
+			break
+		}
+	}
+}
+
+// epilogue emits restores and the return.
+func (rb *routineGen) epilogue() {
+	// Every exit path defines the return value, folding several live
+	// temporaries into it so the routine's computation is observable
+	// through its callers — like real code, where results feed
+	// results and a compiler has already removed the truly dead work.
+	rb.emit(isa.Mov(regset.V0, rb.pickSrc()))
+	folds := len(rb.defined)
+	if folds > 3 {
+		folds = 3
+	}
+	for i := 0; i < folds; i++ {
+		rb.emit(isa.Bin(isa.OpAdd, regset.V0, regset.V0, rb.pickSrc()))
+	}
+	if rb.usesS0 {
+		rb.emit(isa.Bin(isa.OpAdd, regset.V0, regset.V0, regset.S0))
+		rb.emit(isa.Ld(regset.S0, regset.SP, s0Slot))
+	}
+	if rb.hasFrame() {
+		if rb.hasCalls {
+			rb.emit(isa.Ld(regset.RA, regset.SP, raSlot))
+		}
+		rb.emit(isa.Lda(regset.SP, regset.SP, frameSize))
+	}
+	rb.emit(isa.Ret())
+}
+
+func (rb *routineGen) hasFrame() bool {
+	return rb.hasCalls || rb.usesS0 || rb.nextSpill > 0
+}
+
+// build generates the routine body.
+func (rb *routineGen) build(meanInstr float64) *prog.Routine {
+	r := rb.rng()
+	prof := rb.g.prof
+	// The last band is forced leaf, so the other bands carry its share
+	// of the call budget to keep the program-wide calls/routine mean on
+	// target. Dispatch loops (fig12) force a call into every arm
+	// regardless of budget, so their expected contribution is deducted
+	// from the base mean.
+	callMean := prof.CallsPerRoutine
+	if prof.SwitchArity >= 5 {
+		callMean -= prof.SwitchInLoop * prof.SwitchArity
+		if callMean < 1 {
+			callMean = 1
+		}
+	}
+	callMean *= float64(callDepth+1) / float64(callDepth)
+	rb.calls = r.poisson(callMean)
+	rb.branches = r.poisson(prof.BranchesPerRoutine)
+	rb.instrs = int(meanInstr*(0.5+r.float())) + 4
+
+	// Build this routine's register pool: 4–7 of the temporaries.
+	poolSize := 4 + r.intn(4)
+	perm := append([]regset.Reg(nil), valueTemps...)
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	rb.pool = perm[:poolSize]
+
+	if band(rb.ri, rb.n) >= callDepth {
+		rb.calls = 0 // last band must be leaves (layered DAG)
+	}
+	willCall := rb.calls > 0
+	rb.usesS0 = willCall && r.float() < rb.g.opts.SaveRestore
+
+	// Prologue. Frame needs are known up front: spills and saves both
+	// require calls.
+	if willCall || rb.usesS0 {
+		rb.emit(isa.Lda(regset.SP, regset.SP, -frameSize))
+		if willCall {
+			rb.emit(isa.St(regset.RA, regset.SP, raSlot))
+		}
+		if rb.usesS0 {
+			rb.emit(isa.St(regset.S0, regset.SP, s0Slot))
+		}
+	}
+
+	// Incoming arguments are usable values.
+	rb.defined = append(rb.defined, regset.A0)
+	if r.float() < 0.6 {
+		rb.defined = append(rb.defined, regset.A1)
+	}
+	// Address-taken routines must conform to the calling standard: an
+	// unknown caller is assumed (§3.5) to pass values only in argument
+	// registers, so the routine may not read any other register before
+	// defining it — on any path, including reads its callees' precise
+	// summaries propagate up. Initializing every temporary up front
+	// guarantees MAY-USE ⊆ the standard's assumption, exactly as a
+	// compiler never emits reads of undefined registers.
+	if rb.addrTakenSelf {
+		for _, reg := range valueTemps {
+			rb.emit(isa.LdaImm(reg, int64(r.intn(512))))
+			rb.instrs--
+		}
+		rb.defined = append(rb.defined, rb.pool...)
+	}
+	if rb.usesS0 {
+		rb.emit(isa.Mov(regset.S0, rb.pickSrc()))
+	}
+
+	// Unknown jumps force an all-registers-used summary (§3.5), which
+	// would make an address-taken routine non-conformant with the
+	// calling-standard assumption its indirect callers rely on — so
+	// they only appear in routines whose address never escapes.
+	if !rb.addrTakenSelf && rb.g.prof.UnknownJumpFrac > 0 &&
+		r.float() < rb.g.prof.UnknownJumpFrac {
+		rb.unknownJump()
+	}
+
+	// Body: spend the budgets.
+	guard := 0
+	for (rb.calls > 0 || rb.branches > 0 || rb.instrs > 8) && guard < 4096 {
+		guard++
+		x := r.float()
+		switch {
+		case rb.calls >= 2 && x < prof.SwitchInLoop && rb.branches >= 4:
+			rb.fig12()
+		case rb.calls >= 2 && x < prof.SwitchInLoop+prof.CondLoopCalls && rb.branches >= 3:
+			rb.condLoop()
+		case rb.calls > 0 && x < 0.45:
+			rb.callSite()
+		case rb.branches >= 4 && x < 0.6:
+			// Switch arms frequently contain calls in real code.
+			rb.multiway(rb.smallArity(), false)
+		case rb.branches >= 2 && x < 0.8:
+			rb.diamond()
+		case rb.branches >= 1 && x < 0.9:
+			rb.loop(0)
+		default:
+			rb.filler(2 + r.intn(4))
+		}
+		if r.float() < rb.g.opts.DeadDefs/4 {
+			rb.deadDef()
+		}
+	}
+
+	// Early exits beyond the final one.
+	extraExits := r.poisson(prof.ExitsPerRoutine - 1)
+	for i := 0; i < extraExits && i < 3; i++ {
+		cond := rb.pickSrc()
+		beq := rb.emit(isa.CondBr(isa.OpBeq, cond, 0))
+		rb.epilogue()
+		rb.patch(beq)
+	}
+
+	// Print occasionally so optimization has observable behaviour to
+	// preserve; the program entry always prints.
+	if rb.ri == 0 || r.float() < 0.2 {
+		rb.emit(isa.Print(rb.pickSrc()))
+	}
+	if r.float() < rb.g.opts.DeadDefs {
+		// A dead definition of the return-value register: the real
+		// definition in the epilogue follows (Figure 1(a) fodder).
+		rb.emit(isa.LdaImm(regset.V0, int64(r.intn(999))))
+	}
+	rb.epilogue()
+
+	// Secondary entrance on leaf routines only (no prologue to skip).
+	if !rb.hasFrame() && prof.EntrancesPerRoutine > 1 &&
+		r.float() < (prof.EntrancesPerRoutine-1) && len(rb.code) > 4 {
+		// Enter just before the epilogue's v0 definition.
+		alt := rb.findEpilogueStart()
+		if alt > 0 {
+			rb.entries = append(rb.entries, alt)
+		}
+	}
+
+	routine := &prog.Routine{
+		Code:    rb.code,
+		Entries: append([]int{0}, rb.entries...),
+		Tables:  rb.tables,
+	}
+	if rb.ri == 0 {
+		// The program entry halts instead of returning.
+		routine.Code[len(routine.Code)-1] = isa.Halt()
+	}
+	return routine
+}
+
+// findEpilogueStart returns the index of the final epilogue's first
+// instruction (the v0 definition before the trailing ret).
+func (rb *routineGen) findEpilogueStart() int {
+	for i := len(rb.code) - 2; i > 0; i-- {
+		in := &rb.code[i]
+		if in.Op == isa.OpMov && in.Dest == regset.V0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// fixupEntrySelectors clamps call entry selectors to the callee's
+// actual entrance count. It runs after all routines exist.
+func fixupEntrySelectors(p *prog.Program) {
+	for _, r := range p.Routines {
+		for i := range r.Code {
+			in := &r.Code[i]
+			if in.Op == isa.OpJsr && int(in.Imm) >= len(p.Routines[in.Target].Entries) {
+				in.Imm = 0
+			}
+		}
+	}
+}

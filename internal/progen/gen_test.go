@@ -1,0 +1,296 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/callstd"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	p1 := Generate(TestProfile(20), DefaultOptions(42))
+	p2 := Generate(TestProfile(20), DefaultOptions(42))
+	if prog.Disassemble(p1) != prog.Disassemble(p2) {
+		t.Error("same seed must generate the same program")
+	}
+	p3 := Generate(TestProfile(20), DefaultOptions(43))
+	if prog.Disassemble(p1) == prog.Disassemble(p3) {
+		t.Error("different seeds should generate different programs")
+	}
+}
+
+func TestGeneratedProgramsValidate(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := Generate(TestProfile(30), DefaultOptions(seed))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratedProgramsRun(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		p := Generate(TestProfile(25), DefaultOptions(seed))
+		if _, err := emu.Run(p, 50_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratedProgramsAnalyze(t *testing.T) {
+	p := Generate(TestProfile(50), DefaultOptions(7))
+	a, err := core.Analyze(p, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.PSGNodes == 0 || a.Stats.PSGEdges == 0 {
+		t.Error("empty PSG for a generated program")
+	}
+}
+
+func TestGeneratedProgramsOptimizeAndVerify(t *testing.T) {
+	// The end-to-end soundness check: optimize generated programs and
+	// require identical observable output.
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := Generate(TestProfile(25), DefaultOptions(seed))
+		before, err := emu.Run(p.Clone(), 50_000_000)
+		if err != nil {
+			t.Fatalf("seed %d pre-run: %v", seed, err)
+		}
+		out, rep, err := opt.Optimize(p, opt.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after, err := emu.Run(out, 50_000_000)
+		if err != nil {
+			t.Fatalf("seed %d post-run: %v", seed, err)
+		}
+		if !emu.SameOutput(before, after) {
+			t.Fatalf("seed %d: output changed after optimization: %v vs %v\nreport: %v",
+				seed, before.Output, after.Output, rep)
+		}
+		if after.Steps > before.Steps {
+			t.Errorf("seed %d: optimization made the program slower: %d → %d steps",
+				seed, before.Steps, after.Steps)
+		}
+	}
+}
+
+func TestOptimizationFindsWork(t *testing.T) {
+	// Across seeds, the generator's injected patterns must give every
+	// optimization something to do.
+	var dead, spills, rewrites int
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := Generate(TestProfile(30), DefaultOptions(seed))
+		_, rep, err := opt.Optimize(p, opt.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead += rep.DeadInstructions
+		spills += rep.SpillsRemoved
+		rewrites += rep.SaveRestoreRewrites
+	}
+	if dead == 0 {
+		t.Error("no dead code found in any generated program")
+	}
+	if spills == 0 {
+		t.Error("no spills removed in any generated program")
+	}
+	if rewrites == 0 {
+		t.Error("no save/restore rewrites in any generated program")
+	}
+}
+
+func TestStructuralCalibration(t *testing.T) {
+	// Generated programs must land near the profile's structural
+	// targets. Tolerances are loose: the paper's tables are the
+	// ground truth we report against, not a spec we can hit exactly.
+	prof, ok := ProfileByName("compress")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	p := Generate(prof, DefaultOptions(1))
+	s := prog.CollectStats(p)
+	within := func(name string, got, want, tol float64) {
+		t.Helper()
+		if got < want*(1-tol) || got > want*(1+tol) {
+			t.Errorf("%s = %.2f, want %.2f ±%.0f%%", name, got, want, tol*100)
+		}
+	}
+	within("routines", float64(s.Routines), float64(prof.Routines), 0.01)
+	within("instructions", float64(s.Instructions), float64(prof.Instructions), 0.5)
+	within("calls/routine", float64(s.Calls)/float64(s.Routines), prof.CallsPerRoutine, 0.5)
+	within("branches/routine", float64(s.Branches)/float64(s.Routines), prof.BranchesPerRoutine, 0.5)
+	within("exits/routine", float64(s.Exits)/float64(s.Routines), prof.ExitsPerRoutine, 0.5)
+}
+
+func TestProfilesComplete(t *testing.T) {
+	if len(Profiles) != 16 {
+		t.Fatalf("profiles = %d, want 16", len(Profiles))
+	}
+	names := map[string]bool{}
+	spec, pc := 0, 0
+	for _, p := range Profiles {
+		if names[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		switch p.Suite {
+		case "SPECint95":
+			spec++
+		case "PC Applications":
+			pc++
+		}
+		if p.Routines <= 0 || p.BasicBlocks <= 0 || p.Instructions <= 0 {
+			t.Errorf("%s: missing totals", p.Name)
+		}
+		if p.CallsPerRoutine <= 0 || p.BranchesPerRoutine <= 0 {
+			t.Errorf("%s: missing per-routine means", p.Name)
+		}
+	}
+	if spec != 8 || pc != 8 {
+		t.Errorf("suites = %d SPEC + %d PC, want 8 + 8", spec, pc)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	s := p.Scale(0.1)
+	if s.Routines != p.Routines/10 {
+		t.Errorf("scaled routines = %d", s.Routines)
+	}
+	if s.CallsPerRoutine != p.CallsPerRoutine {
+		t.Error("per-routine means must not scale")
+	}
+	tiny := p.Scale(0)
+	if tiny.Routines < 1 {
+		t.Error("scale must keep at least one routine")
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile must not resolve")
+	}
+}
+
+func TestRngPoissonMean(t *testing.T) {
+	r := newRng(99)
+	for _, mean := range []float64{0.5, 3, 10} {
+		sum := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			sum += r.poisson(mean)
+		}
+		got := float64(sum) / n
+		if got < mean*0.85 || got > mean*1.15 {
+			t.Errorf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if r.poisson(0) != 0 || r.poisson(-1) != 0 {
+		t.Error("poisson of non-positive mean must be 0")
+	}
+}
+
+func TestExpNeg(t *testing.T) {
+	cases := map[float64]float64{0: 1, 1: 0.3678794, 3: 0.0497871, 10: 0.0000454}
+	for x, want := range cases {
+		got := expNeg(x)
+		if got < want*0.999 || got > want*1.001 {
+			t.Errorf("expNeg(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGeneratedSwitchInLoopAffectsBranchNodeReduction(t *testing.T) {
+	// A high-SwitchInLoop profile must show a much larger branch-node
+	// edge reduction than a near-zero one (Table 4's contrast).
+	high := TestProfile(40)
+	high.SwitchInLoop = 0.8
+	low := TestProfile(40)
+	low.SwitchInLoop = 0
+	reduction := func(p Profile) float64 {
+		program := Generate(p, DefaultOptions(3))
+		with, err := core.Analyze(program, core.Config{BranchNodes: true, LinkIndirectCalls: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := core.Analyze(program.Clone(), core.Config{BranchNodes: false, LinkIndirectCalls: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - float64(with.Stats.PSGEdges)/float64(without.Stats.PSGEdges)
+	}
+	rHigh, rLow := reduction(high), reduction(low)
+	if rHigh <= rLow {
+		t.Errorf("edge reduction: high-switch %.1f%% should exceed low-switch %.1f%%",
+			rHigh*100, rLow*100)
+	}
+	if rHigh < 0.10 {
+		t.Errorf("high-switch reduction only %.1f%%", rHigh*100)
+	}
+}
+
+func TestFig12ArityFollowsProfile(t *testing.T) {
+	// Dispatch-heavy profiles must generate much larger jump tables
+	// than default profiles.
+	big := TestProfile(30)
+	big.SwitchArity = 30
+	big.SwitchInLoop = 0.5
+	small := TestProfile(30)
+	small.SwitchArity = 0
+
+	maxTable := func(prof Profile) int {
+		p := Generate(prof, DefaultOptions(5))
+		max := 0
+		for _, r := range p.Routines {
+			for _, tbl := range r.Tables {
+				if len(tbl) > max {
+					max = len(tbl)
+				}
+			}
+		}
+		return max
+	}
+	mb, ms := maxTable(big), maxTable(small)
+	if mb <= ms {
+		t.Errorf("high-arity profile max table %d should exceed default %d", mb, ms)
+	}
+	if mb < 15 {
+		t.Errorf("high-arity profile max table only %d", mb)
+	}
+	if ms > 8 {
+		t.Errorf("default profile produced a giant table (%d)", ms)
+	}
+}
+
+func TestGeneratedAddressTakenConformance(t *testing.T) {
+	// Address-taken routines must satisfy the §3.5 assumption their
+	// indirect callers rely on: MAY-USE at entry within the calling
+	// standard's argument/dedicated classes.
+	allowed := callstd.UnknownCallSummary().Used
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := Generate(TestProfile(30), DefaultOptions(seed))
+		a, err := core.Analyze(p, core.PaperConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ri, r := range p.Routines {
+			if !r.AddressTaken {
+				continue
+			}
+			used, defined, _ := a.CallSummaryFor(ri, 0)
+			if !used.SubsetOf(allowed) {
+				t.Fatalf("seed %d: address-taken %s call-used %v escapes the standard's %v",
+					seed, r.Name, used, allowed)
+			}
+			if !defined.Contains(regset.V0) {
+				t.Fatalf("seed %d: address-taken %s does not always define v0", seed, r.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package progen
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/opt"
+)
+
+func TestSoakOptimize(t *testing.T) {
+	for seed := uint64(1); seed <= 300; seed++ {
+		p := Generate(TestProfile(30+int(seed%20)), DefaultOptions(seed))
+		before, err := emu.Run(p.Clone(), 200_000_000)
+		if err != nil {
+			t.Fatalf("seed %d pre-run: %v", seed, err)
+		}
+		out, rep, err := opt.Optimize(p, opt.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after, err := emu.Run(out, 200_000_000)
+		if err != nil {
+			t.Fatalf("seed %d post-run: %v", seed, err)
+		}
+		if !emu.SameOutput(before, after) {
+			t.Fatalf("seed %d: output changed: %v", seed, rep)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+// Package sxe implements the Synthetic eXecutable format: a binary
+// container for programs of the synthetic ISA, standing in for the
+// Alpha/NT PE executables Spike reads and writes.
+//
+// Like a post-link image, an SXE file carries everything the optimizer
+// needs and nothing it must reconstruct from source: the code of every
+// routine, the symbol table (routine names and entry points), and the
+// jump tables the loader extracts for multiway branches (§3.5).
+//
+// Layout (all integers little-endian):
+//
+//	magic     "SXE2"             4 bytes
+//	entry     uvarint            entry routine index
+//	data      uvarint count + varint words (the data segment: packed
+//	          jump tables, see prog.PackTables)
+//	nroutines uvarint
+//	per routine:
+//	  name      uvarint length + bytes
+//	  flags     uvarint           bit 0: address taken
+//	  entries   uvarint count + uvarint each
+//	  tables    uvarint count + (uvarint len + uvarint targets…) each
+//	  tbloffs   uvarint count + uvarint data offsets (for §3.5 extraction)
+//	  code      uvarint count + instruction records
+//	checksum  uint32 (FNV-1a of everything before it)
+//
+// Instruction record:
+//
+//	op    1 byte
+//	dest, src1, src2   1 byte each
+//	imm   varint (zig-zag)
+//	target uvarint
+//	table  varint (UnknownTable is -1)
+//	use, def, kill  uvarint (only present for pseudo-ops)
+package sxe
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// Magic identifies SXE images.
+var Magic = [4]byte{'S', 'X', 'E', '2'}
+
+// ErrBadMagic is returned when the input does not start with the SXE
+// magic number.
+var ErrBadMagic = errors.New("sxe: bad magic")
+
+// ErrChecksum is returned when the image fails checksum verification.
+var ErrChecksum = errors.New("sxe: checksum mismatch")
+
+const flagAddressTaken = 1
+
+// Encode serializes the program. The data segment and each routine's
+// table offsets are derived canonically from the in-memory jump tables
+// (prog.PackTables semantics), so code transformations never leave a
+// stale packed form behind.
+func Encode(p *prog.Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sxe: refusing to encode invalid program: %w", err)
+	}
+	// Pack a fresh data segment without mutating p.
+	var data []int64
+	offsets := make([][]int, len(p.Routines))
+	for ri, r := range p.Routines {
+		for _, table := range r.Tables {
+			offsets[ri] = append(offsets[ri], len(data))
+			data = append(data, int64(len(table)))
+			for _, tgt := range table {
+				data = append(data, prog.CodeAddr(ri, tgt))
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.Write(Magic[:])
+	writeUvarint(&buf, uint64(p.Entry))
+	writeUvarint(&buf, uint64(len(data)))
+	for _, w := range data {
+		writeVarint(&buf, w)
+	}
+	writeUvarint(&buf, uint64(len(p.Routines)))
+	for ri, r := range p.Routines {
+		writeUvarint(&buf, uint64(len(r.Name)))
+		buf.WriteString(r.Name)
+		flags := uint64(0)
+		if r.AddressTaken {
+			flags |= flagAddressTaken
+		}
+		writeUvarint(&buf, flags)
+		writeUvarint(&buf, uint64(len(r.Entries)))
+		for _, e := range r.Entries {
+			writeUvarint(&buf, uint64(e))
+		}
+		writeUvarint(&buf, uint64(len(r.Tables)))
+		for _, t := range r.Tables {
+			writeUvarint(&buf, uint64(len(t)))
+			for _, tgt := range t {
+				writeUvarint(&buf, uint64(tgt))
+			}
+		}
+		writeUvarint(&buf, uint64(len(offsets[ri])))
+		for _, off := range offsets[ri] {
+			writeUvarint(&buf, uint64(off))
+		}
+		writeUvarint(&buf, uint64(len(r.Code)))
+		for i := range r.Code {
+			encodeInstr(&buf, &r.Code[i])
+		}
+	}
+	sum := fnv.New32a()
+	sum.Write(buf.Bytes())
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+	buf.Write(tail[:])
+	return buf.Bytes(), nil
+}
+
+func encodeInstr(buf *bytes.Buffer, in *isa.Instr) {
+	buf.WriteByte(byte(in.Op))
+	buf.WriteByte(byte(in.Dest))
+	buf.WriteByte(byte(in.Src1))
+	buf.WriteByte(byte(in.Src2))
+	writeVarint(buf, in.Imm)
+	writeUvarint(buf, uint64(in.Target))
+	writeVarint(buf, int64(in.Table))
+	if in.Op.Format() == isa.FmtSets {
+		writeUvarint(buf, uint64(in.Use))
+		writeUvarint(buf, uint64(in.Def))
+		writeUvarint(buf, uint64(in.Kill))
+	}
+}
+
+// Decode parses an SXE image, verifies its checksum, and validates the
+// resulting program.
+func Decode(data []byte) (*prog.Program, error) {
+	if len(data) < len(Magic)+4 {
+		return nil, ErrBadMagic
+	}
+	if !bytes.Equal(data[:4], Magic[:]) {
+		return nil, ErrBadMagic
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	sum := fnv.New32a()
+	sum.Write(body)
+	if binary.LittleEndian.Uint32(tail) != sum.Sum32() {
+		return nil, ErrChecksum
+	}
+	rd := &reader{data: body, pos: 4}
+	p := prog.New()
+	entry, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nd, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nd; i++ {
+		w, err := rd.varint()
+		if err != nil {
+			return nil, err
+		}
+		p.Data = append(p.Data, w)
+	}
+	nr, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nr; i++ {
+		r, err := decodeRoutine(rd)
+		if err != nil {
+			return nil, fmt.Errorf("sxe: routine %d: %w", i, err)
+		}
+		p.Add(r)
+	}
+	if rd.pos != len(body) {
+		return nil, fmt.Errorf("sxe: %d trailing bytes", len(body)-rd.pos)
+	}
+	p.Entry = int(entry)
+	if err := extractAndCheckTables(p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sxe: decoded program invalid: %w", err)
+	}
+	return p, nil
+}
+
+// extractAndCheckTables performs the §3.5 jump-table extraction for
+// routines whose tables are packed in the data segment, and
+// cross-checks the result against the directly encoded tables.
+func extractAndCheckTables(p *prog.Program) error {
+	var direct [][][]int
+	for _, r := range p.Routines {
+		tables := make([][]int, len(r.Tables))
+		for i, t := range r.Tables {
+			tables[i] = append([]int(nil), t...)
+		}
+		direct = append(direct, tables)
+	}
+	if err := p.ExtractTables(); err != nil {
+		return fmt.Errorf("sxe: jump-table extraction: %w", err)
+	}
+	for ri, r := range p.Routines {
+		if len(r.TableOffsets) == 0 {
+			continue
+		}
+		if len(direct[ri]) != len(r.Tables) {
+			return fmt.Errorf("sxe: routine %s: extracted %d tables, image encodes %d",
+				r.Name, len(r.Tables), len(direct[ri]))
+		}
+		for ti := range r.Tables {
+			if len(direct[ri][ti]) != len(r.Tables[ti]) {
+				return fmt.Errorf("sxe: routine %s: table %d length mismatch after extraction", r.Name, ti)
+			}
+			for k := range r.Tables[ti] {
+				if direct[ri][ti][k] != r.Tables[ti][k] {
+					return fmt.Errorf("sxe: routine %s: table %d entry %d mismatch after extraction", r.Name, ti, k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func decodeRoutine(rd *reader) (*prog.Routine, error) {
+	nameLen, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	name, err := rd.bytes(nameLen)
+	if err != nil {
+		return nil, err
+	}
+	flags, err := rd.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	r := &prog.Routine{Name: string(name), AddressTaken: flags&flagAddressTaken != 0}
+	ne, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ne; i++ {
+		e, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, int(e))
+	}
+	nt, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nt; i++ {
+		tlen, err := rd.count()
+		if err != nil {
+			return nil, err
+		}
+		table := make([]int, 0, tlen)
+		for j := 0; j < tlen; j++ {
+			tgt, err := rd.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			table = append(table, int(tgt))
+		}
+		r.Tables = append(r.Tables, table)
+	}
+	noff, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < noff; i++ {
+		off, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.TableOffsets = append(r.TableOffsets, int(off))
+	}
+	nc, err := rd.count()
+	if err != nil {
+		return nil, err
+	}
+	r.Code = make([]isa.Instr, 0, nc)
+	for i := 0; i < nc; i++ {
+		in, err := decodeInstr(rd)
+		if err != nil {
+			return nil, err
+		}
+		r.Code = append(r.Code, in)
+	}
+	return r, nil
+}
+
+func decodeInstr(rd *reader) (isa.Instr, error) {
+	var in isa.Instr
+	hdr, err := rd.bytes(4)
+	if err != nil {
+		return in, err
+	}
+	in.Op = isa.Opcode(hdr[0])
+	if !in.Op.Valid() {
+		return in, fmt.Errorf("invalid opcode %d", hdr[0])
+	}
+	in.Dest = regset.Reg(hdr[1])
+	in.Src1 = regset.Reg(hdr[2])
+	in.Src2 = regset.Reg(hdr[3])
+	if in.Imm, err = rd.varint(); err != nil {
+		return in, err
+	}
+	tgt, err := rd.uvarint()
+	if err != nil {
+		return in, err
+	}
+	in.Target = int(tgt)
+	tbl, err := rd.varint()
+	if err != nil {
+		return in, err
+	}
+	in.Table = int(tbl)
+	if in.Op.Format() == isa.FmtSets {
+		u, err := rd.uvarint()
+		if err != nil {
+			return in, err
+		}
+		d, err := rd.uvarint()
+		if err != nil {
+			return in, err
+		}
+		k, err := rd.uvarint()
+		if err != nil {
+			return in, err
+		}
+		in.Use, in.Def, in.Kill = regset.Set(u), regset.Set(d), regset.Set(k)
+	}
+	return in, nil
+}
+
+// WriteFile encodes p and writes it to w.
+func Write(w io.Writer, p *prog.Program) error {
+	data, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// Read decodes a program from r.
+func Read(r io.Reader) (*prog.Program, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+var errTruncated = errors.New("sxe: truncated image")
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if r.pos+n > len(r.data) {
+		return nil, errTruncated
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// count reads a uvarint element count and bounds it by the remaining
+// bytes (every element occupies at least one byte), so forged counts
+// cannot force huge allocations.
+func (r *reader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return 0, errTruncated
+	}
+	return int(n), nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.pos += n
+	return v, nil
+}
