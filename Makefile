@@ -1,0 +1,28 @@
+# Tier-1 verification for every PR: build, vet, the test suite, and a
+# race-checked test run guarding the parallel analysis pipeline.
+# `make verify` is the one command CI and contributors run.
+
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The equivalence and soak tests exercise the worker pool from many
+# goroutines; -race turns any unsynchronized sharing into a failure.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark, as a smoke test; real numbers come
+# from `go test -bench . -run XXX .` and ./cmd/spikebench.
+bench:
+	$(GO) test -bench . -benchtime 1x -run 'XXX' ./...
+
+verify: build vet test race

@@ -9,7 +9,9 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -42,7 +44,7 @@ func analyzeBench(b *testing.B, name string) {
 	b.ResetTimer()
 	var st core.Stats
 	for i := 0; i < b.N; i++ {
-		a, err := core.Analyze(p, core.PaperConfig())
+		a, err := core.Analyze(p, core.WithOpenWorld())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +73,7 @@ func BenchmarkTable3PSGBuildMaxeda(b *testing.B) {
 	p := generate(b, "maxeda")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(p, core.PaperConfig()); err != nil {
+		if _, err := core.Analyze(p, core.WithOpenWorld()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,7 +88,7 @@ func BenchmarkTable4BranchNodes(b *testing.B) {
 	var edgesWith, edgesWithout int
 	b.Run("with", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			a, err := core.Analyze(p, with)
+			a, err := core.Analyze(p, core.WithConfig(with))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -96,7 +98,7 @@ func BenchmarkTable4BranchNodes(b *testing.B) {
 	})
 	b.Run("without", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			a, err := core.Analyze(p, without)
+			a, err := core.Analyze(p, core.WithConfig(without))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -113,7 +115,7 @@ func BenchmarkTable5PSGvsCFG(b *testing.B) {
 	b.Run("psg", func(b *testing.B) {
 		var nodes, edges int
 		for i := 0; i < b.N; i++ {
-			a, err := core.Analyze(p, core.PaperConfig())
+			a, err := core.Analyze(p, core.WithOpenWorld())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -125,7 +127,7 @@ func BenchmarkTable5PSGvsCFG(b *testing.B) {
 	b.Run("cfg-baseline", func(b *testing.B) {
 		var blocks, arcs int
 		for i := 0; i < b.N; i++ {
-			sg, _ := baseline.AnalyzeOpen(p)
+			sg, _ := baseline.Analyze(p, baseline.WithOpenWorld())
 			blocks, arcs = sg.NumBlocks(), sg.NumArcs()
 		}
 		b.ReportMetric(float64(blocks), "nodes")
@@ -139,7 +141,7 @@ func BenchmarkFigure13Stages(b *testing.B) {
 	var st core.Stats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a, err := core.Analyze(p, core.PaperConfig())
+		a, err := core.Analyze(p, core.WithOpenWorld())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +162,7 @@ func BenchmarkFigure15Memory(b *testing.B) {
 	var instr int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a, err := core.Analyze(p, core.PaperConfig())
+		a, err := core.Analyze(p, core.WithOpenWorld())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,18 +218,55 @@ func BenchmarkAblationEdgeLabeling(b *testing.B) {
 	perEdge.PerEdgeLabeling = true
 	b.Run("forward-shared", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Analyze(p, forward); err != nil {
+			if _, err := core.Analyze(p, core.WithConfig(forward)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("per-edge-fig6", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Analyze(p, perEdge); err != nil {
+			if _, err := core.Analyze(p, core.WithConfig(perEdge)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkAnalyzeParallel compares the analysis pipeline at
+// parallelism 1 against GOMAXPROCS on the large progen workload and
+// reports the wall-clock speedup of the parallel per-routine stages
+// (CFG build + DEF/UBD init + PSG build, the Figure 13 hot path) as
+// b.ReportMetric. Phases 1 and 2 are still serial, so whole-pipeline
+// speedup is bounded by their share.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	p := generate(b, "gcc") // the largest profile in the suite
+	workers := runtime.GOMAXPROCS(0)
+	stageWall := func(st *core.Stats) time.Duration {
+		return st.CFGBuild + st.Init + st.PSGBuild
+	}
+	var serialStages, parallelStages, serialTotal, parallelTotal time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialStages += stageWall(&s.Stats)
+		parallelStages += stageWall(&par.Stats)
+		serialTotal += s.Stats.Total()
+		parallelTotal += par.Stats.Total()
+	}
+	b.ReportMetric(float64(workers), "workers")
+	if parallelStages > 0 {
+		b.ReportMetric(serialStages.Seconds()/parallelStages.Seconds(), "stage-speedup")
+	}
+	if parallelTotal > 0 {
+		b.ReportMetric(serialTotal.Seconds()/parallelTotal.Seconds(), "total-speedup")
+	}
 }
 
 // Extension benchmark: profile-driven layout's modelled i-cache effect.
@@ -270,7 +309,7 @@ func BenchmarkHarnessRun(b *testing.B) {
 	prof = prof.Scale(0.2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Run(prof, 1); err != nil {
+		if _, err := bench.Run(prof, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

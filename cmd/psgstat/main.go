@@ -48,7 +48,7 @@ func run(input string, asmIn bool, dotFor string) error {
 		return err
 	}
 
-	a, err := core.Analyze(p, core.PaperConfig())
+	a, err := core.Analyze(p, core.WithOpenWorld())
 	if err != nil {
 		return err
 	}
@@ -60,13 +60,11 @@ func run(input string, asmIn bool, dotFor string) error {
 		a.PSG.WriteDot(os.Stdout, ri)
 		return nil
 	}
-	noBranch := core.PaperConfig()
-	noBranch.BranchNodes = false
-	nb, err := core.Analyze(p.Clone(), noBranch)
+	nb, err := core.Analyze(p.Clone(), core.WithOpenWorld(), core.WithBranchNodes(false))
 	if err != nil {
 		return err
 	}
-	sg, _ := baseline.AnalyzeOpen(p)
+	sg, _ := baseline.Analyze(p, baseline.WithOpenWorld())
 
 	s := &a.Stats
 	fmt.Printf("program: %d routines, %d instructions\n", s.Routines, s.Instructions)

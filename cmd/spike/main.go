@@ -18,6 +18,7 @@
 //	-open-world   use the paper's §3.5 indirect-call assumptions instead
 //	              of the closed-world default
 //	-no-branch-nodes  disable §3.6 branch nodes
+//	-parallel N   analysis worker-pool size (0 = GOMAXPROCS)
 package main
 
 import (
@@ -32,40 +33,66 @@ import (
 	"repro/internal/sxe"
 )
 
+// spikeOptions collects everything the driver is asked to do, one
+// field per flag.
+type spikeOptions struct {
+	asmIn     bool   // input is assembly text instead of an SXE image
+	outFile   string // write the resulting program as an SXE image
+	asmOut    bool   // print the program as assembly
+	opt       bool   // apply the Figure 1 optimizations
+	summaries bool   // print routine summaries
+	stats     bool   // print analysis statistics
+	verify    bool   // compare emulator output before/after optimization
+	openWorld bool   // paper §3.5 indirect-call handling
+	noBranch  bool   // disable §3.6 branch nodes
+	parallel  int    // analysis worker-pool size (0 = GOMAXPROCS)
+	maxSteps  int64  // emulator step budget for verify
+}
+
+// analysisOptions translates the driver flags into core options.
+func (o *spikeOptions) analysisOptions() []core.Option {
+	opts := []core.Option{
+		core.WithBranchNodes(!o.noBranch),
+		core.WithParallelism(o.parallel),
+	}
+	if o.openWorld {
+		opts = append(opts, core.WithOpenWorld())
+	}
+	return opts
+}
+
 func main() {
-	var (
-		asmIn     = flag.Bool("asm", false, "input is assembly text")
-		outFile   = flag.String("o", "", "output SXE file")
-		asmOut    = flag.Bool("S", false, "print assembly instead of encoding")
-		doOpt     = flag.Bool("opt", false, "apply optimizations")
-		summaries = flag.Bool("summaries", false, "print routine summaries")
-		stats     = flag.Bool("stats", false, "print analysis statistics")
-		verify    = flag.Bool("verify", false, "verify behaviour via the emulator")
-		openWorld = flag.Bool("open-world", false, "paper §3.5 indirect-call handling")
-		noBranch  = flag.Bool("no-branch-nodes", false, "disable §3.6 branch nodes")
-		maxSteps  = flag.Int64("max-steps", 100_000_000, "emulator step budget for -verify")
-	)
+	var o spikeOptions
+	flag.BoolVar(&o.asmIn, "asm", false, "input is assembly text")
+	flag.StringVar(&o.outFile, "o", "", "output SXE file")
+	flag.BoolVar(&o.asmOut, "S", false, "print assembly instead of encoding")
+	flag.BoolVar(&o.opt, "opt", false, "apply optimizations")
+	flag.BoolVar(&o.summaries, "summaries", false, "print routine summaries")
+	flag.BoolVar(&o.stats, "stats", false, "print analysis statistics")
+	flag.BoolVar(&o.verify, "verify", false, "verify behaviour via the emulator")
+	flag.BoolVar(&o.openWorld, "open-world", false, "paper §3.5 indirect-call handling")
+	flag.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
+	flag.IntVar(&o.parallel, "parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	flag.Int64Var(&o.maxSteps, "max-steps", 100_000_000, "emulator step budget for -verify")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: spike [flags] input")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *asmIn, *outFile, *asmOut, *doOpt, *summaries,
-		*stats, *verify, *openWorld, *noBranch, *maxSteps); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "spike:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input string, asmIn bool, outFile string, asmOut, doOpt, summaries,
-	stats, verify, openWorld, noBranch bool, maxSteps int64) error {
+func run(input string, o spikeOptions) error {
 	data, err := os.ReadFile(input)
 	if err != nil {
 		return err
 	}
 	var p *prog.Program
-	if asmIn {
+	if o.asmIn {
 		p, err = prog.Assemble(string(data))
 	} else {
 		p, err = sxe.Decode(data)
@@ -74,41 +101,36 @@ func run(input string, asmIn bool, outFile string, asmOut, doOpt, summaries,
 		return err
 	}
 
-	conf := core.DefaultConfig()
-	if openWorld {
-		conf = core.PaperConfig()
-	}
-	conf.BranchNodes = !noBranch
-
-	a, err := core.Analyze(p, conf)
+	analysisOpts := o.analysisOptions()
+	a, err := core.Analyze(p, analysisOpts...)
 	if err != nil {
 		return err
 	}
-	if stats {
+	if o.stats {
 		printStats(&a.Stats)
 	}
-	if summaries {
+	if o.summaries {
 		printSummaries(a)
 	}
 
 	out := p
-	if doOpt {
+	if o.opt {
 		var before emu.Result
-		if verify {
-			if before, err = emu.Run(p.Clone(), maxSteps); err != nil {
+		if o.verify {
+			if before, err = emu.Run(p.Clone(), o.maxSteps); err != nil {
 				return fmt.Errorf("pre-optimization run: %w", err)
 			}
 		}
 		opts := opt.DefaultOptions()
-		opts.Analysis = conf
+		opts.Analysis = core.NewConfig(analysisOpts...)
 		var rep *opt.Report
 		out, rep, err = opt.Optimize(p, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Println(rep)
-		if verify {
-			after, err := emu.Run(out.Clone(), maxSteps)
+		if o.verify {
+			after, err := emu.Run(out.Clone(), o.maxSteps)
 			if err != nil {
 				return fmt.Errorf("post-optimization run: %w", err)
 			}
@@ -121,11 +143,11 @@ func run(input string, asmIn bool, outFile string, asmOut, doOpt, summaries,
 		}
 	}
 
-	if asmOut {
+	if o.asmOut {
 		fmt.Print(prog.Disassemble(out))
 	}
-	if outFile != "" {
-		f, err := os.Create(outFile)
+	if o.outFile != "" {
+		f, err := os.Create(o.outFile)
 		if err != nil {
 			return err
 		}
@@ -134,7 +156,7 @@ func run(input string, asmIn bool, outFile string, asmOut, doOpt, summaries,
 			return err
 		}
 		fmt.Printf("wrote %s (%d routines, %d instructions)\n",
-			outFile, len(out.Routines), out.NumInstructions())
+			o.outFile, len(out.Routines), out.NumInstructions())
 	}
 	return nil
 }
@@ -148,8 +170,9 @@ func printStats(s *core.Stats) {
 	fmt.Printf("psg edges:     %d\n", s.PSGEdges)
 	fmt.Printf("graph memory:  %.2f MB\n", float64(s.GraphBytes)/(1<<20))
 	fr := s.StageFractions()
-	fmt.Printf("analysis time: %v (cfg %.0f%%, init %.0f%%, psg %.0f%%, phase1 %.0f%%, phase2 %.0f%%)\n",
-		s.Total(), fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
+	fmt.Printf("analysis time: %v wall, %v cpu, %d workers (cfg %.0f%%, init %.0f%%, psg %.0f%%, phase1 %.0f%%, phase2 %.0f%%)\n",
+		s.Total(), s.TotalCPU(), s.Parallelism,
+		fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
 }
 
 func printSummaries(a *core.Analysis) {

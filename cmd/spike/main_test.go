@@ -28,8 +28,15 @@ func TestRunAsmOptimizeVerifyEncode(t *testing.T) {
 	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(in, true /* asm */, out, false, true /* opt */, true, /* summaries */
-		true /* stats */, true /* verify */, false, false, 1_000_000)
+	err := run(in, spikeOptions{
+		asmIn:     true,
+		outFile:   out,
+		opt:       true,
+		summaries: true,
+		stats:     true,
+		verify:    true,
+		maxSteps:  1_000_000,
+	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -55,26 +62,33 @@ func TestRunSXEInput(t *testing.T) {
 	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, true, mid, false, false, false, false, false, false, false, 0); err != nil {
+	if err := run(in, spikeOptions{asmIn: true, outFile: mid}); err != nil {
 		t.Fatal(err)
 	}
-	// Feed the SXE back in with the open-world, no-branch-node config.
-	if err := run(mid, false, "", true, false, false, true, false, true, true, 0); err != nil {
+	// Feed the SXE back in with the open-world, no-branch-node,
+	// serial-analysis config.
+	if err := run(mid, spikeOptions{
+		asmOut:    true,
+		stats:     true,
+		openWorld: true,
+		noBranch:  true,
+		parallel:  1,
+	}); err != nil {
 		t.Fatalf("sxe round trip run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent/file", false, "", false, false, false, false, false, false, false, 0); err == nil {
+	if err := run("/nonexistent/file", spikeOptions{}); err == nil {
 		t.Error("missing input must fail")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.s")
 	os.WriteFile(bad, []byte("garbage"), 0o644)
-	if err := run(bad, true, "", false, false, false, false, false, false, false, 0); err == nil {
+	if err := run(bad, spikeOptions{asmIn: true}); err == nil {
 		t.Error("bad assembly must fail")
 	}
-	if err := run(bad, false, "", false, false, false, false, false, false, false, 0); err == nil {
+	if err := run(bad, spikeOptions{}); err == nil {
 		t.Error("bad SXE must fail")
 	}
 }

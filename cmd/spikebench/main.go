@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every table and figure")
-		tables = flag.String("tables", "", "comma-separated table/figure list, e.g. 2,3,f13")
-		scale  = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = paper size)")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		doOpt  = flag.Bool("opt", false, "run the optimization-improvement experiment")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		all      = flag.Bool("all", false, "run every table and figure")
+		tables   = flag.String("tables", "", "comma-separated table/figure list, e.g. 2,3,f13")
+		scale    = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = paper size)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		doOpt    = flag.Bool("opt", false, "run the optimization-improvement experiment")
+		parallel = flag.Int("parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		if !*quiet {
 			progress = os.Stderr
 		}
-		results, err := bench.RunAll(*scale, *seed, progress)
+		results, err := bench.RunAll(*scale, *seed, *parallel, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spikebench:", err)
 			os.Exit(1)

@@ -43,7 +43,7 @@ func main() {
 		name, scale, prof.Routines, prof.Instructions)
 	p := progen.Generate(prof, progen.DefaultOptions(1))
 
-	a, err := core.Analyze(p, core.PaperConfig())
+	a, err := core.Analyze(p, core.WithOpenWorld())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func main() {
 		fmt.Printf("  %-15s %5.1f%%\n", stage, fr[i]*100)
 	}
 
-	sg, _ := baseline.AnalyzeOpen(p)
+	sg, _ := baseline.Analyze(p, baseline.WithOpenWorld())
 	fmt.Printf("\ngraph sizes (the PSG's compactness, Table 5):\n")
 	fmt.Printf("  psg nodes %d vs %d basic blocks (ratio %.2f)\n",
 		s.PSGNodes, s.BasicBlocks, float64(s.PSGNodes)/float64(s.BasicBlocks))

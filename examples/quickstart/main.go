@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := core.Analyze(p, core.DefaultConfig())
+	a, err := core.Analyze(p)
 	if err != nil {
 		log.Fatal(err)
 	}

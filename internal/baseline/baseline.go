@@ -246,25 +246,43 @@ func (r *Result) LiveAtBlockOut(ri, b int) regset.Set {
 	return r.LiveOut[r.sg.GlobalID(ri, b)]
 }
 
-// Analyze builds CFGs, DEF/UBD sets and the supergraph in the
-// closed-world oracle configuration, then runs liveness: the whole
-// baseline pipeline.
-func Analyze(p *prog.Program) (*Supergraph, *Result) {
-	return analyze(p, true)
+// config collects the Option-settable knobs of the baseline pipeline,
+// mirroring the core package's option pattern.
+type config struct {
+	closedWorld bool
+	parallelism int
 }
 
-// AnalyzeOpen is Analyze with the paper's open-world treatment of
-// indirect calls, used when comparing sizes and timings against the
-// PSG.
-func AnalyzeOpen(p *prog.Program) (*Supergraph, *Result) {
-	return analyze(p, false)
+// Option configures Analyze.
+type Option func(*config)
+
+// WithOpenWorld routes indirect calls only through the synthetic
+// external block with calling-standard effects, matching the paper —
+// the configuration used when comparing sizes and timings against the
+// PSG. The default is the closed-world oracle configuration, which
+// additionally links indirect calls to every address-taken routine.
+func WithOpenWorld() Option {
+	return func(c *config) { c.closedWorld = false }
 }
 
-func analyze(p *prog.Program, closedWorld bool) (*Supergraph, *Result) {
-	graphs := cfg.BuildAll(p)
-	for _, g := range graphs {
-		cfg.ComputeDefUBD(g)
+// WithParallelism bounds the worker pool for the per-routine CFG and
+// DEF/UBD stages, like core.WithParallelism. n <= 0 selects
+// GOMAXPROCS; results are identical for every n.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// Analyze builds CFGs, DEF/UBD sets and the supergraph, then runs
+// liveness: the whole baseline pipeline. With no options it uses the
+// closed-world oracle configuration and a GOMAXPROCS-sized worker pool
+// for the per-routine stages.
+func Analyze(p *prog.Program, opts ...Option) (*Supergraph, *Result) {
+	c := config{closedWorld: true}
+	for _, o := range opts {
+		o(&c)
 	}
-	sg := Build(p, graphs, closedWorld)
+	graphs, _ := cfg.BuildAllParallel(p, c.parallelism)
+	cfg.ComputeDefUBDAll(graphs, c.parallelism)
+	sg := Build(p, graphs, c.closedWorld)
 	return sg, sg.Liveness()
 }

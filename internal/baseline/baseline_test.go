@@ -89,7 +89,7 @@ func TestBaselineIncludesInvalidPaths(t *testing.T) {
 	// The PSG's valid-path solution must not have this leak at b's
 	// return node; its live-at-exit for p2 still includes r0.
 	p2i, _ := p.Index("p2")
-	a, err := core.Analyze(prog.MustAssemble(src), core.DefaultConfig())
+	a, err := core.Analyze(prog.MustAssemble(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ y:
 	for i, src := range srcs {
 		p := prog.MustAssemble(src)
 		sg, res := Analyze(p)
-		a, err := core.Analyze(prog.MustAssemble(src), core.DefaultConfig())
+		a, err := core.Analyze(prog.MustAssemble(src))
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}

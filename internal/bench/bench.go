@@ -46,15 +46,17 @@ type Result struct {
 }
 
 // Run generates the benchmark for prof and measures everything the
-// tables and figures need.
-func Run(prof progen.Profile, seed uint64) (*Result, error) {
+// tables and figures need. parallel bounds the analysis worker pool
+// (0 = GOMAXPROCS); the measured results are identical for every
+// value, only the timings change.
+func Run(prof progen.Profile, seed uint64, parallel int) (*Result, error) {
 	p := progen.Generate(prof, progen.DefaultOptions(seed))
 	res := &Result{Profile: prof, Prog: prog.CollectStats(p)}
 
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	a, err := core.Analyze(p, core.PaperConfig())
+	a, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(parallel))
 	if err != nil {
 		return nil, err
 	}
@@ -64,30 +66,30 @@ func Run(prof progen.Profile, seed uint64) (*Result, error) {
 		res.HeapDelta = after.HeapAlloc - before.HeapAlloc
 	}
 
-	noBranch := core.PaperConfig()
-	noBranch.BranchNodes = false
-	nb, err := core.Analyze(p, noBranch)
+	nb, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(parallel),
+		core.WithBranchNodes(false))
 	if err != nil {
 		return nil, err
 	}
 	res.NoBranchStats = nb.Stats
 
 	start := time.Now()
-	sg, _ := baseline.AnalyzeOpen(p)
+	sg, _ := baseline.Analyze(p, baseline.WithOpenWorld(), baseline.WithParallelism(parallel))
 	res.BaselineTime = time.Since(start)
 	res.BaselineArcs = sg.NumArcs()
 	return res, nil
 }
 
 // RunAll measures every paper profile at the given scale (1.0 =
-// paper-sized programs). Progress lines go to progress when non-nil.
-func RunAll(scale float64, seed uint64, progress io.Writer) ([]*Result, error) {
+// paper-sized programs) with the given analysis parallelism. Progress
+// lines go to progress when non-nil.
+func RunAll(scale float64, seed uint64, parallel int, progress io.Writer) ([]*Result, error) {
 	var out []*Result
 	for _, prof := range progen.Profiles {
 		if progress != nil {
 			fmt.Fprintf(progress, "running %-10s (scale %.2f)...\n", prof.Name, scale)
 		}
-		r, err := Run(prof.Scale(scale), seed)
+		r, err := Run(prof.Scale(scale), seed, parallel)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", prof.Name, err)
 		}

@@ -19,7 +19,7 @@ func smallResults(t *testing.T) []*Result {
 		if !ok {
 			t.Fatalf("profile %s missing", name)
 		}
-		r, err := Run(prof.Scale(0.25), 1)
+		r, err := Run(prof.Scale(0.25), 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,7 +12,7 @@ func TestDebugFullScale(t *testing.T) {
 	for _, name := range []string{"gcc", "acad"} {
 		prof, _ := progen.ProfileByName(name)
 		start := time.Now()
-		r, err := Run(prof, 1)
+		r, err := Run(prof, 1, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -17,8 +17,10 @@ package cfg
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/prog"
 	"repro/internal/regset"
 )
@@ -249,11 +251,31 @@ func Build(p *prog.Program, ri int) *Graph {
 
 // BuildAll constructs the CFG of every routine in the program.
 func BuildAll(p *prog.Program) []*Graph {
-	gs := make([]*Graph, len(p.Routines))
-	for ri := range p.Routines {
-		gs[ri] = Build(p, ri)
-	}
+	gs, _ := BuildAllParallel(p, 1)
 	return gs
+}
+
+// BuildAllParallel constructs the CFG of every routine using up to
+// workers goroutines (workers <= 0 selects GOMAXPROCS). Each routine's
+// graph is independent of the others, so the result is identical to
+// BuildAll for any worker count. The returned duration is the
+// aggregate per-routine build time — the stage's CPU time, as opposed
+// to the wall time the caller measures around the call.
+func BuildAllParallel(p *prog.Program, workers int) ([]*Graph, time.Duration) {
+	gs := make([]*Graph, len(p.Routines))
+	cpu := par.ForEach(len(p.Routines), workers, func(ri int) {
+		gs[ri] = Build(p, ri)
+	})
+	return gs, cpu
+}
+
+// ComputeDefUBDAll populates DEF/UBD for every graph using up to
+// workers goroutines, returning the aggregate compute time. Each
+// graph's sets depend only on its own routine's instructions.
+func ComputeDefUBDAll(gs []*Graph, workers int) time.Duration {
+	return par.ForEach(len(gs), workers, func(i int) {
+		ComputeDefUBD(gs[i])
+	})
 }
 
 // ComputeDefUBD populates every block's Def and UBD sets by a single

@@ -15,13 +15,31 @@ import (
 // Stats records where analysis time is spent, matching the stage
 // decomposition of Figure 13, along with the structural counts the
 // paper's tables report.
+//
+// Each stage has two durations: the wall-clock time the stage took
+// (what a user waits for) and its aggregate CPU time — the sum of
+// compute time across the worker pool. For the serial stages (phase 1
+// and phase 2) the two are equal; for the parallel per-routine stages
+// CPU/wall approximates the achieved speedup, and CPU remains
+// comparable across parallelism settings.
 type Stats struct {
-	// Stage durations (Figure 13).
+	// Stage wall-clock durations (Figure 13).
 	CFGBuild time.Duration // building the CFG of each routine
 	Init     time.Duration // generating DEF and UBD sets per block
 	PSGBuild time.Duration // generating PSG nodes and edges
 	Phase1   time.Duration // call-used/killed/defined dataflow
 	Phase2   time.Duration // live-at-entry/exit dataflow
+
+	// Aggregate CPU time per stage, summed across workers.
+	CFGBuildCPU time.Duration
+	InitCPU     time.Duration
+	PSGBuildCPU time.Duration
+	Phase1CPU   time.Duration
+	Phase2CPU   time.Duration
+
+	// Parallelism is the effective worker-pool size the parallel
+	// stages ran with.
+	Parallelism int
 
 	// Structural counts (Tables 2, 3, 5).
 	Routines     int
@@ -37,9 +55,16 @@ type Stats struct {
 	GraphBytes uint64
 }
 
-// Total returns the sum of the stage durations.
+// Total returns the sum of the stage wall-clock durations.
 func (s *Stats) Total() time.Duration {
 	return s.CFGBuild + s.Init + s.PSGBuild + s.Phase1 + s.Phase2
+}
+
+// TotalCPU returns the sum of the stage CPU durations: the compute the
+// analysis performed, independent of how many workers it was spread
+// over.
+func (s *Stats) TotalCPU() time.Duration {
+	return s.CFGBuildCPU + s.InitCPU + s.PSGBuildCPU + s.Phase1CPU + s.Phase2CPU
 }
 
 // StageFractions returns each stage's share of the total, in Figure 13's
@@ -90,33 +115,52 @@ type Analysis struct {
 // Analyze performs the full interprocedural dataflow analysis of the
 // paper: CFG construction, DEF/UBD initialization, PSG construction,
 // phase 1 and phase 2.
-func Analyze(p *prog.Program, conf Config) (*Analysis, error) {
+//
+// The analysis is configured with functional options applied on top of
+// DefaultConfig:
+//
+//	a, err := core.Analyze(p)                          // library default
+//	a, err := core.Analyze(p, core.WithOpenWorld())    // the paper's §3.5
+//	a, err := core.Analyze(p, core.WithParallelism(8)) // bound the pool
+//
+// The per-routine stages — CFG construction, DEF/UBD initialization
+// and flow-summary edge labeling — run on a bounded worker pool
+// (WithParallelism; GOMAXPROCS by default). Work is sharded by routine
+// and merged in routine order, so the resulting Analysis (summaries,
+// structural counts, node/edge IDs, DOT output) is byte-identical for
+// every parallelism setting. Phases 1 and 2 are sequential worklist
+// iterations for now; they consume the same option-derived Config so
+// the worklist can be sharded later without touching callers.
+func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
+	conf := NewConfig(opts...)
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	workers := conf.Workers()
 	a := &Analysis{Prog: p, Config: conf}
+	a.Stats.Parallelism = workers
 
 	start := time.Now()
-	a.Graphs = cfg.BuildAll(p)
+	a.Graphs, a.Stats.CFGBuildCPU = cfg.BuildAllParallel(p, workers)
 	a.Stats.CFGBuild = time.Since(start)
 
 	start = time.Now()
-	for _, g := range a.Graphs {
-		cfg.ComputeDefUBD(g)
-	}
+	a.Stats.InitCPU = cfg.ComputeDefUBDAll(a.Graphs, workers)
 	a.Stats.Init = time.Since(start)
 
 	start = time.Now()
-	a.PSG = buildPSG(p, a.Graphs, conf)
+	a.PSG, a.Stats.PSGBuildCPU = buildPSG(p, a.Graphs, conf)
 	a.Stats.PSGBuild = time.Since(start)
 
 	start = time.Now()
 	a.PSG.runPhase1(conf)
 	a.Stats.Phase1 = time.Since(start)
+	a.Stats.Phase1CPU = a.Stats.Phase1
 
 	start = time.Now()
 	a.PSG.runPhase2(conf)
 	a.Stats.Phase2 = time.Since(start)
+	a.Stats.Phase2CPU = a.Stats.Phase2
 
 	a.collectSummaries()
 	a.collectCounts()

@@ -44,7 +44,7 @@ func edgeCountsFor(t *testing.T, src string, conf Config, routine string) (flow,
 	if err != nil {
 		t.Fatalf("Assemble: %v", err)
 	}
-	a, err := Analyze(p, conf)
+	a, err := Analyze(p, WithConfig(conf))
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -103,11 +103,11 @@ func TestBranchNodeResultsUnchanged(t *testing.T) {
 	for i, src := range srcs {
 		p1, _ := prog.Assemble(src)
 		p2, _ := prog.Assemble(src)
-		with, err := Analyze(p1, Config{BranchNodes: true, LinkIndirectCalls: true})
+		with, err := Analyze(p1, WithConfig(Config{BranchNodes: true, LinkIndirectCalls: true}))
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		without, err := Analyze(p2, Config{BranchNodes: false, LinkIndirectCalls: true})
+		without, err := Analyze(p2, WithConfig(Config{BranchNodes: false, LinkIndirectCalls: true}))
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -161,7 +161,7 @@ b:
   ret
 `
 	p, _ := prog.Assemble(src)
-	a, err := Analyze(p, DefaultConfig())
+	a, err := Analyze(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ b:
 func TestPSGStructuralInvariants(t *testing.T) {
 	for _, src := range []string{figure2Src, figure4Src, figure12Src} {
 		p, _ := prog.Assemble(src)
-		a, err := Analyze(p, DefaultConfig())
+		a, err := Analyze(p)
 		if err != nil {
 			t.Fatal(err)
 		}

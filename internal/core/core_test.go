@@ -17,7 +17,7 @@ func analyze(t *testing.T, src string) *Analysis {
 	if err != nil {
 		t.Fatalf("Assemble: %v", err)
 	}
-	a, err := Analyze(p, DefaultConfig())
+	a, err := Analyze(p)
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -550,7 +550,7 @@ join:
 	if err != nil {
 		t.Fatalf("Assemble: %v", err)
 	}
-	a, err := Analyze(p, DefaultConfig())
+	a, err := Analyze(p)
 	if err != nil {
 		t.Fatalf("Analyze: %v", err)
 	}
@@ -578,7 +578,7 @@ func TestLiveAtEntryIncludesCalleeUses(t *testing.T) {
 func TestAnalyzeRejectsInvalidProgram(t *testing.T) {
 	p := prog.New()
 	p.Add(prog.NewRoutine("f", prog.NewRoutine("x").Code...))
-	if _, err := Analyze(p, DefaultConfig()); err == nil {
+	if _, err := Analyze(p); err == nil {
 		t.Error("Analyze must reject invalid programs")
 	}
 }

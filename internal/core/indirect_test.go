@@ -38,7 +38,7 @@ func TestOpenWorldIndirectUsesCallingStandardOnly(t *testing.T) {
 	// to use only the standard's argument registers, so the rogue use
 	// of t5 is invisible — the documented (and paper-stated) assumption.
 	p := prog.MustAssemble(nonConformantSrc)
-	a, err := Analyze(p, PaperConfig())
+	a, err := Analyze(p, WithOpenWorld())
 	if err != nil {
 		t.Fatal(err)
 	}

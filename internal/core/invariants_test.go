@@ -26,7 +26,7 @@ func TestInvariantDefinedSubsetOfKilled(t *testing.T) {
 	// A register defined on every path is certainly defined on some
 	// path: MUST-DEF ⊆ MAY-DEF, i.e. call-defined ⊆ call-killed.
 	for pi, p := range generatedPrograms(t, 12) {
-		a, err := Analyze(p, DefaultConfig())
+		a, err := Analyze(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func TestInvariantDefinedSubsetOfKilled(t *testing.T) {
 
 func TestInvariantEdgeMustDefSubsetOfMayDef(t *testing.T) {
 	for _, p := range generatedPrograms(t, 6) {
-		a, err := Analyze(p, DefaultConfig())
+		a, err := Analyze(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func TestInvariantEdgeMustDefSubsetOfMayDef(t *testing.T) {
 func TestInvariantHardwiredNeverInSets(t *testing.T) {
 	hardwired := regset.Of(regset.Zero, regset.FZero)
 	for _, p := range generatedPrograms(t, 6) {
-		a, err := Analyze(p, DefaultConfig())
+		a, err := Analyze(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +81,7 @@ func TestInvariantHardwiredNeverInSets(t *testing.T) {
 
 func TestInvariantSavedRestoredIsCalleeSaved(t *testing.T) {
 	for _, p := range generatedPrograms(t, 6) {
-		a, err := Analyze(p, DefaultConfig())
+		a, err := Analyze(p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -98,11 +98,11 @@ func TestInvariantSavedRestoredIsCalleeSaved(t *testing.T) {
 func TestInvariantAnalysisDeterministic(t *testing.T) {
 	p1 := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(5))
 	p2 := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(5))
-	a1, err := Analyze(p1, DefaultConfig())
+	a1, err := Analyze(p1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := Analyze(p2, DefaultConfig())
+	a2, err := Analyze(p2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +133,11 @@ func TestInvariantAnalysisSurvivesSXERoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, err := Analyze(p, DefaultConfig())
+	a1, err := Analyze(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := Analyze(q, DefaultConfig())
+	a2, err := Analyze(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,11 +177,11 @@ func TestInvariantLinkIndirectMoreConservative(t *testing.T) {
 	// MAY-USE/MAY-DEF at every entry (the closed world adds uses and
 	// kills; never removes them).
 	for _, p := range generatedPrograms(t, 6) {
-		closed, err := Analyze(p.Clone(), DefaultConfig())
+		closed, err := Analyze(p.Clone())
 		if err != nil {
 			t.Fatal(err)
 		}
-		open, err := Analyze(p.Clone(), PaperConfig())
+		open, err := Analyze(p.Clone(), WithOpenWorld())
 		if err != nil {
 			t.Fatal(err)
 		}

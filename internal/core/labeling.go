@@ -156,60 +156,13 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 	return mayUse, mayDef, mustDef
 }
 
-// buildFlowEdgesPerEdge is the per-edge variant of buildFlowEdges: it
-// first discovers the edges (reachable sinks per source), then labels
-// each with labelEdgePerEdge.
-func (g *PSG) buildFlowEdgesPerEdge(graph *cfg.Graph, rn routineNodes) {
-	var sources []*Node
-	for _, id := range g.EntryNodes[graph.RoutineIndex] {
-		sources = append(sources, g.Nodes[id])
-	}
-	for blockID := range graph.Blocks {
-		if id, ok := rn.returnAt[blockID]; ok {
-			sources = append(sources, g.Nodes[id])
-		}
-		if id, ok := rn.branchAt[blockID]; ok {
-			sources = append(sources, g.Nodes[id])
-		}
-	}
-	reach := make([]bool, len(graph.Blocks))
-	for _, src := range sources {
-		// Discover reachable sinks.
-		for i := range reach {
-			reach[i] = false
-		}
-		var stack []int
-		for _, s := range sourceStartBlocks(graph, src) {
-			if !reach[s] {
-				reach[s] = true
-				stack = append(stack, s)
-			}
-		}
-		for len(stack) > 0 {
-			id := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			b := graph.Blocks[id]
-			if rn.isStop(b) {
-				continue
-			}
-			for _, s := range b.Succs {
-				if !reach[s] {
-					reach[s] = true
-					stack = append(stack, s)
-				}
-			}
-		}
-		for blockID, ok := range reach {
-			if !ok {
-				continue
-			}
-			sinkID, isSink := rn.sinkAt[blockID]
-			if !isSink {
-				continue
-			}
-			mu, md, msd := labelEdgePerEdge(graph, rn, src, blockID)
-			e := g.addEdge(EdgeFlow, src.ID, sinkID)
-			e.MayUse, e.MayDef, e.MustDef = mu, md, msd
+// labelPerEdge is the per-edge variant of labelForward: every
+// discovered edge gets its own Figure 6 subgraph dataflow.
+func (t *labelTask) labelPerEdge() {
+	for si, src := range t.sources {
+		for _, ref := range t.refs[si] {
+			mu, md, msd := labelEdgePerEdge(t.graph, t.rn, src, ref.sink)
+			ref.edge.MayUse, ref.edge.MayDef, ref.edge.MustDef = mu, md, msd
 		}
 	}
 }

@@ -17,9 +17,9 @@ type edgeKey struct {
 	dstBlock   int
 }
 
-func edgeLabels(t *testing.T, p *prog.Program, conf Config) map[edgeKey][3]uint64 {
+func edgeLabels(t *testing.T, p *prog.Program, opts ...Option) map[edgeKey][3]uint64 {
 	t.Helper()
-	a, err := Analyze(p, conf)
+	a, err := Analyze(p, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,9 +41,8 @@ func edgeLabels(t *testing.T, p *prog.Program, conf Config) map[edgeKey][3]uint6
 func TestPerEdgeLabelingAgrees(t *testing.T) {
 	srcs := []string{figure2Src, figure4Src, figure12Src}
 	for i, src := range srcs {
-		fwd := edgeLabels(t, prog.MustAssemble(src), DefaultConfig())
-		per := edgeLabels(t, prog.MustAssemble(src),
-			Config{BranchNodes: true, LinkIndirectCalls: true, PerEdgeLabeling: true})
+		fwd := edgeLabels(t, prog.MustAssemble(src))
+		per := edgeLabels(t, prog.MustAssemble(src), WithPerEdgeLabeling(true))
 		compareLabels(t, i, fwd, per)
 	}
 }
@@ -51,9 +50,8 @@ func TestPerEdgeLabelingAgrees(t *testing.T) {
 func TestPerEdgeLabelingAgreesOnGenerated(t *testing.T) {
 	for seed := uint64(1); seed <= 10; seed++ {
 		p := progen.Generate(progen.TestProfile(25), progen.DefaultOptions(seed))
-		fwd := edgeLabels(t, p.Clone(), DefaultConfig())
-		per := edgeLabels(t, p.Clone(),
-			Config{BranchNodes: true, LinkIndirectCalls: true, PerEdgeLabeling: true})
+		fwd := edgeLabels(t, p.Clone())
+		per := edgeLabels(t, p.Clone(), WithPerEdgeLabeling(true))
 		compareLabels(t, int(seed), fwd, per)
 	}
 }
@@ -61,12 +59,11 @@ func TestPerEdgeLabelingAgreesOnGenerated(t *testing.T) {
 func TestPerEdgeLabelingSummariesIdentical(t *testing.T) {
 	// End to end: the converged summaries must match exactly.
 	p := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(3))
-	a1, err := Analyze(p.Clone(), DefaultConfig())
+	a1, err := Analyze(p.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := Analyze(p.Clone(),
-		Config{BranchNodes: true, LinkIndirectCalls: true, PerEdgeLabeling: true})
+	a2, err := Analyze(p.Clone(), WithPerEdgeLabeling(true))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,60 @@
+package core
+
+// Option configures Analyze. Options are applied in order on top of
+// DefaultConfig, so later options override earlier ones; WithConfig
+// replaces the configuration wholesale and is the bridge for callers
+// that store a Config value (the optimizer's Options.Analysis, the
+// benchmark harness's PaperConfig runs).
+type Option func(*Config)
+
+// NewConfig builds the configuration Analyze would use for the given
+// options: DefaultConfig with each option applied in order.
+func NewConfig(opts ...Option) Config {
+	conf := DefaultConfig()
+	for _, o := range opts {
+		o(&conf)
+	}
+	return conf
+}
+
+// WithConfig replaces the entire configuration with conf. Combine with
+// further options to tweak a stored configuration:
+//
+//	core.Analyze(p, core.WithConfig(core.PaperConfig()), core.WithParallelism(4))
+func WithConfig(conf Config) Option {
+	return func(c *Config) { *c = conf }
+}
+
+// WithOpenWorld selects the paper's §3.5 treatment of indirect control
+// flow: indirect calls and returns are modelled purely through the
+// calling-standard assumptions, as Spike did (PaperConfig).
+func WithOpenWorld() Option {
+	return func(c *Config) { c.LinkIndirectCalls = false }
+}
+
+// WithClosedWorld links indirect calls to every address-taken routine,
+// keeping the analysis sound for programs that break the calling
+// standard. This is the default.
+func WithClosedWorld() Option {
+	return func(c *Config) { c.LinkIndirectCalls = true }
+}
+
+// WithBranchNodes toggles §3.6 branch nodes (default on).
+func WithBranchNodes(on bool) Option {
+	return func(c *Config) { c.BranchNodes = on }
+}
+
+// WithPerEdgeLabeling toggles the paper's literal Figure 6 per-edge
+// labeling procedure instead of the default shared forward formulation
+// (default off; results are identical either way).
+func WithPerEdgeLabeling(on bool) Option {
+	return func(c *Config) { c.PerEdgeLabeling = on }
+}
+
+// WithParallelism bounds the worker pool the per-routine stages (CFG
+// construction, DEF/UBD initialization, flow-summary edge labeling)
+// run on. n <= 0 selects runtime.GOMAXPROCS; n == 1 runs the whole
+// pipeline serially. Results are identical for every n.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}

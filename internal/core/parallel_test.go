@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/progen"
+)
+
+// TestParallelSerialEquivalence is the determinism guarantee of the
+// parallel pipeline: for generated programs, analysis with a single
+// worker and with eight workers must produce deeply-equal routine
+// summaries, identical structural counts, and byte-identical DOT
+// renderings — the parallel stages shard by routine and merge in
+// routine order, so worker count must be unobservable in the result.
+func TestParallelSerialEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := progen.Generate(progen.TestProfile(40), progen.DefaultOptions(seed))
+		serial, err := Analyze(p.Clone(), WithParallelism(1))
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		parallel, err := Analyze(p.Clone(), WithParallelism(8))
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(serial.Summaries, parallel.Summaries) {
+			t.Errorf("seed %d: summaries differ between parallelism 1 and 8", seed)
+		}
+		if serial.Stats.PSGNodes != parallel.Stats.PSGNodes ||
+			serial.Stats.PSGEdges != parallel.Stats.PSGEdges {
+			t.Errorf("seed %d: structural counts differ: serial %d nodes/%d edges, parallel %d nodes/%d edges",
+				seed, serial.Stats.PSGNodes, serial.Stats.PSGEdges,
+				parallel.Stats.PSGNodes, parallel.Stats.PSGEdges)
+		}
+		if serial.Stats.BasicBlocks != parallel.Stats.BasicBlocks ||
+			serial.Stats.CFGArcs != parallel.Stats.CFGArcs {
+			t.Errorf("seed %d: CFG counts differ", seed)
+		}
+		for ri := range p.Routines {
+			var a, b bytes.Buffer
+			serial.PSG.WriteDot(&a, ri)
+			parallel.PSG.WriteDot(&b, ri)
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatalf("seed %d routine %d: DOT output differs between parallelism 1 and 8", seed, ri)
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceAcrossConfigs repeats the worker-count
+// equivalence check under the other configuration axes: open world and
+// per-edge labeling.
+func TestParallelEquivalenceAcrossConfigs(t *testing.T) {
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"open-world", []Option{WithOpenWorld()}},
+		{"per-edge", []Option{WithPerEdgeLabeling(true)}},
+		{"no-branch-nodes", []Option{WithBranchNodes(false)}},
+	}
+	p := progen.Generate(progen.TestProfile(30), progen.DefaultOptions(7))
+	for _, v := range variants {
+		serial, err := Analyze(p.Clone(), append([]Option{WithParallelism(1)}, v.opts...)...)
+		if err != nil {
+			t.Fatalf("%s serial: %v", v.name, err)
+		}
+		parallel, err := Analyze(p.Clone(), append([]Option{WithParallelism(8)}, v.opts...)...)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", v.name, err)
+		}
+		if !reflect.DeepEqual(serial.Summaries, parallel.Summaries) {
+			t.Errorf("%s: summaries differ between parallelism 1 and 8", v.name)
+		}
+		if serial.Stats.PSGNodes != parallel.Stats.PSGNodes ||
+			serial.Stats.PSGEdges != parallel.Stats.PSGEdges {
+			t.Errorf("%s: structural counts differ", v.name)
+		}
+	}
+}
+
+// TestOptionsComposition pins the option semantics: application order,
+// WithConfig as a wholesale replacement, and the GOMAXPROCS default.
+func TestOptionsComposition(t *testing.T) {
+	if got := NewConfig(); got != DefaultConfig() {
+		t.Errorf("NewConfig() = %+v, want DefaultConfig()", got)
+	}
+	if got := NewConfig(WithOpenWorld()); got != PaperConfig() {
+		t.Errorf("NewConfig(WithOpenWorld()) = %+v, want PaperConfig()", got)
+	}
+	got := NewConfig(WithConfig(PaperConfig()), WithParallelism(3), WithBranchNodes(false))
+	want := PaperConfig()
+	want.Parallelism = 3
+	want.BranchNodes = false
+	if got != want {
+		t.Errorf("composed config = %+v, want %+v", got, want)
+	}
+	// Later options override earlier ones.
+	if c := NewConfig(WithOpenWorld(), WithClosedWorld()); !c.LinkIndirectCalls {
+		t.Error("WithClosedWorld must override WithOpenWorld")
+	}
+	if w := NewConfig().Workers(); w < 1 {
+		t.Errorf("default Workers() = %d, want >= 1", w)
+	}
+	if w := NewConfig(WithParallelism(5)).Workers(); w != 5 {
+		t.Errorf("Workers() = %d, want 5", w)
+	}
+}

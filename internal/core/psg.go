@@ -5,9 +5,12 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/callstd"
 	"repro/internal/cfg"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/prog"
 	"repro/internal/regset"
 )
@@ -171,7 +174,16 @@ type Config struct {
 	// source node. Results are identical; this exists as a fidelity
 	// check and an ablation benchmark.
 	PerEdgeLabeling bool
+
+	// Parallelism bounds the worker pool used by the per-routine
+	// stages (CFG construction, DEF/UBD initialization, flow-summary
+	// edge labeling). <= 0 selects runtime.GOMAXPROCS; 1 runs the
+	// pipeline serially. Results are identical for every value.
+	Parallelism int
 }
+
+// Workers returns the effective worker count for this configuration.
+func (c Config) Workers() int { return par.Workers(c.Parallelism) }
 
 // DefaultConfig returns the library default: branch nodes on, and the
 // closed-world indirect linkage on — safe even for programs whose
@@ -191,10 +203,20 @@ func PaperConfig() Config {
 
 // node construction -------------------------------------------------------
 
-// buildNodes creates the PSG nodes and intraprocedural flow-summary and
+// buildPSG creates the PSG nodes and intraprocedural flow-summary and
 // call-return edges for every routine (§3.1), labeling flow-summary edges
 // with the Figure 6 dataflow over CFG subgraphs.
-func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) *PSG {
+//
+// Construction is split into a serial structural pass and a parallel
+// labeling pass. The structural pass walks routines in index order,
+// allocating nodes and edges — IDs are therefore deterministic and
+// independent of Config.Parallelism. The labeling pass then computes
+// each routine's flow-summary edge labels (the Figure 6 dataflow, the
+// dominant cost of PSG construction) on the worker pool; each worker
+// writes only the Edge structs of its own routine, so the result is
+// byte-identical to a serial run. The returned duration is the
+// aggregate compute time across both passes (the stage's CPU time).
+func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) (*PSG, time.Duration) {
 	g := &PSG{
 		Prog:        p,
 		Graphs:      graphs,
@@ -205,11 +227,45 @@ func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) *PSG {
 	for ri := range p.Routines {
 		g.CallerEdges[ri] = make([][]int, len(p.Routines[ri].Entries))
 	}
+	serial := time.Now()
+	tasks := make([]labelTask, len(p.Routines))
 	for ri := range p.Routines {
-		g.buildRoutine(ri, conf)
+		tasks[ri] = g.buildRoutine(ri, conf)
 	}
-	g.computeSavedRestored()
-	return g
+	cpu := time.Since(serial)
+	workers := conf.Workers()
+	cpu += par.ForEach(len(tasks), workers, func(ri int) {
+		tasks[ri].label(conf)
+	})
+	cpu += g.computeSavedRestored(workers)
+	return g, cpu
+}
+
+// flowEdgeRef ties a discovered flow-summary edge to the sink block it
+// terminates at, for the labeling pass.
+type flowEdgeRef struct {
+	sink int // sink block ID
+	edge *Edge
+}
+
+// labelTask carries one routine's discovered flow-summary edges from
+// the structural pass to the labeling pass. Labeling a task touches
+// only the task's own routine — its CFG, its node placement, and the
+// Edge structs in refs — so tasks may run concurrently.
+type labelTask struct {
+	graph   *cfg.Graph
+	rn      routineNodes
+	sources []*Node
+	refs    [][]flowEdgeRef // per source, sinks in ascending block order
+}
+
+// label computes the Figure 6 labels of the task's flow-summary edges.
+func (t *labelTask) label(conf Config) {
+	if conf.PerEdgeLabeling {
+		t.labelPerEdge()
+	} else {
+		t.labelForward()
+	}
 }
 
 // routineNodes carries the per-routine node placement used while
@@ -240,7 +296,7 @@ func (g *PSG) addEdge(kind EdgeKind, src, dst int) *Edge {
 	return e
 }
 
-func (g *PSG) buildRoutine(ri int, conf Config) {
+func (g *PSG) buildRoutine(ri int, conf Config) labelTask {
 	graph := g.Graphs[ri]
 	rn := routineNodes{
 		entryAt:  make(map[int][]int),
@@ -307,11 +363,69 @@ func (g *PSG) buildRoutine(ri int, conf Config) {
 		}
 	}
 
-	if conf.PerEdgeLabeling {
-		g.buildFlowEdgesPerEdge(graph, rn)
-	} else {
-		g.buildFlowEdges(graph, rn, conf)
+	return g.discoverFlowEdges(graph, rn)
+}
+
+// discoverFlowEdges creates this routine's flow-summary edges with
+// empty labels: for each source node (entries first, then return and
+// branch nodes by block ID) it finds the reachable sink blocks by a
+// plain DFS that does not cross interposing terminators — the same
+// reachability the labeling dataflows compute — and adds one edge per
+// sink, in ascending block order. The labels are filled in later by
+// labelTask.label, possibly on a worker pool.
+func (g *PSG) discoverFlowEdges(graph *cfg.Graph, rn routineNodes) labelTask {
+	t := labelTask{graph: graph, rn: rn}
+	for _, id := range g.EntryNodes[graph.RoutineIndex] {
+		t.sources = append(t.sources, g.Nodes[id])
 	}
+	for blockID := range graph.Blocks {
+		if id, ok := rn.returnAt[blockID]; ok {
+			t.sources = append(t.sources, g.Nodes[id])
+		}
+		if id, ok := rn.branchAt[blockID]; ok {
+			t.sources = append(t.sources, g.Nodes[id])
+		}
+	}
+	reach := make([]bool, len(graph.Blocks))
+	t.refs = make([][]flowEdgeRef, len(t.sources))
+	for si, src := range t.sources {
+		for i := range reach {
+			reach[i] = false
+		}
+		var stack []int
+		for _, s := range sourceStartBlocks(graph, src) {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			b := graph.Blocks[id]
+			if rn.isStop(b) {
+				continue
+			}
+			for _, s := range b.Succs {
+				if !reach[s] {
+					reach[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		for blockID, ok := range reach {
+			if !ok {
+				continue
+			}
+			sinkID, isSink := rn.sinkAt[blockID]
+			if !isSink {
+				continue
+			}
+			e := g.addEdge(EdgeFlow, src.ID, sinkID)
+			t.refs[si] = append(t.refs[si], flowEdgeRef{sink: blockID, edge: e})
+		}
+	}
+	return t
 }
 
 // blockInLoop reports whether control can flow from b back to b.
@@ -358,7 +472,7 @@ func (rn *routineNodes) isStop(b *cfg.Block) bool {
 	return false
 }
 
-// buildFlowEdges creates and labels the flow-summary edges for one
+// labelForward labels the discovered flow-summary edges of one
 // routine. For each source node it runs a forward dataflow over the
 // region reachable without crossing another PSG location; the state at
 // each reachable sink block (after the block's instructions) is exactly
@@ -397,27 +511,16 @@ func (s *flowState) merge(t flowState) bool {
 	return changed
 }
 
-func (g *PSG) buildFlowEdges(graph *cfg.Graph, rn routineNodes, conf Config) {
-	// Collect the source nodes of this routine in deterministic order:
-	// entries first, then return and branch nodes by block ID.
-	var sources []*Node
-	for _, id := range g.EntryNodes[graph.RoutineIndex] {
-		sources = append(sources, g.Nodes[id])
-	}
-	for blockID := range graph.Blocks {
-		if id, ok := rn.returnAt[blockID]; ok {
-			sources = append(sources, g.Nodes[id])
-		}
-		if id, ok := rn.branchAt[blockID]; ok {
-			sources = append(sources, g.Nodes[id])
-		}
-	}
-
+func (t *labelTask) labelForward() {
+	graph, rn := t.graph, t.rn
 	nBlocks := len(graph.Blocks)
 	in := make([]flowState, nBlocks)
 	out := make([]flowState, nBlocks)
 
-	for _, src := range sources {
+	for si, src := range t.sources {
+		if len(t.refs[si]) == 0 {
+			continue // no reachable sinks; nothing to label
+		}
 		for i := range in {
 			in[i] = flowState{}
 			out[i] = flowState{}
@@ -450,17 +553,11 @@ func (g *PSG) buildFlowEdges(graph *cfg.Graph, rn routineNodes, conf Config) {
 				}
 			}
 		}
-		// Emit one edge per reachable sink.
-		for blockID, st := range out {
-			if !st.valid {
-				continue
-			}
-			sinkID, ok := rn.sinkAt[blockID]
-			if !ok {
-				continue
-			}
-			e := g.addEdge(EdgeFlow, src.ID, sinkID)
-			e.MayUse, e.MayDef, e.MustDef = st.mayUse, st.mayDef, st.mustDef
+		// The dataflow reaches exactly the blocks discovery reached, so
+		// every discovered sink has a valid out state.
+		for _, ref := range t.refs[si] {
+			st := out[ref.sink]
+			ref.edge.MayUse, ref.edge.MayDef, ref.edge.MustDef = st.mayUse, st.mayDef, st.mustDef
 		}
 	}
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/callstd"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/regset"
 )
 
@@ -19,9 +22,13 @@ import (
 // before an exit. A register qualifies only if it is saved at *every*
 // entrance and restored before *every* exit, with matching slots left to
 // the program's discipline.
-func (g *PSG) computeSavedRestored() {
+// The detection is a pure per-routine scan, so it runs on the worker
+// pool, each worker writing only its own routine's slot; the returned
+// duration is the aggregate compute time.
+func (g *PSG) computeSavedRestored(workers int) time.Duration {
 	g.SavedRestored = make([]regset.Set, len(g.Prog.Routines))
-	for ri, r := range g.Prog.Routines {
+	return par.ForEach(len(g.Prog.Routines), workers, func(ri int) {
+		r := g.Prog.Routines[ri]
 		saved := regset.All
 		for _, e := range r.Entries {
 			saved = saved.Intersect(prologueSaves(r.Code, e))
@@ -38,7 +45,7 @@ func (g *PSG) computeSavedRestored() {
 			restored = regset.Empty
 		}
 		g.SavedRestored[ri] = saved.Intersect(restored).Intersect(callstd.CalleeSaved)
-	}
+	})
 }
 
 // prologueSaves scans forward from entry index e collecting the

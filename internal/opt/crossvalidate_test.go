@@ -21,7 +21,7 @@ import (
 func TestSummarizedFormLivenessMatches(t *testing.T) {
 	for seed := uint64(1); seed <= 6; seed++ {
 		p := progen.Generate(progen.TestProfile(20), progen.DefaultOptions(seed))
-		a, err := core.Analyze(p, core.DefaultConfig())
+		a, err := core.Analyze(p)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,7 +42,7 @@ skip:
   jsr p2
   ret
 `)
-	a, err := core.Analyze(p, core.DefaultConfig())
+	a, err := core.Analyze(p)
 	if err != nil {
 		t.Fatal(err)
 	}

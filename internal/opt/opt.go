@@ -100,7 +100,7 @@ func Optimize(p *prog.Program, opts Options) (*prog.Program, *Report, error) {
 		rep.Rounds = round + 1
 		changed := 0
 		if !opts.NoSaveRestore {
-			a, err := core.Analyze(out, opts.Analysis)
+			a, err := core.Analyze(out, core.WithConfig(opts.Analysis))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -110,7 +110,7 @@ func Optimize(p *prog.Program, opts Options) (*prog.Program, *Report, error) {
 			Compact(out)
 		}
 		if !opts.NoSpillRemoval {
-			a, err := core.Analyze(out, opts.Analysis)
+			a, err := core.Analyze(out, core.WithConfig(opts.Analysis))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -120,7 +120,7 @@ func Optimize(p *prog.Program, opts Options) (*prog.Program, *Report, error) {
 			Compact(out)
 		}
 		if !opts.NoDeadCode {
-			a, err := core.Analyze(out, opts.Analysis)
+			a, err := core.Analyze(out, core.WithConfig(opts.Analysis))
 			if err != nil {
 				return nil, nil, err
 			}

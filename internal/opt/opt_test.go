@@ -452,7 +452,7 @@ func TestSummarizeProducesPseudoForm(t *testing.T) {
   mov v0, a0
   ret
 `)
-	a, err := core.Analyze(p, core.DefaultConfig())
+	a, err := core.Analyze(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +507,7 @@ func TestSummarizeRemapsBranches(t *testing.T) {
 done:
   ret
 `)
-	a, err := core.Analyze(p, core.DefaultConfig())
+	a, err := core.Analyze(p)
 	if err != nil {
 		t.Fatal(err)
 	}

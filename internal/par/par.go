@@ -1,0 +1,72 @@
+// Package par provides the bounded worker pool the analysis pipeline
+// uses for its per-routine stages. The pool is deliberately minimal:
+// work items are identified by index, callers write results into
+// pre-sized slots (one per index), and merging therefore needs no
+// locks and produces the same output regardless of worker count or
+// scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a requested parallelism degree: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is taken literally.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using up to workers
+// goroutines, and returns the aggregate compute time spent inside the
+// workers — the "CPU time" of the stage, as opposed to its wall time,
+// which the caller measures around the call. workers <= 0 selects
+// GOMAXPROCS; workers == 1 (or n <= 1) runs fn on the calling
+// goroutine with no pool at all, so a serial configuration behaves
+// exactly like a plain loop.
+//
+// fn must be safe to call concurrently for distinct indices; writes
+// must go to per-index slots so results are deterministic.
+func ForEach(n, workers int, fn func(i int)) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return time.Since(start)
+	}
+	var (
+		next atomic.Int64
+		cpu  atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(i)
+			}
+			cpu.Add(int64(time.Since(start)))
+		}()
+	}
+	wg.Wait()
+	return time.Duration(cpu.Load())
+}

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, workers := range []int{-1, 0, 1, 2, 8, 2000} {
+			counts := make([]int32, n)
+			ForEach(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	// One worker must behave exactly like a plain loop: in-order, on
+	// the calling goroutine.
+	var got []int
+	ForEach(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial ForEach out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("serial ForEach visited %d of 5", len(got))
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("Workers(3) != 3")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Error("Workers(<=0) must resolve to GOMAXPROCS")
+	}
+}
+
+func TestForEachReportsCompute(t *testing.T) {
+	out := make([]int, 64)
+	cpu := ForEach(len(out), 4, func(i int) {
+		v := 0
+		for j := 0; j < 1000; j++ {
+			v += j ^ i
+		}
+		out[i] = v
+	})
+	if cpu < 0 {
+		t.Errorf("negative aggregate compute time %v", cpu)
+	}
+}

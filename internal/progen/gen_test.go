@@ -43,7 +43,7 @@ func TestGeneratedProgramsRun(t *testing.T) {
 
 func TestGeneratedProgramsAnalyze(t *testing.T) {
 	p := Generate(TestProfile(50), DefaultOptions(7))
-	a, err := core.Analyze(p, core.DefaultConfig())
+	a, err := core.Analyze(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,11 +215,11 @@ func TestGeneratedSwitchInLoopAffectsBranchNodeReduction(t *testing.T) {
 	low.SwitchInLoop = 0
 	reduction := func(p Profile) float64 {
 		program := Generate(p, DefaultOptions(3))
-		with, err := core.Analyze(program, core.Config{BranchNodes: true, LinkIndirectCalls: true})
+		with, err := core.Analyze(program, core.WithConfig(core.Config{BranchNodes: true, LinkIndirectCalls: true}))
 		if err != nil {
 			t.Fatal(err)
 		}
-		without, err := core.Analyze(program.Clone(), core.Config{BranchNodes: false, LinkIndirectCalls: true})
+		without, err := core.Analyze(program.Clone(), core.WithConfig(core.Config{BranchNodes: false, LinkIndirectCalls: true}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func TestGeneratedAddressTakenConformance(t *testing.T) {
 	allowed := callstd.UnknownCallSummary().Used
 	for seed := uint64(1); seed <= 10; seed++ {
 		p := Generate(TestProfile(30), DefaultOptions(seed))
-		a, err := core.Analyze(p, core.PaperConfig())
+		a, err := core.Analyze(p, core.WithOpenWorld())
 		if err != nil {
 			t.Fatal(err)
 		}
