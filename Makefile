@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -24,5 +24,16 @@ race:
 # from `go test -bench . -run XXX .` and ./cmd/spikebench.
 bench:
 	$(GO) test -bench . -benchtime 1x -run 'XXX' ./...
+
+# Machine-readable record of the parallel-pipeline benchmarks: the
+# per-routine stage speedup (BenchmarkAnalyzeParallel) and the
+# SCC-scheduled phase speedup (BenchmarkPhasesParallel), captured as a
+# test2json stream in BENCH_phases.json. Regenerate on perf-relevant
+# changes so the trajectory is tracked in-repo; wall-time metrics are
+# meaningful relative to the machine that produced them (the committed
+# file records GOMAXPROCS in the "workers" metric).
+bench-json:
+	$(GO) test -run XXX -bench 'BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$' \
+		-benchtime 3x -json . > BENCH_phases.json
 
 verify: build vet test race

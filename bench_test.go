@@ -236,8 +236,8 @@ func BenchmarkAblationEdgeLabeling(b *testing.B) {
 // parallelism 1 against GOMAXPROCS on the large progen workload and
 // reports the wall-clock speedup of the parallel per-routine stages
 // (CFG build + DEF/UBD init + PSG build, the Figure 13 hot path) as
-// b.ReportMetric. Phases 1 and 2 are still serial, so whole-pipeline
-// speedup is bounded by their share.
+// b.ReportMetric. BenchmarkPhasesParallel isolates the remaining two
+// stages, the SCC-scheduled interprocedural phases.
 func BenchmarkAnalyzeParallel(b *testing.B) {
 	p := generate(b, "gcc") // the largest profile in the suite
 	workers := runtime.GOMAXPROCS(0)
@@ -266,6 +266,45 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	}
 	if parallelTotal > 0 {
 		b.ReportMetric(serialTotal.Seconds()/parallelTotal.Seconds(), "total-speedup")
+	}
+}
+
+// BenchmarkPhasesParallel isolates the interprocedural phases: the
+// same program analyzed at parallelism 1 and at GOMAXPROCS, reporting
+// the phase-1 + phase-2 wall time of each and the speedup. The acad
+// profile is the suite's largest routine count; progen's layered call
+// DAG condenses to thousands of single-routine components spread over
+// few waves, so every wave offers wide independent work — the shape
+// the SCC schedule exploits (summaries stay byte-identical either
+// way; TestParallelSerialEquivalence asserts it).
+func BenchmarkPhasesParallel(b *testing.B) {
+	p := generate(b, "acad")
+	workers := runtime.GOMAXPROCS(0)
+	phaseWall := func(st *core.Stats) time.Duration { return st.Phase1 + st.Phase2 }
+	var serial, parallel time.Duration
+	var comps, waves int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial += phaseWall(&s.Stats)
+		parallel += phaseWall(&par.Stats)
+		comps, waves = s.Stats.SCCComponents, s.Stats.Phase1Waves
+	}
+	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(comps), "components")
+	b.ReportMetric(float64(waves), "waves")
+	n := float64(b.N)
+	b.ReportMetric(serial.Seconds()*1e3/n, "phases-ms-serial")
+	b.ReportMetric(parallel.Seconds()*1e3/n, "phases-ms-parallel")
+	if parallel > 0 {
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "phase-speedup")
 	}
 }
 

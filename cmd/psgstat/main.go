@@ -79,6 +79,7 @@ func run(input string, asmIn bool, dotFor string) error {
 	fmt.Printf("  edge reduction: %.1f%%   node increase: %.1f%%\n",
 		(1-float64(s.PSGEdges)/float64(nb.Stats.PSGEdges))*100,
 		(float64(s.PSGNodes)/float64(nb.Stats.PSGNodes)-1)*100)
+	printCallGraph(a)
 	fr := s.StageFractions()
 	fmt.Printf("\nanalysis time %v (Figure 13 breakdown):\n", s.Total())
 	for i, stage := range []string{"cfg build", "initialization", "psg build", "phase 1", "phase 2"} {
@@ -86,4 +87,31 @@ func run(input string, asmIn bool, dotFor string) error {
 	}
 	fmt.Printf("\ngraph memory: %.2f MB\n", float64(s.GraphBytes)/(1<<20))
 	return nil
+}
+
+// printCallGraph reports the SCC condensation the phases were
+// scheduled on: component and wave counts, recursion, and — under the
+// closed-world configuration — the indirect-call pinned component.
+func printCallGraph(a *core.Analysis) {
+	cg := a.CallGraph()
+	recursive := 0
+	for c := 0; c < cg.NumComponents(); c++ {
+		if cg.Recursive(c) {
+			recursive++
+		}
+	}
+	s := &a.Stats
+	fmt.Printf("\ncall graph SCC condensation (phase schedule):\n")
+	fmt.Printf("  components:    %8d   (%d recursive)\n", cg.NumComponents(), recursive)
+	largest := cg.LargestComponent()
+	fmt.Printf("  largest:       %8d routines (component %d)\n",
+		len(cg.Members(largest)), largest)
+	fmt.Printf("  waves:         %8d   phase1 iterations: %d, phase2 iterations: %d\n",
+		cg.NumWaves(), s.Phase1Iterations, s.Phase2Iterations)
+	if cg.Pinned() {
+		pc := cg.PinnedComponent()
+		fmt.Printf("  indirect pin:  component %d (%d routines)\n", pc, len(cg.Members(pc)))
+	} else {
+		fmt.Printf("  indirect pin:  none (open world or no indirect calls)\n")
+	}
 }

@@ -13,6 +13,9 @@
 //	-opt          apply the optimizations (dead code, spills, save/restore)
 //	-summaries    print each routine's five interprocedural summary sets
 //	-stats        print analysis stage timing and graph sizes
+//	-format f     analysis output format: text (default) or json; json
+//	              emits one machine-readable document with the
+//	              summaries, the SCC schedule counts and the timings
 //	-verify       run the program before and after optimization and
 //	              compare observable output
 //	-open-world   use the paper's §3.5 indirect-call assumptions instead
@@ -24,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -43,6 +47,7 @@ type spikeOptions struct {
 	summaries bool   // print routine summaries
 	stats     bool   // print analysis statistics
 	verify    bool   // compare emulator output before/after optimization
+	format    string // analysis output format: "text" or "json"
 	openWorld bool   // paper §3.5 indirect-call handling
 	noBranch  bool   // disable §3.6 branch nodes
 	parallel  int    // analysis worker-pool size (0 = GOMAXPROCS)
@@ -70,6 +75,7 @@ func main() {
 	flag.BoolVar(&o.summaries, "summaries", false, "print routine summaries")
 	flag.BoolVar(&o.stats, "stats", false, "print analysis statistics")
 	flag.BoolVar(&o.verify, "verify", false, "verify behaviour via the emulator")
+	flag.StringVar(&o.format, "format", "text", "analysis output format: text or json")
 	flag.BoolVar(&o.openWorld, "open-world", false, "paper §3.5 indirect-call handling")
 	flag.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
 	flag.IntVar(&o.parallel, "parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
@@ -80,13 +86,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), o); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "spike:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input string, o spikeOptions) error {
+func run(w io.Writer, input string, o spikeOptions) error {
+	switch o.format {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want text or json)", o.format)
+	}
 	data, err := os.ReadFile(input)
 	if err != nil {
 		return err
@@ -106,11 +117,19 @@ func run(input string, o spikeOptions) error {
 	if err != nil {
 		return err
 	}
-	if o.stats {
-		printStats(&a.Stats)
-	}
-	if o.summaries {
-		printSummaries(a)
+	if o.format == "json" {
+		// The document carries both the summaries and the stats; the
+		// flags need not be repeated.
+		if err := writeJSON(w, a); err != nil {
+			return err
+		}
+	} else {
+		if o.stats {
+			printStats(w, &a.Stats)
+		}
+		if o.summaries {
+			printSummaries(w, a)
+		}
 	}
 
 	out := p
@@ -128,7 +147,7 @@ func run(input string, o spikeOptions) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(rep)
+		fmt.Fprintln(w, rep)
 		if o.verify {
 			after, err := emu.Run(out.Clone(), o.maxSteps)
 			if err != nil {
@@ -138,13 +157,13 @@ func run(input string, o spikeOptions) error {
 				return fmt.Errorf("verification failed: output changed")
 			}
 			improv := 1 - float64(after.Steps)/float64(before.Steps)
-			fmt.Printf("verified: output identical; dynamic instructions %d → %d (%.1f%% improvement)\n",
+			fmt.Fprintf(w, "verified: output identical; dynamic instructions %d → %d (%.1f%% improvement)\n",
 				before.Steps, after.Steps, improv*100)
 		}
 	}
 
 	if o.asmOut {
-		fmt.Print(prog.Disassemble(out))
+		fmt.Fprint(w, prog.Disassemble(out))
 	}
 	if o.outFile != "" {
 		f, err := os.Create(o.outFile)
@@ -155,40 +174,42 @@ func run(input string, o spikeOptions) error {
 		if err := sxe.Write(f, out); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d routines, %d instructions)\n",
+		fmt.Fprintf(w, "wrote %s (%d routines, %d instructions)\n",
 			o.outFile, len(out.Routines), out.NumInstructions())
 	}
 	return nil
 }
 
-func printStats(s *core.Stats) {
-	fmt.Printf("routines:      %d\n", s.Routines)
-	fmt.Printf("instructions:  %d\n", s.Instructions)
-	fmt.Printf("basic blocks:  %d\n", s.BasicBlocks)
-	fmt.Printf("cfg arcs:      %d (intraprocedural)\n", s.CFGArcs)
-	fmt.Printf("psg nodes:     %d\n", s.PSGNodes)
-	fmt.Printf("psg edges:     %d\n", s.PSGEdges)
-	fmt.Printf("graph memory:  %.2f MB\n", float64(s.GraphBytes)/(1<<20))
+func printStats(w io.Writer, s *core.Stats) {
+	fmt.Fprintf(w, "routines:      %d\n", s.Routines)
+	fmt.Fprintf(w, "instructions:  %d\n", s.Instructions)
+	fmt.Fprintf(w, "basic blocks:  %d\n", s.BasicBlocks)
+	fmt.Fprintf(w, "cfg arcs:      %d (intraprocedural)\n", s.CFGArcs)
+	fmt.Fprintf(w, "psg nodes:     %d\n", s.PSGNodes)
+	fmt.Fprintf(w, "psg edges:     %d\n", s.PSGEdges)
+	fmt.Fprintf(w, "graph memory:  %.2f MB\n", float64(s.GraphBytes)/(1<<20))
+	fmt.Fprintf(w, "call graph:    %d components, phase1 %d waves/%d iterations, phase2 %d waves/%d iterations\n",
+		s.SCCComponents, s.Phase1Waves, s.Phase1Iterations, s.Phase2Waves, s.Phase2Iterations)
 	fr := s.StageFractions()
-	fmt.Printf("analysis time: %v wall, %v cpu, %d workers (cfg %.0f%%, init %.0f%%, psg %.0f%%, phase1 %.0f%%, phase2 %.0f%%)\n",
+	fmt.Fprintf(w, "analysis time: %v wall, %v cpu, %d workers (cfg %.0f%%, init %.0f%%, psg %.0f%%, phase1 %.0f%%, phase2 %.0f%%)\n",
 		s.Total(), s.TotalCPU(), s.Parallelism,
 		fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
 }
 
-func printSummaries(a *core.Analysis) {
+func printSummaries(w io.Writer, a *core.Analysis) {
 	for ri, r := range a.Prog.Routines {
 		s := a.Summary(ri)
-		fmt.Printf("%s:\n", r.Name)
+		fmt.Fprintf(w, "%s:\n", r.Name)
 		for e := range s.CallUsed {
-			fmt.Printf("  entry %d: call-used=%v call-defined=%v call-killed=%v live-at-entry=%v\n",
+			fmt.Fprintf(w, "  entry %d: call-used=%v call-defined=%v call-killed=%v live-at-entry=%v\n",
 				e, s.CallUsed[e], s.CallDefined[e], s.CallKilled[e], s.LiveAtEntry[e])
 		}
 		for x := range s.LiveAtExit {
-			fmt.Printf("  exit %d (block %d): live-at-exit=%v\n",
+			fmt.Fprintf(w, "  exit %d (block %d): live-at-exit=%v\n",
 				x, s.ExitBlocks[x], s.LiveAtExit[x])
 		}
 		if !s.SavedRestored.IsEmpty() {
-			fmt.Printf("  saved/restored: %v\n", s.SavedRestored)
+			fmt.Fprintf(w, "  saved/restored: %v\n", s.SavedRestored)
 		}
 	}
 }

@@ -1,12 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sxe"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 const testSrc = `
 .start main
@@ -28,7 +35,7 @@ func TestRunAsmOptimizeVerifyEncode(t *testing.T) {
 	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(in, spikeOptions{
+	err := run(io.Discard, in, spikeOptions{
 		asmIn:     true,
 		outFile:   out,
 		opt:       true,
@@ -62,12 +69,12 @@ func TestRunSXEInput(t *testing.T) {
 	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, spikeOptions{asmIn: true, outFile: mid}); err != nil {
+	if err := run(io.Discard, in, spikeOptions{asmIn: true, outFile: mid}); err != nil {
 		t.Fatal(err)
 	}
 	// Feed the SXE back in with the open-world, no-branch-node,
 	// serial-analysis config.
-	if err := run(mid, spikeOptions{
+	if err := run(io.Discard, mid, spikeOptions{
 		asmOut:    true,
 		stats:     true,
 		openWorld: true,
@@ -79,16 +86,76 @@ func TestRunSXEInput(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent/file", spikeOptions{}); err == nil {
+	if err := run(io.Discard, "/nonexistent/file", spikeOptions{}); err == nil {
 		t.Error("missing input must fail")
 	}
 	dir := t.TempDir()
 	bad := filepath.Join(dir, "bad.s")
 	os.WriteFile(bad, []byte("garbage"), 0o644)
-	if err := run(bad, spikeOptions{asmIn: true}); err == nil {
+	if err := run(io.Discard, bad, spikeOptions{asmIn: true}); err == nil {
 		t.Error("bad assembly must fail")
 	}
-	if err := run(bad, spikeOptions{}); err == nil {
+	if err := run(io.Discard, bad, spikeOptions{}); err == nil {
 		t.Error("bad SXE must fail")
+	}
+}
+
+// TestRunJSONGolden pins the -format=json document. Timing fields are
+// nondeterministic, so every key ending in "Ns" is zeroed before the
+// comparison; everything else — summaries, schedule counts, sizes —
+// is byte-exact (the analysis is deterministic at every parallelism).
+func TestRunJSONGolden(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(&buf, in, spikeOptions{asmIn: true, format: "json", parallel: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	stats, ok := doc["stats"].(map[string]any)
+	if !ok {
+		t.Fatal("document has no stats object")
+	}
+	for k := range stats {
+		if strings.HasSuffix(k, "Ns") {
+			stats[k] = 0
+		}
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "summary.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-format=json document differs from %s:\n got:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, in, spikeOptions{asmIn: true, format: "yaml"}); err == nil {
+		t.Error("unknown -format must fail")
 	}
 }

@@ -7,6 +7,7 @@
 //	spikebench -all                 full-scale run of every experiment
 //	spikebench -scale 0.1 -all      quick run at 10% size
 //	spikebench -tables 2,4          selected tables only
+//	spikebench -tables waves        the SCC/wave phase-schedule table
 //	spikebench -opt                 the optimization experiment only
 package main
 
@@ -34,7 +35,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *all {
-		for _, t := range []string{"1", "2", "3", "4", "5", "f13", "f14", "f15"} {
+		for _, t := range []string{"1", "2", "3", "4", "5", "f13", "f14", "f15", "waves"} {
 			want[t] = true
 		}
 	}
@@ -71,6 +72,7 @@ func main() {
 		emit("4", func() { bench.Table4(os.Stdout, results) })
 		emit("5", func() { bench.Table5(os.Stdout, results) })
 		emit("f13", func() { bench.Figure13(os.Stdout, results) })
+		emit("waves", func() { bench.WavesTable(os.Stdout, results) })
 		emit("f14", func() {
 			bench.Figure14(os.Stdout, results)
 			fmt.Println()

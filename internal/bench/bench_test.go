@@ -73,6 +73,7 @@ func TestTablesRender(t *testing.T) {
 		"table4":   func(b *bytes.Buffer) { Table4(b, results) },
 		"table5":   func(b *bytes.Buffer) { Table5(b, results) },
 		"figure13": func(b *bytes.Buffer) { Figure13(b, results) },
+		"waves":    func(b *bytes.Buffer) { WavesTable(b, results) },
 		"figure14": func(b *bytes.Buffer) { Figure14(b, results) },
 		"figure15": func(b *bytes.Buffer) { Figure15(b, results) },
 	}

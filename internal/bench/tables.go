@@ -145,3 +145,19 @@ func OptTable(w io.Writer, results []*OptResult) {
 			r.Report.SaveRestoreRewrites, r.DynamicImprov*100)
 	}
 }
+
+// WavesTable writes the SCC/wave schedule shape of each benchmark's
+// analysis — the structure the parallel phases exploit. The counts are
+// parallelism-invariant (DESIGN.md §6), so this table is stable across
+// worker-pool settings.
+func WavesTable(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Phase schedule: call-graph SCC condensation and wave counts.")
+	fmt.Fprintf(w, "%-10s %9s %11s %7s %12s %12s\n",
+		"Benchmark", "Routines", "Components", "Waves", "Ph1 Iters", "Ph2 Iters")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %9d %11d %7d %12d %12d\n",
+			r.Profile.Name, r.Stats.Routines, r.Stats.SCCComponents,
+			r.Stats.Phase1Waves,
+			r.Stats.Phase1Iterations, r.Stats.Phase2Iterations)
+	}
+}

@@ -1,0 +1,306 @@
+package callgraph
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// build assembles src and constructs its call graph with the given
+// options.
+func build(t *testing.T, src string, opts ...Option) *Graph {
+	t.Helper()
+	p, err := prog.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Build(p, opts...)
+}
+
+// components returns the component membership as routine-name sets,
+// sorted for comparison.
+func components(g *Graph) [][]string {
+	var out [][]string
+	for c := 0; c < g.NumComponents(); c++ {
+		var names []string
+		for _, ri := range g.Members(c) {
+			names = append(names, g.prog.Routines[ri].Name)
+		}
+		sort.Strings(names)
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func TestBuildTable(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		opts []Option
+
+		components [][]string // expected membership, each sorted, sorted by first name
+		recursive  []string   // names of routines in recursive components
+		pinned     bool
+	}{
+		{
+			name: "no calls",
+			src: `
+.start main
+.routine main
+  halt
+`,
+			components: [][]string{{"main"}},
+		},
+		{
+			name: "chain",
+			src: `
+.start a
+.routine a
+  jsr b
+  halt
+.routine b
+  jsr c
+  ret
+.routine c
+  ret
+`,
+			components: [][]string{{"a"}, {"b"}, {"c"}},
+		},
+		{
+			name: "direct recursion",
+			src: `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  jsr f
+  ret
+`,
+			components: [][]string{{"f"}, {"main"}},
+			recursive:  []string{"f"},
+		},
+		{
+			name: "mutual recursion",
+			src: `
+.start main
+.routine main
+  jsr even
+  halt
+.routine even
+  jsr odd
+  ret
+.routine odd
+  jsr even
+  ret
+`,
+			components: [][]string{{"even", "odd"}, {"main"}},
+			recursive:  []string{"even", "odd"},
+		},
+		{
+			name: "unreachable routines still scheduled",
+			src: `
+.start main
+.routine main
+  halt
+.routine orphan
+  jsr helper
+  ret
+.routine helper
+  ret
+`,
+			components: [][]string{{"helper"}, {"main"}, {"orphan"}},
+		},
+		{
+			name: "indirect pinning merges callers and targets",
+			src: `
+.start main
+.routine main
+  jsri pv
+  halt
+.routine cb1
+.addrtaken
+  ret
+.routine cb2
+.addrtaken
+  ret
+.routine plain
+  ret
+`,
+			opts:       []Option{WithIndirectPinning(true)},
+			components: [][]string{{"cb1", "cb2", "main"}, {"plain"}},
+			recursive:  []string{"cb1", "cb2", "main"},
+			pinned:     true,
+		},
+		{
+			name: "open world applies no pinning",
+			src: `
+.start main
+.routine main
+  jsri pv
+  halt
+.routine cb
+.addrtaken
+  ret
+`,
+			components: [][]string{{"cb"}, {"main"}},
+		},
+		{
+			name: "indirect call without address-taken targets",
+			src: `
+.start main
+.routine main
+  jsri pv
+  halt
+.routine plain
+  ret
+`,
+			opts:       []Option{WithIndirectPinning(true)},
+			components: [][]string{{"main"}, {"plain"}},
+		},
+		{
+			name: "routine between two pinned routines joins the pin",
+			src: `
+.start main
+.routine main
+  jsri pv
+  jsr mid
+  halt
+.routine mid
+  jsr cb
+  ret
+.routine cb
+.addrtaken
+  ret
+`,
+			opts:       []Option{WithIndirectPinning(true)},
+			components: [][]string{{"cb", "main", "mid"}},
+			recursive:  []string{"cb", "main", "mid"},
+			pinned:     true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := build(t, tt.src, tt.opts...)
+			if got := components(g); !reflect.DeepEqual(got, tt.components) {
+				t.Errorf("components = %v, want %v", got, tt.components)
+			}
+			for _, name := range tt.recursive {
+				ri, _ := g.prog.Index(name)
+				if !g.Recursive(g.Component(ri)) {
+					t.Errorf("component of %s must be recursive", name)
+				}
+			}
+			for c := 0; c < g.NumComponents(); c++ {
+				isRec := false
+				for _, ri := range g.Members(c) {
+					for _, name := range tt.recursive {
+						if i, _ := g.prog.Index(name); i == ri {
+							isRec = true
+						}
+					}
+				}
+				if !isRec && g.Recursive(c) {
+					t.Errorf("component %d (%v) must not be recursive", c, g.Members(c))
+				}
+			}
+			if g.Pinned() != tt.pinned {
+				t.Errorf("Pinned() = %v, want %v", g.Pinned(), tt.pinned)
+			}
+			if tt.pinned && g.PinnedComponent() < 0 {
+				t.Error("pinned graph must name its pinned component")
+			}
+			checkInvariants(t, g)
+		})
+	}
+}
+
+// checkInvariants asserts the structural properties every Graph must
+// satisfy: the condensation is a DAG whose edges strictly separate the
+// endpoint waves in both schedules, component numbering is callee-first
+// topological, and the waves partition the components.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	seen := 0
+	for c := 0; c < g.NumComponents(); c++ {
+		seen += len(g.Members(c))
+		for _, ri := range g.Members(c) {
+			if g.Component(ri) != c {
+				t.Fatalf("routine %d listed in component %d but maps to %d",
+					ri, c, g.Component(ri))
+			}
+		}
+		for _, d := range g.ComponentCallees(c) {
+			if d == c {
+				t.Fatalf("condensation has a self-edge at %d", c)
+			}
+			// Component IDs come out of Tarjan callee-first: a callee
+			// component has the smaller ID.
+			if d >= c {
+				t.Errorf("callee component %d not numbered before caller %d", d, c)
+			}
+			// Every edge strictly separates waves in both schedules.
+			if g.CalleeFirstWave(d) >= g.CalleeFirstWave(c) {
+				t.Errorf("callee wave of %d (%d) not before caller %d (%d)",
+					d, g.CalleeFirstWave(d), c, g.CalleeFirstWave(c))
+			}
+			if g.CallerFirstWave(c) >= g.CallerFirstWave(d) {
+				t.Errorf("caller wave of %d (%d) not before callee %d (%d)",
+					c, g.CallerFirstWave(c), d, g.CallerFirstWave(d))
+			}
+		}
+	}
+	if seen != g.NumRoutines() {
+		t.Errorf("components cover %d routines, want %d", seen, g.NumRoutines())
+	}
+	for _, waves := range [][][]int{g.CalleeFirstWaves(), g.CallerFirstWaves()} {
+		covered := make([]bool, g.NumComponents())
+		for _, wave := range waves {
+			if !sort.IntsAreSorted(wave) {
+				t.Errorf("wave %v not ascending", wave)
+			}
+			for _, c := range wave {
+				if covered[c] {
+					t.Errorf("component %d scheduled twice", c)
+				}
+				covered[c] = true
+			}
+		}
+		for c, ok := range covered {
+			if !ok {
+				t.Errorf("component %d missing from schedule", c)
+			}
+		}
+	}
+}
+
+func TestCallerCalleeEdges(t *testing.T) {
+	g := build(t, `
+.start a
+.routine a
+  jsr b
+  jsr c
+  jsr b
+  halt
+.routine b
+  jsr c
+  ret
+.routine c
+  ret
+`)
+	ai, _ := g.prog.Index("a")
+	bi, _ := g.prog.Index("b")
+	ci, _ := g.prog.Index("c")
+	if got := g.Callees(ai); !reflect.DeepEqual(got, []int{bi, ci}) {
+		t.Errorf("Callees(a) = %v, want de-duplicated sorted [%d %d]", got, bi, ci)
+	}
+	if got := g.Callers(ci); !reflect.DeepEqual(got, []int{ai, bi}) {
+		t.Errorf("Callers(c) = %v, want [%d %d]", got, ai, bi)
+	}
+	if g.HasIndirectCall(ai) {
+		t.Error("a has no indirect call")
+	}
+}

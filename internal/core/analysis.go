@@ -5,6 +5,7 @@ import (
 	"time"
 	"unsafe"
 
+	"repro/internal/callgraph"
 	"repro/internal/callstd"
 
 	"repro/internal/cfg"
@@ -37,9 +38,25 @@ type Stats struct {
 	Phase1CPU   time.Duration
 	Phase2CPU   time.Duration
 
+	// CallGraphBuild is the time spent building and condensing the
+	// call graph that schedules the phases. It is reported separately
+	// and not folded into Total(), which keeps the five Figure 13
+	// stages comparable with the paper.
+	CallGraphBuild time.Duration
+
 	// Parallelism is the effective worker-pool size the parallel
 	// stages ran with.
 	Parallelism int
+
+	// SCC condensation shape and per-phase schedule counts. The wave
+	// and iteration counts are properties of the schedule, not of the
+	// worker pool: they are byte-identical at every parallelism
+	// setting (see DESIGN.md §6).
+	SCCComponents    int // strongly connected components in the call graph
+	Phase1Waves      int // callee-first waves phase 1 executed
+	Phase2Waves      int // caller-first waves phase 2 executed
+	Phase1Iterations int // total phase-1 worklist iterations
+	Phase2Iterations int // total phase-2 worklist iterations
 
 	// Structural counts (Tables 2, 3, 5).
 	Routines     int
@@ -110,7 +127,15 @@ type Analysis struct {
 	PSG       *PSG
 	Stats     Stats
 	Summaries []RoutineSummary
+
+	callGraph *callgraph.Graph
 }
+
+// CallGraph returns the call graph the phases were scheduled on: use it
+// to query a routine's component (CallGraph().Component(ri)), the
+// component's members, its callee/caller edges at both the routine and
+// component level, and its wave indices in the two schedules.
+func (a *Analysis) CallGraph() *callgraph.Graph { return a.callGraph }
 
 // Analyze performs the full interprocedural dataflow analysis of the
 // paper: CFG construction, DEF/UBD initialization, PSG construction,
@@ -125,12 +150,14 @@ type Analysis struct {
 //
 // The per-routine stages — CFG construction, DEF/UBD initialization
 // and flow-summary edge labeling — run on a bounded worker pool
-// (WithParallelism; GOMAXPROCS by default). Work is sharded by routine
-// and merged in routine order, so the resulting Analysis (summaries,
-// structural counts, node/edge IDs, DOT output) is byte-identical for
-// every parallelism setting. Phases 1 and 2 are sequential worklist
-// iterations for now; they consume the same option-derived Config so
-// the worklist can be sharded later without touching callers.
+// (WithParallelism; GOMAXPROCS by default), sharded by routine and
+// merged in routine order. Phases 1 and 2 are scheduled over the call
+// graph's SCC condensation (see CallGraph): components are solved in
+// dependency-ordered waves — callee-first for phase 1, caller-first
+// for phase 2 — and the components of each wave run concurrently on
+// the same pool. The resulting Analysis (summaries, structural counts,
+// schedule counts, node/edge IDs, DOT output) is byte-identical for
+// every parallelism setting; DESIGN.md §6 gives the argument.
 func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
 	conf := NewConfig(opts...)
 	if err := p.Validate(); err != nil {
@@ -153,14 +180,18 @@ func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
 	a.Stats.PSGBuild = time.Since(start)
 
 	start = time.Now()
-	a.PSG.runPhase1(conf)
-	a.Stats.Phase1 = time.Since(start)
-	a.Stats.Phase1CPU = a.Stats.Phase1
+	a.callGraph = callgraph.Build(p, callgraph.WithIndirectPinning(conf.LinkIndirectCalls))
+	a.Stats.CallGraphBuild = time.Since(start)
+	a.Stats.SCCComponents = a.callGraph.NumComponents()
+	sched := newPhaseSched(a.PSG, a.callGraph, conf)
 
 	start = time.Now()
-	a.PSG.runPhase2(conf)
+	a.Stats.Phase1Waves, a.Stats.Phase1Iterations, a.Stats.Phase1CPU = sched.runPhase1()
+	a.Stats.Phase1 = time.Since(start)
+
+	start = time.Now()
+	a.Stats.Phase2Waves, a.Stats.Phase2Iterations, a.Stats.Phase2CPU = sched.runPhase2()
 	a.Stats.Phase2 = time.Since(start)
-	a.Stats.Phase2CPU = a.Stats.Phase2
 
 	a.collectSummaries()
 	a.collectCounts()
@@ -232,31 +263,45 @@ func (a *Analysis) graphBytes() uint64 {
 // Summary returns the summary of the routine with the given index.
 func (a *Analysis) Summary(ri int) *RoutineSummary { return &a.Summaries[ri] }
 
-// CallSummaryFor returns the call-used, call-defined and call-killed
-// sets to apply at a direct call to entrance e of routine ri.
-func (a *Analysis) CallSummaryFor(ri, e int) (used, defined, killed regset.Set) {
-	s := &a.Summaries[ri]
-	return s.CallUsed[e], s.CallDefined[e], s.CallKilled[e]
+// CallSummary bundles the three sets a caller applies at a call site
+// (§2): the registers the callee may read before writing (Used), the
+// registers it defines on every path (Defined), and the registers it
+// may write at all (Killed).
+type CallSummary struct {
+	Used    regset.Set
+	Defined regset.Set
+	Killed  regset.Set
 }
 
-// IndirectCallSummary returns the sets to apply at an indirect call
+// CallSummaryFor returns the summary to apply at a direct call to
+// entrance e of routine ri.
+func (a *Analysis) CallSummaryFor(ri, e int) CallSummary {
+	s := &a.Summaries[ri]
+	return CallSummary{
+		Used:    s.CallUsed[e],
+		Defined: s.CallDefined[e],
+		Killed:  s.CallKilled[e],
+	}
+}
+
+// IndirectCallSummary returns the summary to apply at an indirect call
 // site: the §3.5 calling-standard assumption, widened — under the
 // closed-world configuration — with the summaries of every
 // address-taken routine (any of them could be the target).
-func (a *Analysis) IndirectCallSummary() (used, defined, killed regset.Set) {
+func (a *Analysis) IndirectCallSummary() CallSummary {
 	std := callstd.UnknownCallSummary()
-	used, defined, killed = std.Used, std.Defined, std.Killed
+	cs := CallSummary{Used: std.Used, Defined: std.Defined, Killed: std.Killed}
 	if !a.Config.LinkIndirectCalls {
-		return used, defined, killed
+		return cs
 	}
 	for ri, r := range a.Prog.Routines {
 		if !r.AddressTaken {
 			continue
 		}
 		s := &a.Summaries[ri]
-		used = used.Union(s.CallUsed[0])
-		defined = defined.Intersect(s.CallDefined[0])
-		killed = killed.Union(s.CallKilled[0])
+		cs.Used = cs.Used.Union(s.CallUsed[0])
+		cs.Defined = cs.Defined.Intersect(s.CallDefined[0])
+		cs.Killed = cs.Killed.Union(s.CallKilled[0])
 	}
-	return used, defined, killed
+	return cs
 }

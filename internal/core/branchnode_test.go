@@ -166,7 +166,10 @@ b:
 		t.Fatal(err)
 	}
 	fi, _ := p.Index("f")
-	used, defined, killed := a.CallSummaryFor(fi, 0)
+	cs := a.CallSummaryFor(fi, 0)
+	used := cs.Used
+	defined := cs.Defined
+	killed := cs.Killed
 	// t9 (the switch index) is used; r1 defined before its use at
 	// target a.
 	if !used.Contains(regset.T9) {

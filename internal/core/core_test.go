@@ -64,7 +64,10 @@ func TestFigure2Phase1Summaries(t *testing.T) {
 	check := func(name string, wantUsed, wantDefined, wantKilled regset.Set) {
 		t.Helper()
 		ri, _ := p.Index(name)
-		used, defined, killed := a.CallSummaryFor(ri, 0)
+		cs := a.CallSummaryFor(ri, 0)
+		used := cs.Used
+		defined := cs.Defined
+		killed := cs.Killed
 		if got := used.Intersect(paperRegs); got != wantUsed {
 			t.Errorf("%s: call-used = %v, want %v", name, got, wantUsed)
 		}
@@ -274,7 +277,10 @@ func TestTransitiveCallSummaries(t *testing.T) {
 `
 	a := analyze(t, src)
 	ai, _ := a.Prog.Index("a")
-	used, defined, killed := a.CallSummaryFor(ai, 0)
+	cs := a.CallSummaryFor(ai, 0)
+	used := cs.Used
+	defined := cs.Defined
+	killed := cs.Killed
 	if !used.Contains(regset.R1) {
 		t.Errorf("transitive call-used missing r1: %v", used)
 	}
@@ -304,7 +310,9 @@ base:
 `
 	a := analyze(t, src)
 	fi, _ := a.Prog.Index("fact")
-	used, defined, _ := a.CallSummaryFor(fi, 0)
+	cs := a.CallSummaryFor(fi, 0)
+	used := cs.Used
+	defined := cs.Defined
 	if !used.Contains(regset.A0) {
 		t.Errorf("recursive call-used missing a0: %v", used)
 	}
@@ -347,7 +355,9 @@ no:
 	a := analyze(t, src)
 	for _, name := range []string{"even", "odd"} {
 		ri, _ := a.Prog.Index(name)
-		used, defined, _ := a.CallSummaryFor(ri, 0)
+		cs := a.CallSummaryFor(ri, 0)
+		used := cs.Used
+		defined := cs.Defined
 		if !used.Contains(regset.A0) || !used.Contains(regset.T0) {
 			t.Errorf("%s call-used = %v, want a0 and t0", name, used)
 		}
@@ -377,7 +387,9 @@ other:
 `
 	a := analyze(t, src)
 	fi, _ := a.Prog.Index("f")
-	_, defined, killed := a.CallSummaryFor(fi, 0)
+	cs := a.CallSummaryFor(fi, 0)
+	defined := cs.Defined
+	killed := cs.Killed
 	if defined.Contains(regset.R2) || defined.Contains(regset.R3) {
 		t.Errorf("one-sided defs must not be call-defined: %v", defined)
 	}
@@ -405,7 +417,10 @@ func TestCalleeSavedFiltering(t *testing.T) {
 `
 	a := analyze(t, src)
 	fi, _ := a.Prog.Index("f")
-	used, defined, killed := a.CallSummaryFor(fi, 0)
+	cs := a.CallSummaryFor(fi, 0)
+	used := cs.Used
+	defined := cs.Defined
+	killed := cs.Killed
 	if used.Contains(regset.S0) {
 		t.Errorf("saved/restored s0 must not be call-used: %v", used)
 	}
@@ -433,7 +448,7 @@ func TestUnsavedCalleeSavedPropagates(t *testing.T) {
 `
 	a := analyze(t, src)
 	fi, _ := a.Prog.Index("f")
-	_, _, killed := a.CallSummaryFor(fi, 0)
+	killed := a.CallSummaryFor(fi, 0).Killed
 	if !killed.Contains(regset.S0) {
 		t.Errorf("unsaved s0 clobber must be call-killed: %v", killed)
 	}
@@ -450,7 +465,10 @@ func TestUnknownIndirectJumpConservative(t *testing.T) {
 `
 	a := analyze(t, src)
 	fi, _ := a.Prog.Index("f")
-	used, defined, killed := a.CallSummaryFor(fi, 0)
+	cs := a.CallSummaryFor(fi, 0)
+	used := cs.Used
+	defined := cs.Defined
+	killed := cs.Killed
 	if !used.Contains(regset.S3) || !used.Contains(regset.F7) {
 		t.Errorf("unknown jump must make all registers call-used: %v", used)
 	}
@@ -555,8 +573,8 @@ join:
 		t.Fatalf("Analyze: %v", err)
 	}
 	fi, _ := p.Index("f")
-	used0, _, _ := a.CallSummaryFor(fi, 0)
-	used1, _, _ := a.CallSummaryFor(fi, 1)
+	used0 := a.CallSummaryFor(fi, 0).Used
+	used1 := a.CallSummaryFor(fi, 1).Used
 	if !used0.Contains(regset.R1) {
 		t.Errorf("entry 0 must use r1: %v", used0)
 	}

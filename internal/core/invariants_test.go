@@ -166,7 +166,7 @@ func TestInvariantPhase1UseContainsNoEntryDefined(t *testing.T) {
 `
 	a := analyze(t, src)
 	fi, _ := a.Prog.Index("f")
-	used, _, _ := a.CallSummaryFor(fi, 0)
+	used := a.CallSummaryFor(fi, 0).Used
 	if used.Contains(regset.T3) {
 		t.Errorf("t3 defined at entry; not call-used: %v", used)
 	}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"time"
+
+	"repro/internal/callgraph"
 	"repro/internal/callstd"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/regset"
 )
 
@@ -15,6 +19,20 @@ import (
 // DESIGN.md): at a node with several outgoing edges the MUST-DEF sets
 // are intersected, not unioned — a register is only "defined by the
 // call" if it is defined along every path.
+//
+// Both phases are scheduled over the call graph's SCC condensation
+// (internal/callgraph) instead of one global worklist: every PSG edge
+// is intraprocedural, so cross-routine information moves only through
+// entry-summary broadcasts (phase 1, callee → caller) and return-site
+// links (phase 2, caller → callee). Each strongly connected component
+// is therefore a self-contained fixed-point problem once the
+// components it depends on have converged, and components that share a
+// wave have no dependency between them, so a wave's components run
+// concurrently on the worker pool. DESIGN.md §6 develops the
+// determinism argument: the converged sets are the unique fixed point
+// of monotone equations, so the result is byte-identical to a single
+// global worklist at every parallelism setting, and the per-component
+// iteration counts depend only on the schedule, not on the workers.
 
 // indirect reports whether a call-return edge belongs to an indirect
 // call: there is no single callee entry node to refine it (§3.5).
@@ -64,7 +82,70 @@ func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Se
 	return mayUse, mayDef, mustDef
 }
 
-// runPhase1 iterates the Figure 8 equations to a fixed point.
+// phaseSched drives both interprocedural phases over the SCC wave
+// schedule. It maps each PSG node to its routine's component and to a
+// dense index within that component, so each component's worklist is
+// sized to the component rather than to the whole graph.
+type phaseSched struct {
+	g       *PSG
+	cg      *callgraph.Graph
+	conf    Config
+	workers int
+
+	compNodes [][]int // component → member node IDs, ascending
+	nodeComp  []int   // node ID → component
+	localIdx  []int   // node ID → index within compNodes[component]
+
+	// Phase-1 indirect-call machinery (§3.5): the indirect call-return
+	// edges and the entry nodes of address-taken routines, all of which
+	// the call graph pins into pinnedComp so their mutual dependency
+	// stays inside one component.
+	indirectEdges    []int
+	addrTakenEntries []int
+	pinnedComp       int
+}
+
+func newPhaseSched(g *PSG, cg *callgraph.Graph, conf Config) *phaseSched {
+	s := &phaseSched{
+		g:          g,
+		cg:         cg,
+		conf:       conf,
+		workers:    conf.Workers(),
+		compNodes:  make([][]int, cg.NumComponents()),
+		nodeComp:   make([]int, len(g.Nodes)),
+		localIdx:   make([]int, len(g.Nodes)),
+		pinnedComp: -1,
+	}
+	for _, n := range g.Nodes {
+		c := cg.Component(n.Routine)
+		s.nodeComp[n.ID] = c
+		s.localIdx[n.ID] = len(s.compNodes[c])
+		s.compNodes[c] = append(s.compNodes[c], n.ID)
+	}
+	return s
+}
+
+// runWaves executes one phase's wave schedule, solving the components
+// of each wave concurrently on the worker pool and the waves in order.
+// It returns the wave count, the total worklist iterations (summed
+// deterministically per component), and the aggregate solver CPU time.
+func (s *phaseSched) runWaves(schedule [][]int, solve func(c int) int) (waves, iters int, cpu time.Duration) {
+	counts := make([]int, s.cg.NumComponents())
+	for _, wave := range schedule {
+		wave := wave
+		cpu += par.ForEach(len(wave), s.workers, func(i int) {
+			c := wave[i]
+			counts[c] = solve(c)
+		})
+	}
+	for _, k := range counts {
+		iters += k
+	}
+	return len(schedule), iters, cpu
+}
+
+// runPhase1 solves the Figure 8 equations component by component in
+// callee-first waves.
 //
 // MAY sets start empty and grow; MUST-DEF starts optimistically at All
 // and shrinks under intersection, which is what lets recursive and
@@ -73,20 +154,22 @@ func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Se
 // the empty set on their first visit, so the optimism is bounded by the
 // real paths. Direct call-return edges start optimistic too; the entry
 // broadcast refines them downward.
-func (g *PSG) runPhase1(conf Config) {
-	var indirectEdges []int
-	addrTakenEntries := map[int]bool{} // entry-node IDs of address-taken routines
+func (s *phaseSched) runPhase1() (waves, iters int, cpu time.Duration) {
+	g, conf := s.g, s.conf
 	for _, e := range g.Edges {
 		if e.indirect(g) {
-			indirectEdges = append(indirectEdges, e.ID)
+			s.indirectEdges = append(s.indirectEdges, e.ID)
 		}
 	}
-	if conf.LinkIndirectCalls && len(indirectEdges) > 0 {
+	if conf.LinkIndirectCalls && len(s.indirectEdges) > 0 {
 		for ri, r := range g.Prog.Routines {
 			if r.AddressTaken {
 				// Function pointers denote the primary entrance.
-				addrTakenEntries[g.EntryNodes[ri][0]] = true
+				s.addrTakenEntries = append(s.addrTakenEntries, g.EntryNodes[ri][0])
 			}
+		}
+		if len(s.addrTakenEntries) > 0 {
+			s.pinnedComp = s.cg.PinnedComponent()
 		}
 	}
 
@@ -107,72 +190,140 @@ func (g *PSG) runPhase1(conf Config) {
 		// Open-world indirect edges keep the §3.5 calling-standard
 		// label set at construction.
 	}
+	if conf.LinkIndirectCalls && len(s.indirectEdges) > 0 && len(s.addrTakenEntries) == 0 {
+		// Closed world with no address-taken routine: no target can be
+		// invoked indirectly, so every indirect edge carries exactly the
+		// calling-standard summary — a constant, settled before any
+		// component runs.
+		std := callstd.UnknownCallSummary()
+		for _, eid := range s.indirectEdges {
+			e := g.Edges[eid]
+			e.MayUse, e.MayDef, e.MustDef = std.Used, std.Killed, std.Defined
+		}
+	}
 
-	wl := newIntQueue(len(g.Nodes))
+	waves, iters, cpu = s.runWaves(s.cg.CalleeFirstWaves(), s.solvePhase1)
+	for _, n := range g.Nodes {
+		n.phase1Use = n.MayUse
+	}
+	return waves, iters, cpu
+}
+
+// solvePhase1 iterates one component's Figure 8 equations to a fixed
+// point and returns the number of worklist iterations. Call-return
+// edges into components of later waves are labeled once, from the
+// converged entry summaries, after the component settles.
+func (s *phaseSched) solvePhase1(c int) int {
+	g := s.g
+	nodes := s.compNodes[c]
+	if len(nodes) == 0 {
+		return 0
+	}
+	wl := newIntQueue(len(nodes))
+	pinned := c == s.pinnedComp
 
 	// updateIndirect relabels every indirect call-return edge with the
 	// closed-world combination of the calling-standard summary and all
-	// address-taken routines' (§3.4-filtered) entry summaries.
+	// address-taken routines' (§3.4-filtered) entry summaries. All of
+	// those edges and entries live in the pinned component.
 	updateIndirect := func() {
 		std := callstd.UnknownCallSummary()
 		mu, md, msd := std.Used, std.Killed, std.Defined
-		for id := range addrTakenEntries {
+		for _, id := range s.addrTakenEntries {
 			n := g.Nodes[id]
 			sr := g.SavedRestored[n.Routine]
 			mu = mu.Union(n.MayUse.Minus(sr))
 			md = md.Union(n.MayDef.Minus(sr))
 			msd = msd.Intersect(n.MustDef.Minus(sr))
 		}
-		for _, eid := range indirectEdges {
+		for _, eid := range s.indirectEdges {
 			e := g.Edges[eid]
 			if e.MayUse != mu || e.MayDef != md || e.MustDef != msd {
 				e.MayUse, e.MayDef, e.MustDef = mu, md, msd
-				wl.push(e.Src)
+				wl.push(s.localIdx[e.Src])
 			}
 		}
 	}
 
 	// Seed in reverse so exits (created after entries per routine)
 	// tend to be processed before the nodes that depend on them.
-	for i := len(g.Nodes) - 1; i >= 0; i-- {
+	for i := len(nodes) - 1; i >= 0; i-- {
 		wl.push(i)
 	}
-	if conf.LinkIndirectCalls && len(indirectEdges) > 0 {
+	if pinned {
 		updateIndirect() // establish the calling-standard baseline
 	}
+	pops := 0
 	for !wl.empty() {
-		n := g.Nodes[wl.pop()]
+		n := g.Nodes[nodes[wl.pop()]]
+		pops++
 		mu, md, msd := g.recompute(n, false)
 		if mu == n.MayUse && md == n.MayDef && msd == n.MustDef {
 			continue
 		}
 		n.MayUse, n.MayDef, n.MustDef = mu, md, msd
-		// Propagate to in-neighbours within the routine.
+		// Propagate to in-neighbours; every PSG edge is intraprocedural,
+		// so these are always in this component.
 		for _, eid := range n.In {
-			wl.push(g.Edges[eid].Src)
+			if src := g.Edges[eid].Src; s.nodeComp[src] == c {
+				wl.push(s.localIdx[src])
+			}
 		}
-		// §3.2: entry nodes broadcast their sets to every
-		// call-return edge representing a call to this entrance,
-		// after filtering saved-and-restored callee-saved registers
-		// (§3.4).
+		// §3.2: entry nodes broadcast their sets to every call-return
+		// edge representing a call to this entrance, after filtering
+		// saved-and-restored callee-saved registers (§3.4). Only edges
+		// inside this component (recursive calls) can still react;
+		// edges in caller components are finalized below.
 		if n.Kind == NodeEntry {
 			sr := g.SavedRestored[n.Routine]
 			fu, fd, fm := mu.Minus(sr), md.Minus(sr), msd.Minus(sr)
 			for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
 				e := g.Edges[eid]
+				if s.nodeComp[e.Src] != c {
+					continue
+				}
 				if e.MayUse != fu || e.MayDef != fd || e.MustDef != fm {
 					e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
-					wl.push(e.Src)
+					wl.push(s.localIdx[e.Src])
 				}
 			}
-			if addrTakenEntries[n.ID] {
+			if pinned && s.isAddrTakenEntry(n.ID) {
 				updateIndirect()
 			}
 		}
 	}
-	for _, n := range g.Nodes {
-		n.phase1Use = n.MayUse
+	// Broadcast the converged entry summaries outward. The affected
+	// edges belong to caller components, which the callee-first wave
+	// order schedules strictly later, so no reader is running yet.
+	for _, nid := range nodes {
+		n := g.Nodes[nid]
+		if n.Kind != NodeEntry {
+			continue
+		}
+		sr := g.SavedRestored[n.Routine]
+		fu, fd, fm := n.MayUse.Minus(sr), n.MayDef.Minus(sr), n.MustDef.Minus(sr)
+		for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
+			e := g.Edges[eid]
+			if s.nodeComp[e.Src] != c {
+				e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
+			}
+		}
 	}
+	return pops
+}
+
+// isAddrTakenEntry reports whether node id is the primary entry node of
+// an address-taken routine (the addrTakenEntries list is ascending).
+func (s *phaseSched) isAddrTakenEntry(id int) bool {
+	for _, e := range s.addrTakenEntries {
+		if e == id {
+			return true
+		}
+		if e > id {
+			return false
+		}
+	}
+	return false
 }
 
 // Phase 2 (§3.3, Figure 10) computes liveness: MAY-USE flows backward
@@ -270,34 +421,60 @@ func (g *PSG) exitDependents() map[int][]int {
 	return dep
 }
 
-// runPhase2 iterates the Figure 10 equations to a fixed point. The
+// runPhase2 solves the Figure 10 equations in caller-first waves. The
 // MUST-DEF and MAY-USE labels of call-return edges computed during
 // phase 1 are retained (§3.3); node MAY-USE sets are recomputed from
-// scratch as liveness.
-func (g *PSG) runPhase2(conf Config) {
-	g.linkReturnSites(conf)
+// scratch as liveness. A callee's exits read the converged liveness of
+// its callers' return nodes, which the caller-first order schedules
+// strictly earlier.
+func (s *phaseSched) runPhase2() (waves, iters int, cpu time.Duration) {
+	g := s.g
+	g.linkReturnSites(s.conf)
 	dep := g.exitDependents()
 	for _, n := range g.Nodes {
 		n.MayUse = regset.Empty
 	}
-	wl := newIntQueue(len(g.Nodes))
-	for i := len(g.Nodes) - 1; i >= 0; i-- {
+	return s.runWaves(s.cg.CallerFirstWaves(), func(c int) int {
+		return s.solvePhase2(c, dep)
+	})
+}
+
+// solvePhase2 iterates one component's liveness to a fixed point,
+// returning the number of worklist iterations.
+func (s *phaseSched) solvePhase2(c int, dep map[int][]int) int {
+	g := s.g
+	nodes := s.compNodes[c]
+	if len(nodes) == 0 {
+		return 0
+	}
+	wl := newIntQueue(len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
 		wl.push(i)
 	}
+	pops := 0
 	for !wl.empty() {
-		n := g.Nodes[wl.pop()]
+		n := g.Nodes[nodes[wl.pop()]]
+		pops++
 		mu, _, _ := g.recompute(n, true)
 		if mu == n.MayUse {
 			continue
 		}
 		n.MayUse = mu
 		for _, eid := range n.In {
-			wl.push(g.Edges[eid].Src)
+			if src := g.Edges[eid].Src; s.nodeComp[src] == c {
+				wl.push(s.localIdx[src])
+			}
 		}
 		if n.Kind == NodeReturn {
+			// Exits in this component re-read us through their
+			// retSites; exits in callee components are seeded after
+			// this component converges and pull the final value then.
 			for _, x := range dep[n.ID] {
-				wl.push(x)
+				if s.nodeComp[x] == c {
+					wl.push(s.localIdx[x])
+				}
 			}
 		}
 	}
+	return pops
 }

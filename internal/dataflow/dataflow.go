@@ -20,26 +20,46 @@ import (
 	"repro/internal/regset"
 )
 
-// Opts customizes the liveness analysis with interprocedural knowledge.
-// The zero value falls back to the calling-standard assumptions.
-type Opts struct {
-	// CallTransfer returns the (call-used, call-defined) summary of a
+// liveOpts customizes the liveness analysis with interprocedural
+// knowledge. The zero value falls back to the calling-standard
+// assumptions; ComputeLiveness options fill it in.
+type liveOpts struct {
+	// callTransfer returns the (call-used, call-defined) summary of a
 	// call instruction, typically from the interprocedural analysis.
 	// Returning ok == false falls back to the calling-standard
 	// assumption for that call.
-	CallTransfer func(in *isa.Instr) (use, def regset.Set, ok bool)
+	callTransfer func(in *isa.Instr) (use, def regset.Set, ok bool)
 
-	// ExitLiveOut returns the registers live when the routine exits
+	// exitLiveOut returns the registers live when the routine exits
 	// through block b (the interprocedural live-at-exit set). When nil,
 	// exits contribute nothing.
-	ExitLiveOut func(b *cfg.Block) regset.Set
+	exitLiveOut func(b *cfg.Block) regset.Set
+}
+
+// Option configures ComputeLiveness, in the same functional-options
+// style as core.Analyze.
+type Option func(*liveOpts)
+
+// WithCallTransfer supplies the (call-used, call-defined) summary of a
+// call instruction, typically from the interprocedural analysis.
+// Returning ok == false falls back to the calling-standard assumption
+// for that call.
+func WithCallTransfer(f func(in *isa.Instr) (use, def regset.Set, ok bool)) Option {
+	return func(o *liveOpts) { o.callTransfer = f }
+}
+
+// WithExitLiveOut supplies the registers live when the routine exits
+// through a given block (the interprocedural live-at-exit set).
+// Without it, exits contribute nothing.
+func WithExitLiveOut(f func(b *cfg.Block) regset.Set) Option {
+	return func(o *liveOpts) { o.exitLiveOut = f }
 }
 
 // Liveness holds the result of a backward liveness analysis over one
 // routine.
 type Liveness struct {
 	graph *cfg.Graph
-	opts  Opts
+	opts  liveOpts
 
 	// In[b] is the set of registers live at entry to block b; Out[b] at
 	// exit from block b.
@@ -48,9 +68,9 @@ type Liveness struct {
 }
 
 // callXfer returns the (use, mustDef) transfer for a call instruction.
-func (o *Opts) callXfer(in *isa.Instr) (use, def regset.Set) {
-	if o.CallTransfer != nil {
-		if u, d, ok := o.CallTransfer(in); ok {
+func (o *liveOpts) callXfer(in *isa.Instr) (use, def regset.Set) {
+	if o.callTransfer != nil {
+		if u, d, ok := o.callTransfer(in); ok {
 			return u, d
 		}
 	}
@@ -61,7 +81,7 @@ func (o *Opts) callXfer(in *isa.Instr) (use, def regset.Set) {
 // instrXfer applies the backward liveness transfer of one instruction:
 // live-before = (live-after − mustDefs) ∪ uses. Calls compose the callee
 // summary with the instruction's own register effects (jsr defines ra).
-func (o *Opts) instrXfer(in *isa.Instr, after regset.Set) regset.Set {
+func (o *liveOpts) instrXfer(in *isa.Instr, after regset.Set) regset.Set {
 	uses, defs := in.Uses(), in.Defs()
 	if in.Op == isa.OpJsr || in.Op == isa.OpJsrInd {
 		cu, cd := o.callXfer(in)
@@ -75,7 +95,7 @@ func (o *Opts) instrXfer(in *isa.Instr, after regset.Set) regset.Set {
 
 // blockXfer applies the backward transfer of a whole block to the
 // live-out set.
-func (o *Opts) blockXfer(g *cfg.Graph, b *cfg.Block, out regset.Set) regset.Set {
+func (o *liveOpts) blockXfer(g *cfg.Graph, b *cfg.Block, out regset.Set) regset.Set {
 	live := out
 	for i := b.End - 1; i >= b.Start; i-- {
 		live = o.instrXfer(&g.Routine.Code[i], live)
@@ -87,31 +107,35 @@ func (o *Opts) blockXfer(g *cfg.Graph, b *cfg.Block, out regset.Set) regset.Set 
 // its terminator class rather than by intraprocedural successors: blocks
 // ending in an indirect jump with unknown targets make every register
 // live (§3.5); exit blocks contribute the live-at-exit set.
-func (o *Opts) blockSeed(b *cfg.Block) regset.Set {
+func (o *liveOpts) blockSeed(b *cfg.Block) regset.Set {
 	switch b.Term {
 	case cfg.TermUnknownJump:
 		return callstd.UnknownJumpLive()
 	case cfg.TermExit:
-		if o.ExitLiveOut != nil {
-			return o.ExitLiveOut(b)
+		if o.exitLiveOut != nil {
+			return o.exitLiveOut(b)
 		}
 	}
 	return regset.Empty
 }
 
 // ComputeLiveness runs backward may-liveness to a fixed point over the
-// routine's blocks using the calling-standard assumptions for calls.
-func ComputeLiveness(g *cfg.Graph) *Liveness {
-	return ComputeLivenessOpts(g, Opts{})
-}
-
-// ComputeLivenessOpts runs backward may-liveness with interprocedural
-// summaries supplied by opts.
-func ComputeLivenessOpts(g *cfg.Graph, opts Opts) *Liveness {
+// routine's blocks. With no options every call uses the
+// calling-standard assumptions and exits contribute nothing; the
+// options supply interprocedural summaries:
+//
+//	dataflow.ComputeLiveness(g)                          // calling standard
+//	dataflow.ComputeLiveness(g, dataflow.WithCallTransfer(f),
+//		dataflow.WithExitLiveOut(x))                 // summarized form
+func ComputeLiveness(g *cfg.Graph, opts ...Option) *Liveness {
+	var o liveOpts
+	for _, op := range opts {
+		op(&o)
+	}
 	n := len(g.Blocks)
 	lv := &Liveness{
 		graph: g,
-		opts:  opts,
+		opts:  o,
 		In:    make([]regset.Set, n),
 		Out:   make([]regset.Set, n),
 	}
@@ -123,12 +147,12 @@ func ComputeLivenessOpts(g *cfg.Graph, opts Opts) *Liveness {
 	for !wl.Empty() {
 		id := wl.Pop()
 		b := g.Blocks[id]
-		out := opts.blockSeed(b)
+		out := o.blockSeed(b)
 		for _, s := range b.Succs {
 			out = out.Union(lv.In[s])
 		}
 		lv.Out[id] = out
-		in := opts.blockXfer(g, b, out)
+		in := o.blockXfer(g, b, out)
 		if in != lv.In[id] {
 			lv.In[id] = in
 			for _, p := range b.Preds {

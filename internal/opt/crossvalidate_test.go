@@ -31,7 +31,7 @@ func TestSummarizedFormLivenessMatches(t *testing.T) {
 			// Intraprocedural liveness on the summarized routine: the
 			// pseudo-instructions carry all interprocedural facts.
 			sg := cfg.Build(s, ri)
-			slv := dataflow.ComputeLivenessOpts(sg, dataflow.Opts{})
+			slv := dataflow.ComputeLiveness(sg)
 
 			// Compare liveness before every original instruction.
 			// Summarize inserts markers, so walk both instruction

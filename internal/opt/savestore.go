@@ -90,7 +90,7 @@ func routineCallKills(a *core.Analysis, ri int, extraKill []regset.Set, reach []
 		switch r.Code[i].Op {
 		case isa.OpJsr:
 			tgt := r.Code[i].Target
-			_, _, killed := a.CallSummaryFor(tgt, int(r.Code[i].Imm))
+			killed := a.CallSummaryFor(tgt, int(r.Code[i].Imm)).Killed
 			kills = kills.Union(killed).Union(extraKill[tgt])
 		case isa.OpJsrInd:
 			anyIndirect = true

@@ -38,7 +38,7 @@ func removeCallSpills(a *core.Analysis) int {
 			if call.Op != isa.OpJsr {
 				continue
 			}
-			_, _, killed := a.CallSummaryFor(call.Target, int(call.Imm))
+			killed := a.CallSummaryFor(call.Target, int(call.Imm)).Killed
 			retBlock := g.Blocks[b.Succs[0]]
 			if len(retBlock.Preds) != 1 {
 				continue

@@ -33,28 +33,26 @@ import (
 func Liveness(a *core.Analysis, ri int) *dataflow.Liveness {
 	sums := a.Summaries
 	self := &sums[ri]
-	indUsed, indDefined, _ := a.IndirectCallSummary()
-	opts := dataflow.Opts{
-		CallTransfer: func(in *isa.Instr) (regset.Set, regset.Set, bool) {
+	ind := a.IndirectCallSummary()
+	return dataflow.ComputeLiveness(a.Graphs[ri],
+		dataflow.WithCallTransfer(func(in *isa.Instr) (regset.Set, regset.Set, bool) {
 			switch in.Op {
 			case isa.OpJsr:
 				s := &sums[in.Target]
 				return s.CallUsed[in.Imm], s.CallDefined[in.Imm], true
 			case isa.OpJsrInd:
-				return indUsed, indDefined, true
+				return ind.Used, ind.Defined, true
 			}
 			return regset.Empty, regset.Empty, false
-		},
-		ExitLiveOut: func(b *cfg.Block) regset.Set {
+		}),
+		dataflow.WithExitLiveOut(func(b *cfg.Block) regset.Set {
 			for i, blk := range self.ExitBlocks {
 				if blk == b.ID {
 					return self.LiveAtExit[i]
 				}
 			}
 			return regset.Empty
-		},
-	}
-	return dataflow.ComputeLivenessOpts(a.Graphs[ri], opts)
+		}))
 }
 
 // ConservativeLiveness computes the per-instruction liveness a
@@ -65,10 +63,8 @@ func Liveness(a *core.Analysis, ri int) *dataflow.Liveness {
 func ConservativeLiveness(a *core.Analysis, ri int) *dataflow.Liveness {
 	exitLive := callstd.Return.Union(callstd.CalleeSaved).
 		Union(regset.Of(regset.SP, regset.GP))
-	opts := dataflow.Opts{
-		ExitLiveOut: func(*cfg.Block) regset.Set { return exitLive },
-	}
-	return dataflow.ComputeLivenessOpts(a.Graphs[ri], opts)
+	return dataflow.ComputeLiveness(a.Graphs[ri],
+		dataflow.WithExitLiveOut(func(*cfg.Block) regset.Set { return exitLive }))
 }
 
 // Summarize returns the §2 summarized form of the program: each call
@@ -95,11 +91,11 @@ func Summarize(a *core.Analysis) *prog.Program {
 					cs.CallDefined[in.Imm].Add(regset.RA),
 					cs.CallKilled[in.Imm].Add(regset.RA))
 			case isa.OpJsrInd:
-				iu, id, ik := a.IndirectCallSummary()
+				ics := a.IndirectCallSummary()
 				sum := isa.CallSummary(
-					iu.Remove(regset.RA).Add(in.Src1),
-					id.Add(regset.RA),
-					ik.Add(regset.RA))
+					ics.Used.Remove(regset.RA).Add(in.Src1),
+					ics.Defined.Add(regset.RA),
+					ics.Killed.Add(regset.RA))
 				r.Code[i] = sum
 			}
 		}

@@ -283,7 +283,9 @@ func TestGeneratedAddressTakenConformance(t *testing.T) {
 			if !r.AddressTaken {
 				continue
 			}
-			used, defined, _ := a.CallSummaryFor(ri, 0)
+			cs := a.CallSummaryFor(ri, 0)
+			used := cs.Used
+			defined := cs.Defined
 			if !used.SubsetOf(allowed) {
 				t.Fatalf("seed %d: address-taken %s call-used %v escapes the standard's %v",
 					seed, r.Name, used, allowed)
