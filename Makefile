@@ -4,7 +4,16 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-json verify
+# The benchmark set recorded in BENCH_phases.json: the end-to-end
+# parallel-pipeline benchmarks at the repo root plus the per-stage
+# allocation benchmarks in internal/core.
+BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkLabeling|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$
+BENCH_PKGS = . ./internal/core/
+
+# Baseline git ref for `make bench-compare`.
+BASE ?= HEAD~1
+
+.PHONY: build vet test race bench bench-json bench-compare profile verify
 
 build:
 	$(GO) build ./...
@@ -25,15 +34,38 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run 'XXX' ./...
 
-# Machine-readable record of the parallel-pipeline benchmarks: the
-# per-routine stage speedup (BenchmarkAnalyzeParallel) and the
-# SCC-scheduled phase speedup (BenchmarkPhasesParallel), captured as a
-# test2json stream in BENCH_phases.json. Regenerate on perf-relevant
-# changes so the trajectory is tracked in-repo; wall-time metrics are
-# meaningful relative to the machine that produced them (the committed
-# file records GOMAXPROCS in the "workers" metric).
+# Machine-readable record of the hot-path benchmarks. The raw
+# `go test -json` stream is unstable across runs (timestamps, event
+# interleaving) and does not belong in git; cmd/benchjson folds it into
+# one compact {benchmark: {metric: value}} document so BENCH_phases.json
+# diffs cleanly across PRs. Wall-time metrics are meaningful relative to
+# the machine that produced them; allocs/op and B/op are portable.
 bench-json:
-	$(GO) test -run XXX -bench 'BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$' \
-		-benchtime 3x -json . > BENCH_phases.json
+	$(GO) test -run XXX -bench '$(BENCH_SET)' -benchmem -benchtime 3x -json \
+		$(BENCH_PKGS) | $(GO) run ./cmd/benchjson > BENCH_phases.json
+
+# Benchstat-style comparison of the benchmark set against a baseline
+# ref (default HEAD~1): checks the baseline out into a scratch worktree,
+# measures both trees with identical flags, and prints per-metric delta
+# tables via cmd/benchdelta. Usage: make bench-compare BASE=v1.2 — the
+# tools run from the current tree, so the baseline needs no cmd/bench*.
+bench-compare:
+	@rm -rf .bench-baseline && git worktree prune
+	git worktree add --detach .bench-baseline $(BASE)
+	$(GO) build -o .bench-baseline/benchjson.bin ./cmd/benchjson
+	cd .bench-baseline && $(GO) test -run XXX -bench '$(BENCH_SET)' \
+		-benchmem -benchtime 3x -json $(BENCH_PKGS) \
+		| ./benchjson.bin > old.json
+	$(GO) test -run XXX -bench '$(BENCH_SET)' -benchmem -benchtime 3x -json \
+		$(BENCH_PKGS) | $(GO) run ./cmd/benchjson > .bench-baseline/new.json
+	$(GO) run ./cmd/benchdelta .bench-baseline/old.json .bench-baseline/new.json
+	git worktree remove --force .bench-baseline
+
+# CPU and heap profiles of the full analysis pipeline at gcc scale;
+# inspect with `go tool pprof cpu.out` / `go tool pprof mem.out`.
+profile: build
+	$(GO) run ./cmd/spikebench -tables 2 -scale 0.3 -q \
+		-cpuprofile cpu.out -memprofile mem.out > /dev/null
+	@echo "wrote cpu.out and mem.out; inspect with: go tool pprof cpu.out"
 
 verify: build vet test race

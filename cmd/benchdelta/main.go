@@ -1,0 +1,153 @@
+// Command benchdelta compares two compact benchmark documents produced
+// by cmd/benchjson and prints a benchstat-style delta table:
+//
+//	metric: allocs/op
+//	name                        old          new        delta
+//	BenchmarkAnalyzeParallel    227080       21165      -90.68%
+//
+// It is intentionally dependency-free: `make bench-compare` runs it
+// against a baseline checkout, so it must build from a bare toolchain.
+//
+// Usage:
+//
+//	benchdelta old.json new.json
+//
+// Benchmarks present in only one document are listed with "-" on the
+// missing side. The exit status is always 0; the tool reports, it does
+// not judge.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type doc struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// coreMetrics are printed first, in this order; any other metric the two
+// documents share follows alphabetically.
+var coreMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	new_, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(1)
+	}
+	report(old, new_)
+}
+
+func load(path string) (*doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func report(old, new_ *doc) {
+	names := map[string]bool{}
+	metricSet := map[string]bool{}
+	for n, m := range old.Benchmarks {
+		names[n] = true
+		for k := range m {
+			metricSet[k] = true
+		}
+	}
+	for n, m := range new_.Benchmarks {
+		names[n] = true
+		for k := range m {
+			metricSet[k] = true
+		}
+	}
+	// "runs" and "iterations" describe the measurement, not the subject.
+	delete(metricSet, "runs")
+	delete(metricSet, "iterations")
+
+	metrics := append([]string(nil), coreMetrics...)
+	for _, m := range metrics {
+		delete(metricSet, m)
+	}
+	rest := make([]string, 0, len(metricSet))
+	for m := range metricSet {
+		rest = append(rest, m)
+	}
+	sort.Strings(rest)
+	metrics = append(metrics, rest...)
+
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	first := true
+	for _, metric := range metrics {
+		rows := make([][4]string, 0, len(sorted))
+		width := len("name")
+		for _, n := range sorted {
+			ov, oOK := old.Benchmarks[n][metric]
+			nv, nOK := new_.Benchmarks[n][metric]
+			if !oOK && !nOK {
+				continue
+			}
+			row := [4]string{n, "-", "-", "-"}
+			if oOK {
+				row[1] = formatValue(ov)
+			}
+			if nOK {
+				row[2] = formatValue(nv)
+			}
+			if oOK && nOK && ov != 0 {
+				row[3] = fmt.Sprintf("%+.2f%%", (nv-ov)/ov*100)
+			} else if oOK && nOK {
+				row[3] = "~"
+			}
+			if len(n) > width {
+				width = len(n)
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if !first {
+			fmt.Println()
+		}
+		first = false
+		fmt.Printf("metric: %s\n", metric)
+		fmt.Printf("%-*s  %14s  %14s  %10s\n", width, "name", "old", "new", "delta")
+		for _, r := range rows {
+			fmt.Printf("%-*s  %14s  %14s  %10s\n", width, r[0], r[1], r[2], r[3])
+		}
+	}
+}
+
+// formatValue prints integers bare and fractional values with enough
+// precision to be meaningful, mirroring how `go test -bench` writes them.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

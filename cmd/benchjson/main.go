@@ -1,0 +1,169 @@
+// Command benchjson post-processes a `go test -json` benchmark event
+// stream (stdin) into a compact, diffable JSON document (stdout):
+//
+//	{
+//	  "goos": "linux", "goarch": "amd64", "pkg": "repro",
+//	  "benchmarks": {
+//	    "BenchmarkAnalyzeParallel": {"ns/op": 1.2e7, "workers": 4, ...},
+//	    ...
+//	  }
+//	}
+//
+// The raw test2json stream interleaves build output, progress events and
+// benchmark results and is not stable across runs, so it does not belong
+// in git; this document keeps one line per (benchmark, metric) and sorts
+// keys, making the perf trajectory diffable across PRs.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem -json ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json event schema benchjson needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+type doc struct {
+	Goos       string                        `json:"goos,omitempty"`
+	Goarch     string                        `json:"goarch,omitempty"`
+	Pkg        string                        `json:"pkg,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	d, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := emit(os.Stdout, d); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*doc, error) {
+	d := &doc{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// test2json splits a benchmark result across events: the name
+	// ("BenchmarkFoo \t") arrives in one output event and the measured
+	// values ("       3\t 123 ns/op ...") in the next, so a name with no
+	// values is held pending until its continuation line arrives.
+	pending := ""
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate plain `go test -bench` output on stdin too.
+			ev = event{Action: "output", Output: string(line) + "\n"}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		out := strings.TrimRight(ev.Output, "\n")
+		if pending != "" && len(out) > 0 && (out[0] == ' ' || out[0] == '\t') {
+			if name, metrics, ok := parseBenchLine(pending + " " + out); ok {
+				d.record(name, metrics)
+			}
+			pending = ""
+			continue
+		}
+		switch {
+		case strings.HasPrefix(out, "goos: "):
+			d.Goos = strings.TrimPrefix(out, "goos: ")
+		case strings.HasPrefix(out, "goarch: "):
+			d.Goarch = strings.TrimPrefix(out, "goarch: ")
+		case strings.HasPrefix(out, "pkg: "):
+			d.Pkg = strings.TrimPrefix(out, "pkg: ")
+		case strings.HasPrefix(out, "cpu: "):
+			d.CPU = strings.TrimPrefix(out, "cpu: ")
+		case strings.HasPrefix(out, "Benchmark"):
+			if name, metrics, ok := parseBenchLine(out); ok {
+				d.record(name, metrics)
+			} else if f := strings.Fields(out); len(f) == 1 {
+				// A bare or split benchmark name; values may follow in
+				// the next output event.
+				pending = f[0]
+			}
+		}
+	}
+	return d, sc.Err()
+}
+
+// record folds one benchmark result into the document. Multiple -count
+// runs of one benchmark keep the running mean, so the document stays one
+// value per (benchmark, metric).
+func (d *doc) record(name string, metrics map[string]float64) {
+	m := d.Benchmarks[name]
+	if m == nil {
+		m = map[string]float64{}
+		d.Benchmarks[name] = m
+	}
+	runs := m["runs"] + 1
+	for k, v := range metrics {
+		m[k] += (v - m[k]) / runs
+	}
+	m["runs"] = runs
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkFoo-4   	       3	  12345 ns/op	  67 B/op	  8 allocs/op	  1.5 workers
+//
+// The name is normalized by stripping the -GOMAXPROCS suffix so the
+// document is diffable across machines with different core counts.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return "", nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{"iterations": iters}
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, metrics, true
+}
+
+func emit(w io.Writer, d *doc) error {
+	// Marshal with sorted benchmark names and sorted metric keys for
+	// stable diffs; encoding/json sorts map keys already, so a plain
+	// indent-encode suffices — the explicit sort documents the intent.
+	names := make([]string, 0, len(d.Benchmarks))
+	for n := range d.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

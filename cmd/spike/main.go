@@ -22,6 +22,8 @@
 //	              of the closed-world default
 //	-no-branch-nodes  disable §3.6 branch nodes
 //	-parallel N   analysis worker-pool size (0 = GOMAXPROCS)
+//	-cpuprofile f write a CPU profile of the run to f
+//	-memprofile f write a heap profile to f on exit
 package main
 
 import (
@@ -29,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -52,6 +56,8 @@ type spikeOptions struct {
 	noBranch  bool   // disable §3.6 branch nodes
 	parallel  int    // analysis worker-pool size (0 = GOMAXPROCS)
 	maxSteps  int64  // emulator step budget for verify
+	cpuProf   string // write a CPU profile here
+	memProf   string // write a heap profile here on exit
 }
 
 // analysisOptions translates the driver flags into core options.
@@ -80,11 +86,40 @@ func main() {
 	flag.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
 	flag.IntVar(&o.parallel, "parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
 	flag.Int64Var(&o.maxSteps, "max-steps", 100_000_000, "emulator step budget for -verify")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: spike [flags] input")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if o.cpuProf != "" {
+		f, err := os.Create(o.cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spike:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "spike:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProf != "" {
+		defer func() {
+			f, err := os.Create(o.memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spike:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "spike:", err)
+			}
+		}()
 	}
 	if err := run(os.Stdout, flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "spike:", err)
@@ -113,10 +148,18 @@ func run(w io.Writer, input string, o spikeOptions) error {
 	}
 
 	analysisOpts := o.analysisOptions()
+	// Bracket the analysis with ReadMemStats so -stats can report what
+	// the analysis itself allocated. The JSON document stays free of
+	// these numbers: they depend on GC timing and would break the
+	// byte-identical golden.
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	a, err := core.Analyze(p, analysisOpts...)
 	if err != nil {
 		return err
 	}
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	if o.format == "json" {
 		// The document carries both the summaries and the stats; the
 		// flags need not be repeated.
@@ -126,6 +169,9 @@ func run(w io.Writer, input string, o spikeOptions) error {
 	} else {
 		if o.stats {
 			printStats(w, &a.Stats)
+			fmt.Fprintf(w, "heap allocated: %.2f MB in %d allocations (analysis total)\n",
+				float64(msAfter.TotalAlloc-msBefore.TotalAlloc)/(1<<20),
+				msAfter.Mallocs-msBefore.Mallocs)
 		}
 		if o.summaries {
 			printSummaries(w, a)

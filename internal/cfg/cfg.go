@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"time"
+	"unsafe"
 
 	"repro/internal/isa"
 	"repro/internal/par"
@@ -99,6 +100,11 @@ type Block struct {
 func (b *Block) Len() int { return b.End - b.Start }
 
 // Graph is the control-flow graph of one routine.
+//
+// Storage is arena-style: all Block structs live in one contiguous slab
+// and every block's Succs and Preds slices are windows into two shared
+// arrays, so building a graph costs O(1) large allocations instead of
+// O(blocks) small ones and the GC has almost no pointers to chase.
 type Graph struct {
 	// Routine is the routine this graph describes.
 	Routine *prog.Routine
@@ -106,7 +112,8 @@ type Graph struct {
 	// RoutineIndex is the routine's index within its program.
 	RoutineIndex int
 
-	// Blocks in ascending Start order; Blocks[i].ID == i.
+	// Blocks in ascending Start order; Blocks[i].ID == i. The pointers
+	// address blockStore, the per-graph slab.
 	Blocks []*Block
 
 	// EntryBlocks are the block IDs containing each routine entrance,
@@ -115,6 +122,21 @@ type Graph struct {
 
 	// InstrBlock maps each instruction index to its block ID.
 	InstrBlock []int
+
+	// blockStore is the slab backing Blocks; succArena and predArena
+	// back every block's Succs and Preds slices.
+	blockStore []Block
+	succArena  []int
+	predArena  []int
+}
+
+// MemoryFootprint returns the resident bytes of the graph's arena
+// storage: the block slab, the pointer index over it, the
+// instruction→block map and the successor/predecessor arenas.
+func (g *Graph) MemoryFootprint() uint64 {
+	return uint64(len(g.blockStore))*uint64(unsafe.Sizeof(Block{})) +
+		8*uint64(len(g.Blocks)+len(g.InstrBlock)+len(g.EntryBlocks)) +
+		8*uint64(len(g.succArena)+len(g.predArena))
 }
 
 // NumArcs returns the number of intraprocedural arcs in the graph.
@@ -180,66 +202,114 @@ func Build(p *prog.Program, ri int) *Graph {
 		}
 	}
 
-	g := &Graph{Routine: r, RoutineIndex: ri, InstrBlock: make([]int, n)}
-	start := 0
+	// One slab for every Block struct: count the leaders, allocate once,
+	// and point Blocks at the slab entries.
+	nBlocks := 0
+	for i := 0; i < n; i++ {
+		if i == 0 || leaders[i] {
+			nBlocks++
+		}
+	}
+	g := &Graph{
+		Routine:      r,
+		RoutineIndex: ri,
+		InstrBlock:   make([]int, n),
+		blockStore:   make([]Block, nBlocks),
+		Blocks:       make([]*Block, nBlocks),
+	}
+	start, bi := 0, 0
 	for i := 0; i <= n; i++ {
 		if i == n || (i > start && leaders[i]) {
-			b := &Block{ID: len(g.Blocks), Start: start, End: i}
-			g.Blocks = append(g.Blocks, b)
+			b := &g.blockStore[bi]
+			b.ID, b.Start, b.End = bi, start, i
+			g.Blocks[bi] = b
 			for j := start; j < i; j++ {
-				g.InstrBlock[j] = b.ID
+				g.InstrBlock[j] = bi
 			}
+			bi++
 			start = i
 		}
 	}
 
+	// Classify terminators and count successor capacity per block, then
+	// carve every block's Succs out of one shared arena.
+	succCap := 0
 	for _, b := range g.Blocks {
 		last := &r.Code[b.End-1]
-		addSucc := func(instrIdx int) {
-			b.Succs = append(b.Succs, g.InstrBlock[instrIdx])
-		}
 		switch {
 		case last.Op == isa.OpBr:
 			b.Term = TermBranch
-			addSucc(last.Target)
+			succCap++
 		case last.Op.IsCondBranch():
 			b.Term = TermCondBranch
-			addSucc(last.Target)
-			if b.End < n {
-				addSucc(b.End)
-			}
+			succCap += 2
 		case last.Op == isa.OpJmp:
 			if last.Table == isa.UnknownTable {
 				b.Term = TermUnknownJump
 			} else {
 				b.Term = TermMultiway
-				for _, tgt := range r.Tables[last.Table] {
-					addSucc(tgt)
-				}
+				succCap += len(r.Tables[last.Table])
 			}
 		case last.Op.IsCall() || last.Op == isa.OpCallSummary:
 			b.Term = TermCall
-			if b.End < n {
-				addSucc(b.End)
-			}
+			succCap++
 		case last.Op.IsReturn():
 			b.Term = TermExit
 		default:
 			b.Term = TermFall
+			succCap++
+		}
+	}
+	g.succArena = make([]int, 0, succCap)
+	for _, b := range g.Blocks {
+		last := &r.Code[b.End-1]
+		lo := len(g.succArena)
+		addSucc := func(instrIdx int) {
+			g.succArena = append(g.succArena, g.InstrBlock[instrIdx])
+		}
+		switch b.Term {
+		case TermBranch:
+			addSucc(last.Target)
+		case TermCondBranch:
+			addSucc(last.Target)
+			if b.End < n {
+				addSucc(b.End)
+			}
+		case TermMultiway:
+			for _, tgt := range r.Tables[last.Table] {
+				addSucc(tgt)
+			}
+		case TermCall, TermFall:
 			if b.End < n {
 				addSucc(b.End)
 			}
 		}
-		b.Succs = dedupSorted(b.Succs)
+		b.Succs = dedupSorted(g.succArena[lo:len(g.succArena):len(g.succArena)])
 	}
 
+	// Preds mirror the deduplicated Succs; count, then fill a second
+	// arena. Filling in ascending block order keeps every Preds window
+	// sorted and (since Succs are deduplicated) duplicate-free.
+	predCount := make([]int, nBlocks)
+	predTotal := 0
 	for _, b := range g.Blocks {
 		for _, s := range b.Succs {
-			g.Blocks[s].Preds = append(g.Blocks[s].Preds, b.ID)
+			predCount[s]++
+			predTotal++
 		}
 	}
+	g.predArena = make([]int, predTotal)
+	off := 0
 	for _, b := range g.Blocks {
-		b.Preds = dedupSorted(b.Preds)
+		b.Preds = g.predArena[off:off : off+predCount[b.ID]]
+		off += predCount[b.ID]
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			t := g.Blocks[s]
+			t.Preds = t.Preds[:len(t.Preds)+1]
+			t.Preds[len(t.Preds)-1] = b.ID
+		}
 	}
 
 	g.EntryBlocks = make([]int, len(r.Entries))

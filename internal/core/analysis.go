@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"time"
-	"unsafe"
 
 	"repro/internal/callgraph"
 	"repro/internal/callstd"
@@ -235,29 +234,18 @@ func (a *Analysis) collectCounts() {
 	st.GraphBytes = a.graphBytes()
 }
 
-// graphBytes estimates the analysis's memory footprint from the sizes of
-// its graph structures.
+// graphBytes measures the analysis's memory footprint from the arena
+// sizes of its graph structures: the CFG block slabs and succ/pred
+// arenas, the PSG node/edge slabs, the CSR adjacency, and the phase-2
+// return-site links. Because every structure is flat, the sum is exact
+// (up to allocator rounding) rather than an estimate over thousands of
+// small objects.
 func (a *Analysis) graphBytes() uint64 {
 	var b uint64
-	var blk cfg.Block
-	var nd Node
-	var ed Edge
-	blockSize := uint64(unsafe.Sizeof(blk))
-	nodeSize := uint64(unsafe.Sizeof(nd))
-	edgeSize := uint64(unsafe.Sizeof(ed))
 	for _, g := range a.Graphs {
-		b += uint64(len(g.Blocks)) * blockSize
-		b += uint64(len(g.InstrBlock)) * 8
-		for _, bb := range g.Blocks {
-			b += uint64(len(bb.Succs)+len(bb.Preds)) * 8
-		}
+		b += g.MemoryFootprint()
 	}
-	b += uint64(len(a.PSG.Nodes)) * nodeSize
-	b += uint64(len(a.PSG.Edges)) * edgeSize
-	for _, n := range a.PSG.Nodes {
-		b += uint64(len(n.In)+len(n.Out)+len(n.retSites)) * 8
-	}
-	return b
+	return b + a.PSG.MemoryFootprint()
 }
 
 // Summary returns the summary of the routine with the given index.

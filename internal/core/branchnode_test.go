@@ -226,7 +226,7 @@ func TestPSGStructuralInvariants(t *testing.T) {
 				continue
 			}
 			cr := 0
-			for _, eid := range n.Out {
+			for _, eid := range g.OutEdges(n.ID) {
 				if g.Edges[eid].Kind == EdgeCallReturn {
 					cr++
 				}
@@ -237,12 +237,12 @@ func TestPSGStructuralInvariants(t *testing.T) {
 		}
 		// In/Out adjacency is consistent.
 		for _, n := range g.Nodes {
-			for _, eid := range n.Out {
+			for _, eid := range g.OutEdges(n.ID) {
 				if g.Edges[eid].Src != n.ID {
 					t.Errorf("node %d Out lists edge %d with Src %d", n.ID, eid, g.Edges[eid].Src)
 				}
 			}
-			for _, eid := range n.In {
+			for _, eid := range g.InEdges(n.ID) {
 				if g.Edges[eid].Dst != n.ID {
 					t.Errorf("node %d In lists edge %d with Dst %d", n.ID, eid, g.Edges[eid].Dst)
 				}

@@ -220,8 +220,8 @@ func TestFigure4EdgeLabels(t *testing.T) {
 	}
 	find := func(src, dst int) *Edge {
 		t.Helper()
-		for _, e := range psg.Edges {
-			if e.Kind == EdgeFlow && e.Src == src && e.Dst == dst {
+		for i := range psg.Edges {
+			if e := &psg.Edges[i]; e.Kind == EdgeFlow && e.Src == src && e.Dst == dst {
 				return e
 			}
 		}

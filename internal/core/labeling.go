@@ -17,20 +17,40 @@ import (
 // every edge — and (c) as the ablation benchmark comparing their costs
 // (Config.PerEdgeLabeling, BenchmarkLabeling*).
 
+// edgeSets bundles one block's three Figure 6 sets.
+type edgeSets struct{ mu, md, msd regset.Set }
+
+func (s *labelScratch) growPerEdge(n int) {
+	if cap(s.fwd) < n {
+		s.fwd = make([]bool, n)
+		s.bwd = make([]bool, n)
+		s.sets = make([]edgeSets, n)
+	}
+	s.fwd = s.fwd[:n]
+	s.bwd = s.bwd[:n]
+	s.sets = s.sets[:n]
+}
+
 // labelEdgePerEdge computes the Figure 6 label of the edge from source
 // node src to the sink at block sinkBlock, literally: subgraph
-// construction then backward iteration.
-func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock int) (mayUse, mayDef, mustDef regset.Set) {
-	starts := sourceStartBlocks(graph, src)
+// construction then backward iteration. All working storage comes from
+// the pooled scratch.
+func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock int, s *labelScratch) (mayUse, mayDef, mustDef regset.Set) {
+	starts := sourceStartBlocks(graph, src, &s.startBuf)
+	n := len(graph.Blocks)
+	s.growPerEdge(n)
 
 	// Forward reachability from the source's start blocks, not crossing
 	// interposing terminators.
-	fwd := make([]bool, len(graph.Blocks))
-	var stack []int
-	for _, s := range starts {
-		if !fwd[s] {
-			fwd[s] = true
-			stack = append(stack, s)
+	fwd := s.fwd
+	for i := range fwd {
+		fwd[i] = false
+	}
+	stack := s.stack[:0]
+	for _, st := range starts {
+		if !fwd[st] {
+			fwd[st] = true
+			stack = append(stack, int32(st))
 		}
 	}
 	for len(stack) > 0 {
@@ -40,19 +60,22 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 		if rn.isStop(b) {
 			continue
 		}
-		for _, s := range b.Succs {
-			if !fwd[s] {
-				fwd[s] = true
-				stack = append(stack, s)
+		for _, sb := range b.Succs {
+			if !fwd[sb] {
+				fwd[sb] = true
+				stack = append(stack, int32(sb))
 			}
 		}
 	}
 
 	// Backward reachability from the sink block: a predecessor is
 	// crossed only if its terminator does not interpose.
-	bwd := make([]bool, len(graph.Blocks))
+	bwd := s.bwd
+	for i := range bwd {
+		bwd[i] = false
+	}
 	bwd[sinkBlock] = true
-	stack = append(stack[:0], sinkBlock)
+	stack = append(stack[:0], int32(sinkBlock))
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -61,9 +84,10 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 				continue
 			}
 			bwd[p] = true
-			stack = append(stack, p)
+			stack = append(stack, int32(p))
 		}
 	}
+	s.stack = stack[:0]
 
 	// Subgraph = forward ∩ backward (the sink block itself is in both).
 	inSub := func(id int) bool { return fwd[id] && bwd[id] }
@@ -77,9 +101,7 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 	//   MUST-DEF_IN[B] = MUST-DEF_OUT[B] ∪ DEF[B]
 	//   OUT = ∪/∪/∩ over subgraph successors
 	// with the sink block's OUT pinned empty (paths end at Y).
-	n := len(graph.Blocks)
-	type sets struct{ mu, md, msd regset.Set }
-	in := make([]sets, n)
+	in := s.sets
 	// Pessimistic MUST-DEF initialization is the paper's (all ∅); it
 	// converges because the subgraph dataflow reaches a fixed point
 	// where MUST-DEF_OUT = ∩ of successors computed from below. To get
@@ -87,41 +109,42 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 	// cyclic subgraphs, initialize MUST-DEF optimistically instead and
 	// let the intersection shrink it.
 	for i := range in {
-		in[i].msd = regset.All
+		in[i] = edgeSets{msd: regset.All}
 	}
-	wl := newIntQueue(n)
+	wl := &s.wl
+	wl.Reset(n, nil)
 	for id := n - 1; id >= 0; id-- {
 		if inSub(id) {
-			wl.push(id)
+			wl.Push(id)
 		}
 	}
-	for !wl.empty() {
-		id := wl.pop()
+	for !wl.Empty() {
+		id := wl.Pop()
 		b := graph.Blocks[id]
-		var out sets
+		var out edgeSets
 		if id == sinkBlock || rn.isStop(b) {
 			// Paths end here; nothing follows within the edge.
-			out = sets{regset.Empty, regset.Empty, regset.Empty}
+			out = edgeSets{regset.Empty, regset.Empty, regset.Empty}
 		} else {
 			first := true
-			for _, s := range b.Succs {
-				if !inSub(s) {
+			for _, sb := range b.Succs {
+				if !inSub(sb) {
 					continue
 				}
-				out.mu = out.mu.Union(in[s].mu)
-				out.md = out.md.Union(in[s].md)
+				out.mu = out.mu.Union(in[sb].mu)
+				out.md = out.md.Union(in[sb].md)
 				if first {
-					out.msd = in[s].msd
+					out.msd = in[sb].msd
 					first = false
 				} else {
-					out.msd = out.msd.Intersect(in[s].msd)
+					out.msd = out.msd.Intersect(in[sb].msd)
 				}
 			}
 			if first {
 				out.msd = regset.Empty
 			}
 		}
-		newIn := sets{
+		newIn := edgeSets{
 			mu:  b.UBD.Union(out.mu.Minus(b.Def)),
 			md:  out.md.Union(b.Def),
 			msd: out.msd.Union(b.Def),
@@ -132,7 +155,7 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 		in[id] = newIn
 		for _, p := range b.Preds {
 			if inSub(p) && !rn.isStop(graph.Blocks[p]) {
-				wl.push(p)
+				wl.Push(p)
 			}
 		}
 	}
@@ -140,17 +163,17 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 	// The edge label is the meet over the source's start blocks that
 	// participate in the subgraph (branch nodes have several starts).
 	first := true
-	for _, s := range starts {
-		if !inSub(s) {
+	for _, st := range starts {
+		if !inSub(st) {
 			continue
 		}
-		mayUse = mayUse.Union(in[s].mu)
-		mayDef = mayDef.Union(in[s].md)
+		mayUse = mayUse.Union(in[st].mu)
+		mayDef = mayDef.Union(in[st].md)
 		if first {
-			mustDef = in[s].msd
+			mustDef = in[st].msd
 			first = false
 		} else {
-			mustDef = mustDef.Intersect(in[s].msd)
+			mustDef = mustDef.Intersect(in[st].msd)
 		}
 	}
 	return mayUse, mayDef, mustDef
@@ -158,11 +181,13 @@ func labelEdgePerEdge(graph *cfg.Graph, rn routineNodes, src *Node, sinkBlock in
 
 // labelPerEdge is the per-edge variant of labelForward: every
 // discovered edge gets its own Figure 6 subgraph dataflow.
-func (t *labelTask) labelPerEdge() {
-	for si, src := range t.sources {
-		for _, ref := range t.refs[si] {
-			mu, md, msd := labelEdgePerEdge(t.graph, t.rn, src, ref.sink)
-			ref.edge.MayUse, ref.edge.MayDef, ref.edge.MustDef = mu, md, msd
+func (t *labelTask) labelPerEdge(g *PSG, s *labelScratch) {
+	for si, srcID := range t.sources {
+		src := &g.Nodes[srcID]
+		for _, ref := range t.refs[t.refStart[si]:t.refStart[si+1]] {
+			mu, md, msd := labelEdgePerEdge(t.graph, t.rn, src, int(ref.sink), s)
+			e := &g.Edges[ref.edge]
+			e.MayUse, e.MayDef, e.MustDef = mu, md, msd
 		}
 	}
 }

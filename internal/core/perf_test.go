@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/progen"
+	"repro/internal/prog"
+)
+
+// Allocation budgets for the fixed workload below (TestProfile(60),
+// seed 1, parallelism 1). The numbers are the measured steady-state
+// allocation counts with ~25% headroom, recorded so a future change
+// that reintroduces per-node/per-edge heap objects or per-iteration
+// scratch fails loudly instead of silently regressing the hot path.
+// If a legitimate structural change moves a budget, re-measure with
+//
+//	go test ./internal/core/ -run TestAnalyzeAllocationBudget -v
+//
+// and update the constant alongside the change that explains it.
+const (
+	analyzeAllocBudget  = 3000 // full Analyze, closed world (measured ~2.4k)
+	psgBuildAllocBudget = 1000 // buildPSG on prebuilt CFGs (measured ~820)
+	phasesAllocBudget   = 50   // newPhaseSched + both phases, reused PSG (measured ~36)
+)
+
+func perfProgram() *prog.Program {
+	return progen.Generate(progen.TestProfile(60), progen.DefaultOptions(1))
+}
+
+func TestAnalyzeAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	p := perfProgram()
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := Analyze(p, WithParallelism(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("Analyze: %.0f allocs/run (budget %d)", allocs, analyzeAllocBudget)
+	if allocs > analyzeAllocBudget {
+		t.Errorf("Analyze allocates %.0f times per run, budget is %d", allocs, analyzeAllocBudget)
+	}
+}
+
+func TestPSGBuildAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	p := perfProgram()
+	graphs := cfg.BuildAll(p)
+	cfg.ComputeDefUBDAll(graphs, 1)
+	conf := DefaultConfig()
+	conf.Parallelism = 1
+	allocs := testing.AllocsPerRun(5, func() {
+		buildPSG(p, graphs, conf)
+	})
+	t.Logf("buildPSG: %.0f allocs/run (budget %d)", allocs, psgBuildAllocBudget)
+	if allocs > psgBuildAllocBudget {
+		t.Errorf("buildPSG allocates %.0f times per run, budget is %d", allocs, psgBuildAllocBudget)
+	}
+}
+
+func TestPhasesAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	p := perfProgram()
+	graphs := cfg.BuildAll(p)
+	cfg.ComputeDefUBDAll(graphs, 1)
+	conf := DefaultConfig()
+	conf.Parallelism = 1
+	g, _ := buildPSG(p, graphs, conf)
+	cg := callgraph.Build(p, callgraph.WithIndirectPinning(conf.LinkIndirectCalls))
+	allocs := testing.AllocsPerRun(5, func() {
+		s := newPhaseSched(g, cg, conf)
+		s.runPhase1()
+		s.runPhase2()
+	})
+	t.Logf("phases: %.0f allocs/run (budget %d)", allocs, phasesAllocBudget)
+	if allocs > phasesAllocBudget {
+		t.Errorf("phases allocate %.0f times per run, budget is %d", allocs, phasesAllocBudget)
+	}
+}
+
+// The stage benchmarks isolate the three hot components of the
+// pipeline — PSG construction, flow-summary labeling, and the two
+// interprocedural phases — and report B/op and allocs/op so the
+// bench-json trajectory catches allocation regressions per stage.
+
+func BenchmarkPSGBuild(b *testing.B) {
+	p := perfProgram()
+	graphs := cfg.BuildAll(p)
+	cfg.ComputeDefUBDAll(graphs, 1)
+	conf := DefaultConfig()
+	conf.Parallelism = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildPSG(p, graphs, conf)
+	}
+}
+
+func BenchmarkLabeling(b *testing.B) {
+	p := perfProgram()
+	graphs := cfg.BuildAll(p)
+	cfg.ComputeDefUBDAll(graphs, 1)
+	for _, variant := range []struct {
+		name    string
+		perEdge bool
+	}{{"forward", false}, {"per-edge", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			conf := DefaultConfig()
+			conf.Parallelism = 1
+			conf.PerEdgeLabeling = variant.perEdge
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buildPSG(p, graphs, conf)
+			}
+		})
+	}
+}
+
+func BenchmarkPhases(b *testing.B) {
+	p := perfProgram()
+	graphs := cfg.BuildAll(p)
+	cfg.ComputeDefUBDAll(graphs, 1)
+	conf := DefaultConfig()
+	conf.Parallelism = 1
+	g, _ := buildPSG(p, graphs, conf)
+	cg := callgraph.Build(p, callgraph.WithIndirectPinning(conf.LinkIndirectCalls))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newPhaseSched(g, cg, conf)
+		s.runPhase1()
+		s.runPhase2()
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/callstd"
+	"repro/internal/dataflow"
 	"repro/internal/isa"
 	"repro/internal/par"
 	"repro/internal/regset"
@@ -33,6 +35,14 @@ import (
 // of monotone equations, so the result is byte-identical to a single
 // global worklist at every parallelism setting, and the per-component
 // iteration counts depend only on the schedule, not on the workers.
+//
+// Within a component the worklist is priority-ordered by a DFS
+// postorder over the component's PSG edges: recompute(n) reads the
+// nodes n's outgoing edges point at, so popping edge targets before
+// their sources makes each sweep near-topological and cuts the
+// iteration count relative to FIFO order. The priorities are static,
+// so the pop sequence — and with it Stats.Phase1/2Iterations — stays
+// deterministic and parallelism-invariant.
 
 // indirect reports whether a call-return edge belongs to an indirect
 // call: there is no single callee entry node to refine it (§3.5).
@@ -58,14 +68,14 @@ func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Se
 	mayUse, mayDef = phase1Seed(n)
 	if phase2 {
 		mayUse = g.phase2Seed(n)
-		for _, rs := range n.retSites {
+		for _, rs := range g.retSites(n.ID) {
 			mayUse = mayUse.Union(g.Nodes[rs].MayUse)
 		}
 	}
 	first := true
-	for _, eid := range n.Out {
-		e := g.Edges[eid]
-		y := g.Nodes[e.Dst]
+	for _, eid := range g.OutEdges(n.ID) {
+		e := &g.Edges[eid]
+		y := &g.Nodes[e.Dst]
 		mayUse = mayUse.Union(e.MayUse).Union(y.MayUse.Minus(e.MustDef))
 		if phase2 {
 			continue
@@ -85,45 +95,152 @@ func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Se
 // phaseSched drives both interprocedural phases over the SCC wave
 // schedule. It maps each PSG node to its routine's component and to a
 // dense index within that component, so each component's worklist is
-// sized to the component rather than to the whole graph.
+// sized to the component rather than to the whole graph. The
+// per-component member lists and worklist priorities are stored flat —
+// one array each, windowed by compOff — so building the schedule costs
+// a constant number of allocations regardless of the component count.
 type phaseSched struct {
 	g       *PSG
 	cg      *callgraph.Graph
 	conf    Config
 	workers int
 
-	compNodes [][]int // component → member node IDs, ascending
-	nodeComp  []int   // node ID → component
-	localIdx  []int   // node ID → index within compNodes[component]
+	compOff     []int32 // component → offset into compNodeIDs/compOrder
+	compNodeIDs []int32 // node IDs grouped by component, ascending within
+	compOrder   []int32 // seed order per component: local indices, postorder
+	nodeComp    []int32 // node ID → component
+	localIdx    []int32 // node ID → index within its component
 
 	// Phase-1 indirect-call machinery (§3.5): the indirect call-return
 	// edges and the entry nodes of address-taken routines, all of which
 	// the call graph pins into pinnedComp so their mutual dependency
 	// stays inside one component.
-	indirectEdges    []int
+	indirectEdges    []int32
 	addrTakenEntries []int
 	pinnedComp       int
 }
 
+// nodes returns component c's member node IDs, ascending.
+func (s *phaseSched) nodes(c int) []int32 {
+	return s.compNodeIDs[s.compOff[c]:s.compOff[c+1]]
+}
+
+// order returns component c's worklist seed order: the component's
+// local node indices in DFS postorder over the PSG's out-edges.
+func (s *phaseSched) order(c int) []int32 {
+	return s.compOrder[s.compOff[c]:s.compOff[c+1]]
+}
+
 func newPhaseSched(g *PSG, cg *callgraph.Graph, conf Config) *phaseSched {
+	nNodes := len(g.Nodes)
+	nComp := cg.NumComponents()
 	s := &phaseSched{
-		g:          g,
-		cg:         cg,
-		conf:       conf,
-		workers:    conf.Workers(),
-		compNodes:  make([][]int, cg.NumComponents()),
-		nodeComp:   make([]int, len(g.Nodes)),
-		localIdx:   make([]int, len(g.Nodes)),
-		pinnedComp: -1,
+		g:           g,
+		cg:          cg,
+		conf:        conf,
+		workers:     conf.Workers(),
+		compOff:     make([]int32, nComp+1),
+		compNodeIDs: make([]int32, nNodes),
+		compOrder:   make([]int32, nNodes),
+		nodeComp:    make([]int32, nNodes),
+		localIdx:    make([]int32, nNodes),
+		pinnedComp:  -1,
 	}
-	for _, n := range g.Nodes {
-		c := cg.Component(n.Routine)
-		s.nodeComp[n.ID] = c
-		s.localIdx[n.ID] = len(s.compNodes[c])
-		s.compNodes[c] = append(s.compNodes[c], n.ID)
+	for i := range g.Nodes {
+		s.compOff[cg.Component(g.Nodes[i].Routine)+1]++
 	}
+	for c := 0; c < nComp; c++ {
+		s.compOff[c+1] += s.compOff[c]
+	}
+	next := make([]int32, nComp)
+	for i := range g.Nodes {
+		c := cg.Component(g.Nodes[i].Routine)
+		s.nodeComp[i] = int32(c)
+		s.localIdx[i] = next[c]
+		s.compNodeIDs[s.compOff[c]+next[c]] = int32(i)
+		next[c]++
+	}
+	s.computePriorities()
 	return s
 }
+
+// computePriorities fills compOrder with a per-component DFS postorder
+// over the PSG's out-edges: a node appears after every node its edges
+// point at (up to cycles). recompute reads exactly those targets, so
+// seeding the worklist in this order makes the first sweep over a
+// component near-topological — dependencies settle before their
+// readers — while the FIFO discipline keeps re-pushes fair across the
+// component's routines (cross-routine influence travels by entry
+// broadcasts and return-site links, not edges, so no static node order
+// captures it; round-robin sweeps converge the mutual recursion).
+// Every PSG edge stays within its routine, hence within the routine's
+// component, so the DFS never leaves the component.
+func (s *phaseSched) computePriorities() {
+	g := s.g
+	type frame struct{ n, ei int32 }
+	seen := make([]bool, len(g.Nodes))
+	var stack []frame
+	for c := 0; c < s.cg.NumComponents(); c++ {
+		order := s.order(c)
+		post := 0
+		members := s.nodes(c)
+		// Per-routine subgraphs are disjoint, so the seed order has two
+		// independent degrees of freedom. Within a routine, DFS from the
+		// entry nodes (lowest IDs) yields a clean postorder — the
+		// measurable win over FIFO. Across the routines of a
+		// multi-routine component no static order is topological (they
+		// are coupled only through the broadcast machinery), and
+		// empirically last-routine-first converges the pinned
+		// indirect-call component fastest, matching the old reverse-seed
+		// behaviour. So: routine segments in reverse, entry-first DFS
+		// within each segment.
+		end := len(members)
+		for end > 0 {
+			r := g.Nodes[members[end-1]].Routine
+			segStart := end - 1
+			for segStart > 0 && g.Nodes[members[segStart-1]].Routine == r {
+				segStart--
+			}
+			seg := members[segStart:end]
+			end = segStart
+			for _, root := range seg {
+				if seen[root] {
+					continue
+				}
+				seen[root] = true
+				stack = append(stack[:0], frame{root, 0})
+				for len(stack) > 0 {
+					top := len(stack) - 1
+					n, ei := stack[top].n, stack[top].ei
+					out := g.OutEdges(int(n))
+					pushed := false
+					for int(ei) < len(out) {
+						dst := int32(g.Edges[out[ei]].Dst)
+						ei++
+						if !seen[dst] {
+							stack[top].ei = ei
+							seen[dst] = true
+							stack = append(stack, frame{dst, 0})
+							pushed = true
+							break
+						}
+					}
+					if pushed {
+						continue
+					}
+					stack = stack[:top]
+					order[post] = s.localIdx[n]
+					post++
+				}
+			}
+		}
+	}
+}
+
+// wlPool recycles worklists across components and phases; Reset re-arms
+// one for a component without reallocating, so the steady-state solve
+// loop performs no heap allocation at all.
+var wlPool = sync.Pool{New: func() any { return new(dataflow.Worklist) }}
 
 // runWaves executes one phase's wave schedule, solving the components
 // of each wave concurrently on the worker pool and the waves in order.
@@ -156,9 +273,9 @@ func (s *phaseSched) runWaves(schedule [][]int, solve func(c int) int) (waves, i
 // broadcast refines them downward.
 func (s *phaseSched) runPhase1() (waves, iters int, cpu time.Duration) {
 	g, conf := s.g, s.conf
-	for _, e := range g.Edges {
-		if e.indirect(g) {
-			s.indirectEdges = append(s.indirectEdges, e.ID)
+	for i := range g.Edges {
+		if g.Edges[i].indirect(g) {
+			s.indirectEdges = append(s.indirectEdges, int32(i))
 		}
 	}
 	if conf.LinkIndirectCalls && len(s.indirectEdges) > 0 {
@@ -173,10 +290,12 @@ func (s *phaseSched) runPhase1() (waves, iters int, cpu time.Duration) {
 		}
 	}
 
-	for _, n := range g.Nodes {
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
 		n.MayUse, n.MayDef, n.MustDef = regset.Empty, regset.Empty, regset.All
 	}
-	for _, e := range g.Edges {
+	for i := range g.Edges {
+		e := &g.Edges[i]
 		if e.Kind != EdgeCallReturn {
 			continue
 		}
@@ -197,14 +316,14 @@ func (s *phaseSched) runPhase1() (waves, iters int, cpu time.Duration) {
 		// component runs.
 		std := callstd.UnknownCallSummary()
 		for _, eid := range s.indirectEdges {
-			e := g.Edges[eid]
+			e := &g.Edges[eid]
 			e.MayUse, e.MayDef, e.MustDef = std.Used, std.Killed, std.Defined
 		}
 	}
 
 	waves, iters, cpu = s.runWaves(s.cg.CalleeFirstWaves(), s.solvePhase1)
-	for _, n := range g.Nodes {
-		n.phase1Use = n.MayUse
+	for i := range g.Nodes {
+		g.Nodes[i].phase1Use = g.Nodes[i].MayUse
 	}
 	return waves, iters, cpu
 }
@@ -215,11 +334,12 @@ func (s *phaseSched) runPhase1() (waves, iters int, cpu time.Duration) {
 // converged entry summaries, after the component settles.
 func (s *phaseSched) solvePhase1(c int) int {
 	g := s.g
-	nodes := s.compNodes[c]
+	nodes := s.nodes(c)
 	if len(nodes) == 0 {
 		return 0
 	}
-	wl := newIntQueue(len(nodes))
+	wl := wlPool.Get().(*dataflow.Worklist)
+	wl.Reset(len(nodes), nil)
 	pinned := c == s.pinnedComp
 
 	// updateIndirect relabels every indirect call-return edge with the
@@ -230,32 +350,30 @@ func (s *phaseSched) solvePhase1(c int) int {
 		std := callstd.UnknownCallSummary()
 		mu, md, msd := std.Used, std.Killed, std.Defined
 		for _, id := range s.addrTakenEntries {
-			n := g.Nodes[id]
+			n := &g.Nodes[id]
 			sr := g.SavedRestored[n.Routine]
 			mu = mu.Union(n.MayUse.Minus(sr))
 			md = md.Union(n.MayDef.Minus(sr))
 			msd = msd.Intersect(n.MustDef.Minus(sr))
 		}
 		for _, eid := range s.indirectEdges {
-			e := g.Edges[eid]
+			e := &g.Edges[eid]
 			if e.MayUse != mu || e.MayDef != md || e.MustDef != msd {
 				e.MayUse, e.MayDef, e.MustDef = mu, md, msd
-				wl.push(s.localIdx[e.Src])
+				wl.Push(int(s.localIdx[e.Src]))
 			}
 		}
 	}
 
-	// Seed in reverse so exits (created after entries per routine)
-	// tend to be processed before the nodes that depend on them.
-	for i := len(nodes) - 1; i >= 0; i-- {
-		wl.push(i)
+	for _, li := range s.order(c) {
+		wl.Push(int(li))
 	}
 	if pinned {
 		updateIndirect() // establish the calling-standard baseline
 	}
 	pops := 0
-	for !wl.empty() {
-		n := g.Nodes[nodes[wl.pop()]]
+	for !wl.Empty() {
+		n := &g.Nodes[nodes[wl.Pop()]]
 		pops++
 		mu, md, msd := g.recompute(n, false)
 		if mu == n.MayUse && md == n.MayDef && msd == n.MustDef {
@@ -264,9 +382,9 @@ func (s *phaseSched) solvePhase1(c int) int {
 		n.MayUse, n.MayDef, n.MustDef = mu, md, msd
 		// Propagate to in-neighbours; every PSG edge is intraprocedural,
 		// so these are always in this component.
-		for _, eid := range n.In {
-			if src := g.Edges[eid].Src; s.nodeComp[src] == c {
-				wl.push(s.localIdx[src])
+		for _, eid := range g.InEdges(n.ID) {
+			if src := g.Edges[eid].Src; s.nodeComp[src] == int32(c) {
+				wl.Push(int(s.localIdx[src]))
 			}
 		}
 		// §3.2: entry nodes broadcast their sets to every call-return
@@ -278,13 +396,13 @@ func (s *phaseSched) solvePhase1(c int) int {
 			sr := g.SavedRestored[n.Routine]
 			fu, fd, fm := mu.Minus(sr), md.Minus(sr), msd.Minus(sr)
 			for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
-				e := g.Edges[eid]
-				if s.nodeComp[e.Src] != c {
+				e := &g.Edges[eid]
+				if s.nodeComp[e.Src] != int32(c) {
 					continue
 				}
 				if e.MayUse != fu || e.MayDef != fd || e.MustDef != fm {
 					e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
-					wl.push(s.localIdx[e.Src])
+					wl.Push(int(s.localIdx[e.Src]))
 				}
 			}
 			if pinned && s.isAddrTakenEntry(n.ID) {
@@ -292,19 +410,20 @@ func (s *phaseSched) solvePhase1(c int) int {
 			}
 		}
 	}
+	wlPool.Put(wl)
 	// Broadcast the converged entry summaries outward. The affected
 	// edges belong to caller components, which the callee-first wave
 	// order schedules strictly later, so no reader is running yet.
 	for _, nid := range nodes {
-		n := g.Nodes[nid]
+		n := &g.Nodes[nid]
 		if n.Kind != NodeEntry {
 			continue
 		}
 		sr := g.SavedRestored[n.Routine]
 		fu, fd, fm := n.MayUse.Minus(sr), n.MayDef.Minus(sr), n.MustDef.Minus(sr)
 		for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
-			e := g.Edges[eid]
-			if s.nodeComp[e.Src] != c {
+			e := &g.Edges[eid]
+			if s.nodeComp[e.Src] != int32(c) {
 				e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
 			}
 		}
@@ -354,71 +473,100 @@ func (g *PSG) isRetExit(n *Node) bool {
 	return graph.Terminator(graph.Blocks[n.Block]).Op == isa.OpRet
 }
 
-// linkReturnSites populates each exit node's retSites list: liveness at
-// a return node flows to the exits of every routine the call could have
+// linkReturnSites populates the PSG's return-site links: liveness at a
+// return node flows to the exits of every routine the call could have
 // invoked (§3.3). Direct calls link to their callee's exits; indirect
 // calls link to every address-taken routine's exits when the
 // closed-world option is on.
+//
+// Both directions — exit → return sites (retSites) and return →
+// dependent exits (exitDeps) — are stored CSR: two passes over the call
+// nodes count and then fill the windows, replacing the per-exit append
+// slices and the int-keyed dependents map with four flat arrays. The
+// function is idempotent: it rebuilds the links from scratch each call,
+// so the phases can be re-run on one PSG.
 func (g *PSG) linkReturnSites(conf Config) {
-	// retExits filters a routine's exits down to the ones that actually
-	// return (halt exits terminate the program).
-	retExits := func(ri int) []int {
-		var out []int
-		for _, x := range g.ExitNodes[ri] {
-			if g.isRetExit(g.Nodes[x]) {
-				out = append(out, x)
-			}
-		}
-		return out
-	}
+	n := len(g.Nodes)
 	var addrTakenExits []int
 	if conf.LinkIndirectCalls {
 		for ri, r := range g.Prog.Routines {
 			if r.AddressTaken {
-				addrTakenExits = append(addrTakenExits, retExits(ri)...)
+				for _, x := range g.ExitNodes[ri] {
+					if g.isRetExit(&g.Nodes[x]) {
+						addrTakenExits = append(addrTakenExits, x)
+					}
+				}
 			}
 		}
 	}
-	for _, n := range g.Nodes {
-		if n.Kind != NodeCall {
-			continue
-		}
-		// The call's return node is the destination of its
-		// call-return edge.
-		retID := -1
-		for _, eid := range n.Out {
-			if g.Edges[eid].Kind == EdgeCallReturn {
-				retID = g.Edges[eid].Dst
+	// forEachLink yields every (exit, return-site) pair, in call-node ID
+	// order — the same order incremental appends produced — so the CSR
+	// windows are ordering-identical to the old per-exit slices.
+	forEachLink := func(yield func(exit int, ret int32)) {
+		for id := range g.Nodes {
+			nd := &g.Nodes[id]
+			if nd.Kind != NodeCall {
+				continue
+			}
+			// The call's return node is the destination of its
+			// call-return edge.
+			ret := int32(-1)
+			for _, eid := range g.OutEdges(id) {
+				if g.Edges[eid].Kind == EdgeCallReturn {
+					ret = int32(g.Edges[eid].Dst)
+				}
+			}
+			if ret < 0 {
+				continue
+			}
+			if nd.CallTarget >= 0 {
+				for _, x := range g.ExitNodes[nd.CallTarget] {
+					if g.isRetExit(&g.Nodes[x]) {
+						yield(x, ret)
+					}
+				}
+			} else {
+				for _, x := range addrTakenExits {
+					yield(x, ret)
+				}
 			}
 		}
-		if retID < 0 {
-			continue
-		}
-		var exits []int
-		if n.CallTarget >= 0 {
-			exits = retExits(n.CallTarget)
-		} else {
-			exits = addrTakenExits
-		}
-		for _, x := range exits {
-			g.Nodes[x].retSites = append(g.Nodes[x].retSites, retID)
-		}
 	}
-}
 
-// exitDependents maps return-node ID → exit-node IDs whose retSites
-// include it, the reverse of linkReturnSites, so changes propagate.
-func (g *PSG) exitDependents() map[int][]int {
-	dep := make(map[int][]int)
-	for _, n := range g.Nodes {
-		if n.Kind != NodeExit {
-			continue
-		}
-		for _, rs := range n.retSites {
-			dep[rs] = append(dep[rs], n.ID)
+	retStart := make([]int32, n+1)
+	total := 0
+	forEachLink(func(exit int, ret int32) { retStart[exit+1]++; total++ })
+	for i := 0; i < n; i++ {
+		retStart[i+1] += retStart[i]
+	}
+	retIDs := make([]int32, total)
+	next := make([]int32, n)
+	forEachLink(func(exit int, ret int32) {
+		retIDs[retStart[exit]+next[exit]] = ret
+		next[exit]++
+	})
+	g.retStart, g.retSiteIDs = retStart, retIDs
+
+	// Reverse mapping, filled in exit-ID order so each return node's
+	// dependent-exit window is ascending.
+	depStart := make([]int32, n+1)
+	for _, rs := range retIDs {
+		depStart[rs+1]++
+	}
+	for i := 0; i < n; i++ {
+		depStart[i+1] += depStart[i]
+	}
+	depIDs := make([]int32, total)
+	for i := range next {
+		next[i] = 0
+	}
+	for x := 0; x < n; x++ {
+		for _, rs := range retIDs[retStart[x]:retStart[x+1]] {
+			depIDs[depStart[rs]+next[rs]] = int32(x)
+			next[rs]++
 		}
 	}
-	return dep
+	g.depStart, g.depExitIDs = depStart, depIDs
 }
 
 // runPhase2 solves the Figure 10 equations in caller-first waves. The
@@ -430,51 +578,50 @@ func (g *PSG) exitDependents() map[int][]int {
 func (s *phaseSched) runPhase2() (waves, iters int, cpu time.Duration) {
 	g := s.g
 	g.linkReturnSites(s.conf)
-	dep := g.exitDependents()
-	for _, n := range g.Nodes {
-		n.MayUse = regset.Empty
+	for i := range g.Nodes {
+		g.Nodes[i].MayUse = regset.Empty
 	}
-	return s.runWaves(s.cg.CallerFirstWaves(), func(c int) int {
-		return s.solvePhase2(c, dep)
-	})
+	return s.runWaves(s.cg.CallerFirstWaves(), s.solvePhase2)
 }
 
 // solvePhase2 iterates one component's liveness to a fixed point,
 // returning the number of worklist iterations.
-func (s *phaseSched) solvePhase2(c int, dep map[int][]int) int {
+func (s *phaseSched) solvePhase2(c int) int {
 	g := s.g
-	nodes := s.compNodes[c]
+	nodes := s.nodes(c)
 	if len(nodes) == 0 {
 		return 0
 	}
-	wl := newIntQueue(len(nodes))
-	for i := len(nodes) - 1; i >= 0; i-- {
-		wl.push(i)
+	wl := wlPool.Get().(*dataflow.Worklist)
+	wl.Reset(len(nodes), nil)
+	for _, li := range s.order(c) {
+		wl.Push(int(li))
 	}
 	pops := 0
-	for !wl.empty() {
-		n := g.Nodes[nodes[wl.pop()]]
+	for !wl.Empty() {
+		n := &g.Nodes[nodes[wl.Pop()]]
 		pops++
 		mu, _, _ := g.recompute(n, true)
 		if mu == n.MayUse {
 			continue
 		}
 		n.MayUse = mu
-		for _, eid := range n.In {
-			if src := g.Edges[eid].Src; s.nodeComp[src] == c {
-				wl.push(s.localIdx[src])
+		for _, eid := range g.InEdges(n.ID) {
+			if src := g.Edges[eid].Src; s.nodeComp[src] == int32(c) {
+				wl.Push(int(s.localIdx[src]))
 			}
 		}
 		if n.Kind == NodeReturn {
 			// Exits in this component re-read us through their
 			// retSites; exits in callee components are seeded after
 			// this component converges and pull the final value then.
-			for _, x := range dep[n.ID] {
-				if s.nodeComp[x] == c {
-					wl.push(s.localIdx[x])
+			for _, x := range g.exitDeps(n.ID) {
+				if s.nodeComp[x] == int32(c) {
+					wl.Push(int(s.localIdx[x]))
 				}
 			}
 		}
 	}
+	wlPool.Put(wl)
 	return pops
 }

@@ -5,10 +5,13 @@
 package core
 
 import (
+	"sync"
 	"time"
+	"unsafe"
 
 	"repro/internal/callstd"
 	"repro/internal/cfg"
+	"repro/internal/dataflow"
 	"repro/internal/isa"
 	"repro/internal/par"
 	"repro/internal/prog"
@@ -60,6 +63,11 @@ func (k NodeKind) String() string {
 
 // Node is a PSG node. Each node records the MAY-USE, MAY-DEF and
 // MUST-DEF sets for the program location it represents (§3.1).
+//
+// Nodes are stored by value in one contiguous slab (PSG.Nodes) and are
+// pointer-free: adjacency (edge lists, phase-2 return-site links) lives
+// in the PSG's shared index arrays (OutEdges, InEdges, retSites), so
+// the slab costs the GC nothing to scan.
 type Node struct {
 	ID      int
 	Kind    NodeKind
@@ -86,14 +94,6 @@ type Node struct {
 	MayDef  regset.Set
 	MustDef regset.Set
 
-	// Out and In list edge IDs with this node as source/sink.
-	Out []int
-	In  []int
-
-	// retSites lists, for exit nodes, the return-node IDs whose
-	// liveness flows into this exit during phase 2 (§3.3).
-	retSites []int
-
 	// phase1Use snapshots MayUse at the end of phase 1, since phase 2
 	// overwrites MayUse with liveness. For entry nodes this is the
 	// unfiltered call-used set.
@@ -115,7 +115,7 @@ const (
 	EdgeCallReturn
 )
 
-// Edge is a PSG edge.
+// Edge is a PSG edge, stored by value in the PSG.Edges slab.
 type Edge struct {
 	ID   int
 	Kind EdgeKind
@@ -131,11 +131,36 @@ type Edge struct {
 }
 
 // PSG is the program summary graph for a whole program.
+//
+// Storage is flat: Nodes and Edges are value slabs grown in large
+// blocks, and adjacency is compressed-sparse-row — one shared index
+// array per direction, windowed per node — built once after the
+// structural pass. Compared to per-node heap objects and per-node edge
+// slices this cuts construction to a handful of large allocations and
+// leaves the GC almost nothing to trace.
 type PSG struct {
 	Prog   *prog.Program
 	Graphs []*cfg.Graph
-	Nodes  []*Node
-	Edges  []*Edge
+	Nodes  []Node
+	Edges  []Edge
+
+	// CSR adjacency: OutEdges(n) == outEdgeIDs[outStart[n]:outStart[n+1]],
+	// listing edge IDs with node n as source, in edge-ID order;
+	// InEdges(n) mirrors it for edges with n as sink.
+	outStart   []int32
+	inStart    []int32
+	outEdgeIDs []int32
+	inEdgeIDs  []int32
+
+	// Phase-2 return-site links (§3.3), CSR keyed by exit node:
+	// retSites(x) lists the return-node IDs whose liveness flows into
+	// exit x. exitDeps is the reverse mapping (return node → exit
+	// nodes), used to propagate changes. Both are (re)built by
+	// linkReturnSites.
+	retStart   []int32
+	retSiteIDs []int32
+	depStart   []int32
+	depExitIDs []int32
 
 	// EntryNodes[r][e] is the node ID of entrance e of routine r.
 	EntryNodes [][]int
@@ -153,6 +178,37 @@ type PSG struct {
 	// SavedRestored[r] is the set of callee-saved registers routine r
 	// saves in its prologues and restores in its epilogues (§3.4).
 	SavedRestored []regset.Set
+}
+
+// OutEdges returns the IDs of the edges with node id as source, in
+// ascending edge-ID order.
+func (g *PSG) OutEdges(id int) []int32 {
+	return g.outEdgeIDs[g.outStart[id]:g.outStart[id+1]]
+}
+
+// InEdges returns the IDs of the edges with node id as sink, in
+// ascending edge-ID order.
+func (g *PSG) InEdges(id int) []int32 {
+	return g.inEdgeIDs[g.inStart[id]:g.inStart[id+1]]
+}
+
+// retSites returns, for exit node id, the return-node IDs whose
+// liveness flows into the exit during phase 2 (§3.3). Empty until
+// linkReturnSites runs.
+func (g *PSG) retSites(id int) []int32 {
+	if g.retStart == nil {
+		return nil
+	}
+	return g.retSiteIDs[g.retStart[id]:g.retStart[id+1]]
+}
+
+// exitDeps returns, for return node id, the exit-node IDs whose
+// retSites include it — the reverse of retSites, so changes propagate.
+func (g *PSG) exitDeps(id int) []int32 {
+	if g.depStart == nil {
+		return nil
+	}
+	return g.depExitIDs[g.depStart[id]:g.depStart[id+1]]
 }
 
 // Config controls PSG construction.
@@ -209,17 +265,40 @@ func PaperConfig() Config {
 //
 // Construction is split into a serial structural pass and a parallel
 // labeling pass. The structural pass walks routines in index order,
-// allocating nodes and edges — IDs are therefore deterministic and
-// independent of Config.Parallelism. The labeling pass then computes
-// each routine's flow-summary edge labels (the Figure 6 dataflow, the
-// dominant cost of PSG construction) on the worker pool; each worker
-// writes only the Edge structs of its own routine, so the result is
-// byte-identical to a serial run. The returned duration is the
+// appending nodes and edges to the value slabs — IDs are therefore
+// deterministic and independent of Config.Parallelism — and shares one
+// scratch buffer across routines, so its allocation count is O(routines)
+// rather than O(nodes + edges). The CSR adjacency is then built in two
+// counting passes, and the labeling pass computes each routine's
+// flow-summary edge labels (the Figure 6 dataflow, the dominant cost of
+// PSG construction) on the worker pool with pooled per-worker scratch;
+// each worker writes only the Edge structs of its own routine, so the
+// result is byte-identical to a serial run. The returned duration is the
 // aggregate compute time across both passes (the stage's CPU time).
 func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) (*PSG, time.Duration) {
+	// Pre-size the slabs from the terminator classes so construction
+	// avoids append-doubling: the node count is exact except that
+	// multiway blocks outside loops don't get a branch node (a small
+	// overcount), and the edge count is capped by the observed flow-edge
+	// density (≈2 per node across the benchmark profiles; exceeding the
+	// guess just falls back to amortized growth).
+	nodeCap := 0
+	for _, g := range graphs {
+		nodeCap += len(g.EntryBlocks)
+		for _, b := range g.Blocks {
+			switch b.Term {
+			case cfg.TermExit, cfg.TermUnknownJump, cfg.TermMultiway:
+				nodeCap++
+			case cfg.TermCall:
+				nodeCap += 2
+			}
+		}
+	}
 	g := &PSG{
 		Prog:        p,
 		Graphs:      graphs,
+		Nodes:       make([]Node, 0, nodeCap),
+		Edges:       make([]Edge, 0, 2*nodeCap),
 		EntryNodes:  make([][]int, len(p.Routines)),
 		ExitNodes:   make([][]int, len(p.Routines)),
 		CallerEdges: make([][][]int, len(p.Routines)),
@@ -228,126 +307,181 @@ func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) (*PSG, time.Dur
 		g.CallerEdges[ri] = make([][]int, len(p.Routines[ri].Entries))
 	}
 	serial := time.Now()
+	var scratch buildScratch
 	tasks := make([]labelTask, len(p.Routines))
 	for ri := range p.Routines {
-		tasks[ri] = g.buildRoutine(ri, conf)
+		tasks[ri] = g.buildRoutine(ri, conf, &scratch)
 	}
+	g.buildAdjacency()
 	cpu := time.Since(serial)
 	workers := conf.Workers()
 	cpu += par.ForEach(len(tasks), workers, func(ri int) {
-		tasks[ri].label(conf)
+		tasks[ri].label(g, conf)
 	})
 	cpu += g.computeSavedRestored(workers)
 	return g, cpu
 }
 
+func (g *PSG) addNode(n Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n.ID
+}
+
+func (g *PSG) addEdge(kind EdgeKind, src, dst int) int {
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{ID: id, Kind: kind, Src: src, Dst: dst})
+	return id
+}
+
+// buildAdjacency compresses the edge lists into the two CSR index
+// arrays: a counting pass per direction, a prefix sum, and a fill pass
+// that visits edges in ID order — so each node's window lists its edges
+// in ascending edge-ID order, exactly the order incremental appends
+// would have produced.
+func (g *PSG) buildAdjacency() {
+	n, m := len(g.Nodes), len(g.Edges)
+	g.outStart = make([]int32, n+1)
+	g.inStart = make([]int32, n+1)
+	for i := range g.Edges {
+		g.outStart[g.Edges[i].Src+1]++
+		g.inStart[g.Edges[i].Dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outStart[i+1] += g.outStart[i]
+		g.inStart[i+1] += g.inStart[i]
+	}
+	g.outEdgeIDs = make([]int32, m)
+	g.inEdgeIDs = make([]int32, m)
+	outNext := make([]int32, n)
+	inNext := make([]int32, n)
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		g.outEdgeIDs[g.outStart[e.Src]+outNext[e.Src]] = int32(i)
+		outNext[e.Src]++
+		g.inEdgeIDs[g.inStart[e.Dst]+inNext[e.Dst]] = int32(i)
+		inNext[e.Dst]++
+	}
+}
+
 // flowEdgeRef ties a discovered flow-summary edge to the sink block it
 // terminates at, for the labeling pass.
 type flowEdgeRef struct {
-	sink int // sink block ID
-	edge *Edge
+	sink int32 // sink block ID
+	edge int32 // edge ID (resolved against the slab at label time)
 }
 
 // labelTask carries one routine's discovered flow-summary edges from
 // the structural pass to the labeling pass. Labeling a task touches
 // only the task's own routine — its CFG, its node placement, and the
-// Edge structs in refs — so tasks may run concurrently.
+// Edge slab entries its refs name — so tasks may run concurrently.
+// refs is one flat array windowed per source by refStart.
 type labelTask struct {
-	graph   *cfg.Graph
-	rn      routineNodes
-	sources []*Node
-	refs    [][]flowEdgeRef // per source, sinks in ascending block order
+	graph    *cfg.Graph
+	rn       routineNodes
+	sources  []int32 // source node IDs
+	refStart []int32 // len(sources)+1; refs of source i in [refStart[i], refStart[i+1])
+	refs     []flowEdgeRef
 }
 
-// label computes the Figure 6 labels of the task's flow-summary edges.
-func (t *labelTask) label(conf Config) {
+// label computes the Figure 6 labels of the task's flow-summary edges,
+// using pooled scratch so steady-state labeling allocates nothing.
+func (t *labelTask) label(g *PSG, conf Config) {
+	s := labelPool.Get().(*labelScratch)
 	if conf.PerEdgeLabeling {
-		t.labelPerEdge()
+		t.labelPerEdge(g, s)
 	} else {
-		t.labelForward()
+		t.labelForward(g, s)
 	}
+	labelPool.Put(s)
 }
 
 // routineNodes carries the per-routine node placement used while
-// constructing edges.
+// constructing edges: three block-indexed arrays (node ID or -1),
+// carved out of one allocation.
 type routineNodes struct {
-	// entryAt[blockID] lists entry node IDs starting at that block.
-	entryAt map[int][]int
 	// returnAt[blockID] is the return node starting at that block.
-	returnAt map[int]int
+	returnAt []int32
 	// branchAt[blockID] is the branch node for a multiway block.
-	branchAt map[int]int
+	branchAt []int32
 	// sinkAt[blockID] is the node ID that terminates paths entering
 	// the block (call, exit, pseudo-exit or branch node).
-	sinkAt map[int]int
+	sinkAt []int32
 }
 
-func (g *PSG) addNode(n *Node) *Node {
-	n.ID = len(g.Nodes)
-	g.Nodes = append(g.Nodes, n)
-	return n
-}
-
-func (g *PSG) addEdge(kind EdgeKind, src, dst int) *Edge {
-	e := &Edge{ID: len(g.Edges), Kind: kind, Src: src, Dst: dst}
-	g.Edges = append(g.Edges, e)
-	g.Nodes[src].Out = append(g.Nodes[src].Out, e.ID)
-	g.Nodes[dst].In = append(g.Nodes[dst].In, e.ID)
-	return e
-}
-
-func (g *PSG) buildRoutine(ri int, conf Config) labelTask {
-	graph := g.Graphs[ri]
-	rn := routineNodes{
-		entryAt:  make(map[int][]int),
-		returnAt: make(map[int]int),
-		branchAt: make(map[int]int),
-		sinkAt:   make(map[int]int),
+func newRoutineNodes(nBlocks int) routineNodes {
+	store := make([]int32, 3*nBlocks)
+	for i := range store {
+		store[i] = -1
 	}
+	return routineNodes{
+		returnAt: store[:nBlocks],
+		branchAt: store[nBlocks : 2*nBlocks],
+		sinkAt:   store[2*nBlocks:],
+	}
+}
+
+// buildScratch is reused across buildRoutine calls of the serial
+// structural pass: DFS visit marks and stack for reachability and
+// loop detection.
+type buildScratch struct {
+	seen     []bool
+	stack    []int32
+	startBuf [1]int
+}
+
+func (s *buildScratch) grow(n int) {
+	if cap(s.seen) < n {
+		s.seen = make([]bool, n)
+	}
+	s.seen = s.seen[:n]
+}
+
+func (g *PSG) buildRoutine(ri int, conf Config, scratch *buildScratch) labelTask {
+	graph := g.Graphs[ri]
+	rn := newRoutineNodes(len(graph.Blocks))
 
 	// Entry nodes: one per entrance (§3.1).
 	for ei, blockID := range graph.EntryBlocks {
-		n := g.addNode(&Node{Kind: NodeEntry, Routine: ri, Block: blockID, EntryIdx: ei})
-		g.EntryNodes[ri] = append(g.EntryNodes[ri], n.ID)
-		rn.entryAt[blockID] = append(rn.entryAt[blockID], n.ID)
+		id := g.addNode(Node{Kind: NodeEntry, Routine: ri, Block: blockID, EntryIdx: ei})
+		g.EntryNodes[ri] = append(g.EntryNodes[ri], id)
 	}
 
 	exitOrdinal := 0
 	for _, b := range graph.Blocks {
 		switch b.Term {
 		case cfg.TermExit:
-			n := g.addNode(&Node{Kind: NodeExit, Routine: ri, Block: b.ID, EntryIdx: exitOrdinal})
+			id := g.addNode(Node{Kind: NodeExit, Routine: ri, Block: b.ID, EntryIdx: exitOrdinal})
 			exitOrdinal++
-			g.ExitNodes[ri] = append(g.ExitNodes[ri], n.ID)
-			rn.sinkAt[b.ID] = n.ID
+			g.ExitNodes[ri] = append(g.ExitNodes[ri], id)
+			rn.sinkAt[b.ID] = int32(id)
 		case cfg.TermUnknownJump:
-			n := g.addNode(&Node{Kind: NodeExit, Routine: ri, Block: b.ID, Unknown: true})
-			rn.sinkAt[b.ID] = n.ID
+			id := g.addNode(Node{Kind: NodeExit, Routine: ri, Block: b.ID, Unknown: true})
+			rn.sinkAt[b.ID] = int32(id)
 		case cfg.TermCall:
 			in := graph.Terminator(b)
-			call := g.addNode(&Node{
-				Kind: NodeCall, Routine: ri, Block: b.ID,
-				CallTarget: -1,
-			})
+			call := Node{Kind: NodeCall, Routine: ri, Block: b.ID, CallTarget: -1}
 			if in.Op == isa.OpJsr {
 				call.CallTarget = in.Target
 				call.CallEntry = int(in.Imm)
 			}
-			rn.sinkAt[b.ID] = call.ID
+			callID := g.addNode(call)
+			rn.sinkAt[b.ID] = int32(callID)
 			// The return node lives at the start of the call's
 			// unique successor block.
 			retBlock := b.Succs[0]
-			ret := g.addNode(&Node{Kind: NodeReturn, Routine: ri, Block: retBlock})
-			rn.returnAt[retBlock] = ret.ID
+			retID := g.addNode(Node{Kind: NodeReturn, Routine: ri, Block: retBlock})
+			rn.returnAt[retBlock] = int32(retID)
 			// Call-return edge (§3.1); labeled during phase 1 for
 			// direct calls, pinned to the calling-standard summary
 			// for indirect calls (§3.5).
-			e := g.addEdge(EdgeCallReturn, call.ID, ret.ID)
+			eid := g.addEdge(EdgeCallReturn, callID, retID)
 			if call.CallTarget >= 0 {
 				tgt := call.CallTarget
-				g.CallerEdges[tgt][call.CallEntry] = append(g.CallerEdges[tgt][call.CallEntry], e.ID)
+				g.CallerEdges[tgt][call.CallEntry] = append(g.CallerEdges[tgt][call.CallEntry], eid)
 			} else {
 				s := callstd.UnknownCallSummary()
+				e := &g.Edges[eid]
 				e.MayUse, e.MustDef, e.MayDef = s.Used, s.Defined, s.Killed
 			}
 		case cfg.TermMultiway:
@@ -355,15 +489,15 @@ func (g *PSG) buildRoutine(ri int, conf Config) labelTask {
 			// multiply PSG edges (every return reaches every call
 			// through the back edge); an isolated switch with one
 			// source and one sink would gain an edge from the split.
-			if conf.BranchNodes && blockInLoop(graph, b) {
-				n := g.addNode(&Node{Kind: NodeBranch, Routine: ri, Block: b.ID})
-				rn.branchAt[b.ID] = n.ID
-				rn.sinkAt[b.ID] = n.ID
+			if conf.BranchNodes && blockInLoop(graph, b, scratch) {
+				id := g.addNode(Node{Kind: NodeBranch, Routine: ri, Block: b.ID})
+				rn.branchAt[b.ID] = int32(id)
+				rn.sinkAt[b.ID] = int32(id)
 			}
 		}
 	}
 
-	return g.discoverFlowEdges(graph, rn)
+	return g.discoverFlowEdges(graph, rn, scratch)
 }
 
 // discoverFlowEdges creates this routine's flow-summary edges with
@@ -373,30 +507,32 @@ func (g *PSG) buildRoutine(ri int, conf Config) labelTask {
 // reachability the labeling dataflows compute — and adds one edge per
 // sink, in ascending block order. The labels are filled in later by
 // labelTask.label, possibly on a worker pool.
-func (g *PSG) discoverFlowEdges(graph *cfg.Graph, rn routineNodes) labelTask {
+func (g *PSG) discoverFlowEdges(graph *cfg.Graph, rn routineNodes, scratch *buildScratch) labelTask {
 	t := labelTask{graph: graph, rn: rn}
 	for _, id := range g.EntryNodes[graph.RoutineIndex] {
-		t.sources = append(t.sources, g.Nodes[id])
+		t.sources = append(t.sources, int32(id))
 	}
 	for blockID := range graph.Blocks {
-		if id, ok := rn.returnAt[blockID]; ok {
-			t.sources = append(t.sources, g.Nodes[id])
+		if id := rn.returnAt[blockID]; id >= 0 {
+			t.sources = append(t.sources, id)
 		}
-		if id, ok := rn.branchAt[blockID]; ok {
-			t.sources = append(t.sources, g.Nodes[id])
+		if id := rn.branchAt[blockID]; id >= 0 {
+			t.sources = append(t.sources, id)
 		}
 	}
-	reach := make([]bool, len(graph.Blocks))
-	t.refs = make([][]flowEdgeRef, len(t.sources))
-	for si, src := range t.sources {
+	scratch.grow(len(graph.Blocks))
+	reach := scratch.seen
+	t.refStart = make([]int32, len(t.sources)+1)
+	for si, srcID := range t.sources {
+		src := &g.Nodes[srcID]
 		for i := range reach {
 			reach[i] = false
 		}
-		var stack []int
-		for _, s := range sourceStartBlocks(graph, src) {
+		stack := scratch.stack[:0]
+		for _, s := range sourceStartBlocks(graph, src, &scratch.startBuf) {
 			if !reach[s] {
 				reach[s] = true
-				stack = append(stack, s)
+				stack = append(stack, int32(s))
 			}
 		}
 		for len(stack) > 0 {
@@ -409,52 +545,68 @@ func (g *PSG) discoverFlowEdges(graph *cfg.Graph, rn routineNodes) labelTask {
 			for _, s := range b.Succs {
 				if !reach[s] {
 					reach[s] = true
-					stack = append(stack, s)
+					stack = append(stack, int32(s))
 				}
 			}
 		}
+		scratch.stack = stack
 		for blockID, ok := range reach {
 			if !ok {
 				continue
 			}
-			sinkID, isSink := rn.sinkAt[blockID]
-			if !isSink {
+			sinkID := rn.sinkAt[blockID]
+			if sinkID < 0 {
 				continue
 			}
-			e := g.addEdge(EdgeFlow, src.ID, sinkID)
-			t.refs[si] = append(t.refs[si], flowEdgeRef{sink: blockID, edge: e})
+			eid := g.addEdge(EdgeFlow, src.ID, int(sinkID))
+			t.refs = append(t.refs, flowEdgeRef{sink: int32(blockID), edge: int32(eid)})
 		}
+		t.refStart[si+1] = int32(len(t.refs))
 	}
 	return t
 }
 
 // blockInLoop reports whether control can flow from b back to b.
-func blockInLoop(graph *cfg.Graph, b *cfg.Block) bool {
-	seen := make([]bool, len(graph.Blocks))
-	stack := append([]int(nil), b.Succs...)
+func blockInLoop(graph *cfg.Graph, b *cfg.Block, scratch *buildScratch) bool {
+	scratch.grow(len(graph.Blocks))
+	seen := scratch.seen
+	for i := range seen {
+		seen[i] = false
+	}
+	stack := scratch.stack[:0]
+	for _, s := range b.Succs {
+		stack = append(stack, int32(s))
+	}
+	found := false
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if id == b.ID {
-			return true
+		if int(id) == b.ID {
+			found = true
+			break
 		}
 		if seen[id] {
 			continue
 		}
 		seen[id] = true
-		stack = append(stack, graph.Blocks[id].Succs...)
+		for _, s := range graph.Blocks[id].Succs {
+			stack = append(stack, int32(s))
+		}
 	}
-	return false
+	scratch.stack = stack[:0]
+	return found
 }
 
 // sourceStartBlocks returns the CFG blocks at which paths from node n
 // begin: the node's own block for entry and return nodes, the jump-table
-// targets for branch nodes.
-func sourceStartBlocks(graph *cfg.Graph, n *Node) []int {
-	if n.Kind != NodeBranch {
-		return []int{n.Block}
+// targets for branch nodes. buf backs the single-block case so the call
+// never allocates.
+func sourceStartBlocks(graph *cfg.Graph, n *Node, buf *[1]int) []int {
+	if n.Kind == NodeBranch {
+		return graph.Blocks[n.Block].Succs
 	}
-	return graph.Blocks[n.Block].Succs
+	buf[0] = n.Block
+	return buf[:]
 }
 
 // isStop reports whether paths may not continue through block b's
@@ -466,8 +618,7 @@ func (rn *routineNodes) isStop(b *cfg.Block) bool {
 	case cfg.TermCall, cfg.TermExit, cfg.TermUnknownJump:
 		return true
 	case cfg.TermMultiway:
-		_, ok := rn.branchAt[b.ID]
-		return ok
+		return rn.branchAt[b.ID] >= 0
 	}
 	return false
 }
@@ -488,6 +639,10 @@ func (rn *routineNodes) isStop(b *cfg.Block) bool {
 // with merges ∪/∪/∩ at joins — the mirror image of the backward
 // equations in Figure 6, computed once per source instead of once per
 // edge.
+//
+// The worklist is priority-ordered by the CFG's reverse postorder, so
+// each sweep visits blocks in near-topological order and loop bodies
+// converge with far fewer recomputations than FIFO order.
 type flowState struct {
 	mayUse  regset.Set
 	mayDef  regset.Set
@@ -511,29 +666,128 @@ func (s *flowState) merge(t flowState) bool {
 	return changed
 }
 
-func (t *labelTask) labelForward() {
+// labelScratch is the pooled per-worker scratch of the labeling pass:
+// the region dataflow states, the priority worklist, the CFG
+// reverse-postorder numbering and the DFS bookkeeping to compute it.
+// One instance serves every routine a worker labels; all slices grow
+// monotonically and are reused.
+type labelScratch struct {
+	in, out  []flowState
+	wl       dataflow.Worklist
+	prio     []int32
+	seen     []bool
+	stack    []int32
+	iter     []int32
+	startBuf [1]int
+	// per-edge labeling (Figure 6 verbatim) scratch
+	fwd, bwd []bool
+	sets     []edgeSets
+}
+
+var labelPool = sync.Pool{New: func() any { return new(labelScratch) }}
+
+func (s *labelScratch) growBlocks(n int) {
+	if cap(s.in) < n {
+		s.in = make([]flowState, n)
+		s.out = make([]flowState, n)
+		s.prio = make([]int32, n)
+		s.seen = make([]bool, n)
+		s.iter = make([]int32, n)
+	}
+	s.in = s.in[:n]
+	s.out = s.out[:n]
+	s.prio = s.prio[:n]
+	s.seen = s.seen[:n]
+	s.iter = s.iter[:n]
+}
+
+// computeRPO fills s.prio with a reverse-postorder numbering of the
+// graph's blocks: a DFS from each entry block over successor arcs,
+// reversed. Blocks unreachable from the entries are numbered after the
+// reachable ones, in ascending block order, so the numbering is total.
+func (s *labelScratch) computeRPO(graph *cfg.Graph) {
+	n := len(graph.Blocks)
+	for i := 0; i < n; i++ {
+		s.seen[i] = false
+		s.prio[i] = -1
+	}
+	// Iterative DFS; s.stack holds block IDs, s.iter the per-block
+	// successor cursor. Postorder indices count up; reversing them
+	// yields the RPO priority.
+	post := int32(0)
+	stack := s.stack[:0]
+	reached := int32(0)
+	push := func(b int32) {
+		s.seen[b] = true
+		s.iter[b] = 0
+		stack = append(stack, b)
+		reached++
+	}
+	for _, e := range graph.EntryBlocks {
+		if s.seen[e] {
+			continue
+		}
+		push(int32(e))
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			succs := graph.Blocks[b].Succs
+			if int(s.iter[b]) < len(succs) {
+				nxt := int32(succs[s.iter[b]])
+				s.iter[b]++
+				if !s.seen[nxt] {
+					push(nxt)
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			s.prio[b] = post
+			post++
+		}
+	}
+	s.stack = stack[:0]
+	// Reverse: priority 0 pops first, so RPO = reached-1-postorder.
+	for i := 0; i < n; i++ {
+		if s.prio[i] >= 0 {
+			s.prio[i] = reached - 1 - s.prio[i]
+		}
+	}
+	// Unreached blocks (possible under unusual entry placement) go
+	// after every reached block, in block order.
+	next := reached
+	for i := 0; i < n; i++ {
+		if s.prio[i] < 0 {
+			s.prio[i] = next
+			next++
+		}
+	}
+}
+
+func (t *labelTask) labelForward(g *PSG, s *labelScratch) {
 	graph, rn := t.graph, t.rn
 	nBlocks := len(graph.Blocks)
-	in := make([]flowState, nBlocks)
-	out := make([]flowState, nBlocks)
+	s.growBlocks(nBlocks)
+	s.computeRPO(graph)
+	in, out := s.in, s.out
 
-	for si, src := range t.sources {
-		if len(t.refs[si]) == 0 {
+	for si, srcID := range t.sources {
+		if t.refStart[si] == t.refStart[si+1] {
 			continue // no reachable sinks; nothing to label
 		}
+		src := &g.Nodes[srcID]
 		for i := range in {
 			in[i] = flowState{}
 			out[i] = flowState{}
 		}
-		starts := sourceStartBlocks(graph, src)
-		// Iterative forward dataflow over the region.
-		wl := newIntQueue(nBlocks)
-		for _, s := range starts {
-			in[s].merge(flowState{valid: true})
-			wl.push(s)
+		starts := sourceStartBlocks(graph, src, &s.startBuf)
+		// Iterative forward dataflow over the region, in RPO order.
+		wl := &s.wl
+		wl.Reset(nBlocks, s.prio)
+		for _, st := range starts {
+			in[st].merge(flowState{valid: true})
+			wl.Push(st)
 		}
-		for !wl.empty() {
-			id := wl.pop()
+		for !wl.Empty() {
+			id := wl.Pop()
 			b := graph.Blocks[id]
 			st := in[id]
 			st.mayUse = st.mayUse.Union(b.UBD.Minus(st.mustDef))
@@ -547,54 +801,48 @@ func (t *labelTask) labelForward() {
 			if rn.isStop(b) {
 				continue // paths end here; do not cross the terminator
 			}
-			for _, s := range b.Succs {
-				if in[s].merge(st) || !wasQueuedEver(out, s) {
-					wl.push(s)
+			for _, nxt := range b.Succs {
+				if in[nxt].merge(st) || !out[nxt].valid {
+					wl.Push(nxt)
 				}
 			}
 		}
 		// The dataflow reaches exactly the blocks discovery reached, so
 		// every discovered sink has a valid out state.
-		for _, ref := range t.refs[si] {
+		for _, ref := range t.refs[t.refStart[si]:t.refStart[si+1]] {
 			st := out[ref.sink]
-			ref.edge.MayUse, ref.edge.MayDef, ref.edge.MustDef = st.mayUse, st.mayDef, st.mustDef
+			e := &g.Edges[ref.edge]
+			e.MayUse, e.MayDef, e.MustDef = st.mayUse, st.mayDef, st.mustDef
 		}
 	}
 }
-
-// wasQueuedEver reports whether block s has been processed at least once
-// (its out state is valid); unprocessed blocks must be queued even when
-// the merge into their in state reports no change (first merge of the
-// empty state into the empty state).
-func wasQueuedEver(out []flowState, s int) bool { return out[s].valid }
-
-// intQueue is a small FIFO with duplicate suppression, local to PSG
-// construction.
-type intQueue struct {
-	q      []int
-	queued []bool
-}
-
-func newIntQueue(n int) *intQueue { return &intQueue{queued: make([]bool, n)} }
-
-func (w *intQueue) push(id int) {
-	if !w.queued[id] {
-		w.queued[id] = true
-		w.q = append(w.q, id)
-	}
-}
-
-func (w *intQueue) pop() int {
-	id := w.q[0]
-	w.q = w.q[1:]
-	w.queued[id] = false
-	return id
-}
-
-func (w *intQueue) empty() bool { return len(w.q) == 0 }
 
 // NumNodes returns the number of PSG nodes.
 func (g *PSG) NumNodes() int { return len(g.Nodes) }
 
 // NumEdges returns the number of PSG edges.
 func (g *PSG) NumEdges() int { return len(g.Edges) }
+
+const (
+	nodeSize = unsafe.Sizeof(Node{})
+	edgeSize = unsafe.Sizeof(Edge{})
+)
+
+// MemoryFootprint returns the resident bytes of the PSG's flattened
+// storage: the node and edge slabs, the CSR adjacency and the phase-2
+// return-site links. Per-routine index slices (entry/exit/caller lists)
+// are counted too; Prog and Graphs are not — the CFGs report their own
+// footprint via cfg.Graph.MemoryFootprint.
+func (g *PSG) MemoryFootprint() uint64 {
+	b := uint64(len(g.Nodes))*uint64(nodeSize) + uint64(len(g.Edges))*uint64(edgeSize)
+	b += 4 * uint64(len(g.outStart)+len(g.inStart)+len(g.outEdgeIDs)+len(g.inEdgeIDs))
+	b += 4 * uint64(len(g.retStart)+len(g.retSiteIDs)+len(g.depStart)+len(g.depExitIDs))
+	for r := range g.EntryNodes {
+		b += 8 * uint64(len(g.EntryNodes[r])+len(g.ExitNodes[r]))
+		for _, edges := range g.CallerEdges[r] {
+			b += 8 * uint64(len(edges))
+		}
+	}
+	b += 8 * uint64(len(g.SavedRestored))
+	return b
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// The race detector instruments the runtime and inflates allocation
+// counts; the perf_test.go budgets are only meaningful without it.
+const raceEnabled = true
