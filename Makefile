@@ -13,7 +13,7 @@ BENCH_PKGS = . ./internal/core/
 # Baseline git ref for `make bench-compare`.
 BASE ?= HEAD~1
 
-.PHONY: build vet test race bench bench-json bench-compare profile verify
+.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard verify
 
 build:
 	$(GO) build ./...
@@ -67,5 +67,22 @@ profile: build
 	$(GO) run ./cmd/spikebench -tables 2 -scale 0.3 -q \
 		-cpuprofile cpu.out -memprofile mem.out > /dev/null
 	@echo "wrote cpu.out and mem.out; inspect with: go tool pprof cpu.out"
+
+# Example Perfetto capture: the full pipeline (analysis + Figure 1
+# optimizations) over the paper's Figure 2 program, with the solver
+# telemetry table alongside. Open trace.json in https://ui.perfetto.dev
+# or chrome://tracing.
+trace: build
+	$(GO) run ./cmd/spike -asm -opt -metrics -trace trace.json examples/fig2.s
+	@echo "wrote trace.json; open in https://ui.perfetto.dev or chrome://tracing"
+
+# Observability overhead guard: vet plus the tests proving disabled
+# tracing/metrics cost zero allocations and the telemetry is
+# deterministic. CI runs this as its own step so an obs regression is
+# named in the failure, not buried in the full suite.
+obs-guard:
+	$(GO) vet ./...
+	$(GO) test ./internal/obs/ ./internal/core/ \
+		-run 'TestAllocationBudget|TestAnalyzeAllocationBudget|TestPSGBuildAllocationBudget|TestPhasesAllocationBudget|TestDisabledObsAllocParity|TestMetricsDeterminism|TestAnalyzeTracing|TestNilObserverZeroAlloc' -v
 
 verify: build vet test race

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/prog"
 	"repro/internal/progen"
@@ -306,6 +307,17 @@ func BenchmarkPhasesParallel(b *testing.B) {
 	if parallel > 0 {
 		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "phase-speedup")
 	}
+	// One untimed instrumented run records the solver counters (these
+	// are parallelism-invariant; TestMetricsDeterminism asserts it), so
+	// bench-compare can diff worklist traffic and not just wall time.
+	b.StopTimer()
+	m := obs.NewMetrics()
+	if _, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(workers), core.WithMetrics(m)); err != nil {
+		b.Fatal(err)
+	}
+	obs.ReportCounters(b, m,
+		"phase1/iterations", "phase1/worklist_pushes", "phase1/edge_relabels",
+		"phase2/iterations", "phase2/worklist_pushes")
 }
 
 // Extension benchmark: profile-driven layout's modelled i-cache effect.

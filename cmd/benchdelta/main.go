@@ -5,6 +5,11 @@
 //	name                        old          new        delta
 //	BenchmarkAnalyzeParallel    227080       21165      -90.68%
 //
+// Solver counters (the "counters" section benchjson extracts from
+// "/run"-unit metrics) are compared the same way under "counter:"
+// headings — these are exact, machine-independent values, so any
+// nonzero delta there reflects an algorithmic change, not noise.
+//
 // It is intentionally dependency-free: `make bench-compare` runs it
 // against a baseline checkout, so it must build from a bare toolchain.
 //
@@ -27,6 +32,7 @@ import (
 
 type doc struct {
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	Counters   map[string]map[string]float64 `json:"counters"`
 }
 
 // coreMetrics are printed first, in this order; any other metric the two
@@ -64,15 +70,24 @@ func load(path string) (*doc, error) {
 }
 
 func report(old, new_ *doc) {
+	first := true
+	emitTables(old.Benchmarks, new_.Benchmarks, "metric", coreMetrics, &first)
+	emitTables(old.Counters, new_.Counters, "counter", nil, &first)
+}
+
+// emitTables prints one delta table per metric the two maps share,
+// core metrics first. heading labels the section ("metric" or
+// "counter").
+func emitTables(old, new_ map[string]map[string]float64, heading string, core []string, first *bool) {
 	names := map[string]bool{}
 	metricSet := map[string]bool{}
-	for n, m := range old.Benchmarks {
+	for n, m := range old {
 		names[n] = true
 		for k := range m {
 			metricSet[k] = true
 		}
 	}
-	for n, m := range new_.Benchmarks {
+	for n, m := range new_ {
 		names[n] = true
 		for k := range m {
 			metricSet[k] = true
@@ -82,7 +97,7 @@ func report(old, new_ *doc) {
 	delete(metricSet, "runs")
 	delete(metricSet, "iterations")
 
-	metrics := append([]string(nil), coreMetrics...)
+	metrics := append([]string(nil), core...)
 	for _, m := range metrics {
 		delete(metricSet, m)
 	}
@@ -99,13 +114,12 @@ func report(old, new_ *doc) {
 	}
 	sort.Strings(sorted)
 
-	first := true
 	for _, metric := range metrics {
 		rows := make([][4]string, 0, len(sorted))
 		width := len("name")
 		for _, n := range sorted {
-			ov, oOK := old.Benchmarks[n][metric]
-			nv, nOK := new_.Benchmarks[n][metric]
+			ov, oOK := old[n][metric]
+			nv, nOK := new_[n][metric]
 			if !oOK && !nOK {
 				continue
 			}
@@ -129,11 +143,11 @@ func report(old, new_ *doc) {
 		if len(rows) == 0 {
 			continue
 		}
-		if !first {
+		if !*first {
 			fmt.Println()
 		}
-		first = false
-		fmt.Printf("metric: %s\n", metric)
+		*first = false
+		fmt.Printf("%s: %s\n", heading, metric)
 		fmt.Printf("%-*s  %14s  %14s  %10s\n", width, "name", "old", "new", "delta")
 		for _, r := range rows {
 			fmt.Printf("%-*s  %14s  %14s  %10s\n", width, r[0], r[1], r[2], r[3])

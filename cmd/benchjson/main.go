@@ -6,8 +6,18 @@
 //	  "benchmarks": {
 //	    "BenchmarkAnalyzeParallel": {"ns/op": 1.2e7, "workers": 4, ...},
 //	    ...
+//	  },
+//	  "counters": {
+//	    "BenchmarkPhases": {"phase1/iterations": 244, ...},
+//	    ...
 //	  }
 //	}
+//
+// Metrics whose unit ends in "/run" are solver counters published via
+// obs.ReportCounters (worklist pushes, fixed-point iterations, edge
+// relabels); they land in the "counters" section, keyed by the counter
+// name with the "/run" suffix stripped. Unlike ns/op they are exact and
+// machine-independent, so a diff there means the algorithm changed.
 //
 // The raw test2json stream interleaves build output, progress events and
 // benchmark results and is not stable across runs, so it does not belong
@@ -42,6 +52,7 @@ type doc struct {
 	Pkg        string                        `json:"pkg,omitempty"`
 	CPU        string                        `json:"cpu,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	Counters   map[string]map[string]float64 `json:"counters,omitempty"`
 }
 
 func main() {
@@ -107,7 +118,9 @@ func parse(r io.Reader) (*doc, error) {
 
 // record folds one benchmark result into the document. Multiple -count
 // runs of one benchmark keep the running mean, so the document stays one
-// value per (benchmark, metric).
+// value per (benchmark, metric). Counter metrics (unit suffix "/run")
+// are split out into the counters section; they are exact, so the last
+// observation wins instead of averaging.
 func (d *doc) record(name string, metrics map[string]float64) {
 	m := d.Benchmarks[name]
 	if m == nil {
@@ -116,6 +129,16 @@ func (d *doc) record(name string, metrics map[string]float64) {
 	}
 	runs := m["runs"] + 1
 	for k, v := range metrics {
+		if ctr, ok := strings.CutSuffix(k, "/run"); ok {
+			if d.Counters == nil {
+				d.Counters = map[string]map[string]float64{}
+			}
+			if d.Counters[name] == nil {
+				d.Counters[name] = map[string]float64{}
+			}
+			d.Counters[name][ctr] = v
+			continue
+		}
 		m[k] += (v - m[k]) / runs
 	}
 	m["runs"] = runs

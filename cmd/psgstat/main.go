@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	psgstat [-asm] input
+//	psgstat [-asm] [-dot routine] [-metrics] input
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prog"
 	"repro/internal/sxe"
 )
@@ -22,18 +23,19 @@ import (
 func main() {
 	asmIn := flag.Bool("asm", false, "input is assembly text")
 	dotFor := flag.String("dot", "", "emit the named routine's PSG as Graphviz DOT and exit")
+	metrics := flag.Bool("metrics", false, "print the solver telemetry counters and histograms")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: psgstat [-asm] [-dot routine] input")
+		fmt.Fprintln(os.Stderr, "usage: psgstat [-asm] [-dot routine] [-metrics] input")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *asmIn, *dotFor); err != nil {
+	if err := run(flag.Arg(0), *asmIn, *dotFor, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "psgstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input string, asmIn bool, dotFor string) error {
+func run(input string, asmIn bool, dotFor string, metrics bool) error {
 	data, err := os.ReadFile(input)
 	if err != nil {
 		return err
@@ -48,7 +50,11 @@ func run(input string, asmIn bool, dotFor string) error {
 		return err
 	}
 
-	a, err := core.Analyze(p, core.WithOpenWorld())
+	var m *obs.Metrics
+	if metrics {
+		m = obs.NewMetrics()
+	}
+	a, err := core.Analyze(p, core.WithOpenWorld(), core.WithMetrics(m))
 	if err != nil {
 		return err
 	}
@@ -86,6 +92,12 @@ func run(input string, asmIn bool, dotFor string) error {
 		fmt.Printf("  %-15s %5.1f%%\n", stage, fr[i]*100)
 	}
 	fmt.Printf("\ngraph memory: %.2f MB\n", float64(s.GraphBytes)/(1<<20))
+	if metrics {
+		// Telemetry for the open-world analysis above (the branch-node
+		// comparison run is not instrumented).
+		fmt.Printf("\nsolver metrics:\n")
+		m.Snapshot().WriteText(os.Stdout)
+	}
 	return nil
 }
 

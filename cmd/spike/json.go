@@ -5,16 +5,21 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The -format=json document: one object with the per-routine
-// interprocedural summaries and the analysis statistics. Register sets
-// render in the paper's notation ("{v0, t1}"); durations are
-// nanoseconds under keys ending in "Ns" so consumers (and the golden
-// test) can identify the nondeterministic fields mechanically.
+// interprocedural summaries, the analysis statistics and the solver
+// telemetry snapshot. Register sets render in the paper's notation
+// ("{v0, t1}"); durations are nanoseconds under keys ending in "Ns" so
+// consumers (and the golden test) can identify the nondeterministic
+// fields mechanically. Inside "metrics", counters flagged
+// "unstable": true (pool hit rates) likewise vary run to run; every
+// other counter is byte-identical at any parallelism.
 type jsonDoc struct {
 	Routines []jsonRoutine `json:"routines"`
 	Stats    jsonStats     `json:"stats"`
+	Metrics  obs.Snapshot  `json:"metrics"`
 }
 
 type jsonRoutine struct {
@@ -66,8 +71,9 @@ type jsonStats struct {
 }
 
 // writeJSON emits the analysis as the machine-readable -format=json
-// document.
-func writeJSON(w io.Writer, a *core.Analysis) error {
+// document. m is the registry the analysis ran with (never nil for
+// the json format).
+func writeJSON(w io.Writer, a *core.Analysis, m *obs.Metrics) error {
 	cg := a.CallGraph()
 	doc := jsonDoc{Routines: make([]jsonRoutine, 0, len(a.Prog.Routines))}
 	for ri, r := range a.Prog.Routines {
@@ -121,6 +127,7 @@ func writeJSON(w io.Writer, a *core.Analysis) error {
 		TotalNs:          st.Total().Nanoseconds(),
 		TotalCPUNs:       st.TotalCPU().Nanoseconds(),
 	}
+	doc.Metrics = m.Snapshot()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

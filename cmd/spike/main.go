@@ -22,6 +22,10 @@
 //	              of the closed-world default
 //	-no-branch-nodes  disable §3.6 branch nodes
 //	-parallel N   analysis worker-pool size (0 = GOMAXPROCS)
+//	-trace file   write a Chrome trace_event JSON capture of the pipeline
+//	              to file (open in Perfetto or chrome://tracing)
+//	-metrics      print the solver telemetry (worklist traffic, per-SCC
+//	              iteration histograms, relabels, pool hit rates)
 //	-cpuprofile f write a CPU profile of the run to f
 //	-memprofile f write a heap profile to f on exit
 package main
@@ -33,9 +37,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/prog"
 	"repro/internal/sxe"
@@ -55,6 +61,8 @@ type spikeOptions struct {
 	openWorld bool   // paper §3.5 indirect-call handling
 	noBranch  bool   // disable §3.6 branch nodes
 	parallel  int    // analysis worker-pool size (0 = GOMAXPROCS)
+	traceFile string // write a Chrome trace_event capture here
+	metrics   bool   // print the solver telemetry
 	maxSteps  int64  // emulator step budget for verify
 	cpuProf   string // write a CPU profile here
 	memProf   string // write a heap profile here on exit
@@ -85,6 +93,8 @@ func main() {
 	flag.BoolVar(&o.openWorld, "open-world", false, "paper §3.5 indirect-call handling")
 	flag.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
 	flag.IntVar(&o.parallel, "parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace_event JSON capture to this file")
+	flag.BoolVar(&o.metrics, "metrics", false, "print solver telemetry counters and histograms")
 	flag.Int64Var(&o.maxSteps, "max-steps", 100_000_000, "emulator step budget for -verify")
 	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile to this file on exit")
@@ -147,7 +157,24 @@ func run(w io.Writer, input string, o spikeOptions) error {
 		return err
 	}
 
+	// The tracer and metrics registry are shared by the analysis and the
+	// optimizer's re-analyses below: the capture and the counters cover
+	// the whole process run, not just the first Analyze.
+	var tr *obs.Tracer
+	if o.traceFile != "" {
+		tr = obs.NewTracer()
+	}
+	var met *obs.Metrics
+	if o.metrics || o.format == "json" {
+		met = obs.NewMetrics()
+	}
 	analysisOpts := o.analysisOptions()
+	if tr != nil {
+		analysisOpts = append(analysisOpts, core.WithTracer(tr))
+	}
+	if met != nil {
+		analysisOpts = append(analysisOpts, core.WithMetrics(met))
+	}
 	// Bracket the analysis with ReadMemStats so -stats can report what
 	// the analysis itself allocated. The JSON document stays free of
 	// these numbers: they depend on GC timing and would break the
@@ -163,7 +190,7 @@ func run(w io.Writer, input string, o spikeOptions) error {
 	if o.format == "json" {
 		// The document carries both the summaries and the stats; the
 		// flags need not be repeated.
-		if err := writeJSON(w, a); err != nil {
+		if err := writeJSON(w, a, met); err != nil {
 			return err
 		}
 	} else {
@@ -208,6 +235,19 @@ func run(w io.Writer, input string, o spikeOptions) error {
 		}
 	}
 
+	// Render the telemetry after the optimizer has run so the table
+	// includes its re-analyses and liveness solves.
+	if o.metrics && o.format != "json" {
+		fmt.Fprintln(w, "metrics:")
+		met.Snapshot().WriteText(w)
+	}
+	if tr != nil {
+		if err := tr.WriteTraceFile(o.traceFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote trace %s (%d events)\n", o.traceFile, tr.NumEvents())
+	}
+
 	if o.asmOut {
 		fmt.Fprint(w, prog.Disassemble(out))
 	}
@@ -240,6 +280,21 @@ func printStats(w io.Writer, s *core.Stats) {
 	fmt.Fprintf(w, "analysis time: %v wall, %v cpu, %d workers (cfg %.0f%%, init %.0f%%, psg %.0f%%, phase1 %.0f%%, phase2 %.0f%%)\n",
 		s.Total(), s.TotalCPU(), s.Parallelism,
 		fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100, fr[4]*100)
+	fmt.Fprintf(w, "stage timing (wall / cpu):\n")
+	for _, st := range []struct {
+		name      string
+		wall, cpu time.Duration
+	}{
+		{"cfg build", s.CFGBuild, s.CFGBuildCPU},
+		{"init", s.Init, s.InitCPU},
+		{"psg build", s.PSGBuild, s.PSGBuildCPU},
+		{"phase 1", s.Phase1, s.Phase1CPU},
+		{"phase 2", s.Phase2, s.Phase2CPU},
+	} {
+		fmt.Fprintf(w, "  %-10s %12v %12v\n", st.name, st.wall, st.cpu)
+	}
+	fmt.Fprintf(w, "  %-10s %12v %12s (scheduling, outside Figure 13 stages)\n",
+		"call graph", s.CallGraphBuild, "-")
 }
 
 func printSummaries(w io.Writer, a *core.Analysis) {

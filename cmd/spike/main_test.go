@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -102,8 +105,10 @@ func TestRunErrors(t *testing.T) {
 
 // TestRunJSONGolden pins the -format=json document. Timing fields are
 // nondeterministic, so every key ending in "Ns" is zeroed before the
-// comparison; everything else — summaries, schedule counts, sizes —
-// is byte-exact (the analysis is deterministic at every parallelism).
+// comparison, as are the values of metrics counters flagged unstable
+// (pool hit rates depend on GC timing); everything else — summaries,
+// schedule counts, sizes, solver telemetry — is byte-exact (the
+// analysis is deterministic at every parallelism).
 func TestRunJSONGolden(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "p.s")
@@ -128,6 +133,20 @@ func TestRunJSONGolden(t *testing.T) {
 			stats[k] = 0
 		}
 	}
+	metrics, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		t.Fatal("document has no metrics object")
+	}
+	counters, ok := metrics["counters"].([]any)
+	if !ok || len(counters) == 0 {
+		t.Fatal("metrics has no counters")
+	}
+	for _, c := range counters {
+		cm := c.(map[string]any)
+		if unstable, _ := cm["unstable"].(bool); unstable {
+			cm["value"] = 0
+		}
+	}
 	got, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -146,6 +165,97 @@ func TestRunJSONGolden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Errorf("-format=json document differs from %s:\n got:\n%s\nwant:\n%s",
 			golden, got, want)
+	}
+}
+
+// TestRunTraceGolden pins the -trace capture at parallelism 1, where
+// the span schedule is fully deterministic. Timestamps and durations
+// vary run to run, so each event is projected to a stable line —
+// phase, thread id, name and args — before comparing against the
+// golden file.
+func TestRunTraceGolden(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	traceOut := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(io.Discard, in, spikeOptions{asmIn: true, traceFile: traceOut, parallel: 1})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("trace is not valid JSON")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, ev := range doc.TraceEvents {
+		line := ev.Ph + " " + strconv.FormatInt(ev.Tid, 10) + " " + ev.Name
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += " " + k + "=" + fmt.Sprint(ev.Args[k])
+		}
+		lines = append(lines, line)
+	}
+	got := []byte(strings.Join(lines, "\n") + "\n")
+	golden := filepath.Join("testdata", "trace.txt")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-trace capture differs from %s:\n got:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestRunMetricsText checks the -metrics table: the phase counters and
+// the per-component iteration histograms must appear in text output.
+func TestRunMetricsText(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, in, spikeOptions{asmIn: true, metrics: true, opt: true}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"metrics:",
+		"phase1/iterations",
+		"phase2/worklist_pushes",
+		"phase1/component_iterations",
+		"psg/nodes",
+		"liveness/runs", // proves the optimizer's solves share the registry
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output lacks %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@
 //	spikebench -scale 0.1 -all      quick run at 10% size
 //	spikebench -tables 2,4          selected tables only
 //	spikebench -tables waves        the SCC/wave phase-schedule table
+//	spikebench -tables counters     the solver worklist/relabel counters
 //	spikebench -opt                 the optimization experiment only
 package main
 
@@ -67,7 +68,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *all {
-		for _, t := range []string{"1", "2", "3", "4", "5", "f13", "f14", "f15", "waves"} {
+		for _, t := range []string{"1", "2", "3", "4", "5", "f13", "f14", "f15", "waves", "counters"} {
 			want[t] = true
 		}
 	}
@@ -105,6 +106,7 @@ func main() {
 		emit("5", func() { bench.Table5(os.Stdout, results) })
 		emit("f13", func() { bench.Figure13(os.Stdout, results) })
 		emit("waves", func() { bench.WavesTable(os.Stdout, results) })
+		emit("counters", func() { bench.CountersTable(os.Stdout, results) })
 		emit("f14", func() {
 			bench.Figure14(os.Stdout, results)
 			fmt.Println()

@@ -1,0 +1,27 @@
+; The paper's Figure 2 program (P1 and P3 call P2), as a standalone
+; assembly fixture for driving cmd/spike — `make trace` runs the
+; analysis over it with tracing and metrics enabled.
+.start main
+.routine main
+  jsr p1
+  jsr p3
+  halt
+
+.routine p1
+  lda r0, 1(zero)    ; def R0
+  lda r1, 2(zero)    ; def R1
+  jsr p2
+  print r0           ; use R0 after the call returns
+  ret
+
+.routine p2
+  mov r2, r1         ; use R1, def R2
+  beq r2, skip
+  lda r3, 3(zero)    ; def R3 on one path only
+skip:
+  ret
+
+.routine p3
+  lda r1, 4(zero)    ; def R1
+  jsr p2
+  ret

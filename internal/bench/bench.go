@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/prog"
 	"repro/internal/progen"
@@ -43,6 +44,22 @@ type Result struct {
 	// BaselineTime is the time for the whole-program-CFG liveness, the
 	// approach the PSG replaces.
 	BaselineTime time.Duration
+
+	// Metrics is the solver-telemetry snapshot of the default analysis:
+	// worklist traffic, relabels and per-component iteration histograms
+	// (see internal/obs). The stable part is parallelism-invariant.
+	Metrics obs.Snapshot
+}
+
+// Counter returns the named solver counter from the result's metrics
+// snapshot, 0 if absent.
+func (r *Result) Counter(name string) uint64 {
+	for _, c := range r.Metrics.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
 }
 
 // Run generates the benchmark for prof and measures everything the
@@ -56,12 +73,15 @@ func Run(prof progen.Profile, seed uint64, parallel int) (*Result, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	a, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(parallel))
+	m := obs.NewMetrics()
+	a, err := core.Analyze(p, core.WithOpenWorld(), core.WithParallelism(parallel),
+		core.WithMetrics(m))
 	if err != nil {
 		return nil, err
 	}
 	runtime.ReadMemStats(&after)
 	res.Stats = a.Stats
+	res.Metrics = m.Snapshot()
 	if after.HeapAlloc > before.HeapAlloc {
 		res.HeapDelta = after.HeapAlloc - before.HeapAlloc
 	}

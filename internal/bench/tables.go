@@ -161,3 +161,21 @@ func WavesTable(w io.Writer, results []*Result) {
 			r.Stats.Phase1Iterations, r.Stats.Phase2Iterations)
 	}
 }
+
+// CountersTable writes the solver-telemetry counters of each
+// benchmark's analysis: worklist traffic, relabel writes and edge
+// scans per phase. Like the wave counts, every column is
+// parallelism-invariant, so the table diffs cleanly across runs.
+func CountersTable(w io.Writer, results []*Result) {
+	fmt.Fprintln(w, "Solver counters: worklist traffic and edge work per phase.")
+	fmt.Fprintf(w, "%-10s %11s %11s %12s %11s %11s %12s\n",
+		"Benchmark", "Ph1 Pushes", "Ph1 Scans", "Ph1 Relabels", "Ph2 Pushes", "Ph2 Scans", "Flow Edges")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %11d %11d %12d %11d %11d %12d\n",
+			r.Profile.Name,
+			r.Counter("phase1/worklist_pushes"), r.Counter("phase1/edge_scans"),
+			r.Counter("phase1/edge_relabels"),
+			r.Counter("phase2/worklist_pushes"), r.Counter("phase2/edge_scans"),
+			r.Counter("label/flow_edges"))
+	}
+}

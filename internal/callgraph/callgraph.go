@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/prog"
 )
 
@@ -74,6 +75,8 @@ type Graph struct {
 // options collects the Build knobs.
 type options struct {
 	pinIndirect bool
+	tracer      *obs.Tracer
+	metrics     *obs.Metrics
 }
 
 // Option configures Build.
@@ -86,6 +89,16 @@ type Option func(*options)
 // program has no indirect calls or no address-taken routines.
 func WithIndirectPinning(on bool) Option {
 	return func(o *options) { o.pinIndirect = on }
+}
+
+// WithObs records Build's sub-stages (edge collection, condensation,
+// scheduling) as spans on tr and publishes graph-shape counters
+// (callgraph/*) into m. Either may be nil to disable that half.
+func WithObs(tr *obs.Tracer, m *obs.Metrics) Option {
+	return func(o *options) {
+		o.tracer = tr
+		o.metrics = m
+	}
 }
 
 // Build constructs the call graph of p, its condensation and its wave
@@ -104,6 +117,8 @@ func Build(p *prog.Program, opts ...Option) *Graph {
 		hasIndirect: make([]bool, n),
 		pinnedComp:  -1,
 	}
+	th := o.tracer.MainThread()
+	esp := th.Begin("callgraph edges").Arg("routines", int64(n))
 	for ri, r := range p.Routines {
 		seen := map[int]bool{}
 		for i := range r.Code {
@@ -131,6 +146,7 @@ func Build(p *prog.Program, opts ...Option) *Graph {
 	for ri := range g.callers {
 		sort.Ints(g.callers[ri])
 	}
+	esp.End()
 
 	adj := g.callees
 	var pins []int
@@ -142,10 +158,31 @@ func Build(p *prog.Program, opts ...Option) *Graph {
 			}
 		}
 	}
+	csp := th.Begin("callgraph condense")
 	g.condense(adj)
+	csp.Arg("components", int64(len(g.comps))).End()
+	ssp := th.Begin("callgraph schedule")
 	g.schedule()
+	ssp.Arg("waves", int64(len(g.calleeWaves))).End()
 	if g.pinned {
 		g.pinnedComp = g.comp[pins[0]]
+	}
+	if m := o.metrics; m != nil {
+		edges, recursive := 0, 0
+		for _, cs := range g.callees {
+			edges += len(cs)
+		}
+		for c := range g.comps {
+			if g.Recursive(c) {
+				recursive++
+			}
+		}
+		m.Counter("callgraph/routines").Store(uint64(n))
+		m.Counter("callgraph/call_edges").Store(uint64(edges))
+		m.Counter("callgraph/components").Store(uint64(len(g.comps)))
+		m.Counter("callgraph/recursive_components").Store(uint64(recursive))
+		m.Counter("callgraph/waves").Store(uint64(len(g.calleeWaves)))
+		m.Counter("callgraph/pinned_routines").Store(uint64(len(pins)))
 	}
 	return g
 }

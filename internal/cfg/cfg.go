@@ -21,6 +21,7 @@ import (
 	"unsafe"
 
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/prog"
 	"repro/internal/regset"
@@ -332,8 +333,15 @@ func BuildAll(p *prog.Program) []*Graph {
 // aggregate per-routine build time — the stage's CPU time, as opposed
 // to the wall time the caller measures around the call.
 func BuildAllParallel(p *prog.Program, workers int) ([]*Graph, time.Duration) {
+	return BuildAllTraced(p, workers, nil)
+}
+
+// BuildAllTraced is BuildAllParallel with per-routine occupancy spans
+// ("cfg") recorded on tr's worker threads; a nil tracer makes it
+// identical to BuildAllParallel.
+func BuildAllTraced(p *prog.Program, workers int, tr *obs.Tracer) ([]*Graph, time.Duration) {
 	gs := make([]*Graph, len(p.Routines))
-	cpu := par.ForEach(len(p.Routines), workers, func(ri int) {
+	cpu := par.ForEachSpan(tr, "cfg", len(p.Routines), workers, func(ri int) {
 		gs[ri] = Build(p, ri)
 	})
 	return gs, cpu
@@ -343,7 +351,13 @@ func BuildAllParallel(p *prog.Program, workers int) ([]*Graph, time.Duration) {
 // workers goroutines, returning the aggregate compute time. Each
 // graph's sets depend only on its own routine's instructions.
 func ComputeDefUBDAll(gs []*Graph, workers int) time.Duration {
-	return par.ForEach(len(gs), workers, func(i int) {
+	return ComputeDefUBDAllTraced(gs, workers, nil)
+}
+
+// ComputeDefUBDAllTraced is ComputeDefUBDAll with per-routine
+// occupancy spans ("defubd") recorded on tr's worker threads.
+func ComputeDefUBDAllTraced(gs []*Graph, workers int, tr *obs.Tracer) time.Duration {
+	return par.ForEachSpan(tr, "defubd", len(gs), workers, func(i int) {
 		ComputeDefUBD(gs[i])
 	})
 }

@@ -166,35 +166,92 @@ func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
 	a := &Analysis{Prog: p, Config: conf}
 	a.Stats.Parallelism = workers
 
+	// Pool baselines: the worklist/label-scratch pools are process
+	// globals, so this run's hit/miss telemetry is the delta.
+	var wlGets0, wlNews0, lbGets0, lbNews0 uint64
+	if conf.Metrics != nil {
+		wlGets0, wlNews0 = wlPool.Stats()
+		lbGets0, lbNews0 = labelPool.Stats()
+	}
+	th := conf.Tracer.MainThread()
+	asp := th.Begin("analyze").
+		Arg("routines", int64(len(p.Routines))).
+		Arg("workers", int64(workers))
+
 	start := time.Now()
-	a.Graphs, a.Stats.CFGBuildCPU = cfg.BuildAllParallel(p, workers)
+	ssp := th.Begin("cfg build")
+	a.Graphs, a.Stats.CFGBuildCPU = cfg.BuildAllTraced(p, workers, conf.Tracer)
+	ssp.End()
 	a.Stats.CFGBuild = time.Since(start)
 
 	start = time.Now()
-	a.Stats.InitCPU = cfg.ComputeDefUBDAll(a.Graphs, workers)
+	ssp = th.Begin("init")
+	a.Stats.InitCPU = cfg.ComputeDefUBDAllTraced(a.Graphs, workers, conf.Tracer)
+	ssp.End()
 	a.Stats.Init = time.Since(start)
 
 	start = time.Now()
+	ssp = th.Begin("psg build")
 	a.PSG, a.Stats.PSGBuildCPU = buildPSG(p, a.Graphs, conf)
+	ssp.End()
 	a.Stats.PSGBuild = time.Since(start)
 
 	start = time.Now()
-	a.callGraph = callgraph.Build(p, callgraph.WithIndirectPinning(conf.LinkIndirectCalls))
+	ssp = th.Begin("callgraph build")
+	a.callGraph = callgraph.Build(p,
+		callgraph.WithIndirectPinning(conf.LinkIndirectCalls),
+		callgraph.WithObs(conf.Tracer, conf.Metrics))
+	ssp.End()
 	a.Stats.CallGraphBuild = time.Since(start)
 	a.Stats.SCCComponents = a.callGraph.NumComponents()
 	sched := newPhaseSched(a.PSG, a.callGraph, conf)
 
 	start = time.Now()
+	ssp = th.Begin("phase1")
 	a.Stats.Phase1Waves, a.Stats.Phase1Iterations, a.Stats.Phase1CPU = sched.runPhase1()
+	ssp.Arg("waves", int64(a.Stats.Phase1Waves)).
+		Arg("iterations", int64(a.Stats.Phase1Iterations)).End()
 	a.Stats.Phase1 = time.Since(start)
 
 	start = time.Now()
+	ssp = th.Begin("phase2")
 	a.Stats.Phase2Waves, a.Stats.Phase2Iterations, a.Stats.Phase2CPU = sched.runPhase2()
+	ssp.Arg("waves", int64(a.Stats.Phase2Waves)).
+		Arg("iterations", int64(a.Stats.Phase2Iterations)).End()
 	a.Stats.Phase2 = time.Since(start)
 
+	ssp = th.Begin("summaries")
 	a.collectSummaries()
 	a.collectCounts()
+	ssp.End()
+	asp.End()
+	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0)
 	return a, nil
+}
+
+// publishMetrics stores the graph-shape gauges and this run's pool
+// deltas into the configured registry. The gauges are deterministic
+// (Store, not Add, so a re-analysis over the same registry overwrites
+// rather than double-counts); the pool deltas are unstable by nature.
+func (a *Analysis) publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0 uint64) {
+	m := a.Config.Metrics
+	if m == nil {
+		return
+	}
+	st := &a.Stats
+	m.Counter("psg/nodes").Store(uint64(st.PSGNodes))
+	m.Counter("psg/edges").Store(uint64(st.PSGEdges))
+	m.Counter("cfg/blocks").Store(uint64(st.BasicBlocks))
+	m.Counter("cfg/arcs").Store(uint64(st.CFGArcs))
+	m.Counter("graph/arena_bytes").Store(st.GraphBytes)
+	m.Counter("sched/phase1_waves").Store(uint64(st.Phase1Waves))
+	m.Counter("sched/phase2_waves").Store(uint64(st.Phase2Waves))
+	wlGets, wlNews := wlPool.Stats()
+	lbGets, lbNews := labelPool.Stats()
+	m.UnstableCounter("pool/worklist_gets").Add(wlGets - wlGets0)
+	m.UnstableCounter("pool/worklist_misses").Add(wlNews - wlNews0)
+	m.UnstableCounter("pool/label_scratch_gets").Add(lbGets - lbGets0)
+	m.UnstableCounter("pool/label_scratch_misses").Add(lbNews - lbNews0)
 }
 
 // collectSummaries reads the converged node sets out of the PSG: the

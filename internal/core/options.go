@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/obs"
+
 // Option configures Analyze. Options are applied in order on top of
 // DefaultConfig, so later options override earlier ones; WithConfig
 // replaces the configuration wholesale and is the bridge for callers
@@ -57,4 +59,20 @@ func WithPerEdgeLabeling(on bool) Option {
 // pipeline serially. Results are identical for every n.
 func WithParallelism(n int) Option {
 	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithTracer records begin/end spans for every pipeline stage, wave
+// and component solve into tr, for export as Chrome trace_event JSON
+// (obs.Tracer.WriteTrace; view in Perfetto or chrome://tracing). A nil
+// tr — the default — disables tracing with zero allocations.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *Config) { c.Tracer = tr }
+}
+
+// WithMetrics publishes the solver telemetry — worklist traffic,
+// per-component fixed-point iterations, edge relabels, graph-shape
+// gauges, pool hit rates — into m (see obs.Metrics.Snapshot). A nil m
+// disables metrics with zero allocations.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(c *Config) { c.Metrics = m }
 }

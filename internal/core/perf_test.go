@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/callgraph"
 	"repro/internal/cfg"
+	"repro/internal/obs"
 	"repro/internal/progen"
 	"repro/internal/prog"
 )
@@ -139,4 +140,16 @@ func BenchmarkPhases(b *testing.B) {
 		s.runPhase1()
 		s.runPhase2()
 	}
+	// One untimed instrumented run publishes the solver counters into
+	// the benchmark record (units ending "/run"), so BENCH_phases.json
+	// tracks worklist traffic and relabels alongside ns/op.
+	b.StopTimer()
+	conf.Metrics = obs.NewMetrics()
+	s := newPhaseSched(g, cg, conf)
+	s.runPhase1()
+	s.runPhase2()
+	obs.ReportCounters(b, conf.Metrics,
+		"phase1/iterations", "phase1/worklist_pushes", "phase1/edge_relabels",
+		"phase1/edge_scans", "phase2/iterations", "phase2/worklist_pushes",
+		"phase2/edge_scans")
 }

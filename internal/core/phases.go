@@ -1,13 +1,13 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/callstd"
 	"repro/internal/dataflow"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/regset"
 )
@@ -118,6 +118,32 @@ type phaseSched struct {
 	indirectEdges    []int32
 	addrTakenEntries []int
 	pinnedComp       int
+
+	// Pre-resolved telemetry instruments, one bundle per phase. With
+	// Config.Metrics nil every field is a nil instrument and the solve
+	// loops' flush calls no-op.
+	obs1, obs2 phaseObs
+}
+
+// phaseObs bundles the per-phase solver instruments. The solve loops
+// count in plain locals and flush here once per component, so enabling
+// metrics adds a handful of atomic adds per component, not per node.
+type phaseObs struct {
+	iterations *obs.Counter   // total worklist pops
+	pushes     *obs.Counter   // total worklist pushes (incl. suppressed)
+	relabels   *obs.Counter   // call-return edge label writes
+	edgeScans  *obs.Counter   // out-edges read by recompute (≈ set ops)
+	compIters  *obs.Histogram // iterations per SCC component
+}
+
+func newPhaseObs(m *obs.Metrics, phase string) phaseObs {
+	return phaseObs{
+		iterations: m.Counter(phase + "/iterations"),
+		pushes:     m.Counter(phase + "/worklist_pushes"),
+		relabels:   m.Counter(phase + "/edge_relabels"),
+		edgeScans:  m.Counter(phase + "/edge_scans"),
+		compIters:  m.Histogram(phase + "/component_iterations"),
+	}
 }
 
 // nodes returns component c's member node IDs, ascending.
@@ -159,6 +185,12 @@ func newPhaseSched(g *PSG, cg *callgraph.Graph, conf Config) *phaseSched {
 		s.localIdx[i] = next[c]
 		s.compNodeIDs[s.compOff[c]+next[c]] = int32(i)
 		next[c]++
+	}
+	// Resolve instruments only when metrics are on: the name concat
+	// alone would otherwise cost the disabled path allocations.
+	if conf.Metrics != nil {
+		s.obs1 = newPhaseObs(conf.Metrics, "phase1")
+		s.obs2 = newPhaseObs(conf.Metrics, "phase2")
 	}
 	s.computePriorities()
 	return s
@@ -239,25 +271,55 @@ func (s *phaseSched) computePriorities() {
 
 // wlPool recycles worklists across components and phases; Reset re-arms
 // one for a component without reallocating, so the steady-state solve
-// loop performs no heap allocation at all.
-var wlPool = sync.Pool{New: func() any { return new(dataflow.Worklist) }}
+// loop performs no heap allocation at all. The obs.Pool wrapper counts
+// hits and misses; Analyze reports them as unstable counters.
+var wlPool = obs.NewPool(func() any { return new(dataflow.Worklist) })
 
 // runWaves executes one phase's wave schedule, solving the components
 // of each wave concurrently on the worker pool and the waves in order.
 // It returns the wave count, the total worklist iterations (summed
 // deterministically per component), and the aggregate solver CPU time.
-func (s *phaseSched) runWaves(schedule [][]int, solve func(c int) int) (waves, iters int, cpu time.Duration) {
+//
+// When tracing is on, each wave gets a span on the pipeline thread and
+// each component solve a span on its worker's thread (worker threads
+// are resolved up front so the solve loop records lock-free); when
+// metrics are on, each component's iteration count feeds the phase's
+// component-iterations histogram.
+func (s *phaseSched) runWaves(name string, po *phaseObs, schedule [][]int, solve func(c int) int) (waves, iters int, cpu time.Duration) {
 	counts := make([]int, s.cg.NumComponents())
-	for _, wave := range schedule {
+	tr := s.conf.Tracer
+	th := tr.MainThread()
+	var ths []*obs.Thread
+	var waveName, compName string
+	if tr != nil {
+		nw := par.Workers(s.workers)
+		ths = make([]*obs.Thread, nw)
+		for w := range ths {
+			ths[w] = tr.WorkerThread(w)
+		}
+		waveName, compName = name+" wave", name+" component"
+	}
+	for wi, wave := range schedule {
 		wave := wave
-		cpu += par.ForEach(len(wave), s.workers, func(i int) {
+		wsp := th.Begin(waveName).Arg("wave", int64(wi)).Arg("components", int64(len(wave)))
+		cpu += par.ForEachWorker(len(wave), s.workers, func(w, i int) {
 			c := wave[i]
+			var sp obs.Span
+			if ths != nil {
+				sp = ths[w].Begin(compName).
+					Arg("component", int64(c)).
+					Arg("nodes", int64(len(s.nodes(c))))
+			}
 			counts[c] = solve(c)
+			sp.Arg("iterations", int64(counts[c])).End()
+			po.compIters.Observe(uint64(counts[c]))
 		})
+		wsp.End()
 	}
 	for _, k := range counts {
 		iters += k
 	}
+	po.iterations.Add(uint64(iters))
 	return len(schedule), iters, cpu
 }
 
@@ -321,7 +383,7 @@ func (s *phaseSched) runPhase1() (waves, iters int, cpu time.Duration) {
 		}
 	}
 
-	waves, iters, cpu = s.runWaves(s.cg.CalleeFirstWaves(), s.solvePhase1)
+	waves, iters, cpu = s.runWaves("phase1", &s.obs1, s.cg.CalleeFirstWaves(), s.solvePhase1)
 	for i := range g.Nodes {
 		g.Nodes[i].phase1Use = g.Nodes[i].MayUse
 	}
@@ -341,6 +403,7 @@ func (s *phaseSched) solvePhase1(c int) int {
 	wl := wlPool.Get().(*dataflow.Worklist)
 	wl.Reset(len(nodes), nil)
 	pinned := c == s.pinnedComp
+	var scans, relabels uint64
 
 	// updateIndirect relabels every indirect call-return edge with the
 	// closed-world combination of the calling-standard summary and all
@@ -360,6 +423,7 @@ func (s *phaseSched) solvePhase1(c int) int {
 			e := &g.Edges[eid]
 			if e.MayUse != mu || e.MayDef != md || e.MustDef != msd {
 				e.MayUse, e.MayDef, e.MustDef = mu, md, msd
+				relabels++
 				wl.Push(int(s.localIdx[e.Src]))
 			}
 		}
@@ -375,6 +439,7 @@ func (s *phaseSched) solvePhase1(c int) int {
 	for !wl.Empty() {
 		n := &g.Nodes[nodes[wl.Pop()]]
 		pops++
+		scans += uint64(len(g.OutEdges(n.ID)))
 		mu, md, msd := g.recompute(n, false)
 		if mu == n.MayUse && md == n.MayDef && msd == n.MustDef {
 			continue
@@ -402,6 +467,7 @@ func (s *phaseSched) solvePhase1(c int) int {
 				}
 				if e.MayUse != fu || e.MayDef != fd || e.MustDef != fm {
 					e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
+					relabels++
 					wl.Push(int(s.localIdx[e.Src]))
 				}
 			}
@@ -410,6 +476,7 @@ func (s *phaseSched) solvePhase1(c int) int {
 			}
 		}
 	}
+	pushes, _ := wl.Counts()
 	wlPool.Put(wl)
 	// Broadcast the converged entry summaries outward. The affected
 	// edges belong to caller components, which the callee-first wave
@@ -425,9 +492,13 @@ func (s *phaseSched) solvePhase1(c int) int {
 			e := &g.Edges[eid]
 			if s.nodeComp[e.Src] != int32(c) {
 				e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
+				relabels++
 			}
 		}
 	}
+	s.obs1.pushes.Add(pushes)
+	s.obs1.relabels.Add(relabels)
+	s.obs1.edgeScans.Add(scans)
 	return pops
 }
 
@@ -581,7 +652,7 @@ func (s *phaseSched) runPhase2() (waves, iters int, cpu time.Duration) {
 	for i := range g.Nodes {
 		g.Nodes[i].MayUse = regset.Empty
 	}
-	return s.runWaves(s.cg.CallerFirstWaves(), s.solvePhase2)
+	return s.runWaves("phase2", &s.obs2, s.cg.CallerFirstWaves(), s.solvePhase2)
 }
 
 // solvePhase2 iterates one component's liveness to a fixed point,
@@ -598,9 +669,11 @@ func (s *phaseSched) solvePhase2(c int) int {
 		wl.Push(int(li))
 	}
 	pops := 0
+	var scans uint64
 	for !wl.Empty() {
 		n := &g.Nodes[nodes[wl.Pop()]]
 		pops++
+		scans += uint64(len(g.OutEdges(n.ID)))
 		mu, _, _ := g.recompute(n, true)
 		if mu == n.MayUse {
 			continue
@@ -622,6 +695,9 @@ func (s *phaseSched) solvePhase2(c int) int {
 			}
 		}
 	}
+	pushes, _ := wl.Counts()
 	wlPool.Put(wl)
+	s.obs2.pushes.Add(pushes)
+	s.obs2.edgeScans.Add(scans)
 	return pops
 }

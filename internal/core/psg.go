@@ -5,7 +5,6 @@
 package core
 
 import (
-	"sync"
 	"time"
 	"unsafe"
 
@@ -13,6 +12,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/prog"
 	"repro/internal/regset"
@@ -236,6 +236,17 @@ type Config struct {
 	// edge labeling). <= 0 selects runtime.GOMAXPROCS; 1 runs the
 	// pipeline serially. Results are identical for every value.
 	Parallelism int
+
+	// Tracer, when non-nil, receives begin/end spans for every pipeline
+	// stage, wave and component solve (see internal/obs and DESIGN.md
+	// §8). nil — the default — disables tracing at the cost of one
+	// branch-predictable nil check per instrumentation site.
+	Tracer *obs.Tracer
+
+	// Metrics, when non-nil, receives the solver telemetry counters and
+	// histograms (worklist traffic, per-component iterations, relabels,
+	// graph-shape gauges). nil disables them the same way.
+	Metrics *obs.Metrics
 }
 
 // Workers returns the effective worker count for this configuration.
@@ -307,18 +318,22 @@ func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) (*PSG, time.Dur
 		g.CallerEdges[ri] = make([][]int, len(p.Routines[ri].Entries))
 	}
 	serial := time.Now()
+	ssp := conf.Tracer.MainThread().Begin("psg structure")
 	var scratch buildScratch
 	tasks := make([]labelTask, len(p.Routines))
 	for ri := range p.Routines {
 		tasks[ri] = g.buildRoutine(ri, conf, &scratch)
 	}
 	g.buildAdjacency()
+	ssp.Arg("nodes", int64(len(g.Nodes))).Arg("edges", int64(len(g.Edges))).End()
 	cpu := time.Since(serial)
 	workers := conf.Workers()
-	cpu += par.ForEach(len(tasks), workers, func(ri int) {
+	flowEdges := conf.Metrics.Counter("label/flow_edges")
+	cpu += par.ForEachSpan(conf.Tracer, "label", len(tasks), workers, func(ri int) {
 		tasks[ri].label(g, conf)
+		flowEdges.Add(uint64(len(tasks[ri].refs)))
 	})
-	cpu += g.computeSavedRestored(workers)
+	cpu += g.computeSavedRestored(workers, conf.Tracer)
 	return g, cpu
 }
 
@@ -684,7 +699,9 @@ type labelScratch struct {
 	sets     []edgeSets
 }
 
-var labelPool = sync.Pool{New: func() any { return new(labelScratch) }}
+// labelPool is instrumented (obs.Pool) so Analyze can report labeling
+// scratch reuse; hit rates are inherently unstable across runs.
+var labelPool = obs.NewPool(func() any { return new(labelScratch) })
 
 func (s *labelScratch) growBlocks(n int) {
 	if cap(s.in) < n {

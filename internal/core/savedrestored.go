@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/callstd"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/regset"
 )
@@ -25,9 +26,9 @@ import (
 // The detection is a pure per-routine scan, so it runs on the worker
 // pool, each worker writing only its own routine's slot; the returned
 // duration is the aggregate compute time.
-func (g *PSG) computeSavedRestored(workers int) time.Duration {
+func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 	g.SavedRestored = make([]regset.Set, len(g.Prog.Routines))
-	return par.ForEach(len(g.Prog.Routines), workers, func(ri int) {
+	return par.ForEachSpan(tr, "saved-restored", len(g.Prog.Routines), workers, func(ri int) {
 		r := g.Prog.Routines[ri]
 		saved := regset.All
 		for _, e := range r.Entries {

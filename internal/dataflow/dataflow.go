@@ -17,6 +17,7 @@ import (
 	"repro/internal/callstd"
 	"repro/internal/cfg"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/regset"
 )
 
@@ -34,6 +35,10 @@ type liveOpts struct {
 	// through block b (the interprocedural live-at-exit set). When nil,
 	// exits contribute nothing.
 	exitLiveOut func(b *cfg.Block) regset.Set
+
+	// metrics, when non-nil, receives the solver's worklist traffic
+	// under liveness/* counter names.
+	metrics *obs.Metrics
 }
 
 // Option configures ComputeLiveness, in the same functional-options
@@ -53,6 +58,12 @@ func WithCallTransfer(f func(in *isa.Instr) (use, def regset.Set, ok bool)) Opti
 // Without it, exits contribute nothing.
 func WithExitLiveOut(f func(b *cfg.Block) regset.Set) Option {
 	return func(o *liveOpts) { o.exitLiveOut = f }
+}
+
+// WithMetrics publishes the solver's worklist traffic (pushes, block
+// visits, runs) into m under liveness/* counters. A nil m disables it.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(o *liveOpts) { o.metrics = m }
 }
 
 // Liveness holds the result of a backward liveness analysis over one
@@ -162,6 +173,12 @@ func ComputeLiveness(g *cfg.Graph, opts ...Option) *Liveness {
 			}
 		}
 	}
+	if o.metrics != nil {
+		pushes, pops := wl.Counts()
+		o.metrics.Counter("liveness/runs").Add(1)
+		o.metrics.Counter("liveness/worklist_pushes").Add(pushes)
+		o.metrics.Counter("liveness/block_visits").Add(pops)
+	}
 	return lv
 }
 
@@ -248,6 +265,14 @@ type Worklist struct {
 	head   int // FIFO read cursor; always 0 in heap mode
 	queued []bool
 	prio   []int32 // nil → FIFO; else min-heap on prio[id]
+
+	// pushes counts every Push call (including duplicate-suppressed
+	// ones — the propagation traffic offered to the solver); pops
+	// counts every Pop (the node visits actually performed). Both are
+	// plain locals of the owning solver, zeroed by Reset and read via
+	// Counts; solvers flush them into an obs.Metrics registry once per
+	// unit of work.
+	pushes, pops uint64
 }
 
 // NewWorklist returns a FIFO worklist for node IDs in [0, n).
@@ -282,7 +307,13 @@ func (w *Worklist) Reset(n int, prio []int32) {
 	w.queue = w.queue[:0]
 	w.head = 0
 	w.prio = prio
+	w.pushes = 0
+	w.pops = 0
 }
+
+// Counts returns the number of Push and Pop calls since the last
+// Reset. Pops equals the solver's node-visit (iteration) count.
+func (w *Worklist) Counts() (pushes, pops uint64) { return w.pushes, w.pops }
 
 func (w *Worklist) less(a, b int32) bool {
 	pa, pb := w.prio[a], w.prio[b]
@@ -291,6 +322,7 @@ func (w *Worklist) less(a, b int32) bool {
 
 // Push adds id to the worklist if it is not already queued.
 func (w *Worklist) Push(id int) {
+	w.pushes++
 	if w.queued[id] {
 		return
 	}
@@ -313,6 +345,7 @@ func (w *Worklist) Push(id int) {
 
 // Pop removes and returns the next node. It panics if the list is empty.
 func (w *Worklist) Pop() int {
+	w.pops++
 	if w.prio == nil {
 		id := w.queue[w.head]
 		w.head++

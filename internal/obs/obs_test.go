@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTraceExport(t *testing.T) {
+	tr := NewTracer()
+	main := tr.MainThread()
+	sp := main.Begin("analyze").Arg("routines", 3)
+	inner := main.Begin("phase1").Arg("waves", 2)
+	inner.End()
+	w0 := tr.WorkerThread(0)
+	ws := w0.Begin("solve").Arg("component", 7).Arg("iterations", 12)
+	ws.End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("trace is not valid JSON: %s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var meta, complete int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event named %q", ev.Name)
+			}
+		case "X":
+			complete++
+			names[ev.Name] = true
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("got %d thread_name records, want 2", meta)
+	}
+	if complete != 3 {
+		t.Errorf("got %d complete events, want 3", complete)
+	}
+	for _, want := range []string{"analyze", "phase1", "solve"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	if tr.NumEvents() != 3 {
+		t.Errorf("NumEvents = %d, want 3", tr.NumEvents())
+	}
+}
+
+func TestTraceArgOverflowDropped(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.MainThread().Begin("s")
+	for i := 0; i < 10; i++ {
+		sp = sp.Arg("k", int64(i))
+	}
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON after arg overflow")
+	}
+}
+
+// The nil observer is the disabled configuration the hot path runs
+// with by default; it must not allocate.
+func TestNilObserverZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var m *Metrics
+	allocs := testing.AllocsPerRun(100, func() {
+		th := tr.MainThread()
+		sp := th.Begin("x").Arg("k", 1)
+		sp.End()
+		wt := tr.WorkerThread(3)
+		ws := wt.Begin("y")
+		ws.End()
+		m.Counter("c").Add(5)
+		m.UnstableCounter("u").Store(7)
+		m.Histogram("h").Observe(9)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observer allocates %.0f times per run, want 0", allocs)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b/second").Add(2)
+	m.Counter("a/first").Add(1)
+	m.UnstableCounter("c/pool").Add(3)
+	h := m.Histogram("iters")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(100)
+
+	s := m.Snapshot()
+	gotNames := make([]string, len(s.Counters))
+	for i, c := range s.Counters {
+		gotNames[i] = c.Name
+	}
+	wantNames := []string{"a/first", "b/second", "c/pool"}
+	if !reflect.DeepEqual(gotNames, wantNames) {
+		t.Errorf("counter order %v, want %v", gotNames, wantNames)
+	}
+	st := s.Stable()
+	for _, c := range st.Counters {
+		if c.Unstable {
+			t.Errorf("Stable() kept unstable counter %s", c.Name)
+		}
+	}
+	if len(st.Counters) != 2 {
+		t.Errorf("Stable() kept %d counters, want 2", len(st.Counters))
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("got %d histograms, want 1", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	if hv.Count != 4 || hv.Sum != 106 || hv.Min != 0 || hv.Max != 100 {
+		t.Errorf("histogram count=%d sum=%d min=%d max=%d", hv.Count, hv.Sum, hv.Min, hv.Max)
+	}
+	var total uint64
+	for _, b := range hv.Buckets {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Errorf("bucket counts sum to %d, want 4", total)
+	}
+
+	// Equal registries marshal identically — the property the
+	// cross-parallelism determinism test relies on.
+	m2 := NewMetrics()
+	m2.Counter("a/first").Add(1)
+	m2.Counter("b/second").Add(2)
+	j1, _ := json.Marshal(m.Snapshot().Stable())
+	j2, _ := json.Marshal(m2.Snapshot().Stable())
+	// m has the histogram, m2 does not; compare counters only.
+	var d1, d2 Snapshot
+	json.Unmarshal(j1, &d1)
+	json.Unmarshal(j2, &d2)
+	if !reflect.DeepEqual(d1.Counters, d2.Counters) {
+		t.Errorf("stable counters differ: %v vs %v", d1.Counters, d2.Counters)
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("phase1/iterations").Add(42)
+	m.UnstableCounter("pool/gets").Add(7)
+	m.Histogram("phase1/component_iterations").Observe(6)
+	var buf bytes.Buffer
+	m.Snapshot().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"phase1/iterations", "42", "(unstable)", "histogram", "component_iterations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool(func() any { return new(int) })
+	x := p.Get()
+	p.Put(x)
+	p.Get()
+	gets, news := p.Stats()
+	if gets != 2 {
+		t.Errorf("gets = %d, want 2", gets)
+	}
+	if news < 1 || news > 2 {
+		t.Errorf("news = %d, want 1 or 2", news)
+	}
+}
+
+func TestNilTracerWrite(t *testing.T) {
+	var tr *Tracer
+	if err := tr.WriteTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != 0 {
+		t.Error("nil tracer has events")
+	}
+}

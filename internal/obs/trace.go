@@ -1,0 +1,236 @@
+// Package obs is the analysis pipeline's observability layer: span
+// tracing exported as Chrome trace_event JSON (viewable in Perfetto or
+// chrome://tracing) and a registry of named counters and histograms
+// with a stable, diffable snapshot form.
+//
+// The package is zero-dependency (stdlib only) and is designed around
+// one invariant: a *disabled* observer costs nothing. Every method is
+// safe on a nil receiver and compiles to a pointer test plus an
+// immediate return — no allocation, no atomic, no lock — so the
+// analysis hot path can be instrumented unconditionally and pay only a
+// branch-predictable nil check when tracing and metrics are off.
+// DESIGN.md §8 develops the span model and the overhead argument.
+//
+// Tracing is lock-free on the hot path: spans are appended to
+// per-thread buffers (one per worker, created under a mutex *before*
+// the parallel section starts) and merged only at export time.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records begin/end spans into per-thread append-only buffers.
+// A nil *Tracer is a valid, disabled tracer: every method no-ops.
+//
+// Threads are registered under a mutex (Thread / WorkerThread), but
+// recording a span touches only that thread's private buffer, so the
+// hot path takes no locks. One Tracer observes one pipeline at a time:
+// a given thread must not record spans from two goroutines
+// concurrently (the worker-pool stages satisfy this by construction —
+// worker w always maps to thread w+1, and stages run sequentially).
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	threads []*Thread
+	byTid   map[int64]*Thread
+}
+
+// NewTracer returns an enabled tracer whose timestamps are relative to
+// the call.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), byTid: make(map[int64]*Thread)}
+}
+
+// Thread returns the event buffer registered under tid, creating and
+// naming it on first use (a later call with a different name keeps the
+// first name). Returns nil — a valid, disabled thread — when t is nil.
+func (t *Tracer) Thread(tid int64, name string) *Thread {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if th, ok := t.byTid[tid]; ok {
+		return th
+	}
+	th := &Thread{tid: tid, name: name, start: t.start}
+	t.byTid[tid] = th
+	t.threads = append(t.threads, th)
+	return th
+}
+
+// MainThread returns the pipeline's serial thread (tid 0), where stage
+// and wave spans are recorded.
+func (t *Tracer) MainThread() *Thread { return t.Thread(0, "pipeline") }
+
+// WorkerThread returns the thread of worker-pool worker w (tid w+1).
+// Resolve worker threads before entering a parallel section so the
+// section itself records spans without touching the registry mutex.
+func (t *Tracer) WorkerThread(w int) *Thread {
+	if t == nil {
+		return nil
+	}
+	return t.Thread(int64(w)+1, fmt.Sprintf("worker %d", w))
+}
+
+// Thread is one append-only span buffer, rendered as one Perfetto
+// track. A nil *Thread no-ops.
+type Thread struct {
+	tid    int64
+	name   string
+	start  time.Time
+	events []event
+}
+
+// Arg is one span annotation: an integer value under a short key.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// event is a completed ("ph":"X") trace event in the making: Begin
+// fills name and ts, End fills dur, Arg appends annotations in place.
+type event struct {
+	name  string
+	ts    int64 // ns since trace start
+	dur   int64 // ns; -1 while the span is open
+	nargs int32
+	args  [4]Arg
+}
+
+// Span identifies an open span: the thread plus the index of its event
+// in the thread's buffer. The zero Span (from a nil thread) no-ops.
+type Span struct {
+	th  *Thread
+	idx int32
+}
+
+// Begin opens a span named name on the thread and returns its handle.
+func (th *Thread) Begin(name string) Span {
+	if th == nil {
+		return Span{}
+	}
+	idx := int32(len(th.events))
+	th.events = append(th.events, event{
+		name: name,
+		ts:   int64(time.Since(th.start)),
+		dur:  -1,
+	})
+	return Span{th: th, idx: idx}
+}
+
+// Arg annotates the span with an integer value (at most four per span;
+// extras are dropped). Safe before or after End.
+func (s Span) Arg(key string, val int64) Span {
+	if s.th == nil {
+		return s
+	}
+	ev := &s.th.events[s.idx]
+	if int(ev.nargs) < len(ev.args) {
+		ev.args[ev.nargs] = Arg{Key: key, Val: val}
+		ev.nargs++
+	}
+	return s
+}
+
+// End closes the span, fixing its duration.
+func (s Span) End() {
+	if s.th == nil {
+		return
+	}
+	ev := &s.th.events[s.idx]
+	ev.dur = int64(time.Since(s.th.start)) - ev.ts
+}
+
+// WriteTrace merges the per-thread buffers and writes the whole trace
+// as a Chrome trace_event JSON document ({"traceEvents": [...]}), the
+// format Perfetto and chrome://tracing load directly. Threads are
+// emitted in ascending tid order and events in recording order, so the
+// document is deterministic given a deterministic pipeline (timestamps
+// and durations aside). Open spans are emitted with zero duration.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	threads := append([]*Thread(nil), t.threads...)
+	t.mu.Unlock()
+	sort.Slice(threads, func(i, j int) bool { return threads[i].tid < threads[j].tid })
+
+	// Metadata args are strings, span args are ints; rather than a
+	// union type, emit everything through raw maps.
+	type rawEvent map[string]any
+	events := make([]rawEvent, 0, len(threads))
+	for _, th := range threads {
+		events = append(events, rawEvent{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": th.tid,
+			"args": map[string]string{"name": th.name},
+		})
+	}
+	for _, th := range threads {
+		for i := range th.events {
+			ev := &th.events[i]
+			dur := ev.dur
+			if dur < 0 {
+				dur = 0
+			}
+			re := rawEvent{
+				"name": ev.name, "ph": "X", "pid": 1, "tid": th.tid,
+				"ts":  float64(ev.ts) / 1e3,
+				"dur": float64(dur) / 1e3,
+			}
+			if ev.nargs > 0 {
+				args := make(map[string]int64, ev.nargs)
+				for _, a := range ev.args[:ev.nargs] {
+					args[a.Key] = a.Val
+				}
+				re["args"] = args
+			}
+			events = append(events, re)
+		}
+	}
+	out := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTraceFile writes the trace to path (see WriteTrace).
+func (t *Tracer) WriteTraceFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// NumEvents returns the total number of recorded spans across threads.
+func (t *Tracer) NumEvents() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, th := range t.threads {
+		n += len(th.events)
+	}
+	return n
+}

@@ -35,6 +35,7 @@ func Liveness(a *core.Analysis, ri int) *dataflow.Liveness {
 	self := &sums[ri]
 	ind := a.IndirectCallSummary()
 	return dataflow.ComputeLiveness(a.Graphs[ri],
+		dataflow.WithMetrics(a.Config.Metrics),
 		dataflow.WithCallTransfer(func(in *isa.Instr) (regset.Set, regset.Set, bool) {
 			switch in.Op {
 			case isa.OpJsr:
@@ -64,6 +65,7 @@ func ConservativeLiveness(a *core.Analysis, ri int) *dataflow.Liveness {
 	exitLive := callstd.Return.Union(callstd.CalleeSaved).
 		Union(regset.Of(regset.SP, regset.GP))
 	return dataflow.ComputeLiveness(a.Graphs[ri],
+		dataflow.WithMetrics(a.Config.Metrics),
 		dataflow.WithExitLiveOut(func(*cfg.Block) regset.Set { return exitLive }))
 }
 

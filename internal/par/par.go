@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a requested parallelism degree: values <= 0 select
@@ -33,6 +35,16 @@ func Workers(n int) int {
 // fn must be safe to call concurrently for distinct indices; writes
 // must go to per-index slots so results are deterministic.
 func ForEach(n, workers int, fn func(i int)) time.Duration {
+	return ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's pool index passed
+// alongside the item index: fn(w, i) with w in [0, min(workers, n)).
+// A given worker id runs on exactly one goroutine for the duration of
+// the call (worker 0 is the calling goroutine in the serial case), so
+// per-worker state — an obs.Thread span buffer in particular — needs
+// no synchronization inside fn.
+func ForEachWorker(n, workers int, fn func(worker, i int)) time.Duration {
 	if n <= 0 {
 		return 0
 	}
@@ -43,7 +55,7 @@ func ForEach(n, workers int, fn func(i int)) time.Duration {
 	if workers == 1 {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return time.Since(start)
 	}
@@ -54,7 +66,7 @@ func ForEach(n, workers int, fn func(i int)) time.Duration {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			start := time.Now()
 			for {
@@ -62,11 +74,36 @@ func ForEach(n, workers int, fn func(i int)) time.Duration {
 				if i >= n {
 					break
 				}
-				fn(i)
+				fn(w, i)
 			}
 			cpu.Add(int64(time.Since(start)))
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return time.Duration(cpu.Load())
+}
+
+// ForEachSpan is ForEach with per-item occupancy spans: each item i is
+// wrapped in a span named name (annotated with the item index) on the
+// owning worker's trace thread, so a Perfetto capture shows pool
+// utilization and stragglers per stage. Worker threads are resolved
+// before the pool starts; the items themselves record spans lock-free.
+// A nil tracer delegates straight to ForEach.
+func ForEachSpan(tr *obs.Tracer, name string, n, workers int, fn func(i int)) time.Duration {
+	if tr == nil {
+		return ForEach(n, workers, fn)
+	}
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	threads := make([]*obs.Thread, nw)
+	for w := range threads {
+		threads[w] = tr.WorkerThread(w)
+	}
+	return ForEachWorker(n, workers, func(w, i int) {
+		sp := threads[w].Begin(name).Arg("item", int64(i))
+		fn(i)
+		sp.End()
+	})
 }
