@@ -13,7 +13,7 @@ BENCH_PKGS = . ./internal/core/
 # Baseline git ref for `make bench-compare`.
 BASE ?= HEAD~1
 
-.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard verify
+.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard soak soak-ci verify
 
 build:
 	$(GO) build ./...
@@ -84,5 +84,19 @@ obs-guard:
 	$(GO) vet ./...
 	$(GO) test ./internal/obs/ ./internal/core/ \
 		-run 'TestAllocationBudget|TestAnalyzeAllocationBudget|TestPSGBuildAllocationBudget|TestPhasesAllocationBudget|TestDisabledObsAllocParity|TestMetricsDeterminism|TestAnalyzeTracing|TestNilObserverZeroAlloc' -v
+
+# Correctness soak: the internal/check harness — differential runner
+# across the option matrix, PSG invariant checker, emulator-backed
+# dynamic oracle — over CHECK_SOAK_N generated programs. `make soak` is
+# the acceptance bar (≥10k programs, zero violations); soak-ci is the
+# bounded variant CI runs on every push, with a short fuzz pass over
+# both targets riding along.
+soak:
+	CHECK_SOAK_N=10000 $(GO) test ./internal/check/ -run TestGeneratedProgramsClean -count=1 -timeout 60m -v
+
+soak-ci:
+	CHECK_SOAK_N=2000 $(GO) test ./internal/check/ -run TestGeneratedProgramsClean -count=1 -timeout 30m
+	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzAnalyze -fuzztime 30s -count=1
+	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzSavedRestored -fuzztime 30s -count=1
 
 verify: build vet test race

@@ -76,15 +76,20 @@ func run(input string, asmIn bool, dotFor string, metrics bool) error {
 	fmt.Printf("program: %d routines, %d instructions\n", s.Routines, s.Instructions)
 	fmt.Printf("\nPSG vs CFG (Table 5 comparison):\n")
 	fmt.Printf("  psg nodes:    %8d      basic blocks: %8d      nodes/block: %.2f\n",
-		s.PSGNodes, s.BasicBlocks, float64(s.PSGNodes)/float64(s.BasicBlocks))
+		s.PSGNodes, s.BasicBlocks, ratio(s.PSGNodes, s.BasicBlocks))
 	fmt.Printf("  psg edges:    %8d      cfg arcs:     %8d      edges/arc:   %.2f\n",
-		s.PSGEdges, sg.NumArcs(), float64(s.PSGEdges)/float64(sg.NumArcs()))
+		s.PSGEdges, sg.NumArcs(), ratio(s.PSGEdges, sg.NumArcs()))
 	fmt.Printf("\nbranch nodes (Table 4 comparison):\n")
 	fmt.Printf("  edges with:    %8d\n", s.PSGEdges)
 	fmt.Printf("  edges without: %8d\n", nb.Stats.PSGEdges)
-	fmt.Printf("  edge reduction: %.1f%%   node increase: %.1f%%\n",
-		(1-float64(s.PSGEdges)/float64(nb.Stats.PSGEdges))*100,
-		(float64(s.PSGNodes)/float64(nb.Stats.PSGNodes)-1)*100)
+	edgeRed, nodeInc := 0.0, 0.0
+	if nb.Stats.PSGEdges > 0 {
+		edgeRed = (1 - ratio(s.PSGEdges, nb.Stats.PSGEdges)) * 100
+	}
+	if nb.Stats.PSGNodes > 0 {
+		nodeInc = (ratio(s.PSGNodes, nb.Stats.PSGNodes) - 1) * 100
+	}
+	fmt.Printf("  edge reduction: %.1f%%   node increase: %.1f%%\n", edgeRed, nodeInc)
 	printCallGraph(a)
 	fr := s.StageFractions()
 	fmt.Printf("\nanalysis time %v (Figure 13 breakdown):\n", s.Total())
@@ -101,6 +106,15 @@ func run(input string, asmIn bool, dotFor string, metrics bool) error {
 	return nil
 }
 
+// ratio divides two counters for display, reading 0/0 as 0 rather
+// than NaN so degenerate programs (no blocks, no arcs) still print.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 // printCallGraph reports the SCC condensation the phases were
 // scheduled on: component and wave counts, recursion, and — under the
 // closed-world configuration — the indirect-call pinned component.
@@ -115,9 +129,17 @@ func printCallGraph(a *core.Analysis) {
 	s := &a.Stats
 	fmt.Printf("\ncall graph SCC condensation (phase schedule):\n")
 	fmt.Printf("  components:    %8d   (%d recursive)\n", cg.NumComponents(), recursive)
-	largest := cg.LargestComponent()
-	fmt.Printf("  largest:       %8d routines (component %d)\n",
-		len(cg.Members(largest)), largest)
+	// LargestComponent reports a size; recover the component that has it.
+	largest := -1
+	for c := 0; c < cg.NumComponents(); c++ {
+		if largest < 0 || len(cg.Members(c)) > len(cg.Members(largest)) {
+			largest = c
+		}
+	}
+	if largest >= 0 {
+		fmt.Printf("  largest:       %8d routines (component %d)\n",
+			len(cg.Members(largest)), largest)
+	}
 	fmt.Printf("  waves:         %8d   phase1 iterations: %d, phase2 iterations: %d\n",
 		cg.NumWaves(), s.Phase1Iterations, s.Phase2Iterations)
 	if cg.Pinned() {

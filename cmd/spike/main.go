@@ -18,6 +18,9 @@
 //	              summaries, the SCC schedule counts and the timings
 //	-verify       run the program before and after optimization and
 //	              compare observable output
+//	-selfcheck    run the correctness harness on the input: differential
+//	              analysis across the option matrix, PSG invariant
+//	              checks, and the emulator-backed dynamic oracle
 //	-open-world   use the paper's §3.5 indirect-call assumptions instead
 //	              of the closed-world default
 //	-no-branch-nodes  disable §3.6 branch nodes
@@ -39,6 +42,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/obs"
@@ -57,6 +61,7 @@ type spikeOptions struct {
 	summaries bool   // print routine summaries
 	stats     bool   // print analysis statistics
 	verify    bool   // compare emulator output before/after optimization
+	selfcheck bool   // run the internal/check oracles on the input
 	format    string // analysis output format: "text" or "json"
 	openWorld bool   // paper §3.5 indirect-call handling
 	noBranch  bool   // disable §3.6 branch nodes
@@ -89,6 +94,7 @@ func main() {
 	flag.BoolVar(&o.summaries, "summaries", false, "print routine summaries")
 	flag.BoolVar(&o.stats, "stats", false, "print analysis statistics")
 	flag.BoolVar(&o.verify, "verify", false, "verify behaviour via the emulator")
+	flag.BoolVar(&o.selfcheck, "selfcheck", false, "run the correctness harness (differential, invariants, dynamic oracle)")
 	flag.StringVar(&o.format, "format", "text", "analysis output format: text or json")
 	flag.BoolVar(&o.openWorld, "open-world", false, "paper §3.5 indirect-call handling")
 	flag.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
@@ -155,6 +161,9 @@ func run(w io.Writer, input string, o spikeOptions) error {
 	}
 	if err != nil {
 		return err
+	}
+	if o.selfcheck {
+		return selfcheck(w, p, o.maxSteps)
 	}
 
 	// The tracer and metrics registry are shared by the analysis and the
@@ -263,6 +272,22 @@ func run(w io.Writer, input string, o spikeOptions) error {
 		fmt.Fprintf(w, "wrote %s (%d routines, %d instructions)\n",
 			o.outFile, len(out.Routines), out.NumInstructions())
 	}
+	return nil
+}
+
+// selfcheck runs the input through the internal/check harness: the
+// differential runner over the full option matrix, the PSG invariant
+// checker on both world anchors, and the emulator-backed dynamic
+// oracle. Any violation makes the run fail.
+func selfcheck(w io.Writer, p *prog.Program, maxSteps int64) error {
+	vs := check.Program(p, &check.Options{MaxSteps: maxSteps})
+	for _, v := range vs {
+		fmt.Fprintln(w, v)
+	}
+	if len(vs) > 0 {
+		return fmt.Errorf("selfcheck: %d violation(s)", len(vs))
+	}
+	fmt.Fprintln(w, "selfcheck: differential, invariant and dynamic oracles clean")
 	return nil
 }
 

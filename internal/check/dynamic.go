@@ -1,0 +1,227 @@
+package check
+
+import (
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/regset"
+)
+
+// maxDynamicDepth bounds the shadow call stack: past it the run is
+// abandoned rather than checked, so runaway recursion in a generated
+// program cannot exhaust memory.
+const maxDynamicDepth = 4096
+
+// frame shadows one activation: pushed at the call instruction, popped
+// at the ret that consumes its return address.
+type frame struct {
+	ri, entry int   // callee routine and entrance index
+	known     bool  // entry resolved; summaries apply
+	indirect  bool  // pushed by jsri: parent inherits the §3.5 summary
+	retAddr   int64 // expected RA at the matching ret
+
+	use     regset.Set // registers read before this frame wrote them
+	written regset.Set // registers written during this frame
+
+	sr     regset.Set // analysis's saved/restored claim for the callee
+	srVals []int64    // register values at the call, in sr ForEach order
+}
+
+// Dynamic executes the analyzed program on the emulator and checks
+// every completed call against the summary the analysis published for
+// it. The analysis makes MAY and MUST claims over all paths; one
+// executed path must fall inside them:
+//
+//   - every register the call read before writing is in call-used ∪
+//     saved/restored ("dynamic-use-subset");
+//   - every register the call wrote is in call-killed ∪ saved/restored
+//     ("dynamic-def-subset");
+//   - every register in call-defined was actually written
+//     ("must-def-written");
+//   - every register claimed saved/restored (§3.4) holds its
+//     at-call value again at the ret ("saved-restored-value").
+//
+// Observed effects propagate to the caller's frame with the same §3.4
+// filter the analysis applies — a verified saved/restored register is
+// not a write from the caller's point of view — and indirect-call
+// frames propagate the summary the analysis assumed for the call site
+// (§3.5), so the oracle checks the implementation of those conventions
+// rather than re-litigating them. Runs that end in an error or hit the
+// step budget check only the calls that completed; runs whose return
+// addresses stop matching the shadow stack (possible under fuzzed
+// inputs that treat RA as data) abandon all checks.
+func Dynamic(a *core.Analysis, maxSteps int64) []Violation {
+	p := a.Prog
+	if len(p.Routines) == 0 || p.Entry < 0 || p.Entry >= len(p.Routines) ||
+		len(p.Routines[p.Entry].Entries) == 0 {
+		return nil // the emulator rejects it; nothing to check
+	}
+	c := &collector{oracle: "dynamic"}
+	ics := a.IndirectCallSummary()
+	m := emu.New(p)
+
+	stack := []*frame{newFrame(a, m, p.Entry, 0, true, false, prog.HaltToken)}
+	poisoned := false
+
+	m.SetStepHook(func(m *emu.Machine, ri, pc int, in *isa.Instr) {
+		if poisoned || len(stack) == 0 {
+			return
+		}
+		// Attribute the instruction's reads and writes to the current
+		// activation: the hook sees pre-instruction state, so a register
+		// both read and written (e.g. ld ra, 0(sp) after a spill) counts
+		// as a use only if nothing wrote it earlier in this frame.
+		top := stack[len(stack)-1]
+		top.use = top.use.Union(in.Uses().Minus(top.written))
+		top.written = top.written.Union(in.Defs())
+
+		switch in.Op {
+		case isa.OpJsr:
+			if in.Target < 0 || in.Target >= len(p.Routines) ||
+				in.Imm < 0 || in.Imm >= int64(len(p.Routines[in.Target].Entries)) {
+				poisoned = true // the emulator errors out on this step
+				return
+			}
+			stack = push(stack, newFrame(a, m, in.Target, int(in.Imm), true, false, emu.CodeAddr(ri, pc+1)), &poisoned)
+		case isa.OpJsrInd:
+			tri, tpc, ok := prog.DecodeAddr(m.Reg(in.Src1))
+			if !ok || tri < 0 || tri >= len(p.Routines) {
+				poisoned = true
+				return
+			}
+			entry, known := -1, false
+			for ei, e := range p.Routines[tri].Entries {
+				if e == tpc {
+					entry, known = ei, true
+					break
+				}
+			}
+			if !known {
+				// A call into the middle of a routine skips its
+				// prologue: the callee no longer follows the calling
+				// standard the analysis assumes for indirect calls, so
+				// nothing downstream of this point is checkable.
+				poisoned = true
+				return
+			}
+			stack = push(stack, newFrame(a, m, tri, entry, known, true, emu.CodeAddr(ri, pc+1)), &poisoned)
+		case isa.OpRet:
+			ra := m.Reg(regset.RA)
+			if ra != top.retAddr {
+				// The program returns somewhere other than its dynamic
+				// call site: the shadow stack no longer describes the
+				// activations, so no further check is trustworthy.
+				poisoned = true
+				return
+			}
+			stack = stack[:len(stack)-1]
+			srv := checkFrame(c, a, m, top, true, true)
+			if len(stack) > 0 {
+				propagate(stack[len(stack)-1], top, srv, ics)
+			}
+		}
+	})
+
+	_, err := m.Run(maxSteps)
+	if poisoned {
+		// The shadow stack lost sync at some step; checks up to that
+		// point were still in sync and stand, everything after was
+		// skipped.
+		return c.result()
+	}
+	if err != nil {
+		return c.result() // partial run: only completed calls were checked
+	}
+	// Clean halt: the frames still open ran entry → the halt. Their
+	// observed sets are sound subsets, so the MAY checks apply; the
+	// MUST-DEF check needs every nested call completed, which only the
+	// innermost frame satisfies; no epilogue ran, so the §3.4 value
+	// check is moot (callers never resume past a halt).
+	for i := len(stack) - 1; i >= 0; i-- {
+		checkFrame(c, a, m, stack[i], i == len(stack)-1, false)
+	}
+	return c.result()
+}
+
+func newFrame(a *core.Analysis, m *emu.Machine, ri, entry int, known, indirect bool, retAddr int64) *frame {
+	f := &frame{ri: ri, entry: entry, known: known, indirect: indirect, retAddr: retAddr}
+	if known {
+		f.sr = a.Summary(ri).SavedRestored
+		f.sr.ForEach(func(r regset.Reg) {
+			f.srVals = append(f.srVals, m.Reg(r))
+		})
+	}
+	return f
+}
+
+func push(stack []*frame, f *frame, poisoned *bool) []*frame {
+	if len(stack) >= maxDynamicDepth {
+		*poisoned = true
+		return stack
+	}
+	return append(stack, f)
+}
+
+// checkFrame runs the per-call checks on a completed (atRet) or
+// halt-abandoned frame and returns the saved/restored registers whose
+// values verifiably survived the call.
+func checkFrame(c *collector, a *core.Analysis, m *emu.Machine, f *frame, complete, atRet bool) regset.Set {
+	if !f.known {
+		return regset.Empty
+	}
+	s := a.Summary(f.ri)
+	name := a.Prog.Routines[f.ri].Name
+	if f.entry < 0 || f.entry >= len(s.CallUsed) {
+		return regset.Empty
+	}
+	if !f.use.SubsetOf(s.CallUsed[f.entry].Union(f.sr)) {
+		c.addf("dynamic-use-subset", name,
+			"entry %d read %v before writing, outside call-used %v ∪ saved/restored %v",
+			f.entry, f.use, s.CallUsed[f.entry], f.sr)
+	}
+	if !f.written.SubsetOf(s.CallKilled[f.entry].Union(f.sr)) {
+		c.addf("dynamic-def-subset", name,
+			"entry %d wrote %v, outside call-killed %v ∪ saved/restored %v",
+			f.entry, f.written, s.CallKilled[f.entry], f.sr)
+	}
+	if complete && !s.CallDefined[f.entry].SubsetOf(f.written) {
+		c.addf("must-def-written", name,
+			"entry %d claims call-defined %v but the call only wrote %v",
+			f.entry, s.CallDefined[f.entry], f.written)
+	}
+	verified := regset.Empty
+	if atRet {
+		i := 0
+		f.sr.ForEach(func(r regset.Reg) {
+			if m.Reg(r) == f.srVals[i] {
+				verified = verified.Add(r)
+			} else {
+				c.addf("saved-restored-value", name,
+					"%v claimed saved/restored but holds %#x at the ret, %#x at the call",
+					r, m.Reg(r), f.srVals[i])
+			}
+			i++
+		})
+	}
+	return verified
+}
+
+// propagate folds a popped frame's observed effects into its caller,
+// applying the same conventions the analysis does: verifiably
+// saved/restored registers are invisible to the caller (§3.4), and an
+// indirect call contributes exactly the summary the analysis assumed
+// for every indirect site (§3.5) — its definitely-written registers
+// count as written, and observed effects outside the assumed sets are
+// the callee's contract violation, already reported against the callee
+// above, not evidence about the caller's summary.
+func propagate(parent, f *frame, srVerified regset.Set, ics core.CallSummary) {
+	use := f.use.Minus(srVerified)
+	written := f.written.Minus(srVerified)
+	if f.indirect {
+		use = use.Intersect(ics.Used)
+		written = written.Intersect(ics.Killed).Union(ics.Defined)
+	}
+	parent.use = parent.use.Union(use.Minus(parent.written))
+	parent.written = parent.written.Union(written)
+}

@@ -1,0 +1,404 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/callstd"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+// maxViolations bounds how many violations one oracle reports for one
+// analysis: a genuinely broken solver trips thousands of node-level
+// checks, and the first few dozen identify it.
+const maxViolations = 50
+
+// collector accumulates violations up to the cap.
+type collector struct {
+	oracle string
+	vs     []Violation
+	capped bool
+}
+
+func (c *collector) addf(rule, routine, format string, args ...interface{}) {
+	if len(c.vs) >= maxViolations {
+		c.capped = true
+		return
+	}
+	c.vs = append(c.vs, Violation{
+		Oracle:  c.oracle,
+		Rule:    rule,
+		Routine: routine,
+		Detail:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *collector) result() []Violation {
+	if c.capped {
+		c.vs = append(c.vs, Violation{
+			Oracle: c.oracle,
+			Rule:   "truncated",
+			Detail: fmt.Sprintf("more than %d violations; output truncated", maxViolations),
+		})
+	}
+	return c.vs
+}
+
+var hardwired = regset.Of(regset.Zero, regset.FZero)
+
+// Invariants verifies a finished analysis against the paper's equations
+// and the PSG's structural contracts, sharing no code with the solver:
+// the fixed-point checks below re-derive Figure 8 and Figure 10 directly
+// from the converged edge labels and node sets.
+//
+// It validates, in order: graph well-formedness and CSR adjacency
+// symmetry; call-return edge labels against the callee summaries (§3.2,
+// §3.5); the phase-1 fixed point at every node; the phase-2 (liveness)
+// fixed point at every node, over independently re-derived return-site
+// links (§3.3); and the published RoutineSummaries against the PSG they
+// were collected from, including the §3.4 saved/restored filter.
+func Invariants(a *core.Analysis) []Violation {
+	c := &collector{oracle: "invariant"}
+	g := a.PSG
+	rname := func(ri int) string { return a.Prog.Routines[ri].Name }
+
+	// --- structure ---------------------------------------------------
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.ID != i {
+			c.addf("node-id", rname(n.Routine), "node at index %d has ID %d", i, n.ID)
+		}
+		if n.Routine < 0 || n.Routine >= len(a.Prog.Routines) {
+			c.addf("node-routine", "", "node %d names routine %d, out of range", i, n.Routine)
+			return c.result() // later checks index by routine
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.ID != i {
+			c.addf("edge-id", "", "edge at index %d has ID %d", i, e.ID)
+		}
+		if e.Src < 0 || e.Src >= len(g.Nodes) || e.Dst < 0 || e.Dst >= len(g.Nodes) {
+			c.addf("edge-endpoints", "", "edge %d endpoints (%d, %d) out of range", i, e.Src, e.Dst)
+			return c.result()
+		}
+		if g.Nodes[e.Src].Routine != g.Nodes[e.Dst].Routine {
+			c.addf("edge-intraprocedural", rname(g.Nodes[e.Src].Routine),
+				"edge %d crosses from routine %d to %d", i, g.Nodes[e.Src].Routine, g.Nodes[e.Dst].Routine)
+		}
+	}
+
+	// CSR adjacency symmetry: every node's out (in) window lists exactly
+	// its source (sink) edges in ascending ID order, and the windows
+	// partition the edge set in each direction.
+	outTotal, inTotal := 0, 0
+	for i := range g.Nodes {
+		prev := int32(-1)
+		for _, eid := range g.OutEdges(i) {
+			if eid <= prev {
+				c.addf("csr-out-order", "", "node %d out-edges not ascending at edge %d", i, eid)
+			}
+			prev = eid
+			if int(eid) >= len(g.Edges) || g.Edges[eid].Src != i {
+				c.addf("csr-out-src", "", "node %d lists out-edge %d whose Src is not %d", i, eid, i)
+			}
+			outTotal++
+		}
+		prev = -1
+		for _, eid := range g.InEdges(i) {
+			if eid <= prev {
+				c.addf("csr-in-order", "", "node %d in-edges not ascending at edge %d", i, eid)
+			}
+			prev = eid
+			if int(eid) >= len(g.Edges) || g.Edges[eid].Dst != i {
+				c.addf("csr-in-dst", "", "node %d lists in-edge %d whose Dst is not %d", i, eid, i)
+			}
+			inTotal++
+		}
+	}
+	if outTotal != len(g.Edges) || inTotal != len(g.Edges) {
+		c.addf("csr-partition", "", "CSR windows cover %d out / %d in edges, want %d both",
+			outTotal, inTotal, len(g.Edges))
+	}
+
+	// Entry/exit directories.
+	for ri := range a.Prog.Routines {
+		if len(g.EntryNodes[ri]) != len(a.Prog.Routines[ri].Entries) {
+			c.addf("entry-count", rname(ri), "%d entry nodes for %d entrances",
+				len(g.EntryNodes[ri]), len(a.Prog.Routines[ri].Entries))
+		}
+		for ei, id := range g.EntryNodes[ri] {
+			if id < 0 || id >= len(g.Nodes) {
+				c.addf("entry-node", rname(ri), "entry node %d out of range", id)
+				continue
+			}
+			n := &g.Nodes[id]
+			if n.Kind != core.NodeEntry || n.Routine != ri || n.EntryIdx != ei {
+				c.addf("entry-node", rname(ri), "node %d is not entry %d of routine %d", id, ei, ri)
+			}
+		}
+		for _, id := range g.ExitNodes[ri] {
+			if id < 0 || id >= len(g.Nodes) {
+				c.addf("exit-node", rname(ri), "exit node %d out of range", id)
+				continue
+			}
+			n := &g.Nodes[id]
+			if n.Kind != core.NodeExit || n.Routine != ri || n.Unknown {
+				c.addf("exit-node", rname(ri), "node %d is not a real exit of routine %d", id, ri)
+			}
+		}
+	}
+
+	// --- set sanity ---------------------------------------------------
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if !e.MustDef.SubsetOf(e.MayDef) {
+			c.addf("edge-must-subset-may", "", "edge %d: MUST-DEF %v ⊄ MAY-DEF %v", i, e.MustDef, e.MayDef)
+		}
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.MustDef.SubsetOf(n.MayDef) {
+			c.addf("node-must-subset-may", rname(n.Routine),
+				"node %d: MUST-DEF %v ⊄ MAY-DEF %v", i, n.MustDef, n.MayDef)
+		}
+	}
+
+	// --- call-return edge labels (§3.2, §3.5) ------------------------
+	checkCallReturnLabels(c, a)
+
+	// --- phase-1 fixed point (Figure 8) ------------------------------
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		mu, md, msd := phase1Recompute(g, n)
+		if mu != n.Phase1Use() || md != n.MayDef || msd != n.MustDef {
+			c.addf("phase1-fixpoint", rname(n.Routine),
+				"node %d (%v): stored (%v, %v, %v) ≠ recomputed (%v, %v, %v)",
+				i, n.Kind, n.Phase1Use(), n.MayDef, n.MustDef, mu, md, msd)
+		}
+	}
+
+	// --- phase-2 fixed point (Figure 10) -----------------------------
+	retSites := rebuildRetSites(a)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		mu := phase2Recompute(a, n, retSites[i])
+		if mu != n.MayUse {
+			c.addf("phase2-fixpoint", rname(n.Routine),
+				"node %d (%v): stored liveness %v ≠ recomputed %v", i, n.Kind, n.MayUse, mu)
+		}
+	}
+
+	// --- summaries vs PSG (§3.4) -------------------------------------
+	checkSummaries(c, a)
+
+	return c.result()
+}
+
+// phase1Recompute applies the Figure 8 node equations to the converged
+// graph: phase-1 MAY-USE of edge targets is read through Phase1Use,
+// since phase 2 overwrote MayUse with liveness.
+func phase1Recompute(g *core.PSG, n *core.Node) (mayUse, mayDef, mustDef regset.Set) {
+	if n.Unknown {
+		all := callstd.UnknownJumpLive()
+		mayUse, mayDef = all, all
+	}
+	first := true
+	for _, eid := range g.OutEdges(n.ID) {
+		e := &g.Edges[eid]
+		y := &g.Nodes[e.Dst]
+		mayUse = mayUse.Union(e.MayUse).Union(y.Phase1Use().Minus(e.MustDef))
+		mayDef = mayDef.Union(e.MayDef).Union(y.MayDef)
+		md := e.MustDef.Union(y.MustDef)
+		if first {
+			mustDef = md
+			first = false
+		} else {
+			mustDef = mustDef.Intersect(md)
+		}
+	}
+	// Mirror the solver's clamp: MUST-DEF is bounded by MAY-DEF so
+	// call paths that cannot return do not leave it at lattice top.
+	mustDef = mustDef.Intersect(mayDef)
+	return mayUse, mayDef, mustDef
+}
+
+// checkCallReturnLabels verifies every call-return edge carries the
+// label phase 1 should have left: the callee entrance's §3.4-filtered
+// summary for direct calls, and the §3.5 calling-standard summary —
+// widened with every address-taken routine's summary under the closed
+// world — for indirect calls.
+func checkCallReturnLabels(c *collector, a *core.Analysis) {
+	g := a.PSG
+	std := callstd.UnknownCallSummary()
+	imu, imd, imsd := std.Used, std.Killed, std.Defined
+	if a.Config.LinkIndirectCalls {
+		for ri, r := range a.Prog.Routines {
+			if !r.AddressTaken {
+				continue
+			}
+			n := &g.Nodes[g.EntryNodes[ri][0]]
+			sr := g.SavedRestored[ri]
+			imu = imu.Union(n.Phase1Use().Minus(sr))
+			imd = imd.Union(n.MayDef.Minus(sr))
+			imsd = imsd.Intersect(n.MustDef.Minus(sr))
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind != core.EdgeCallReturn {
+			continue
+		}
+		call := &g.Nodes[e.Src]
+		name := a.Prog.Routines[call.Routine].Name
+		if call.Kind != core.NodeCall || g.Nodes[e.Dst].Kind != core.NodeReturn {
+			c.addf("call-return-shape", name, "edge %d does not join a call node to a return node", i)
+			continue
+		}
+		var wu, wd, wm regset.Set
+		if call.CallTarget >= 0 {
+			ent := &g.Nodes[g.EntryNodes[call.CallTarget][call.CallEntry]]
+			sr := g.SavedRestored[call.CallTarget]
+			wu, wd, wm = ent.Phase1Use().Minus(sr), ent.MayDef.Minus(sr), ent.MustDef.Minus(sr)
+		} else {
+			wu, wd, wm = imu, imd, imsd
+		}
+		if e.MayUse != wu || e.MayDef != wd || e.MustDef != wm {
+			c.addf("call-return-label", name,
+				"edge %d label (%v, %v, %v) ≠ callee summary (%v, %v, %v)",
+				i, e.MayUse, e.MayDef, e.MustDef, wu, wd, wm)
+		}
+	}
+}
+
+// rebuildRetSites independently re-derives the §3.3 return-site links:
+// exit node → the return nodes whose liveness flows into it. It works
+// from the edge slab and the routine directories only, not the PSG's
+// CSR retSites arrays.
+func rebuildRetSites(a *core.Analysis) [][]int {
+	g := a.PSG
+	links := make([][]int, len(g.Nodes))
+	var addrTakenExits []int
+	if a.Config.LinkIndirectCalls {
+		for ri, r := range a.Prog.Routines {
+			if !r.AddressTaken {
+				continue
+			}
+			for _, x := range g.ExitNodes[ri] {
+				if isRetExit(a, &g.Nodes[x]) {
+					addrTakenExits = append(addrTakenExits, x)
+				}
+			}
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if e.Kind != core.EdgeCallReturn {
+			continue
+		}
+		call := &g.Nodes[e.Src]
+		if call.CallTarget >= 0 {
+			for _, x := range g.ExitNodes[call.CallTarget] {
+				if isRetExit(a, &g.Nodes[x]) {
+					links[x] = append(links[x], e.Dst)
+				}
+			}
+		} else {
+			for _, x := range addrTakenExits {
+				links[x] = append(links[x], e.Dst)
+			}
+		}
+	}
+	return links
+}
+
+// isRetExit reports whether the exit node's block ends in ret: halt
+// exits terminate the program and return to no caller.
+func isRetExit(a *core.Analysis, n *core.Node) bool {
+	graph := a.Graphs[n.Routine]
+	return graph.Terminator(graph.Blocks[n.Block]).Op == isa.OpRet
+}
+
+// phase2Recompute applies the Figure 10 liveness equation to node n:
+// the pinned seed (§3.5 for unknown jumps, the calling-standard return
+// assumption for address-taken routines), the liveness of the linked
+// return sites, and the flow across each outgoing edge.
+func phase2Recompute(a *core.Analysis, n *core.Node, retSites []int) regset.Set {
+	g := a.PSG
+	var mu regset.Set
+	if n.Unknown {
+		mu = callstd.UnknownJumpLive()
+	} else if n.Kind == core.NodeExit && a.Prog.Routines[n.Routine].AddressTaken && isRetExit(a, n) {
+		mu = callstd.Return.Union(callstd.CalleeSaved).Union(regset.Of(regset.SP, regset.GP))
+	}
+	for _, rs := range retSites {
+		mu = mu.Union(g.Nodes[rs].MayUse)
+	}
+	for _, eid := range g.OutEdges(n.ID) {
+		e := &g.Edges[eid]
+		mu = mu.Union(e.MayUse).Union(g.Nodes[e.Dst].MayUse.Minus(e.MustDef))
+	}
+	return mu
+}
+
+// checkSummaries verifies the published RoutineSummaries are exactly
+// the §3.4-filtered projection of the converged PSG, and that the
+// summary-level sanity conditions hold: saved/restored registers are
+// callee-saved and absent from every outward-facing set, call-defined ⊆
+// call-killed, and the hardwired zero registers never appear.
+func checkSummaries(c *collector, a *core.Analysis) {
+	g := a.PSG
+	for ri := range a.Prog.Routines {
+		name := a.Prog.Routines[ri].Name
+		s := a.Summary(ri)
+		sr := g.SavedRestored[ri]
+		if s.SavedRestored != sr {
+			c.addf("summary-saved-restored", name, "summary %v ≠ PSG %v", s.SavedRestored, sr)
+		}
+		if !sr.SubsetOf(callstd.CalleeSaved) {
+			c.addf("saved-restored-callee-saved", name, "%v ⊄ callee-saved", sr)
+		}
+		if len(s.CallUsed) != len(g.EntryNodes[ri]) {
+			c.addf("summary-entry-count", name, "%d summary entries for %d entry nodes",
+				len(s.CallUsed), len(g.EntryNodes[ri]))
+			continue
+		}
+		for e, nid := range g.EntryNodes[ri] {
+			n := &g.Nodes[nid]
+			if s.CallUsed[e] != n.Phase1Use().Minus(sr) ||
+				s.CallDefined[e] != n.MustDef.Minus(sr) ||
+				s.CallKilled[e] != n.MayDef.Minus(sr) ||
+				s.LiveAtEntry[e] != n.MayUse {
+				c.addf("summary-projection", name,
+					"entry %d summary does not match the PSG entry node", e)
+			}
+			if !s.CallDefined[e].SubsetOf(s.CallKilled[e]) {
+				c.addf("defined-subset-killed", name,
+					"entry %d: call-defined %v ⊄ call-killed %v", e, s.CallDefined[e], s.CallKilled[e])
+			}
+			if s.CallUsed[e].Intersects(sr) || s.CallKilled[e].Intersects(sr) || s.CallDefined[e].Intersects(sr) {
+				c.addf("saved-restored-filtered", name,
+					"entry %d: saved/restored registers leak into the outward summary", e)
+			}
+			if s.CallUsed[e].Intersects(hardwired) || s.CallKilled[e].Intersects(hardwired) ||
+				s.CallDefined[e].Intersects(hardwired) || s.LiveAtEntry[e].Intersects(hardwired) {
+				c.addf("hardwired-excluded", name, "entry %d: zero registers appear in summaries", e)
+			}
+		}
+		if len(s.LiveAtExit) != len(g.ExitNodes[ri]) {
+			c.addf("summary-exit-count", name, "%d live-at-exit sets for %d exit nodes",
+				len(s.LiveAtExit), len(g.ExitNodes[ri]))
+			continue
+		}
+		for x, nid := range g.ExitNodes[ri] {
+			n := &g.Nodes[nid]
+			if s.LiveAtExit[x] != n.MayUse || s.ExitBlocks[x] != n.Block {
+				c.addf("summary-exit", name, "exit %d does not match the PSG exit node", x)
+			}
+			if s.LiveAtExit[x].Intersects(hardwired) {
+				c.addf("hardwired-excluded", name, "exit %d: zero registers live", x)
+			}
+		}
+	}
+}

@@ -64,7 +64,8 @@ func phase1Seed(n *Node) (mayUse, mayDef regset.Set) {
 
 // recompute applies the Figure 8 node equations, returning the new sets
 // for node n. seedUse/seedDef fold in pinned conservative information.
-func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Set) {
+// clamp bounds MUST-DEF by MAY-DEF; see solvePhase1's grounding pass.
+func (g *PSG) recompute(n *Node, phase2, clamp bool) (mayUse, mayDef, mustDef regset.Set) {
 	mayUse, mayDef = phase1Seed(n)
 	if phase2 {
 		mayUse = g.phase2Seed(n)
@@ -88,6 +89,9 @@ func (g *PSG) recompute(n *Node, phase2 bool) (mayUse, mayDef, mustDef regset.Se
 		} else {
 			mustDef = mustDef.Intersect(md)
 		}
+	}
+	if clamp {
+		mustDef = mustDef.Intersect(mayDef)
 	}
 	return mayUse, mayDef, mustDef
 }
@@ -429,53 +433,70 @@ func (s *phaseSched) solvePhase1(c int) int {
 		}
 	}
 
+	pops := 0
+	drain := func(clamp bool) {
+		for !wl.Empty() {
+			n := &g.Nodes[nodes[wl.Pop()]]
+			pops++
+			scans += uint64(len(g.OutEdges(n.ID)))
+			mu, md, msd := g.recompute(n, false, clamp)
+			if mu == n.MayUse && md == n.MayDef && msd == n.MustDef {
+				continue
+			}
+			n.MayUse, n.MayDef, n.MustDef = mu, md, msd
+			// Propagate to in-neighbours; every PSG edge is intraprocedural,
+			// so these are always in this component.
+			for _, eid := range g.InEdges(n.ID) {
+				if src := g.Edges[eid].Src; s.nodeComp[src] == int32(c) {
+					wl.Push(int(s.localIdx[src]))
+				}
+			}
+			// §3.2: entry nodes broadcast their sets to every call-return
+			// edge representing a call to this entrance, after filtering
+			// saved-and-restored callee-saved registers (§3.4). Only edges
+			// inside this component (recursive calls) can still react;
+			// edges in caller components are finalized below.
+			if n.Kind == NodeEntry {
+				sr := g.SavedRestored[n.Routine]
+				fu, fd, fm := mu.Minus(sr), md.Minus(sr), msd.Minus(sr)
+				for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
+					e := &g.Edges[eid]
+					if s.nodeComp[e.Src] != int32(c) {
+						continue
+					}
+					if e.MayUse != fu || e.MayDef != fd || e.MustDef != fm {
+						e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
+						relabels++
+						wl.Push(int(s.localIdx[e.Src]))
+					}
+				}
+				if pinned && s.isAddrTakenEntry(n.ID) {
+					updateIndirect()
+				}
+			}
+		}
+	}
+
 	for _, li := range s.order(c) {
 		wl.Push(int(li))
 	}
 	if pinned {
 		updateIndirect() // establish the calling-standard baseline
 	}
-	pops := 0
-	for !wl.Empty() {
-		n := &g.Nodes[nodes[wl.Pop()]]
-		pops++
-		scans += uint64(len(g.OutEdges(n.ID)))
-		mu, md, msd := g.recompute(n, false)
-		if mu == n.MayUse && md == n.MayDef && msd == n.MustDef {
-			continue
-		}
-		n.MayUse, n.MayDef, n.MustDef = mu, md, msd
-		// Propagate to in-neighbours; every PSG edge is intraprocedural,
-		// so these are always in this component.
-		for _, eid := range g.InEdges(n.ID) {
-			if src := g.Edges[eid].Src; s.nodeComp[src] == int32(c) {
-				wl.Push(int(s.localIdx[src]))
-			}
-		}
-		// §3.2: entry nodes broadcast their sets to every call-return
-		// edge representing a call to this entrance, after filtering
-		// saved-and-restored callee-saved registers (§3.4). Only edges
-		// inside this component (recursive calls) can still react;
-		// edges in caller components are finalized below.
-		if n.Kind == NodeEntry {
-			sr := g.SavedRestored[n.Routine]
-			fu, fd, fm := mu.Minus(sr), md.Minus(sr), msd.Minus(sr)
-			for _, eid := range g.CallerEdges[n.Routine][n.EntryIdx] {
-				e := &g.Edges[eid]
-				if s.nodeComp[e.Src] != int32(c) {
-					continue
-				}
-				if e.MayUse != fu || e.MayDef != fd || e.MustDef != fm {
-					e.MayUse, e.MayDef, e.MustDef = fu, fd, fm
-					relabels++
-					wl.Push(int(s.localIdx[e.Src]))
-				}
-			}
-			if pinned && s.isAddrTakenEntry(n.ID) {
-				updateIndirect()
-			}
-		}
+	drain(false)
+	// Grounding pass: MUST-DEF ⊆ MAY-DEF by definition, but a call with
+	// no path to a ret-exit (unbounded recursion ahead of every exit)
+	// leaves the optimistic intersection at lattice top — vacuously
+	// sound, since no path reaches the caller, yet malformed as a value.
+	// Clamping during the first descent would poison the greatest
+	// fixpoint (MAY-DEF is still transiently small), so the clamp runs
+	// as a continuation: from the converged state, the clamped equations
+	// only descend, and they land on their own greatest fixpoint — equal
+	// to the unclamped one wherever MUST ⊆ MAY already held.
+	for _, li := range s.order(c) {
+		wl.Push(int(li))
 	}
+	drain(true)
 	pushes, _ := wl.Counts()
 	wlPool.Put(wl)
 	// Broadcast the converged entry summaries outward. The affected
@@ -674,7 +695,7 @@ func (s *phaseSched) solvePhase2(c int) int {
 		n := &g.Nodes[nodes[wl.Pop()]]
 		pops++
 		scans += uint64(len(g.OutEdges(n.ID)))
-		mu, _, _ := g.recompute(n, true)
+		mu, _, _ := g.recompute(n, true, false)
 		if mu == n.MayUse {
 			continue
 		}

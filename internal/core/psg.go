@@ -100,6 +100,12 @@ type Node struct {
 	phase1Use regset.Set
 }
 
+// Phase1Use returns the node's MAY-USE set as it stood at the end of
+// phase 1 (phase 2 overwrites MayUse with liveness). For entry nodes
+// this is the unfiltered call-used set; external checkers use it to
+// re-verify the phase-1 fixed point after both phases have run.
+func (n *Node) Phase1Use() regset.Set { return n.phase1Use }
+
 // EdgeKind classifies PSG edges (§3.1).
 type EdgeKind uint8
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/prog"
 	"repro/internal/regset"
 )
 
@@ -16,71 +17,513 @@ import (
 // propagate to callers: after phase 1 computes an entry node's sets, the
 // routine's saved-and-restored registers are removed from them.
 //
-// Detection follows the code patterns a compiler emits and progen
-// generates: a prologue is a run of stack-pointer-relative stores (and
-// stack adjustments) at an entrance; an epilogue is a run of
-// stack-pointer-relative loads (and stack adjustments) immediately
-// before an exit. A register qualifies only if it is saved at *every*
-// entrance and restored before *every* exit, with matching slots left to
-// the program's discipline.
-// The detection is a pure per-routine scan, so it runs on the worker
-// pool, each worker writing only its own routine's slot; the returned
-// duration is the aggregate compute time.
+// The detection runs in three passes. A parallel frame scan derives,
+// per routine, the stack-pointer delta of every reachable instruction
+// and checks the frame discipline that makes save slots trustworthy
+// (see frameScan). A serial fixed point then propagates discipline
+// through the call graph: a routine's frame is only intact if every
+// routine it calls leaves sp where it found it. Finally a parallel pass
+// re-scans the prologues and epilogues of the disciplined routines,
+// invalidating any save slot a body store or a deeper-stacked call may
+// have overwritten.
 func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
-	g.SavedRestored = make([]regset.Set, len(g.Prog.Routines))
-	return par.ForEachSpan(tr, "saved-restored", len(g.Prog.Routines), workers, func(ri int) {
-		r := g.Prog.Routines[ri]
-		saved := regset.All
-		for _, e := range r.Entries {
-			saved = saved.Intersect(prologueSaves(r.Code, e))
+	n := len(g.Prog.Routines)
+	g.SavedRestored = make([]regset.Set, n)
+	infos := make([]frameInfo, n)
+
+	var addrTaken []int
+	for ri, r := range g.Prog.Routines {
+		if r.AddressTaken {
+			addrTaken = append(addrTaken, ri)
 		}
-		restored := regset.All
-		anyExit := false
+	}
+
+	// One slab per scratch array, sliced per routine: the workers write
+	// disjoint ranges, and the hot path stays within its allocation
+	// budget (see core's perf tests). The callee/call-delta/clobber
+	// outputs get exact-capacity windows from the same sizing pass, so
+	// frameScan's appends never reallocate.
+	off := make([]int, n+1)
+	callOff := make([]int, n+1)
+	calleeOff := make([]int, n+1)
+	storeOff := make([]int, n+1)
+	for ri, r := range g.Prog.Routines {
+		calls, callees, spStores := 0, 0, 0
 		for i := range r.Code {
-			if r.Code[i].Op == isa.OpRet {
-				anyExit = true
-				restored = restored.Intersect(epilogueRestores(r.Code, i))
+			switch in := &r.Code[i]; in.Op {
+			case isa.OpJsr:
+				calls, callees = calls+1, callees+1
+			case isa.OpJsrInd:
+				calls, callees = calls+1, callees+len(addrTaken)
+			case isa.OpSt:
+				if in.Src1 == regset.SP {
+					spStores++
+				}
 			}
 		}
-		if !anyExit {
-			restored = regset.Empty
+		off[ri+1] = off[ri] + len(r.Code)
+		callOff[ri+1] = callOff[ri] + calls
+		calleeOff[ri+1] = calleeOff[ri] + callees
+		storeOff[ri+1] = storeOff[ri] + spStores
+	}
+	deltaSlab := make([]int64, off[n])
+	flagSlab := make([]uint8, off[n])
+	workSlab := make([]int32, off[n])
+	calleeSlab := make([]int, calleeOff[n])
+	callDeltaSlab := make([]int64, callOff[n])
+	clobberSlab := make([]int64, storeOff[n])
+
+	d := par.ForEachSpan(tr, "saved-restored-scan", n, workers, func(ri int) {
+		lo, hi := off[ri], off[ri+1]
+		scratch := frameScratch{
+			deltas:       deltaSlab[lo:hi],
+			flags:        flagSlab[lo:hi],
+			work:         workSlab[lo:hi:hi],
+			callees:      calleeSlab[calleeOff[ri]:calleeOff[ri]:calleeOff[ri+1]],
+			callDeltas:   callDeltaSlab[callOff[ri]:callOff[ri]:callOff[ri+1]],
+			bodyClobbers: clobberSlab[storeOff[ri]:storeOff[ri]:storeOff[ri+1]],
 		}
-		g.SavedRestored[ri] = saved.Intersect(restored).Intersect(callstd.CalleeSaved)
+		infos[ri] = frameScan(g.Prog.Routines[ri], addrTaken, scratch)
+	})
+
+	// A routine's slots survive its calls only if every callee (and,
+	// transitively, every routine below it on the stack) restores sp:
+	// greatest fixed point, so mutual recursion between disciplined
+	// routines stays disciplined.
+	preserving := make([]bool, n)
+	for ri := range infos {
+		preserving[ri] = infos[ri].clean
+	}
+	for changed := true; changed; {
+		changed = false
+		for ri := range infos {
+			if !preserving[ri] {
+				continue
+			}
+			for _, callee := range infos[ri].callees {
+				if callee < 0 || callee >= n || !preserving[callee] {
+					preserving[ri] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	d += par.ForEachSpan(tr, "saved-restored", n, workers, func(ri int) {
+		if preserving[ri] {
+			g.SavedRestored[ri] = savedRestored(g.Prog.Routines[ri], &infos[ri])
+		} else {
+			g.SavedRestored[ri] = regset.Empty
+		}
+	})
+	return d
+}
+
+// frameInfo is what frameScan learns about one routine's stack frame.
+type frameInfo struct {
+	// clean reports the routine obeys the frame discipline under which
+	// prologue/epilogue slot matching is sound: sp changes only by
+	// lda sp, imm(sp); sp's value never escapes into another register
+	// or memory; every sp-relative store stays strictly below the entry
+	// sp (inside the routine's own frame); every ret is reached with sp
+	// back at its entry value; and control never leaves through an
+	// unknown-target jump.
+	clean bool
+
+	// callees lists the routines this one calls; for indirect calls,
+	// the address-taken routines (the calling standard lets the scan
+	// assume unknown callees preserve sp, and the address-taken set is
+	// every callee the program itself can name).
+	callees []int
+
+	// bodyClobbers are the entry-sp-relative slots written by reachable
+	// sp-relative stores outside any prologue region: whatever save
+	// lived in such a slot is gone by the time an epilogue reloads it.
+	bodyClobbers []int64
+
+	// callDeltas records the sp delta at each call site. A callee only
+	// writes below its own entry sp, so a save slot is safe from the
+	// call iff it sits at or above the call's delta.
+	callDeltas []int64
+
+	// flags marks instructions that belong to a prologue region
+	// (their stores are save-slot writes, not clobbers) and
+	// instructions that are branch targets (an epilogue scan cannot
+	// trust loads upstream of a join).
+	flags []uint8
+}
+
+const (
+	flagPrologue uint8 = 1 << iota
+	flagTarget
+)
+
+// unknownDelta marks instructions the frame scan never reached.
+const unknownDelta = int64(-1) << 62
+
+// frameScratch is caller-provided storage for frameScan: deltas, flags
+// and work are len(r.Code) (flags zeroed); the output slices are empty
+// windows whose capacities were sized from the instruction counts, so
+// appends never reallocate. An instruction enters the worklist at most
+// once (its delta is set exactly once), so work never outgrows its
+// capacity.
+type frameScratch struct {
+	deltas []int64
+	flags  []uint8
+	work   []int32
+
+	callees      []int
+	callDeltas   []int64
+	bodyClobbers []int64
+}
+
+// frameScan analyses one routine's stack discipline: a forward
+// worklist pass assigns every reachable instruction its sp delta
+// relative to entry (conflicting deltas at a join fail the scan — slot
+// arithmetic would be path-dependent) while checking the conditions
+// listed on frameInfo.clean. Calls are assumed sp-preserving here; the
+// caller's fixed point withdraws the assumption wherever the callee's
+// own scan disproves it, and the §3.5 calling standard covers callees
+// outside the program.
+func frameScan(r *prog.Routine, addrTaken []int, scratch frameScratch) frameInfo {
+	code := r.Code
+	deltas, work := scratch.deltas, scratch.work
+	fi := frameInfo{
+		clean:        true,
+		flags:        scratch.flags,
+		callees:      scratch.callees,
+		callDeltas:   scratch.callDeltas,
+		bodyClobbers: scratch.bodyClobbers,
+	}
+
+	// Prologue regions: the save-run at each entrance (st/lda-sp only),
+	// exactly what prologueSaves walks.
+	for _, e := range r.Entries {
+		for i := e; i < len(code); i++ {
+			if !isPrologueInstr(&code[i]) {
+				break
+			}
+			fi.flags[i] |= flagPrologue
+		}
+	}
+
+	for i := range deltas {
+		deltas[i] = unknownDelta
+	}
+	work = work[:0]
+	for _, e := range r.Entries {
+		if e < 0 || e >= len(code) {
+			fi.clean = false
+			return fi
+		}
+		// Entrances behave like branch targets for the epilogue scan:
+		// executions entering here skip everything upstream.
+		fi.flags[e] |= flagTarget
+		if deltas[e] == unknownDelta {
+			deltas[e] = 0
+			work = append(work, int32(e))
+		} else if deltas[e] != 0 {
+			fi.clean = false
+		}
+	}
+
+	flow := func(i int, d int64) {
+		if i < 0 || i >= len(code) {
+			fi.clean = false
+			return
+		}
+		if deltas[i] == unknownDelta {
+			deltas[i] = d
+			work = append(work, int32(i))
+		} else if deltas[i] != d {
+			fi.clean = false
+		}
+	}
+	target := func(i int, d int64) {
+		if i >= 0 && i < len(code) {
+			fi.flags[i] |= flagTarget
+		}
+		flow(i, d)
+	}
+
+	for len(work) > 0 && fi.clean {
+		i := int(work[len(work)-1])
+		work = work[:len(work)-1]
+		in := &code[i]
+		d := deltas[i]
+
+		spAdjust := in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP
+		if in.Defs().Contains(regset.SP) && !spAdjust {
+			fi.clean = false // sp computed from something other than sp
+			return fi
+		}
+		if in.Uses().Contains(regset.SP) {
+			// sp may be read only as a load/store base or to adjust
+			// itself; anything else lets its value escape, after which
+			// stores through other registers could alias the frame.
+			switch {
+			case spAdjust:
+			case in.Op == isa.OpLd && in.Src1 == regset.SP:
+			case in.Op == isa.OpSt && in.Src1 == regset.SP && in.Src2 != regset.SP:
+			default:
+				fi.clean = false
+				return fi
+			}
+		}
+		if in.Op == isa.OpSt && in.Src1 == regset.SP {
+			slot := d + in.Imm
+			if slot >= 0 {
+				fi.clean = false // writes into the caller's frame
+				return fi
+			}
+			if fi.flags[i]&flagPrologue == 0 {
+				fi.bodyClobbers = append(fi.bodyClobbers, slot)
+			}
+		}
+
+		nd := d
+		if spAdjust {
+			nd = d + in.Imm
+		}
+		switch in.Op {
+		case isa.OpBr:
+			target(in.Target, nd)
+		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+			target(in.Target, nd)
+			flow(i+1, nd)
+		case isa.OpJmp:
+			if in.Table == isa.UnknownTable || in.Table < 0 || in.Table >= len(r.Tables) {
+				fi.clean = false // may leave the routine with sp anywhere
+				return fi
+			}
+			for _, t := range r.Tables[in.Table] {
+				target(t, nd)
+			}
+		case isa.OpRet:
+			if d != 0 {
+				fi.clean = false // epilogue slot math would be shifted
+				return fi
+			}
+		case isa.OpHalt:
+			// Ends the program; no frame to restore.
+		case isa.OpJsr:
+			fi.callees = append(fi.callees, in.Target)
+			fi.callDeltas = append(fi.callDeltas, d)
+			flow(i+1, nd)
+		case isa.OpJsrInd:
+			fi.callees = append(fi.callees, addrTaken...)
+			fi.callDeltas = append(fi.callDeltas, d)
+			flow(i+1, nd)
+		default:
+			flow(i+1, nd)
+		}
+	}
+	return fi
+}
+
+func isPrologueInstr(in *isa.Instr) bool {
+	return (in.Op == isa.OpSt && in.Src1 == regset.SP) ||
+		(in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP)
+}
+
+// savedRestored returns the set of callee-saved registers the routine
+// provably saves at every entrance and restores before every exit. It
+// runs only on routines frameScan (plus the call-graph fixed point)
+// proved frame-disciplined.
+//
+// A prologue is a run of stack-pointer-relative stores (and stack
+// adjustments) at an entrance; an epilogue is a run of
+// stack-pointer-relative loads (and stack adjustments) immediately
+// before a ret. Offsets on both ends are normalized to the entry sp
+// (rets see the entry sp again; frameScan guarantees it), so a register
+// only qualifies when every ret reloads it from a slot that still holds
+// the entry value:
+//
+//   - a later prologue store to the same slot (e.g. st s0,0(sp) followed
+//     by st ra,0(sp)) destroys the earlier register's saved copy there;
+//   - so does any reachable body store to the slot, and any call made
+//     with sp at or below it (the callee owns everything under its
+//     entry sp);
+//   - a register stored to several slots has a valid copy in each, and a
+//     restore from any of them qualifies;
+//   - a restore from a slot the register was never saved to does not,
+//     and neither does a load upstream of a branch target (paths
+//     joining there skip it).
+func savedRestored(r *prog.Routine, fi *frameInfo) regset.Set {
+	var saves saveSlots
+	for ei, e := range r.Entries {
+		s := prologueSaves(r.Code, e)
+		if ei == 0 {
+			saves = s
+		} else {
+			saves.intersect(&s)
+		}
+	}
+	for _, slot := range fi.bodyClobbers {
+		saves.clobber(slot, noOwner)
+	}
+	for _, d := range fi.callDeltas {
+		saves.clobberBelow(d)
+	}
+	restored := regset.All
+	anyRet := false
+	for i := range r.Code {
+		if r.Code[i].Op == isa.OpRet {
+			anyRet = true
+			restored = restored.Intersect(epilogueRestores(r.Code, i, &saves, fi.flags))
+		}
+	}
+	if !anyRet {
+		return regset.Empty
+	}
+	return saves.valid.Intersect(restored).Intersect(callstd.CalleeSaved)
+}
+
+// saveSlots records, per register, the entry-sp-relative slots that hold
+// the register's entry value at the end of a prologue.
+type saveSlots struct {
+	valid regset.Set // registers with at least one intact save slot
+	slots [regset.NumRegs][]int64
+}
+
+// noOwner makes clobber invalidate a slot for every register.
+const noOwner = regset.Reg(regset.NumRegs)
+
+func (s *saveSlots) add(r regset.Reg, slot int64) {
+	for _, existing := range s.slots[r] {
+		if existing == slot {
+			return
+		}
+	}
+	s.slots[r] = append(s.slots[r], slot)
+	s.valid = s.valid.Add(r)
+}
+
+// clobber removes slot from every register other than owner: a store to
+// the slot destroyed whatever save lived there.
+func (s *saveSlots) clobber(slot int64, owner regset.Reg) {
+	s.valid.ForEach(func(r regset.Reg) {
+		if r == owner {
+			return
+		}
+		kept := s.slots[r][:0]
+		for _, sl := range s.slots[r] {
+			if sl != slot {
+				kept = append(kept, sl)
+			}
+		}
+		s.slots[r] = kept
+		if len(kept) == 0 {
+			s.valid = s.valid.Remove(r)
+		}
 	})
 }
 
-// prologueSaves scans forward from entry index e collecting the
-// registers stored to sp-relative slots before any other kind of
-// instruction intervenes.
-func prologueSaves(code []isa.Instr, e int) regset.Set {
-	var saved regset.Set
+// clobberBelow removes every slot strictly below d: a call made with sp
+// delta d hands the callee everything under that address.
+func (s *saveSlots) clobberBelow(d int64) {
+	s.valid.ForEach(func(r regset.Reg) {
+		kept := s.slots[r][:0]
+		for _, sl := range s.slots[r] {
+			if sl >= d {
+				kept = append(kept, sl)
+			}
+		}
+		s.slots[r] = kept
+		if len(kept) == 0 {
+			s.valid = s.valid.Remove(r)
+		}
+	})
+}
+
+func (s *saveSlots) has(r regset.Reg, slot int64) bool {
+	if !s.valid.Contains(r) {
+		return false
+	}
+	for _, sl := range s.slots[r] {
+		if sl == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// intersect keeps, per register, only the slots valid in both maps: a
+// register restored from a slot must hold its entry value there on the
+// path from every entrance.
+func (s *saveSlots) intersect(t *saveSlots) {
+	s.valid = s.valid.Intersect(t.valid)
+	merged := s.valid
+	merged.ForEach(func(r regset.Reg) {
+		kept := s.slots[r][:0]
+		for _, sl := range s.slots[r] {
+			if t.has(r, sl) {
+				kept = append(kept, sl)
+			}
+		}
+		s.slots[r] = kept
+		if len(kept) == 0 {
+			s.valid = s.valid.Remove(r)
+		}
+	})
+}
+
+// prologueSaves scans forward from entry index e over the prologue
+// pattern (sp-relative stores and sp adjustments), recording which
+// slots hold which register's entry value when the run ends. Offsets
+// are normalized to the sp at entry. Register values are unchanged
+// inside the region (stores write memory; the only register written is
+// sp itself), so every store captures its register's entry value.
+func prologueSaves(code []isa.Instr, e int) saveSlots {
+	var s saveSlots
+	var delta int64 // sp − entry sp at the current instruction
 	for i := e; i < len(code); i++ {
 		in := &code[i]
 		switch {
 		case in.Op == isa.OpSt && in.Src1 == regset.SP:
-			saved = saved.Add(in.Src2)
+			slot := delta + in.Imm
+			s.clobber(slot, in.Src2)
+			s.add(in.Src2, slot)
 		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
-			// stack frame adjustment; keep scanning
+			delta += in.Imm
 		default:
-			return saved
+			return s
 		}
 	}
-	return saved
+	return s
 }
 
-// epilogueRestores scans backward from the ret at index x collecting the
-// registers loaded from sp-relative slots before any other kind of
-// instruction intervenes.
-func epilogueRestores(code []isa.Instr, x int) regset.Set {
-	var restored regset.Set
+// epilogueRestores scans backward from the ret at index x over the
+// epilogue pattern (sp-relative loads and sp adjustments), returning
+// the registers whose value at the ret was reloaded from one of their
+// own save slots. Offsets are normalized to the sp at the ret, which
+// frameScan proved equals the entry sp. The load nearest the ret is the
+// one that determines a register's final value, so a later reload from
+// a wrong slot disqualifies the register even if an earlier load used
+// the right one; and the scan stops at any branch target, because paths
+// joining the epilogue there skip the loads upstream of it.
+func epilogueRestores(code []isa.Instr, x int, saves *saveSlots, flags []uint8) regset.Set {
+	var restored, seen regset.Set
+	var adjust int64 // sp at instruction − sp at ret
 	for i := x - 1; i >= 0; i-- {
 		in := &code[i]
 		switch {
 		case in.Op == isa.OpLd && in.Src1 == regset.SP:
-			restored = restored.Add(in.Dest)
+			if !seen.Contains(in.Dest) {
+				seen = seen.Add(in.Dest)
+				if saves.has(in.Dest, adjust+in.Imm) {
+					restored = restored.Add(in.Dest)
+				}
+			}
 		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
-			// stack frame release; keep scanning
+			adjust -= in.Imm
 		default:
+			return restored
+		}
+		if flags[i]&flagTarget != 0 {
+			// Executions may enter the epilogue here; anything reloaded
+			// upstream is skipped on those paths.
 			return restored
 		}
 	}

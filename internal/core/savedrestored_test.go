@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/regset"
+)
+
+// Regression tests for the §3.4 saved/restored scan: each of the first
+// three programs made the slot-blind scan claim a register as
+// saved-and-restored even though the value reaching the ret is not the
+// entry value (or the exit runs no epilogue at all). A wrong claim is
+// unsound — the register is filtered out of call-killed, so callers
+// believe it survives the call.
+
+func TestSavedRestoredSlotStolenByLaterSave(t *testing.T) {
+	// s0 is saved at 0(sp), then ra is saved over the same slot. The
+	// epilogue's ld s0, 0(sp) reloads ra's value, so s0 reaches the ret
+	// clobbered and must stay in call-killed.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  lda sp, -16(sp)
+  st  s0, 0(sp)
+  st  ra, 0(sp)
+  lda s0, 7(zero)
+  ld  s0, 0(sp)
+  ld  ra, 0(sp)
+  lda sp, 16(sp)
+  ret
+`
+	a := analyze(t, src)
+	fi, _ := a.Prog.Index("f")
+	s := a.Summary(fi)
+	if s.SavedRestored.Contains(regset.S0) {
+		t.Errorf("s0 claimed saved/restored though its save slot was overwritten by ra")
+	}
+	if !s.CallKilled[0].Contains(regset.S0) {
+		t.Errorf("s0 is clobbered by f but missing from call-killed %v", s.CallKilled[0])
+	}
+}
+
+func TestSavedRestoredWrongSlotRestore(t *testing.T) {
+	// s0 is saved at 0(sp) but "restored" from 8(sp), which was never
+	// written: the value at the ret is garbage, not the entry value.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  lda sp, -16(sp)
+  st  s0, 0(sp)
+  lda s0, 7(zero)
+  ld  s0, 8(sp)
+  lda sp, 16(sp)
+  ret
+`
+	a := analyze(t, src)
+	fi, _ := a.Prog.Index("f")
+	s := a.Summary(fi)
+	if s.SavedRestored.Contains(regset.S0) {
+		t.Errorf("s0 claimed saved/restored though it is reloaded from the wrong slot")
+	}
+	if !s.CallKilled[0].Contains(regset.S0) {
+		t.Errorf("s0 is clobbered by f but missing from call-killed %v", s.CallKilled[0])
+	}
+}
+
+func TestSavedRestoredUnknownJumpExit(t *testing.T) {
+	// One path restores s0 and returns; the other leaves through an
+	// indirect jump with unknown targets and restores nothing. The old
+	// scan only looked behind rets, so it never saw the second path.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  lda sp, -16(sp)
+  st  s0, 0(sp)
+  lda s0, 7(zero)
+  beq a0, L
+  ld  s0, 0(sp)
+  lda sp, 16(sp)
+  ret
+L:
+  jmp t0, ?
+`
+	a := analyze(t, src)
+	fi, _ := a.Prog.Index("f")
+	s := a.Summary(fi)
+	if !s.SavedRestored.IsEmpty() {
+		t.Errorf("saved/restored %v claimed for a routine with an unknown-jump exit", s.SavedRestored)
+	}
+	if !s.CallKilled[0].Contains(regset.S0) {
+		t.Errorf("s0 is clobbered on the unknown-jump path but missing from call-killed %v", s.CallKilled[0])
+	}
+}
+
+func TestSavedRestoredDuplicateSaveBothSlotsValid(t *testing.T) {
+	// Saving one register to two slots leaves its entry value in both;
+	// restoring from either must still qualify.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  lda sp, -32(sp)
+  st  s0, 0(sp)
+  st  s0, 8(sp)
+  lda s0, 7(zero)
+  ld  s0, 0(sp)
+  lda sp, 32(sp)
+  ret
+`
+	a := analyze(t, src)
+	fi, _ := a.Prog.Index("f")
+	s := a.Summary(fi)
+	if !s.SavedRestored.Contains(regset.S0) {
+		t.Errorf("s0 saved twice and restored from its first slot should qualify; got %v", s.SavedRestored)
+	}
+	if s.CallKilled[0].Contains(regset.S0) {
+		t.Errorf("s0 is saved/restored but still call-killed %v", s.CallKilled[0])
+	}
+}
+
+func TestSavedRestoredStandardFrameStillDetected(t *testing.T) {
+	// The compiler-idiom frame progen emits: adjust sp, save, work,
+	// restore, release. The slot-aware scan must keep detecting it, with
+	// the store/load offsets normalized across the sp adjustments.
+	src := `
+.start main
+.routine main
+  jsr f
+  halt
+.routine f
+  lda sp, -128(sp)
+  st  ra, 0(sp)
+  st  s0, 8(sp)
+  lda s0, 7(zero)
+  print s0
+  ld  s0, 8(sp)
+  ld  ra, 0(sp)
+  lda sp, 128(sp)
+  ret
+`
+	a := analyze(t, src)
+	fi, _ := a.Prog.Index("f")
+	s := a.Summary(fi)
+	if !s.SavedRestored.Contains(regset.S0) {
+		t.Errorf("standard frame not detected: saved/restored %v", s.SavedRestored)
+	}
+	if s.CallKilled[0].Contains(regset.S0) {
+		t.Errorf("s0 is saved/restored but still call-killed %v", s.CallKilled[0])
+	}
+}

@@ -68,10 +68,11 @@ type Machine struct {
 	out   []int64
 	steps int64
 
-	// Optional instrumentation (see profile.go).
+	// Optional instrumentation (see profile.go, hook.go).
 	profile *Profile
 	icache  *ICache
 	bases   []int64
+	hook    StepHook
 }
 
 // New returns a machine ready to run p from its entry routine.
@@ -110,10 +111,27 @@ func f2i(f float64) int64 { return int64(math.Float64bits(f)) }
 func i2f(v int64) float64 { return math.Float64frombits(uint64(v)) }
 
 // Run executes the program for at most maxSteps instructions.
+//
+// Degenerate programs — no routines, an out-of-range entry routine, a
+// routine with no entrances — are reported as errors, never panics:
+// the emulator is the harness's ground truth and must degrade
+// gracefully on inputs that bypassed prog.Validate.
 func (m *Machine) Run(maxSteps int64) (Result, error) {
+	if len(m.prog.Routines) == 0 {
+		return Result{m.out, m.steps}, errors.New("emu: program has no routines")
+	}
 	ri := m.prog.Entry
+	if ri < 0 || ri >= len(m.prog.Routines) {
+		return Result{m.out, m.steps}, fmt.Errorf("emu: entry routine %d out of range (%d routines)", ri, len(m.prog.Routines))
+	}
+	if len(m.prog.Routines[ri].Entries) == 0 {
+		return Result{m.out, m.steps}, fmt.Errorf("emu: entry routine %s has no entrances", m.prog.Routines[ri].Name)
+	}
 	pc := m.prog.Routines[ri].Entries[0]
 	for {
+		if ri < 0 || ri >= len(m.prog.Routines) {
+			return Result{m.out, m.steps}, fmt.Errorf("emu: control reached routine index %d, out of range", ri)
+		}
 		if m.steps >= maxSteps {
 			return Result{m.out, m.steps}, fmt.Errorf("%w (stopped in %s at instruction %d)",
 				ErrStepLimit, m.prog.Routines[ri].Name, pc)
@@ -132,6 +150,9 @@ func (m *Machine) Run(maxSteps int64) (Result, error) {
 		}
 		if m.icache != nil {
 			m.icache.access(m.bases[ri] + 4*int64(pc))
+		}
+		if m.hook != nil {
+			m.hook(m, ri, pc, in)
 		}
 		next := pc + 1
 		switch in.Op {
@@ -206,6 +227,9 @@ func (m *Machine) Run(maxSteps int64) (Result, error) {
 			}
 		case isa.OpJmp:
 			if in.Table != isa.UnknownTable {
+				if in.Table < 0 || in.Table >= len(r.Tables) || len(r.Tables[in.Table]) == 0 {
+					return Result{m.out, m.steps}, fmt.Errorf("emu: jump table %d missing or empty in %s", in.Table, r.Name)
+				}
 				tbl := r.Tables[in.Table]
 				idx := m.get(in.Src1) % int64(len(tbl))
 				if idx < 0 {
@@ -223,8 +247,14 @@ func (m *Machine) Run(maxSteps int64) (Result, error) {
 				next = tpc
 			}
 		case isa.OpJsr:
-			m.set(regset.RA, CodeAddr(ri, pc+1))
+			if in.Target < 0 || in.Target >= len(m.prog.Routines) {
+				return Result{m.out, m.steps}, fmt.Errorf("emu: call target %d out of range in %s", in.Target, r.Name)
+			}
 			callee := m.prog.Routines[in.Target]
+			if in.Imm < 0 || in.Imm >= int64(len(callee.Entries)) {
+				return Result{m.out, m.steps}, fmt.Errorf("emu: entrance %d of %s out of range", in.Imm, callee.Name)
+			}
+			m.set(regset.RA, CodeAddr(ri, pc+1))
 			ri = in.Target
 			next = callee.Entries[in.Imm]
 		case isa.OpJsrInd:

@@ -1,0 +1,17 @@
+package emu
+
+import "repro/internal/isa"
+
+// StepHook observes one instruction about to execute: the machine state
+// it sees is the state *before* the instruction's effects. Hooks read
+// registers through Machine.Reg; mutating the machine from a hook is
+// unsupported.
+//
+// Like the profile and icache instrumentation, the hook is optional and
+// nil-checked once per step, so an unhooked machine pays a single
+// predictable branch.
+type StepHook func(m *Machine, ri, pc int, in *isa.Instr)
+
+// SetStepHook installs fn to run before every executed instruction;
+// nil removes the hook.
+func (m *Machine) SetStepHook(fn StepHook) { m.hook = fn }

@@ -107,6 +107,9 @@ func Assemble(src string) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		if _, dup := p.Index(r.Name); dup {
+			return nil, fmt.Errorf("asm: duplicate routine %q", r.Name)
+		}
 		p.Add(r)
 	}
 	// Resolve call targets by name.

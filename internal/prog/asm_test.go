@@ -169,6 +169,7 @@ func TestAssembleErrors(t *testing.T) {
 		{"unknown routine", ".routine f\n  jsr ghost\n  ret\n", "unknown routine"},
 		{"unknown table", ".routine f\n  jmp t0, T9\n  ret\n", "unknown jump table"},
 		{"duplicate label", ".routine f\nx:\nx:\n  ret\n", "duplicate label"},
+		{"duplicate routine", ".routine f\n  ret\n.routine f\n  ret\n", "duplicate routine"},
 		{"duplicate table", ".routine f\n.table T0 = x\n.table T0 = x\nx:\n  ret\n", "duplicate table"},
 		{"bad start", ".start ghost\n.routine f\n  ret\n", "unknown routine"},
 		{"bad memory operand", ".routine f\n  ld t0, 8sp\n  ret\n", "imm(base)"},
