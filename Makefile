@@ -5,15 +5,17 @@
 GO ?= go
 
 # The benchmark set recorded in BENCH_phases.json: the end-to-end
-# parallel-pipeline benchmarks at the repo root plus the per-stage
-# allocation benchmarks in internal/core.
-BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkLabeling|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$
-BENCH_PKGS = . ./internal/core/
+# parallel-pipeline benchmarks at the repo root, the per-stage
+# allocation benchmarks in internal/core, and the analysis-service
+# endpoint benchmarks (BenchmarkServe*, routed into the document's
+# "serve" section with queries/sec and latency quantiles).
+BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkLabeling|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe
+BENCH_PKGS = . ./internal/core/ ./internal/serve/
 
 # Baseline git ref for `make bench-compare`.
 BASE ?= HEAD~1
 
-.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard soak soak-ci verify
+.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard soak soak-ci serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -73,8 +75,15 @@ profile: build
 # telemetry table alongside. Open trace.json in https://ui.perfetto.dev
 # or chrome://tracing.
 trace: build
-	$(GO) run ./cmd/spike -asm -opt -metrics -trace trace.json examples/fig2.s
+	$(GO) run ./cmd/spike analyze -asm -opt -metrics -trace trace.json examples/fig2.s
 	@echo "wrote trace.json; open in https://ui.perfetto.dev or chrome://tracing"
+
+# Analysis-service smoke test: bring up the daemon in-process, load the
+# Figure 2 example, drive load/summary/liveness/batch queries, and
+# assert every response is 200 and a repeated query hits the analysis
+# cache (verified through the /metrics counters).
+serve-smoke:
+	$(GO) run ./cmd/spiked -smoke examples/fig2.s
 
 # Observability overhead guard: vet plus the tests proving disabled
 # tracing/metrics cost zero allocations and the telemetry is

@@ -19,6 +19,10 @@
 // name with the "/run" suffix stripped. Unlike ns/op they are exact and
 // machine-independent, so a diff there means the algorithm changed.
 //
+// Benchmarks named BenchmarkServe* land in a separate "serve" section:
+// they measure the analysis service (queries/sec, latency quantiles of
+// the daemon endpoints) rather than the solver itself.
+//
 // The raw test2json stream interleaves build output, progress events and
 // benchmark results and is not stable across runs, so it does not belong
 // in git; this document keeps one line per (benchmark, metric) and sorts
@@ -52,7 +56,13 @@ type doc struct {
 	Pkg        string                        `json:"pkg,omitempty"`
 	CPU        string                        `json:"cpu,omitempty"`
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
-	Counters   map[string]map[string]float64 `json:"counters,omitempty"`
+
+	// Serve holds the analysis-service benchmarks (BenchmarkServe*):
+	// queries/sec and latency quantiles of the daemon's endpoints,
+	// separated from the solver benchmarks because they measure a
+	// different layer (HTTP + cache + render, not the analysis).
+	Serve    map[string]map[string]float64 `json:"serve,omitempty"`
+	Counters map[string]map[string]float64 `json:"counters,omitempty"`
 }
 
 func main() {
@@ -122,10 +132,17 @@ func parse(r io.Reader) (*doc, error) {
 // are split out into the counters section; they are exact, so the last
 // observation wins instead of averaging.
 func (d *doc) record(name string, metrics map[string]float64) {
-	m := d.Benchmarks[name]
+	section := d.Benchmarks
+	if strings.HasPrefix(name, "BenchmarkServe") {
+		if d.Serve == nil {
+			d.Serve = map[string]map[string]float64{}
+		}
+		section = d.Serve
+	}
+	m := section[name]
 	if m == nil {
 		m = map[string]float64{}
-		d.Benchmarks[name] = m
+		section[name] = m
 	}
 	runs := m["runs"] + 1
 	for k, v := range metrics {

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecordSections pins the routing: solver benchmarks land in
+// "benchmarks", BenchmarkServe* in "serve", "/run" counters in
+// "counters" — each exactly once.
+func TestRecordSections(t *testing.T) {
+	d := &doc{Benchmarks: map[string]map[string]float64{}}
+	d.record("BenchmarkAnalyzeParallel", map[string]float64{"ns/op": 100})
+	d.record("BenchmarkServeSummary", map[string]float64{
+		"qps": 4000, "p50-ns": 90000, "serve/analysis_cache_hits/run": 5,
+	})
+
+	if _, ok := d.Benchmarks["BenchmarkAnalyzeParallel"]; !ok {
+		t.Error("solver benchmark missing from benchmarks section")
+	}
+	if _, ok := d.Benchmarks["BenchmarkServeSummary"]; ok {
+		t.Error("serve benchmark leaked into benchmarks section")
+	}
+	m, ok := d.Serve["BenchmarkServeSummary"]
+	if !ok {
+		t.Fatal("serve benchmark missing from serve section")
+	}
+	if m["qps"] != 4000 || m["p50-ns"] != 90000 {
+		t.Errorf("serve metrics = %v", m)
+	}
+	if d.Counters["BenchmarkServeSummary"]["serve/analysis_cache_hits"] != 5 {
+		t.Errorf("counters = %v", d.Counters)
+	}
+}
+
+// TestParseBenchLineServe checks a full serve result line parses.
+func TestParseBenchLineServe(t *testing.T) {
+	line := "BenchmarkServeBatch-4   \t       5\t  831705 ns/op\t  858818 p50-ns\t  1202 qps"
+	name, metrics, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if name != "BenchmarkServeBatch" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", name)
+	}
+	if metrics["qps"] != 1202 || metrics["p50-ns"] != 858818 {
+		t.Errorf("metrics = %v", metrics)
+	}
+	if !strings.HasPrefix(name, "BenchmarkServe") {
+		t.Error("serve prefix lost")
+	}
+}

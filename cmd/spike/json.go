@@ -4,130 +4,17 @@ import (
 	"encoding/json"
 	"io"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
 
-// The -format=json document: one object with the per-routine
-// interprocedural summaries, the analysis statistics and the solver
-// telemetry snapshot. Register sets render in the paper's notation
-// ("{v0, t1}"); durations are nanoseconds under keys ending in "Ns" so
-// consumers (and the golden test) can identify the nondeterministic
-// fields mechanically. Inside "metrics", counters flagged
-// "unstable": true (pool hit rates) likewise vary run to run; every
-// other counter is byte-identical at any parallelism.
-type jsonDoc struct {
-	Routines []jsonRoutine `json:"routines"`
-	Stats    jsonStats     `json:"stats"`
-	Metrics  obs.Snapshot  `json:"metrics"`
-}
-
-type jsonRoutine struct {
-	Name          string      `json:"name"`
-	Component     int         `json:"component"`
-	Entries       []jsonEntry `json:"entries"`
-	Exits         []jsonExit  `json:"exits"`
-	SavedRestored string      `json:"savedRestored,omitempty"`
-}
-
-type jsonEntry struct {
-	CallUsed    string `json:"callUsed"`
-	CallDefined string `json:"callDefined"`
-	CallKilled  string `json:"callKilled"`
-	LiveAtEntry string `json:"liveAtEntry"`
-}
-
-type jsonExit struct {
-	Block      int    `json:"block"`
-	LiveAtExit string `json:"liveAtExit"`
-}
-
-type jsonStats struct {
-	Routines     int    `json:"routines"`
-	Instructions int    `json:"instructions"`
-	BasicBlocks  int    `json:"basicBlocks"`
-	CFGArcs      int    `json:"cfgArcs"`
-	PSGNodes     int    `json:"psgNodes"`
-	PSGEdges     int    `json:"psgEdges"`
-	GraphBytes   uint64 `json:"graphBytes"`
-	Parallelism  int    `json:"parallelism"`
-
-	// SCC schedule shape — parallelism-invariant (DESIGN.md §6).
-	SCCComponents    int `json:"sccComponents"`
-	Phase1Waves      int `json:"phase1Waves"`
-	Phase2Waves      int `json:"phase2Waves"`
-	Phase1Iterations int `json:"phase1Iterations"`
-	Phase2Iterations int `json:"phase2Iterations"`
-
-	// Wall-clock and aggregate-CPU durations, nanoseconds.
-	CFGBuildNs       int64 `json:"cfgBuildNs"`
-	InitNs           int64 `json:"initNs"`
-	PSGBuildNs       int64 `json:"psgBuildNs"`
-	Phase1Ns         int64 `json:"phase1Ns"`
-	Phase2Ns         int64 `json:"phase2Ns"`
-	CallGraphBuildNs int64 `json:"callGraphBuildNs"`
-	TotalNs          int64 `json:"totalNs"`
-	TotalCPUNs       int64 `json:"totalCpuNs"`
-}
-
-// writeJSON emits the analysis as the machine-readable -format=json
-// document. m is the registry the analysis ran with (never nil for
-// the json format).
+// writeJSON emits the analysis as the versioned api.AnalysisDoc — the
+// same document the spiked daemon's /v1/analyze endpoint serves, so a
+// consumer needs one parser for both. m is the registry the analysis
+// ran with (never nil for the json format).
 func writeJSON(w io.Writer, a *core.Analysis, m *obs.Metrics) error {
-	cg := a.CallGraph()
-	doc := jsonDoc{Routines: make([]jsonRoutine, 0, len(a.Prog.Routines))}
-	for ri, r := range a.Prog.Routines {
-		s := a.Summary(ri)
-		jr := jsonRoutine{
-			Name:      r.Name,
-			Component: cg.Component(ri),
-			Entries:   make([]jsonEntry, 0, len(s.CallUsed)),
-			Exits:     make([]jsonExit, 0, len(s.LiveAtExit)),
-		}
-		for e := range s.CallUsed {
-			jr.Entries = append(jr.Entries, jsonEntry{
-				CallUsed:    s.CallUsed[e].String(),
-				CallDefined: s.CallDefined[e].String(),
-				CallKilled:  s.CallKilled[e].String(),
-				LiveAtEntry: s.LiveAtEntry[e].String(),
-			})
-		}
-		for x := range s.LiveAtExit {
-			jr.Exits = append(jr.Exits, jsonExit{
-				Block:      s.ExitBlocks[x],
-				LiveAtExit: s.LiveAtExit[x].String(),
-			})
-		}
-		if !s.SavedRestored.IsEmpty() {
-			jr.SavedRestored = s.SavedRestored.String()
-		}
-		doc.Routines = append(doc.Routines, jr)
-	}
-	st := &a.Stats
-	doc.Stats = jsonStats{
-		Routines:         st.Routines,
-		Instructions:     st.Instructions,
-		BasicBlocks:      st.BasicBlocks,
-		CFGArcs:          st.CFGArcs,
-		PSGNodes:         st.PSGNodes,
-		PSGEdges:         st.PSGEdges,
-		GraphBytes:       st.GraphBytes,
-		Parallelism:      st.Parallelism,
-		SCCComponents:    st.SCCComponents,
-		Phase1Waves:      st.Phase1Waves,
-		Phase2Waves:      st.Phase2Waves,
-		Phase1Iterations: st.Phase1Iterations,
-		Phase2Iterations: st.Phase2Iterations,
-		CFGBuildNs:       st.CFGBuild.Nanoseconds(),
-		InitNs:           st.Init.Nanoseconds(),
-		PSGBuildNs:       st.PSGBuild.Nanoseconds(),
-		Phase1Ns:         st.Phase1.Nanoseconds(),
-		Phase2Ns:         st.Phase2.Nanoseconds(),
-		CallGraphBuildNs: st.CallGraphBuild.Nanoseconds(),
-		TotalNs:          st.Total().Nanoseconds(),
-		TotalCPUNs:       st.TotalCPU().Nanoseconds(),
-	}
-	doc.Metrics = m.Snapshot()
+	doc := api.BuildAnalysisDoc(a, m)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

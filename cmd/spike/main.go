@@ -1,11 +1,20 @@
-// Command spike is the post-link-time optimizer driver: it reads an
-// executable (SXE) or assembly file, performs interprocedural dataflow
-// analysis, optionally applies the Figure 1 optimizations, and writes
-// the optimized executable.
+// Command spike is the post-link-time optimizer driver. It has three
+// subcommands:
 //
-// Usage:
+//	spike analyze [flags] input   analyze (and optionally optimize) one
+//	                              executable — the classic batch driver
+//	spike serve   [flags]         run the analysis service daemon
+//	                              (identical to cmd/spiked)
+//	spike check   [flags] input   run the correctness harness on the
+//	                              input: differential analysis across
+//	                              the option matrix, PSG invariant
+//	                              checks, the emulator-backed oracle
 //
-//	spike [flags] input
+// A bare `spike [flags] input` still works as an alias for `spike
+// analyze` (with a deprecation note on stderr), so existing scripts
+// keep running.
+//
+// Flags of `spike analyze`:
 //
 //	-asm          treat the input as assembly text instead of an SXE image
 //	-o file       write the (optimized) program as an SXE image
@@ -14,13 +23,10 @@
 //	-summaries    print each routine's five interprocedural summary sets
 //	-stats        print analysis stage timing and graph sizes
 //	-format f     analysis output format: text (default) or json; json
-//	              emits one machine-readable document with the
+//	              emits the versioned api.AnalysisDoc document with the
 //	              summaries, the SCC schedule counts and the timings
 //	-verify       run the program before and after optimization and
 //	              compare observable output
-//	-selfcheck    run the correctness harness on the input: differential
-//	              analysis across the option matrix, PSG invariant
-//	              checks, and the emulator-backed dynamic oracle
 //	-open-world   use the paper's §3.5 indirect-call assumptions instead
 //	              of the closed-world default
 //	-no-branch-nodes  disable §3.6 branch nodes
@@ -34,6 +40,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,11 +55,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/prog"
+	"repro/internal/serve"
 	"repro/internal/sxe"
 )
 
-// spikeOptions collects everything the driver is asked to do, one
-// field per flag.
+// spikeOptions collects everything the analyze driver is asked to do,
+// one field per flag.
 type spikeOptions struct {
 	asmIn     bool   // input is assembly text instead of an SXE image
 	outFile   string // write the resulting program as an SXE image
@@ -85,46 +93,140 @@ func (o *spikeOptions) analysisOptions() []core.Option {
 	return opts
 }
 
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: spike <command> [flags] ...
+
+Commands:
+  analyze [flags] input   analyze and optionally optimize an executable
+  serve   [flags]         run the analysis service daemon (HTTP/JSON)
+  check   [flags] input   run the correctness harness on the input
+
+Run 'spike <command> -h' for a command's flags. A bare
+'spike [flags] input' is a deprecated alias for 'spike analyze'.
+`)
+}
+
 func main() {
-	var o spikeOptions
-	flag.BoolVar(&o.asmIn, "asm", false, "input is assembly text")
-	flag.StringVar(&o.outFile, "o", "", "output SXE file")
-	flag.BoolVar(&o.asmOut, "S", false, "print assembly instead of encoding")
-	flag.BoolVar(&o.opt, "opt", false, "apply optimizations")
-	flag.BoolVar(&o.summaries, "summaries", false, "print routine summaries")
-	flag.BoolVar(&o.stats, "stats", false, "print analysis statistics")
-	flag.BoolVar(&o.verify, "verify", false, "verify behaviour via the emulator")
-	flag.BoolVar(&o.selfcheck, "selfcheck", false, "run the correctness harness (differential, invariants, dynamic oracle)")
-	flag.StringVar(&o.format, "format", "text", "analysis output format: text or json")
-	flag.BoolVar(&o.openWorld, "open-world", false, "paper §3.5 indirect-call handling")
-	flag.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
-	flag.IntVar(&o.parallel, "parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
-	flag.StringVar(&o.traceFile, "trace", "", "write a Chrome trace_event JSON capture to this file")
-	flag.BoolVar(&o.metrics, "metrics", false, "print solver telemetry counters and histograms")
-	flag.Int64Var(&o.maxSteps, "max-steps", 100_000_000, "emulator step budget for -verify")
-	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
-	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: spike [flags] input")
-		flag.Usage()
-		os.Exit(2)
+	args := os.Args[1:]
+	cmd := ""
+	if len(args) > 0 {
+		switch args[0] {
+		case "analyze", "serve", "check":
+			cmd, args = args[0], args[1:]
+		case "help", "-h", "--help":
+			usage(os.Stdout)
+			return
+		}
 	}
+	var err error
+	switch cmd {
+	case "serve":
+		err = serve.RunCLI("spike serve", args, os.Stdout, os.Stderr)
+	case "check":
+		err = checkMain(args)
+	case "analyze":
+		err = analyzeMain(args)
+	default:
+		// Legacy bare invocation: same flags, same behavior.
+		if len(args) == 0 {
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr,
+			"spike: note: bare invocation is deprecated; use 'spike analyze [flags] input'")
+		err = analyzeMain(args)
+	}
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "spike:", err)
+		os.Exit(1)
+	}
+}
+
+// analyzeMain is `spike analyze`: parse the batch-driver flags and run.
+func analyzeMain(args []string) error {
+	fs := flag.NewFlagSet("spike analyze", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var o spikeOptions
+	fs.BoolVar(&o.asmIn, "asm", false, "input is assembly text")
+	fs.StringVar(&o.outFile, "o", "", "output SXE file")
+	fs.BoolVar(&o.asmOut, "S", false, "print assembly instead of encoding")
+	fs.BoolVar(&o.opt, "opt", false, "apply optimizations")
+	fs.BoolVar(&o.summaries, "summaries", false, "print routine summaries")
+	fs.BoolVar(&o.stats, "stats", false, "print analysis statistics")
+	fs.BoolVar(&o.verify, "verify", false, "verify behaviour via the emulator")
+	fs.BoolVar(&o.selfcheck, "selfcheck", false, "run the correctness harness (deprecated alias of 'spike check')")
+	fs.StringVar(&o.format, "format", "text", "analysis output format: text or json")
+	fs.BoolVar(&o.openWorld, "open-world", false, "paper §3.5 indirect-call handling")
+	fs.BoolVar(&o.noBranch, "no-branch-nodes", false, "disable §3.6 branch nodes")
+	fs.IntVar(&o.parallel, "parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
+	fs.StringVar(&o.traceFile, "trace", "", "write a Chrome trace_event JSON capture to this file")
+	fs.BoolVar(&o.metrics, "metrics", false, "print solver telemetry counters and histograms")
+	fs.Int64Var(&o.maxSteps, "max-steps", 100_000_000, "emulator step budget for -verify")
+	fs.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memProf, "memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spike analyze [flags] input")
+		fs.Usage()
+		return fmt.Errorf("expected exactly one input, got %d", fs.NArg())
+	}
+	stopProf, err := startProfiles(&o)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	return run(os.Stdout, fs.Arg(0), o)
+}
+
+// checkMain is `spike check`: the correctness harness as a first-class
+// subcommand.
+func checkMain(args []string) error {
+	fs := flag.NewFlagSet("spike check", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	asmIn := fs.Bool("asm", false, "input is assembly text")
+	maxSteps := fs.Int64("max-steps", 100_000_000, "emulator step budget for the dynamic oracle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spike check [flags] input")
+		fs.Usage()
+		return fmt.Errorf("expected exactly one input, got %d", fs.NArg())
+	}
+	return run(os.Stdout, fs.Arg(0), spikeOptions{
+		asmIn:     *asmIn,
+		selfcheck: true,
+		maxSteps:  *maxSteps,
+	})
+}
+
+// startProfiles starts the requested CPU profile and arranges the heap
+// profile; the returned stop must run at process exit.
+func startProfiles(o *spikeOptions) (stop func(), err error) {
+	stop = func() {}
 	if o.cpuProf != "" {
 		f, err := os.Create(o.cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "spike:", err)
-			os.Exit(1)
+			return stop, err
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "spike:", err)
-			os.Exit(1)
+			f.Close()
+			return stop, err
 		}
-		defer pprof.StopCPUProfile()
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
 	}
 	if o.memProf != "" {
-		defer func() {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
 			f, err := os.Create(o.memProf)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "spike:", err)
@@ -135,12 +237,9 @@ func main() {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "spike:", err)
 			}
-		}()
+		}
 	}
-	if err := run(os.Stdout, flag.Arg(0), o); err != nil {
-		fmt.Fprintln(os.Stderr, "spike:", err)
-		os.Exit(1)
-	}
+	return stop, nil
 }
 
 func run(w io.Writer, input string, o spikeOptions) error {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/sxe"
 )
 
@@ -103,12 +104,12 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-// TestRunJSONGolden pins the -format=json document. Timing fields are
-// nondeterministic, so every key ending in "Ns" is zeroed before the
-// comparison, as are the values of metrics counters flagged unstable
-// (pool hit rates depend on GC timing); everything else — summaries,
-// schedule counts, sizes, solver telemetry — is byte-exact (the
-// analysis is deterministic at every parallelism).
+// TestRunJSONGolden pins the -format=json document (api.AnalysisDoc).
+// Timing fields are nondeterministic, so every key ending in "_ns" is
+// zeroed before the comparison, as are the values of metrics counters
+// flagged unstable (pool hit rates depend on GC timing); everything
+// else — summaries, schedule counts, sizes, solver telemetry — is
+// byte-exact (the analysis is deterministic at every parallelism).
 func TestRunJSONGolden(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "p.s")
@@ -124,12 +125,15 @@ func TestRunJSONGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not JSON: %v", err)
 	}
+	if v, _ := doc["schema_version"].(string); v != api.SchemaVersion {
+		t.Errorf("document schema_version = %q, want %q", v, api.SchemaVersion)
+	}
 	stats, ok := doc["stats"].(map[string]any)
 	if !ok {
 		t.Fatal("document has no stats object")
 	}
 	for k := range stats {
-		if strings.HasSuffix(k, "Ns") {
+		if strings.HasSuffix(k, "_ns") {
 			stats[k] = 0
 		}
 	}
@@ -256,6 +260,41 @@ func TestRunMetricsText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("-metrics output lacks %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSubcommandArgErrors pins the subcommand flag parsing: missing
+// inputs and unknown flags fail instead of silently doing nothing.
+func TestSubcommandArgErrors(t *testing.T) {
+	if err := analyzeMain([]string{}); err == nil {
+		t.Error("analyze with no input must fail")
+	}
+	if err := analyzeMain([]string{"-no-such-flag", "x"}); err == nil {
+		t.Error("analyze with unknown flag must fail")
+	}
+	if err := checkMain([]string{}); err == nil {
+		t.Error("check with no input must fail")
+	}
+}
+
+// TestCheckSubcommand runs `spike check` end to end on the test
+// program: the harness must come back clean.
+func TestCheckSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// checkMain reports on os.Stdout; park it on /dev/null for the test.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+	if err := checkMain([]string{"-asm", "-max-steps", "1000000", in}); err != nil {
+		t.Fatalf("spike check: %v", err)
 	}
 }
 

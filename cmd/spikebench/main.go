@@ -10,6 +10,8 @@
 //	spikebench -tables waves        the SCC/wave phase-schedule table
 //	spikebench -tables counters     the solver worklist/relabel counters
 //	spikebench -opt                 the optimization experiment only
+//	spikebench -json                the measurement sweep as one JSON
+//	                                document (api.Stats wire form)
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		doOpt    = flag.Bool("opt", false, "run the optimization-improvement experiment")
 		parallel = flag.Int("parallel", 0, "analysis worker-pool size (0 = GOMAXPROCS)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		jsonOut  = flag.Bool("json", false, "emit results as the versioned JSON document instead of tables")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -77,6 +80,10 @@ func main() {
 			want[t] = true
 		}
 	}
+	if *jsonOut && len(want) == 0 {
+		// -json runs the full measurement sweep; no table selection needed.
+		want["json"] = true
+	}
 	if len(want) == 0 && !*doOpt {
 		fmt.Fprintln(os.Stderr, "spikebench: nothing to do (use -all, -tables or -opt)")
 		flag.Usage()
@@ -92,6 +99,13 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spikebench:", err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := bench.WriteJSON(os.Stdout, results); err != nil {
+				fmt.Fprintln(os.Stderr, "spikebench:", err)
+				os.Exit(1)
+			}
+			return
 		}
 		emit := func(key string, f func()) {
 			if want[key] {

@@ -1,0 +1,33 @@
+// Command spiked is the analysis service daemon: it serves the
+// interprocedural analysis over HTTP/JSON on the versioned spike.v1
+// wire format. Load a program once, query summaries, per-point
+// liveness, call-site effects and callgraph structure as often as
+// needed — the analysis runs once per (program content-hash × option
+// set) and is cached.
+//
+//	spiked -addr localhost:8723 -load examples/fig2.s
+//	curl -s localhost:8723/healthz
+//
+// `spike serve` runs the identical daemon; spiked exists so a
+// deployment does not need the batch CLI. `spiked -smoke prog.s`
+// self-tests the query surface in-process and exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := serve.RunCLI("spiked", os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "spiked:", err)
+		os.Exit(1)
+	}
+}

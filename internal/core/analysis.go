@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/callstd"
 
 	"repro/internal/cfg"
+	"repro/internal/dataflow"
 	"repro/internal/prog"
 	"repro/internal/regset"
 )
@@ -128,6 +131,13 @@ type Analysis struct {
 	Summaries []RoutineSummary
 
 	callGraph *callgraph.Graph
+
+	// Lazily solved per-routine liveness, shared by the read-only query
+	// accessors (RoutineLiveness, LivenessAt). One sync.Once per routine
+	// makes concurrent queries race-free and the solve happen at most
+	// once per routine per Analysis.
+	livOnce []sync.Once
+	liv     []*dataflow.Liveness
 }
 
 // CallGraph returns the call graph the phases were scheduled on: use it
@@ -158,7 +168,22 @@ func (a *Analysis) CallGraph() *callgraph.Graph { return a.callGraph }
 // schedule counts, node/edge IDs, DOT output) is byte-identical for
 // every parallelism setting; DESIGN.md §6 gives the argument.
 func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), p, opts...)
+}
+
+// AnalyzeContext is Analyze under a context: if ctx is cancelled while
+// the analysis is running, the pipeline stops at the next cancellation
+// point — between stages, between scheduler waves, and periodically
+// inside each component's fixed-point loop — and returns ctx's error.
+// A server answering analysis queries uses this so an abandoned request
+// cancels its in-flight analysis instead of leaking the work; when ctx
+// is never cancelled the result is identical to Analyze in every way.
+func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Analysis, error) {
 	conf := NewConfig(opts...)
+	conf.ctx = ctx
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -178,23 +203,44 @@ func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
 		Arg("routines", int64(len(p.Routines))).
 		Arg("workers", int64(workers))
 
+	// cancelled is the between-stage cancellation point: each stage
+	// boundary checks it so an abandoned caller stops paying for the
+	// stages it no longer wants. The wave scheduler adds its own finer-
+	// grained points (per wave and inside the solve loops).
+	cancelled := func() error {
+		if err := ctx.Err(); err != nil {
+			asp.End()
+			return fmt.Errorf("core: analyze: %w", err)
+		}
+		return nil
+	}
+
 	start := time.Now()
 	ssp := th.Begin("cfg build")
 	a.Graphs, a.Stats.CFGBuildCPU = cfg.BuildAllTraced(p, workers, conf.Tracer)
 	ssp.End()
 	a.Stats.CFGBuild = time.Since(start)
+	if err := cancelled(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
 	ssp = th.Begin("init")
 	a.Stats.InitCPU = cfg.ComputeDefUBDAllTraced(a.Graphs, workers, conf.Tracer)
 	ssp.End()
 	a.Stats.Init = time.Since(start)
+	if err := cancelled(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
 	ssp = th.Begin("psg build")
 	a.PSG, a.Stats.PSGBuildCPU = buildPSG(p, a.Graphs, conf)
 	ssp.End()
 	a.Stats.PSGBuild = time.Since(start)
+	if err := cancelled(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
 	ssp = th.Begin("callgraph build")
@@ -212,6 +258,9 @@ func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
 	ssp.Arg("waves", int64(a.Stats.Phase1Waves)).
 		Arg("iterations", int64(a.Stats.Phase1Iterations)).End()
 	a.Stats.Phase1 = time.Since(start)
+	if err := cancelled(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
 	ssp = th.Begin("phase2")
@@ -219,10 +268,15 @@ func Analyze(p *prog.Program, opts ...Option) (*Analysis, error) {
 	ssp.Arg("waves", int64(a.Stats.Phase2Waves)).
 		Arg("iterations", int64(a.Stats.Phase2Iterations)).End()
 	a.Stats.Phase2 = time.Since(start)
+	if err := cancelled(); err != nil {
+		return nil, err
+	}
 
 	ssp = th.Begin("summaries")
 	a.collectSummaries()
 	a.collectCounts()
+	a.livOnce = make([]sync.Once, len(p.Routines))
+	a.liv = make([]*dataflow.Liveness, len(p.Routines))
 	ssp.End()
 	asp.End()
 	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/progen"
+)
+
+// TestAnalyzeContextPreCancelled pins the contract an abandoned HTTP
+// request relies on: a cancelled context makes AnalyzeContext return
+// an error wrapping context.Canceled instead of running the phases.
+func TestAnalyzeContextPreCancelled(t *testing.T) {
+	p := progen.Generate(progen.TestProfile(20), progen.DefaultOptions(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := AnalyzeContext(ctx, p, WithParallelism(1))
+	if err == nil {
+		t.Fatal("AnalyzeContext with cancelled context must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+	if a != nil {
+		t.Error("cancelled analyze must not return an analysis")
+	}
+}
+
+// TestAnalyzeContextMidFlight cancels a large analysis shortly after it
+// starts. The solvers poll the context between waves and every
+// cancelStride worklist pops, so the call must return promptly — and
+// when it was interrupted, the error must wrap context.Canceled.
+func TestAnalyzeContextMidFlight(t *testing.T) {
+	p := progen.Generate(progen.TestProfile(300), progen.DefaultOptions(7))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel()
+	}()
+	start := time.Now()
+	a, err := AnalyzeContext(ctx, p, WithParallelism(1))
+	elapsed := time.Since(start)
+	if err != nil {
+		// Interrupted: the usual outcome at this program size.
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not wrap context.Canceled", err)
+		}
+		if a != nil {
+			t.Error("cancelled analyze must not return an analysis")
+		}
+	} else if a == nil {
+		// The analysis can legitimately win the race on a fast machine,
+		// but then it must be complete.
+		t.Error("nil analysis without error")
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("analyze took %v after cancellation", elapsed)
+	}
+}
+
+// TestAnalyzeNilContextPath ensures the plain Analyze path (background
+// context) is unaffected: no Done channel, no polling cost, identical
+// results.
+func TestAnalyzeNilContextPath(t *testing.T) {
+	p := progen.Generate(progen.TestProfile(10), progen.DefaultOptions(3))
+	a1, err := Analyze(p, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnalyzeContext(context.Background(), p, WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range p.Routines {
+		s1, s2 := a1.Summary(ri), a2.Summary(ri)
+		for e := range s1.CallUsed {
+			if s1.CallUsed[e] != s2.CallUsed[e] || s1.CallDefined[e] != s2.CallDefined[e] ||
+				s1.CallKilled[e] != s2.CallKilled[e] || s1.LiveAtEntry[e] != s2.LiveAtEntry[e] {
+				t.Fatalf("routine %d entry %d: Analyze and AnalyzeContext disagree", ri, e)
+			}
+		}
+	}
+}

@@ -127,6 +127,31 @@ type phaseSched struct {
 	// Config.Metrics nil every field is a nil instrument and the solve
 	// loops' flush calls no-op.
 	obs1, obs2 phaseObs
+
+	// cancel is the AnalyzeContext cancellation channel (nil when the
+	// analysis is not cancellable). The scheduler polls it before each
+	// wave and component solve, and the solve loops poll it every
+	// cancelStride iterations, so a cancelled caller stops paying for
+	// the fixed point within microseconds without any cost on the
+	// uncancellable path (selecting on a nil channel is a no-op).
+	cancel <-chan struct{}
+}
+
+// cancelStride bounds how many worklist pops a solve loop performs
+// between cancellation polls.
+const cancelStride = 1024
+
+// cancelled reports whether the analysis's context has been cancelled.
+func (s *phaseSched) cancelled() bool {
+	if s.cancel == nil {
+		return false
+	}
+	select {
+	case <-s.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // phaseObs bundles the per-phase solver instruments. The solve loops
@@ -175,6 +200,7 @@ func newPhaseSched(g *PSG, cg *callgraph.Graph, conf Config) *phaseSched {
 		nodeComp:    make([]int32, nNodes),
 		localIdx:    make([]int32, nNodes),
 		pinnedComp:  -1,
+		cancel:      conf.cancelCh(),
 	}
 	for i := range g.Nodes {
 		s.compOff[cg.Component(g.Nodes[i].Routine)+1]++
@@ -304,9 +330,15 @@ func (s *phaseSched) runWaves(name string, po *phaseObs, schedule [][]int, solve
 		waveName, compName = name+" wave", name+" component"
 	}
 	for wi, wave := range schedule {
+		if s.cancelled() {
+			break
+		}
 		wave := wave
 		wsp := th.Begin(waveName).Arg("wave", int64(wi)).Arg("components", int64(len(wave)))
 		cpu += par.ForEachWorker(len(wave), s.workers, func(w, i int) {
+			if s.cancelled() {
+				return
+			}
 			c := wave[i]
 			var sp obs.Span
 			if ths != nil {
@@ -436,6 +468,9 @@ func (s *phaseSched) solvePhase1(c int) int {
 	pops := 0
 	drain := func(clamp bool) {
 		for !wl.Empty() {
+			if pops&(cancelStride-1) == 0 && s.cancelled() {
+				return
+			}
 			n := &g.Nodes[nodes[wl.Pop()]]
 			pops++
 			scans += uint64(len(g.OutEdges(n.ID)))
@@ -692,6 +727,9 @@ func (s *phaseSched) solvePhase2(c int) int {
 	pops := 0
 	var scans uint64
 	for !wl.Empty() {
+		if pops&(cancelStride-1) == 0 && s.cancelled() {
+			break
+		}
 		n := &g.Nodes[nodes[wl.Pop()]]
 		pops++
 		scans += uint64(len(g.OutEdges(n.ID)))

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"time"
 	"unsafe"
 
@@ -253,6 +254,23 @@ type Config struct {
 	// histograms (worklist traffic, per-component iterations, relabels,
 	// graph-shape gauges). nil disables them the same way.
 	Metrics *obs.Metrics
+
+	// ctx is the cancellation context AnalyzeContext threads through
+	// the pipeline; nil means no cancellation. Deliberately unexported:
+	// contexts travel through AnalyzeContext calls, not through stored
+	// configurations (a Config kept in an options struct must not pin a
+	// request-scoped context).
+	ctx context.Context
+}
+
+// cancelCh returns the configuration's cancellation channel, nil when
+// the analysis is not cancellable (no context, or a context that can
+// never be cancelled): the solve loops poll a nil channel for free.
+func (c Config) cancelCh() <-chan struct{} {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Done()
 }
 
 // Workers returns the effective worker count for this configuration.

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/isa"
+	"repro/internal/regset"
+)
+
+// This file is the read-only query surface of a converged Analysis: the
+// accessors a long-running service answers point queries from without
+// re-running the interprocedural phases. Everything here derives from
+// the converged summaries — the interprocedural solve happens exactly
+// once per (program, configuration); per-routine liveness is a cheap
+// intraprocedural solve over the summarized form, computed lazily and
+// memoized per routine.
+//
+// All accessors are safe for concurrent use and deterministic: two
+// queries of the same point on the same Analysis return identical sets,
+// regardless of interleaving. They assume Prog is not mutated after
+// Analyze (the optimizer, which rewrites code, re-analyzes instead).
+
+// RoutineIndex resolves a routine name to its index.
+func (a *Analysis) RoutineIndex(name string) (int, bool) {
+	return a.Prog.Index(name)
+}
+
+// SolveRoutineLiveness computes interprocedurally precise
+// per-instruction liveness for routine ri with a fresh intraprocedural
+// solve over the §2 summarized form: direct calls use the analysis's
+// call summaries, indirect calls the §3.5 assumption (widened by the
+// closed-world address-taken summaries), and exit blocks are seeded
+// with the live-at-exit sets. Callers that query repeatedly should
+// prefer RoutineLiveness, which memoizes the solve.
+func (a *Analysis) SolveRoutineLiveness(ri int) *dataflow.Liveness {
+	sums := a.Summaries
+	self := &sums[ri]
+	ind := a.IndirectCallSummary()
+	return dataflow.ComputeLiveness(a.Graphs[ri],
+		dataflow.WithMetrics(a.Config.Metrics),
+		dataflow.WithCallTransfer(func(in *isa.Instr) (regset.Set, regset.Set, bool) {
+			switch in.Op {
+			case isa.OpJsr:
+				s := &sums[in.Target]
+				return s.CallUsed[in.Imm], s.CallDefined[in.Imm], true
+			case isa.OpJsrInd:
+				return ind.Used, ind.Defined, true
+			}
+			return regset.Empty, regset.Empty, false
+		}),
+		dataflow.WithExitLiveOut(func(b *cfg.Block) regset.Set {
+			for i, blk := range self.ExitBlocks {
+				if blk == b.ID {
+					return self.LiveAtExit[i]
+				}
+			}
+			return regset.Empty
+		}))
+}
+
+// RoutineLiveness returns routine ri's per-instruction liveness,
+// solving it on first use and memoizing the result; concurrent callers
+// share one solve.
+func (a *Analysis) RoutineLiveness(ri int) *dataflow.Liveness {
+	a.livOnce[ri].Do(func() { a.liv[ri] = a.SolveRoutineLiveness(ri) })
+	return a.liv[ri]
+}
+
+// LivenessAt returns the registers live immediately before and after
+// the instruction at index instr of routine ri.
+func (a *Analysis) LivenessAt(ri, instr int) (before, after regset.Set, err error) {
+	if err := a.checkPoint(ri, instr); err != nil {
+		return regset.Empty, regset.Empty, err
+	}
+	lv := a.RoutineLiveness(ri)
+	return lv.LiveBefore(instr), lv.LiveAfter(instr), nil
+}
+
+// CallSiteEffect describes the interprocedural effect applied at one
+// call instruction.
+type CallSiteEffect struct {
+	Summary CallSummary
+
+	// Target is the callee routine index for a direct call, -1 for an
+	// indirect call; Entry is the callee entrance a direct call enters.
+	Target int
+	Entry  int
+
+	// Indirect marks an indirect (jsr-indirect) call, summarized by the
+	// calling-standard assumption (§3.5) — widened, in a closed world,
+	// with every address-taken routine's summary.
+	Indirect bool
+}
+
+// CallSiteEffect returns the summary applied at the call instruction at
+// index instr of routine ri. It fails if the point is out of range or
+// the instruction is not a call.
+func (a *Analysis) CallSiteEffect(ri, instr int) (CallSiteEffect, error) {
+	if err := a.checkPoint(ri, instr); err != nil {
+		return CallSiteEffect{}, err
+	}
+	in := &a.Prog.Routines[ri].Code[instr]
+	switch in.Op {
+	case isa.OpJsr:
+		return CallSiteEffect{
+			Summary: a.CallSummaryFor(in.Target, int(in.Imm)),
+			Target:  in.Target,
+			Entry:   int(in.Imm),
+		}, nil
+	case isa.OpJsrInd:
+		return CallSiteEffect{
+			Summary:  a.IndirectCallSummary(),
+			Target:   -1,
+			Indirect: true,
+		}, nil
+	}
+	return CallSiteEffect{}, fmt.Errorf("core: %s instruction %d is %v, not a call",
+		a.Prog.Routines[ri].Name, instr, in.Op)
+}
+
+// checkPoint validates a (routine, instruction) program point.
+func (a *Analysis) checkPoint(ri, instr int) error {
+	if ri < 0 || ri >= len(a.Prog.Routines) {
+		return fmt.Errorf("core: routine index %d out of range [0,%d)", ri, len(a.Prog.Routines))
+	}
+	if n := len(a.Prog.Routines[ri].Code); instr < 0 || instr >= n {
+		return fmt.Errorf("core: instruction index %d out of range [0,%d) in %s",
+			instr, n, a.Prog.Routines[ri].Name)
+	}
+	return nil
+}

@@ -29,31 +29,11 @@ import (
 // for routine ri: direct calls use the analysis's call summaries, and
 // exit blocks are seeded with the live-at-exit sets (§2's summarized
 // form, realized as dataflow options instead of instruction rewriting so
-// instruction indices stay stable).
+// instruction indices stay stable). It solves fresh on every call —
+// the optimizer rewrites code between queries — unlike the memoized
+// core.Analysis.RoutineLiveness the query service uses.
 func Liveness(a *core.Analysis, ri int) *dataflow.Liveness {
-	sums := a.Summaries
-	self := &sums[ri]
-	ind := a.IndirectCallSummary()
-	return dataflow.ComputeLiveness(a.Graphs[ri],
-		dataflow.WithMetrics(a.Config.Metrics),
-		dataflow.WithCallTransfer(func(in *isa.Instr) (regset.Set, regset.Set, bool) {
-			switch in.Op {
-			case isa.OpJsr:
-				s := &sums[in.Target]
-				return s.CallUsed[in.Imm], s.CallDefined[in.Imm], true
-			case isa.OpJsrInd:
-				return ind.Used, ind.Defined, true
-			}
-			return regset.Empty, regset.Empty, false
-		}),
-		dataflow.WithExitLiveOut(func(b *cfg.Block) regset.Set {
-			for i, blk := range self.ExitBlocks {
-				if blk == b.ID {
-					return self.LiveAtExit[i]
-				}
-			}
-			return regset.Empty
-		}))
+	return a.SolveRoutineLiveness(ri)
 }
 
 // ConservativeLiveness computes the per-instruction liveness a

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/progen"
+	"repro/internal/sxe"
+)
+
+// The serve benchmarks measure the daemon's steady state: the analysis
+// is cached, so each request is decode → cache hit → render. They
+// report queries/sec and latency quantiles; cmd/benchjson routes
+// BenchmarkServe* into the "serve" section of BENCH_phases.json.
+
+// benchServer brings up a daemon with a mid-sized generated program
+// loaded and its default-options analysis already cached.
+func benchServer(b *testing.B) (*testClient, string, *obs.Metrics) {
+	b.Helper()
+	m := obs.NewMetrics()
+	_, c := newTestClient(b, Config{Metrics: m})
+	p := progen.Generate(progen.TestProfile(60), progen.DefaultOptions(1))
+	image, err := sxe.Encode(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	status, body := c.post("/v1/programs", api.LoadRequest{SXE: image})
+	if status != http.StatusOK {
+		b.Fatalf("load: status %d: %s", status, body)
+	}
+	var resp api.LoadResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		b.Fatal(err)
+	}
+	id := resp.Program.ID
+	// Warm the analysis cache so the loop measures query serving.
+	if status, body := c.post("/v1/callgraph", api.CallGraphRequest{Program: id}); status != http.StatusOK {
+		b.Fatalf("warm: status %d: %s", status, body)
+	}
+	return c, id, m
+}
+
+// driveRequests posts payload b.N times, recording per-request
+// latency, and reports qps and quantiles.
+func driveRequests(b *testing.B, c *testClient, route string, req any) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		resp, err := c.hc.Post(c.base+route, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("%s: status %d", route, resp.StatusCode)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	reportLatencies(b, lats, elapsed)
+}
+
+// reportLatencies publishes throughput and latency quantiles as
+// benchmark metrics.
+func reportLatencies(b *testing.B, lats []time.Duration, elapsed time.Duration) {
+	if len(lats) == 0 || elapsed <= 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	b.ReportMetric(float64(len(lats))/elapsed.Seconds(), "qps")
+	b.ReportMetric(float64(q(0.50).Nanoseconds()), "p50-ns")
+	b.ReportMetric(float64(q(0.99).Nanoseconds()), "p99-ns")
+}
+
+// BenchmarkServeSummary is one point query against the warm cache.
+func BenchmarkServeSummary(b *testing.B) {
+	c, id, m := benchServer(b)
+	driveRequests(b, c, "/v1/summary", api.SummaryRequest{Program: id, Routine: "main"})
+	obs.ReportCounters(b, m, "serve/analysis_cache_hits", "serve/analysis_cache_misses")
+}
+
+// BenchmarkServeLiveness exercises the memoized per-routine liveness
+// path.
+func BenchmarkServeLiveness(b *testing.B) {
+	c, id, _ := benchServer(b)
+	driveRequests(b, c, "/v1/liveness", api.LivenessRequest{Program: id, Routine: "main", Instr: 0})
+}
+
+// BenchmarkServeBatch fans 32 mixed queries per request over the
+// worker pool.
+func BenchmarkServeBatch(b *testing.B) {
+	c, id, _ := benchServer(b)
+	queries := make([]api.Query, 0, 32)
+	for i := 0; i < 16; i++ {
+		queries = append(queries,
+			api.Query{Kind: "summary", Routine: fmt.Sprintf("proc%d", i+1)},
+			api.Query{Kind: "liveness", Routine: fmt.Sprintf("proc%d", i+1), Instr: 0})
+	}
+	req := api.BatchRequest{Program: id, Queries: queries}
+	// Verify once that every query resolves; the timed loop only checks
+	// the HTTP status.
+	status, body := c.post("/v1/batch", req)
+	if status != http.StatusOK {
+		b.Fatalf("batch: status %d: %s", status, body)
+	}
+	var resp api.BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		b.Fatal(err)
+	}
+	for i, res := range resp.Results {
+		if res.Error != "" {
+			b.Fatalf("batch query %d: %s", i, res.Error)
+		}
+	}
+	driveRequests(b, c, "/v1/batch", req)
+}

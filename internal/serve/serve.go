@@ -1,0 +1,322 @@
+// Package serve implements the analysis service: a long-running HTTP
+// daemon that loads SXE programs, runs the interprocedural analysis
+// once per (program content-hash × option set), and answers point
+// queries — routine summaries, per-point liveness, call-site effects,
+// callgraph structure — from the converged result. cmd/spiked and
+// `spike serve` are thin wrappers over this package; the wire format is
+// the versioned documents of internal/api.
+//
+// The design inverts the batch pipeline's lifecycle: instead of one
+// analysis per process invocation, the daemon amortizes one analysis
+// across arbitrarily many queries. Programs are identified by content
+// hash, so reloading an identical binary — by path, upload or assembly
+// — reuses the cached analysis. Both caches are LRU-bounded; concurrent
+// requests for an uncached analysis share a single compute
+// (singleflight), and when every waiting request has been abandoned the
+// in-flight analysis is cancelled through its context.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/prog"
+	"repro/internal/sxe"
+)
+
+// Default cache capacities; override via Config.
+const (
+	DefaultMaxPrograms = 16
+	DefaultMaxAnalyses = 64
+)
+
+// maxBodyBytes bounds request bodies (SXE uploads dominate).
+const maxBodyBytes = 64 << 20
+
+// Config configures a Server. The zero value is usable: default cache
+// capacities, GOMAXPROCS parallelism, a fresh metrics registry.
+type Config struct {
+	// Addr is the listen address for ListenAndServe ("host:port";
+	// ":8723" style works). Ignored when serving on an external
+	// listener or via Handler.
+	Addr string
+
+	// Parallelism bounds the analysis solver workers and the batch
+	// query fan-out; <= 0 selects GOMAXPROCS.
+	Parallelism int
+
+	// MaxPrograms and MaxAnalyses bound the two LRU caches (entries,
+	// not bytes); <= 0 selects the defaults.
+	MaxPrograms int
+	MaxAnalyses int
+
+	// Metrics receives the daemon's instruments (per-endpoint request
+	// counters and latency histograms, cache hit/miss/eviction
+	// counters). A fresh registry is created when nil. This registry is
+	// the daemon's own; each cached analysis runs against a private
+	// registry whose snapshot is frozen into the analysis document.
+	Metrics *obs.Metrics
+}
+
+// Server is the analysis service. Create with New; serve its Handler
+// on any http.Server, or use ListenAndServe for the managed daemon
+// lifecycle.
+type Server struct {
+	conf    Config
+	metrics *obs.Metrics
+	mux     *http.ServeMux
+
+	programs *lruCache // program id → *loadedProgram
+	analyses *lruCache // program id + "|" + options key → *analysisEntry
+
+	progLoads  *obs.Counter
+	progHits   *obs.Counter
+	progMisses *obs.Counter
+	progEvicts *obs.Counter
+	anaHits    *obs.Counter
+	anaMisses  *obs.Counter
+	anaEvicts  *obs.Counter
+}
+
+// New builds a Server from conf.
+func New(conf Config) *Server {
+	if conf.MaxPrograms <= 0 {
+		conf.MaxPrograms = DefaultMaxPrograms
+	}
+	if conf.MaxAnalyses <= 0 {
+		conf.MaxAnalyses = DefaultMaxAnalyses
+	}
+	m := conf.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	s := &Server{
+		conf:       conf,
+		metrics:    m,
+		progLoads:  m.Counter("serve/program_loads"),
+		progHits:   m.Counter("serve/program_cache_hits"),
+		progMisses: m.Counter("serve/program_cache_misses"),
+		progEvicts: m.Counter("serve/program_cache_evictions"),
+		anaHits:    m.Counter("serve/analysis_cache_hits"),
+		anaMisses:  m.Counter("serve/analysis_cache_misses"),
+		anaEvicts:  m.Counter("serve/analysis_cache_evictions"),
+	}
+	s.programs = newLRU(conf.MaxPrograms, func(string, any) { s.progEvicts.Add(1) })
+	// An in-flight entry can be evicted under churn; its waiters hold
+	// the entry directly, so eviction only forgets the cache slot — the
+	// compute is cancelled by lifecycle (last waiter), never by LRU.
+	s.analyses = newLRU(conf.MaxAnalyses, func(string, any) { s.anaEvicts.Add(1) })
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/programs", "programs", s.handleLoad)
+	s.route("POST /v1/summary", "summary", s.handleSummary)
+	s.route("POST /v1/liveness", "liveness", s.handleLiveness)
+	s.route("POST /v1/callsite", "callsite", s.handleCallSite)
+	s.route("POST /v1/callgraph", "callgraph", s.handleCallGraph)
+	s.route("POST /v1/analyze", "analyze", s.handleAnalyze)
+	s.route("POST /v1/batch", "batch", s.handleBatch)
+	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the daemon's metrics registry.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// ListenAndServe serves on conf.Addr until ctx is cancelled, then
+// shuts down gracefully. ready, when non-nil, receives the bound
+// address once the listener is up (for ephemeral ports).
+func (s *Server) ListenAndServe(ctx context.Context, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", s.conf.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled, then shuts down
+// gracefully, draining in-flight requests for up to five seconds.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:     s.mux,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// route installs one endpoint: handlers return (status, document); the
+// wrapper writes JSON and records the request count and latency under
+// the endpoint's name.
+func (s *Server) route(pattern, name string, h func(r *http.Request) (int, any)) {
+	reqs := s.metrics.Counter("serve/requests/" + name)
+	lat := s.metrics.Histogram("serve/latency_us/" + name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqs.Add(1)
+		status, body := h(r)
+		writeJSON(w, status, body)
+		lat.Observe(uint64(time.Since(start).Microseconds()))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		status = http.StatusInternalServerError
+		data = []byte(fmt.Sprintf(`{"schema_version":%q,"error":"encode: %s"}`,
+			api.SchemaVersion, err))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// errResp builds an error reply.
+func errResp(status int, format string, args ...any) (int, any) {
+	return status, api.ErrorResponse{
+		SchemaVersion: api.SchemaVersion,
+		Error:         fmt.Sprintf(format, args...),
+	}
+}
+
+// decodeBody decodes a JSON request body into v. Unknown fields are
+// tolerated: the versioning policy lets newer clients send additive
+// fields to older daemons.
+func decodeBody(r *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	return json.NewDecoder(body).Decode(v)
+}
+
+// load resolves a LoadRequest into a registered program. The identity
+// is the hash of the canonical re-encoding, so the same program loaded
+// as assembly, raw image or path lands on the same cache slot.
+func (s *Server) load(req *api.LoadRequest) (*loadedProgram, error) {
+	sources := 0
+	for _, set := range []bool{req.Path != "", req.Asm != "", len(req.SXE) > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of path, asm, sxe must be set (got %d)", sources)
+	}
+	var (
+		p   *prog.Program
+		err error
+	)
+	switch {
+	case req.Path != "":
+		var data []byte
+		data, err = os.ReadFile(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) >= len(sxe.Magic) && bytes.Equal(data[:len(sxe.Magic)], sxe.Magic[:]) {
+			p, err = sxe.Decode(data)
+		} else {
+			p, err = prog.Assemble(string(data))
+		}
+	case req.Asm != "":
+		p, err = prog.Assemble(req.Asm)
+	default:
+		p, err = sxe.Decode(req.SXE)
+	}
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := sxe.Encode(p)
+	if err != nil {
+		return nil, err
+	}
+	info := api.ProgramInfoOf(p, canonical)
+	lp := &loadedProgram{id: info.ID, prog: p, info: info}
+	s.programs.add(lp.id, lp)
+	s.progLoads.Add(1)
+	return lp, nil
+}
+
+// program resolves a program ID against the registry.
+func (s *Server) program(id string) (*loadedProgram, error) {
+	v, ok := s.programs.get(id)
+	if !ok {
+		s.progMisses.Add(1)
+		return nil, fmt.Errorf("unknown program %q (load it via POST /v1/programs)", id)
+	}
+	s.progHits.Add(1)
+	return v.(*loadedProgram), nil
+}
+
+// analysis returns the converged analysis of (program, options),
+// computing it at most once per key. It blocks until the analysis is
+// ready or ctx is cancelled; when the last waiting request abandons an
+// in-flight compute, the compute is cancelled and its cache slot
+// dropped.
+func (s *Server) analysis(ctx context.Context, lp *loadedProgram, o api.Options) (*analysisEntry, error) {
+	key := lp.id + "|" + o.Key()
+	for {
+		v, created := s.analyses.getOrCreate(key, func() any { return newAnalysisEntry(key) })
+		ent := v.(*analysisEntry)
+		if created {
+			s.anaMisses.Add(1)
+			cctx, cancel := context.WithCancel(context.Background())
+			ent.cancel = cancel
+			go ent.compute(cctx, lp.prog, o, s.conf.Parallelism)
+		} else {
+			s.anaHits.Add(1)
+		}
+		abandoned, err := ent.wait(ctx)
+		if err == nil {
+			return ent, nil
+		}
+		if ctx.Err() != nil {
+			if abandoned {
+				s.analyses.remove(key)
+			}
+			return nil, ctx.Err()
+		}
+		// The compute itself failed: drop the poisoned slot. A
+		// cancelled compute (we raced another request's abandonment)
+		// is retryable under our still-live context; a genuine
+		// analysis error is not.
+		s.analyses.remove(key)
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+}
+
+// routineIndex resolves a routine name within a loaded program.
+func (lp *loadedProgram) routineIndex(name string) (int, error) {
+	ri, ok := lp.prog.Index(name)
+	if !ok {
+		return 0, fmt.Errorf("program %s has no routine %q", lp.id, name)
+	}
+	return ri, nil
+}
+
+// batchWorkers bounds the batch fan-out.
+func (s *Server) batchWorkers() int { return par.Workers(s.conf.Parallelism) }

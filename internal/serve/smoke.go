@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/api"
+)
+
+// Smoke is the daemon's self-test: it brings up a server in-process on
+// a loopback listener, loads the program at path, and drives the query
+// surface end to end — load, summary, liveness, batch — asserting
+// every response is 200 and, on a repeated query, that the analysis
+// cache reports a hit. It is what `spiked -smoke` and `make
+// serve-smoke` run; progress goes to w, and any failure is the
+// returned error.
+func Smoke(path string, conf Config, w io.Writer) error {
+	srv := New(conf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &smokeClient{base: ts.URL, hc: ts.Client()}
+	fmt.Fprintf(w, "smoke: serving on %s\n", ts.URL)
+
+	// Load.
+	var loaded api.LoadResponse
+	if err := c.post("/v1/programs", api.LoadRequest{Path: path}, &loaded); err != nil {
+		return fmt.Errorf("smoke: load %s: %w", path, err)
+	}
+	if len(loaded.Program.Routines) == 0 {
+		return fmt.Errorf("smoke: %s loaded with no routines", path)
+	}
+	id := loaded.Program.ID
+	routine := loaded.Program.Routines[0].Name
+	fmt.Fprintf(w, "smoke: loaded %s as %s (%d routines, %d instructions)\n",
+		path, id, len(loaded.Program.Routines), loaded.Program.Instructions)
+
+	// First summary query: a cache miss that runs the analysis.
+	var sum api.SummaryResponse
+	if err := c.post("/v1/summary", api.SummaryRequest{Program: id, Routine: routine}, &sum); err != nil {
+		return fmt.Errorf("smoke: summary %s: %w", routine, err)
+	}
+	fmt.Fprintf(w, "smoke: summary of %s: %d entries, %d exits\n",
+		routine, len(sum.Summary.Entries), len(sum.Summary.Exits))
+
+	// Liveness at the routine's first instruction.
+	var liv api.LivenessResponse
+	if err := c.post("/v1/liveness", api.LivenessRequest{Program: id, Routine: routine}, &liv); err != nil {
+		return fmt.Errorf("smoke: liveness %s/0: %w", routine, err)
+	}
+	fmt.Fprintf(w, "smoke: liveness at %s/0: before=%s after=%s\n",
+		routine, liv.Point.LiveBefore, liv.Point.LiveAfter)
+
+	// Batch over every routine.
+	queries := make([]api.Query, 0, len(loaded.Program.Routines))
+	for _, r := range loaded.Program.Routines {
+		queries = append(queries, api.Query{Kind: "summary", Routine: r.Name})
+	}
+	var batch api.BatchResponse
+	if err := c.post("/v1/batch", api.BatchRequest{Program: id, Queries: queries}, &batch); err != nil {
+		return fmt.Errorf("smoke: batch: %w", err)
+	}
+	for i, res := range batch.Results {
+		if res.Error != "" {
+			return fmt.Errorf("smoke: batch query %d (%s): %s", i, queries[i].Routine, res.Error)
+		}
+	}
+	fmt.Fprintf(w, "smoke: batch answered %d queries\n", len(batch.Results))
+
+	// Repeat the first query and verify the analysis cache served it.
+	hitsBefore, err := c.counter("serve/analysis_cache_hits")
+	if err != nil {
+		return fmt.Errorf("smoke: metrics: %w", err)
+	}
+	if err := c.post("/v1/summary", api.SummaryRequest{Program: id, Routine: routine}, &sum); err != nil {
+		return fmt.Errorf("smoke: repeat summary: %w", err)
+	}
+	hitsAfter, err := c.counter("serve/analysis_cache_hits")
+	if err != nil {
+		return fmt.Errorf("smoke: metrics: %w", err)
+	}
+	if hitsAfter <= hitsBefore {
+		return fmt.Errorf("smoke: repeated query did not hit the analysis cache (hits %d -> %d)",
+			hitsBefore, hitsAfter)
+	}
+	fmt.Fprintf(w, "smoke: repeat query hit the analysis cache (hits %d -> %d)\n",
+		hitsBefore, hitsAfter)
+
+	// Health.
+	var health api.HealthResponse
+	if err := c.get("/healthz", &health); err != nil {
+		return fmt.Errorf("smoke: healthz: %w", err)
+	}
+	if health.Status != "ok" || health.Programs < 1 || health.Analyses < 1 {
+		return fmt.Errorf("smoke: unhealthy: %+v", health)
+	}
+	fmt.Fprintf(w, "smoke: ok (%d program, %d analysis cached)\n",
+		health.Programs, health.Analyses)
+	return nil
+}
+
+type smokeClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *smokeClient) post(route string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.do(func() (*http.Response, error) {
+		return c.hc.Post(c.base+route, "application/json", bytes.NewReader(body))
+	}, resp)
+}
+
+func (c *smokeClient) get(route string, resp any) error {
+	return c.do(func() (*http.Response, error) {
+		return c.hc.Get(c.base + route)
+	}, resp)
+}
+
+func (c *smokeClient) do(send func() (*http.Response, error), resp any) error {
+	r, err := send()
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		var e api.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("status %d: %s", r.StatusCode, e.Error)
+		}
+		return fmt.Errorf("status %d: %s", r.StatusCode, data)
+	}
+	return json.Unmarshal(data, resp)
+}
+
+func (c *smokeClient) counter(name string) (uint64, error) {
+	var m api.MetricsResponse
+	if err := c.get("/metrics", &m); err != nil {
+		return 0, err
+	}
+	for _, cv := range m.Metrics.Counters {
+		if cv.Name == name {
+			return cv.Value, nil
+		}
+	}
+	return 0, nil
+}
