@@ -9,13 +9,13 @@ GO ?= go
 # allocation benchmarks in internal/core, and the analysis-service
 # endpoint benchmarks (BenchmarkServe*, routed into the document's
 # "serve" section with queries/sec and latency quantiles).
-BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkLabeling|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe
+BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkLabeling|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe|BenchmarkReanalyze
 BENCH_PKGS = . ./internal/core/ ./internal/serve/
 
 # Baseline git ref for `make bench-compare`.
 BASE ?= HEAD~1
 
-.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard soak soak-ci serve-smoke verify
+.PHONY: build vet test race bench bench-json bench-compare profile trace obs-guard soak soak-ci soak-incremental serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -105,7 +105,16 @@ soak:
 
 soak-ci:
 	CHECK_SOAK_N=2000 $(GO) test ./internal/check/ -run TestGeneratedProgramsClean -count=1 -timeout 30m
+	CHECK_INCR_N=2000 $(GO) test ./internal/check/ -run TestIncrementalClean -count=1 -timeout 30m
 	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzAnalyze -fuzztime 30s -count=1
 	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzSavedRestored -fuzztime 30s -count=1
+	$(GO) test ./internal/snapshot/ -run '^$$' -fuzz FuzzSnapshot -fuzztime 30s -count=1
+
+# Incremental re-analysis soak: the incremental oracle alone, over
+# CHECK_INCR_N (program, mutation) pairs — every Reanalyze result is
+# compared byte-for-byte against a from-scratch Analyze across the full
+# option matrix, with chained-edit pairs riding along.
+soak-incremental:
+	CHECK_INCR_N=2000 $(GO) test ./internal/check/ -run TestIncrementalClean -count=1 -timeout 30m -v
 
 verify: build vet test race

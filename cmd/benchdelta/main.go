@@ -8,7 +8,9 @@
 // Solver counters (the "counters" section benchjson extracts from
 // "/run"-unit metrics) are compared the same way under "counter:"
 // headings — these are exact, machine-independent values, so any
-// nonzero delta there reflects an algorithmic change, not noise.
+// nonzero delta there reflects an algorithmic change, not noise. The
+// "incremental" section (re-analysis benchmarks, headline metric
+// speedup-vs-full) gets its own "incremental:" tables.
 //
 // It is intentionally dependency-free: `make bench-compare` runs it
 // against a baseline checkout, so it must build from a bare toolchain.
@@ -31,8 +33,9 @@ import (
 )
 
 type doc struct {
-	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
-	Counters   map[string]map[string]float64 `json:"counters"`
+	Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
+	Incremental map[string]map[string]float64 `json:"incremental"`
+	Counters    map[string]map[string]float64 `json:"counters"`
 }
 
 // coreMetrics are printed first, in this order; any other metric the two
@@ -72,6 +75,7 @@ func load(path string) (*doc, error) {
 func report(old, new_ *doc) {
 	first := true
 	emitTables(old.Benchmarks, new_.Benchmarks, "metric", coreMetrics, &first)
+	emitTables(old.Incremental, new_.Incremental, "incremental", coreMetrics, &first)
 	emitTables(old.Counters, new_.Counters, "counter", nil, &first)
 }
 

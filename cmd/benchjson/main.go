@@ -21,7 +21,10 @@
 //
 // Benchmarks named BenchmarkServe* land in a separate "serve" section:
 // they measure the analysis service (queries/sec, latency quantiles of
-// the daemon endpoints) rather than the solver itself.
+// the daemon endpoints) rather than the solver itself. Benchmarks named
+// BenchmarkReanalyze* land in an "incremental" section: they measure
+// re-analysis after an edit (copying and in-place modes), whose
+// headline metric is speedup-vs-full rather than ns/op.
 //
 // The raw test2json stream interleaves build output, progress events and
 // benchmark results and is not stable across runs, so it does not belong
@@ -61,8 +64,14 @@ type doc struct {
 	// queries/sec and latency quantiles of the daemon's endpoints,
 	// separated from the solver benchmarks because they measure a
 	// different layer (HTTP + cache + render, not the analysis).
-	Serve    map[string]map[string]float64 `json:"serve,omitempty"`
-	Counters map[string]map[string]float64 `json:"counters,omitempty"`
+	Serve map[string]map[string]float64 `json:"serve,omitempty"`
+
+	// Incremental holds the re-analysis benchmarks (BenchmarkReanalyze*):
+	// the cost of absorbing an edit into an existing analysis, plus the
+	// dirty/resolved/reused tallies and the speedup over a from-scratch
+	// run — the acceptance metric for the incremental subsystem.
+	Incremental map[string]map[string]float64 `json:"incremental,omitempty"`
+	Counters    map[string]map[string]float64 `json:"counters,omitempty"`
 }
 
 func main() {
@@ -133,11 +142,17 @@ func parse(r io.Reader) (*doc, error) {
 // observation wins instead of averaging.
 func (d *doc) record(name string, metrics map[string]float64) {
 	section := d.Benchmarks
-	if strings.HasPrefix(name, "BenchmarkServe") {
+	switch {
+	case strings.HasPrefix(name, "BenchmarkServe"):
 		if d.Serve == nil {
 			d.Serve = map[string]map[string]float64{}
 		}
 		section = d.Serve
+	case strings.HasPrefix(name, "BenchmarkReanalyze"):
+		if d.Incremental == nil {
+			d.Incremental = map[string]map[string]float64{}
+		}
+		section = d.Incremental
 	}
 	m := section[name]
 	if m == nil {

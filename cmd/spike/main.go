@@ -1,4 +1,4 @@
-// Command spike is the post-link-time optimizer driver. It has three
+// Command spike is the post-link-time optimizer driver. It has four
 // subcommands:
 //
 //	spike analyze [flags] input   analyze (and optionally optimize) one
@@ -9,6 +9,10 @@
 //	                              input: differential analysis across
 //	                              the option matrix, PSG invariant
 //	                              checks, the emulator-backed oracle
+//	spike snapshot <save|load> input snap
+//	                              persist a converged analysis as a
+//	                              binary snapshot image, or restore one
+//	                              without re-running the solver
 //
 // A bare `spike [flags] input` still works as an alias for `spike
 // analyze` (with a deprecation note on stderr), so existing scripts
@@ -49,6 +53,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -81,25 +86,27 @@ type spikeOptions struct {
 	memProf   string // write a heap profile here on exit
 }
 
+// apiOptions is the wire-level option set the flags select. Going
+// through api.Options keeps the CLI, the daemon and the snapshot
+// format on the same Key()-stable builder: a snapshot written here
+// restores in the daemon, and both cache under identical keys.
+func (o *spikeOptions) apiOptions() api.Options {
+	return api.Options{OpenWorld: o.openWorld, NoBranchNodes: o.noBranch}
+}
+
 // analysisOptions translates the driver flags into core options.
 func (o *spikeOptions) analysisOptions() []core.Option {
-	opts := []core.Option{
-		core.WithBranchNodes(!o.noBranch),
-		core.WithParallelism(o.parallel),
-	}
-	if o.openWorld {
-		opts = append(opts, core.WithOpenWorld())
-	}
-	return opts
+	return o.apiOptions().AnalysisOptions(core.WithParallelism(o.parallel))
 }
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage: spike <command> [flags] ...
 
 Commands:
-  analyze [flags] input   analyze and optionally optimize an executable
-  serve   [flags]         run the analysis service daemon (HTTP/JSON)
-  check   [flags] input   run the correctness harness on the input
+  analyze  [flags] input            analyze and optionally optimize an executable
+  serve    [flags]                  run the analysis service daemon (HTTP/JSON)
+  check    [flags] input            run the correctness harness on the input
+  snapshot <save|load> input snap   persist or restore a converged analysis
 
 Run 'spike <command> -h' for a command's flags. A bare
 'spike [flags] input' is a deprecated alias for 'spike analyze'.
@@ -111,7 +118,7 @@ func main() {
 	cmd := ""
 	if len(args) > 0 {
 		switch args[0] {
-		case "analyze", "serve", "check":
+		case "analyze", "serve", "check", "snapshot":
 			cmd, args = args[0], args[1:]
 		case "help", "-h", "--help":
 			usage(os.Stdout)
@@ -124,6 +131,8 @@ func main() {
 		err = serve.RunCLI("spike serve", args, os.Stdout, os.Stderr)
 	case "check":
 		err = checkMain(args)
+	case "snapshot":
+		err = snapshotMain(args)
 	case "analyze":
 		err = analyzeMain(args)
 	default:

@@ -17,6 +17,11 @@ type AnalysisDoc struct {
 	Routines      []RoutineSummary `json:"routines"`
 	Stats         Stats            `json:"stats"`
 	Metrics       obs.Snapshot     `json:"metrics"`
+
+	// Incremental is the provenance of an incremental re-analysis
+	// (spike.v2 documents only); absent for from-scratch analyses and
+	// in every spike.v1 document.
+	Incremental *IncrementalInfo `json:"incremental,omitempty"`
 }
 
 // Stats is the wire form of core.Stats: structural counts, schedule
@@ -167,16 +172,7 @@ func CallGraphOf(a *core.Analysis) ([]ComponentInfo, int) {
 // metrics registry the analysis ran with; a nil m yields an empty
 // metrics snapshot.
 func BuildAnalysisDoc(a *core.Analysis, m *obs.Metrics) AnalysisDoc {
-	doc := AnalysisDoc{
-		SchemaVersion: SchemaVersion,
-		Routines:      make([]RoutineSummary, 0, len(a.Prog.Routines)),
-		Stats:         StatsOf(&a.Stats),
-		Metrics:       m.Snapshot(),
-	}
-	for ri := range a.Prog.Routines {
-		doc.Routines = append(doc.Routines, SummaryOf(a, ri))
-	}
-	return doc
+	return BuildVersionedDoc(SchemaVersion, a, m)
 }
 
 // ProgramInfoOf inventories a loaded program for the load response.

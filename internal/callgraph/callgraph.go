@@ -70,6 +70,9 @@ type Graph struct {
 	// Wave → component IDs, ascending within each wave.
 	calleeWaves [][]int
 	callerWaves [][]int
+
+	pinIndirect bool // the WithIndirectPinning setting the graph was built with
+	reused      bool // this graph is a structural reuse of a previous build
 }
 
 // options collects the Build knobs.
@@ -105,35 +108,122 @@ func WithObs(tr *obs.Tracer, m *obs.Metrics) Option {
 // schedules. The same program and options always produce the identical
 // Graph.
 func Build(p *prog.Program, opts ...Option) *Graph {
+	return buildGraph(p, nil, nil, opts)
+}
+
+// BuildIncremental constructs the call graph of p, reusing the
+// per-routine edge scans of prev for routines marked clean. clean[ri]
+// may only be true when routine ri of prev's program has an identical
+// body (the incremental re-analysis guarantees this via content
+// hashes); such routines share prev's callee slices, which both graphs
+// treat as read-only. The result is identical to Build(p, opts...).
+//
+// When every dirty routine turns out to have the same call edges,
+// indirect-call flag and address-taken flag as before — the common case
+// for a body edit — the whole graph is structurally identical to prev
+// and BuildIncremental returns a copy of prev sharing all derived
+// arrays (condensation, schedules), skipping Tarjan and scheduling
+// outright. StructureReused reports when this happened. Otherwise,
+// condensation and scheduling are recomputed in full — they are
+// O(routines + edges) and cheap next to the per-body scans.
+func BuildIncremental(p *prog.Program, prev *Graph, clean []bool, opts ...Option) *Graph {
+	return buildGraph(p, prev, clean, opts)
+}
+
+// StructureReused reports whether this graph was returned by
+// BuildIncremental's structural-reuse fast path: every derived array
+// (components, condensation edges, waves) is shared with — and
+// therefore identical to — the previous build's.
+func (g *Graph) StructureReused() bool { return g.reused }
+
+// scanRoutine computes the sorted unique direct-callee list and the
+// has-indirect flag of one routine body — the per-routine half of edge
+// collection, shared by the full build and the reuse check.
+func scanRoutine(r *prog.Routine) (callees []int, hasIndirect bool) {
+	seen := map[int]bool{}
+	for i := range r.Code {
+		switch r.Code[i].Op {
+		case isa.OpJsr:
+			t := r.Code[i].Target
+			if !seen[t] {
+				seen[t] = true
+				callees = append(callees, t)
+			}
+		case isa.OpJsrInd:
+			hasIndirect = true
+		}
+	}
+	sort.Ints(callees)
+	return callees, hasIndirect
+}
+
+// reusableFor reports whether the graph of p is structurally identical
+// to g: same routine count, same pinning option, and every dirty
+// routine re-scans to the same call edges, indirect flag and
+// address-taken flag. Clean routines are hash-identical by contract
+// (the hash covers calls and the address-taken flag), so only dirty
+// ones need scanning.
+func (g *Graph) reusableFor(p *prog.Program, clean []bool, pinIndirect bool) bool {
+	if pinIndirect != g.pinIndirect ||
+		len(p.Routines) != len(g.callees) || len(clean) != len(p.Routines) {
+		return false
+	}
+	for ri, r := range p.Routines {
+		if clean[ri] {
+			continue
+		}
+		cs, ind := scanRoutine(r)
+		if ind != g.hasIndirect[ri] || len(cs) != len(g.callees[ri]) {
+			return false
+		}
+		for i, t := range cs {
+			if t != g.callees[ri][i] {
+				return false
+			}
+		}
+		i := sort.SearchInts(g.addrTaken, ri)
+		wasTaken := i < len(g.addrTaken) && g.addrTaken[i] == ri
+		if r.AddressTaken != wasTaken {
+			return false
+		}
+	}
+	return true
+}
+
+func buildGraph(p *prog.Program, prev *Graph, clean []bool, opts []Option) *Graph {
 	var o options
 	for _, op := range opts {
 		op(&o)
 	}
 	n := len(p.Routines)
+	if prev != nil && prev.reusableFor(p, clean, o.pinIndirect) {
+		ng := *prev
+		ng.prog = p
+		ng.reused = true
+		sp := o.tracer.MainThread().Begin("callgraph reuse")
+		sp.Arg("routines", int64(n)).End()
+		if m := o.metrics; m != nil {
+			publishGraphMetrics(m, &ng)
+		}
+		return &ng
+	}
 	g := &Graph{
 		prog:        p,
 		callees:     make([][]int, n),
 		callers:     make([][]int, n),
 		hasIndirect: make([]bool, n),
 		pinnedComp:  -1,
+		pinIndirect: o.pinIndirect,
 	}
 	th := o.tracer.MainThread()
 	esp := th.Begin("callgraph edges").Arg("routines", int64(n))
 	for ri, r := range p.Routines {
-		seen := map[int]bool{}
-		for i := range r.Code {
-			switch r.Code[i].Op {
-			case isa.OpJsr:
-				t := r.Code[i].Target
-				if !seen[t] {
-					seen[t] = true
-					g.callees[ri] = append(g.callees[ri], t)
-				}
-			case isa.OpJsrInd:
-				g.hasIndirect[ri] = true
-			}
+		if prev != nil && ri < len(clean) && clean[ri] && ri < len(prev.callees) {
+			g.callees[ri] = prev.callees[ri]
+			g.hasIndirect[ri] = prev.hasIndirect[ri]
+		} else {
+			g.callees[ri], g.hasIndirect[ri] = scanRoutine(r)
 		}
-		sort.Ints(g.callees[ri])
 		if r.AddressTaken {
 			g.addrTaken = append(g.addrTaken, ri)
 		}
@@ -168,23 +258,62 @@ func Build(p *prog.Program, opts ...Option) *Graph {
 		g.pinnedComp = g.comp[pins[0]]
 	}
 	if m := o.metrics; m != nil {
-		edges, recursive := 0, 0
-		for _, cs := range g.callees {
-			edges += len(cs)
-		}
-		for c := range g.comps {
-			if g.Recursive(c) {
-				recursive++
-			}
-		}
-		m.Counter("callgraph/routines").Store(uint64(n))
-		m.Counter("callgraph/call_edges").Store(uint64(edges))
-		m.Counter("callgraph/components").Store(uint64(len(g.comps)))
-		m.Counter("callgraph/recursive_components").Store(uint64(recursive))
-		m.Counter("callgraph/waves").Store(uint64(len(g.calleeWaves)))
-		m.Counter("callgraph/pinned_routines").Store(uint64(len(pins)))
+		publishGraphMetrics(m, g)
 	}
 	return g
+}
+
+// ReusableFor reports whether the call graph of p is structurally
+// identical to g: same routine count, same pinning option, and every
+// routine not marked clean re-scans to the same call edges, indirect
+// flag and address-taken flag (clean routines are hash-identical by the
+// caller's contract). This is the pure half of BuildIncremental's
+// structural-reuse fast path, exported so the in-place re-analysis can
+// prove the structure unchanged before it mutates anything.
+func (g *Graph) ReusableFor(p *prog.Program, clean []bool, pinIndirect bool) bool {
+	return g.reusableFor(p, clean, pinIndirect)
+}
+
+// Adopt re-points the graph at p, which ReusableFor must have accepted:
+// every derived structure (edge lists, condensation, wave schedules)
+// describes p verbatim then. Unlike BuildIncremental's fast path no
+// copy is made — the receiver itself is rebound, which is what the
+// in-place re-analysis wants, since it consumes the previous analysis
+// wholesale. The reuse is recorded on tr and published to m exactly
+// like the BuildIncremental fast path (either may be nil).
+func (g *Graph) Adopt(p *prog.Program, tr *obs.Tracer, m *obs.Metrics) {
+	g.prog = p
+	g.reused = true
+	sp := tr.MainThread().Begin("callgraph reuse")
+	sp.Arg("routines", int64(len(p.Routines))).End()
+	if m != nil {
+		publishGraphMetrics(m, g)
+	}
+}
+
+// publishGraphMetrics stores the callgraph/* shape counters for a
+// finished graph. Shared by the full build and the structural-reuse
+// fast path so both publish identical values.
+func publishGraphMetrics(m *obs.Metrics, g *Graph) {
+	edges, recursive := 0, 0
+	for _, cs := range g.callees {
+		edges += len(cs)
+	}
+	for c := range g.comps {
+		if g.Recursive(c) {
+			recursive++
+		}
+	}
+	pins := 0
+	if g.pinIndirect {
+		pins = len(g.pinSet())
+	}
+	m.Counter("callgraph/routines").Store(uint64(len(g.callees)))
+	m.Counter("callgraph/call_edges").Store(uint64(edges))
+	m.Counter("callgraph/components").Store(uint64(len(g.comps)))
+	m.Counter("callgraph/recursive_components").Store(uint64(recursive))
+	m.Counter("callgraph/waves").Store(uint64(len(g.calleeWaves)))
+	m.Counter("callgraph/pinned_routines").Store(uint64(pins))
 }
 
 // pinSet returns the routines coupled by indirect calls: every routine
@@ -472,6 +601,48 @@ func (g *Graph) Pinned() bool { return g.pinned }
 // PinnedComponent returns the component holding the pinned routines, or
 // -1 when no pinning was applied.
 func (g *Graph) PinnedComponent() int { return g.pinnedComp }
+
+// TransitiveCallers returns every component from which some component
+// in seeds is reachable along call edges — the seeds themselves plus
+// all their direct and transitive caller components, ascending. This
+// is the phase-1 dirty cone of an edit: a changed entry summary can
+// affect exactly the components that (transitively) call it.
+func (g *Graph) TransitiveCallers(seeds []int) []int {
+	return g.cone(seeds, g.compCallers)
+}
+
+// TransitiveCallees returns the seeds plus all components they directly
+// or transitively call, ascending — the phase-2 dirty cone of an edit:
+// changed return-site liveness can affect exactly the components the
+// edited code (transitively) calls.
+func (g *Graph) TransitiveCallees(seeds []int) []int {
+	return g.cone(seeds, g.compCallees)
+}
+
+func (g *Graph) cone(seeds []int, next [][]int) []int {
+	seen := make([]bool, len(g.comps))
+	var out, work []int
+	for _, c := range seeds {
+		if c >= 0 && c < len(seen) && !seen[c] {
+			seen[c] = true
+			work = append(work, c)
+			out = append(out, c)
+		}
+	}
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range next[c] {
+			if !seen[t] {
+				seen[t] = true
+				work = append(work, t)
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
 
 // LargestComponent returns the size of the biggest component, or 0 for
 // an empty program.

@@ -1,0 +1,37 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// incrN returns how many (program, mutation) pairs the incremental
+// oracle sweeps: the CHECK_INCR_N environment variable (set by `make
+// soak-incremental`), else a default suited to the ordinary test run.
+func incrN(t *testing.T) int {
+	if s := os.Getenv("CHECK_INCR_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("CHECK_INCR_N=%q is not a positive integer", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 8
+	}
+	return 40
+}
+
+// TestIncrementalClean is the incremental tentpole's claim: across
+// generated programs and random edits, core.Reanalyze lands on exactly
+// the state core.Analyze computes from scratch, for every cell of the
+// option matrix. `make soak-incremental` runs it over ≥2k pairs via
+// CHECK_INCR_N.
+func TestIncrementalClean(t *testing.T) {
+	n := incrN(t)
+	rep := GeneratedIncremental(n, 0x1ec4, nil, testWriter{t})
+	if rep.Failed() {
+		t.Fatalf("%d violation(s) across %d pairs", len(rep.Violations), rep.Programs)
+	}
+}

@@ -130,7 +130,26 @@ type Analysis struct {
 	Stats     Stats
 	Summaries []RoutineSummary
 
+	// Incremental is non-nil when the analysis was produced by
+	// Reanalyze (or restored and patched through the daemon); it
+	// records how much of the previous analysis was reused.
+	Incremental *IncrementalStats
+
 	callGraph *callgraph.Graph
+
+	// schedShape retains the structure-dependent half of the phase
+	// scheduler (component membership maps, seed orders, indirect-call
+	// machinery). When a later Reanalyze proves the PSG and call graph
+	// structurally identical, it rebuilds a scheduler from this shape
+	// instead of recomputing the per-component DFS orders. Analyses
+	// restored from snapshots have no shape and fall back to a full
+	// scheduler build on their first re-analysis.
+	schedShape *schedShape
+
+	// Per-routine body content hashes (prog.Routine.Hash), computed on
+	// first use; Reanalyze diffs them and snapshots persist them.
+	hashOnce sync.Once
+	hashes   []uint64
 
 	// Lazily solved per-routine liveness, shared by the read-only query
 	// accessors (RoutineLiveness, LivenessAt). One sync.Once per routine
@@ -145,6 +164,30 @@ type Analysis struct {
 // component's members, its callee/caller edges at both the routine and
 // component level, and its wave indices in the two schedules.
 func (a *Analysis) CallGraph() *callgraph.Graph { return a.callGraph }
+
+// BodyHashes returns the per-routine body content hashes of the
+// analyzed program (prog.Routine.Hash), computed on first use and
+// memoized; concurrent callers share one computation. Reanalyze diffs
+// a patched program against them, and snapshots persist them so a
+// restored analysis can diff without the original source.
+func (a *Analysis) BodyHashes() []uint64 {
+	a.hashOnce.Do(func() {
+		a.hashes = make([]uint64, len(a.Prog.Routines))
+		for ri := range a.Prog.Routines {
+			a.hashes[ri] = a.Prog.Routines[ri].Hash()
+		}
+	})
+	return a.hashes
+}
+
+// adoptBodyHashes installs pre-computed body hashes so a later
+// BodyHashes call does not rescan the program. Reanalyze already knows
+// every hash from its diff (clean routines inherit the previous hash,
+// dirty ones were hashed to prove them dirty); adopting them keeps
+// chained re-analyses from rehashing the whole program each step.
+func (a *Analysis) adoptBodyHashes(h []uint64) {
+	a.hashOnce.Do(func() { a.hashes = h })
+}
 
 // Analyze performs the full interprocedural dataflow analysis of the
 // paper: CFG construction, DEF/UBD initialization, PSG construction,
@@ -271,6 +314,7 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 	if err := cancelled(); err != nil {
 		return nil, err
 	}
+	a.schedShape = sched.shape()
 
 	ssp = th.Begin("summaries")
 	a.collectSummaries()
@@ -314,22 +358,27 @@ func (a *Analysis) publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0 uint64) {
 func (a *Analysis) collectSummaries() {
 	a.Summaries = make([]RoutineSummary, len(a.Prog.Routines))
 	for ri := range a.Prog.Routines {
-		sr := a.PSG.SavedRestored[ri]
-		s := RoutineSummary{SavedRestored: sr}
-		for _, nid := range a.PSG.EntryNodes[ri] {
-			n := a.PSG.Nodes[nid]
-			s.CallUsed = append(s.CallUsed, n.phase1Use.Minus(sr))
-			s.CallDefined = append(s.CallDefined, n.MustDef.Minus(sr))
-			s.CallKilled = append(s.CallKilled, n.MayDef.Minus(sr))
-			s.LiveAtEntry = append(s.LiveAtEntry, n.MayUse)
-		}
-		for _, nid := range a.PSG.ExitNodes[ri] {
-			n := a.PSG.Nodes[nid]
-			s.LiveAtExit = append(s.LiveAtExit, n.MayUse)
-			s.ExitBlocks = append(s.ExitBlocks, n.Block)
-		}
-		a.Summaries[ri] = s
+		a.Summaries[ri] = a.collectSummary(ri)
 	}
+}
+
+// collectSummary reads one routine's summary out of the converged PSG.
+func (a *Analysis) collectSummary(ri int) RoutineSummary {
+	sr := a.PSG.SavedRestored[ri]
+	s := RoutineSummary{SavedRestored: sr}
+	for _, nid := range a.PSG.EntryNodes[ri] {
+		n := a.PSG.Nodes[nid]
+		s.CallUsed = append(s.CallUsed, n.phase1Use.Minus(sr))
+		s.CallDefined = append(s.CallDefined, n.MustDef.Minus(sr))
+		s.CallKilled = append(s.CallKilled, n.MayDef.Minus(sr))
+		s.LiveAtEntry = append(s.LiveAtEntry, n.MayUse)
+	}
+	for _, nid := range a.PSG.ExitNodes[ri] {
+		n := a.PSG.Nodes[nid]
+		s.LiveAtExit = append(s.LiveAtExit, n.MayUse)
+		s.ExitBlocks = append(s.ExitBlocks, n.Block)
+	}
+	return s
 }
 
 func (a *Analysis) collectCounts() {

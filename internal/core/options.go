@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/obs"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Option configures Analyze. Options are applied in order on top of
 // DefaultConfig, so later options override earlier ones; WithConfig
@@ -25,6 +29,33 @@ func NewConfig(opts ...Option) Config {
 //	core.Analyze(p, core.WithConfig(core.PaperConfig()), core.WithParallelism(4))
 func WithConfig(conf Config) Option {
 	return func(c *Config) { *c = conf }
+}
+
+// Key returns a canonical string naming the configuration fields that
+// determine analysis *results*: the world model (§3.5) and branch-node
+// placement (§3.6). PerEdgeLabeling, Parallelism and the observability
+// hooks change how the fixed point is computed, never what it is, so
+// they are excluded — two configurations with equal keys produce
+// byte-identical summaries on the same program.
+//
+// The format matches api.Options.Key, so results cached or persisted
+// under one layer's key are addressable from the other.
+func (c Config) Key() string {
+	return fmt.Sprintf("open_world=%t,no_branch_nodes=%t", !c.LinkIndirectCalls, !c.BranchNodes)
+}
+
+// ConfigMismatchError reports that a previously computed analysis (or a
+// snapshot of one) was produced under a configuration whose Key differs
+// from the one requested. Callers that map analyses by configuration
+// treat it as a client error (the daemon returns 409) rather than
+// silently re-analyzing under the wrong options.
+type ConfigMismatchError struct {
+	Want string // key the existing analysis was computed with
+	Got  string // key the request asked for
+}
+
+func (e *ConfigMismatchError) Error() string {
+	return fmt.Sprintf("core: option mismatch: analysis was computed with %s, request asks for %s", e.Want, e.Got)
 }
 
 // WithOpenWorld selects the paper's §3.5 treatment of indirect control

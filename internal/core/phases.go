@@ -135,6 +135,44 @@ type phaseSched struct {
 	// the fixed point within microseconds without any cost on the
 	// uncancellable path (selecting on a nil channel is a no-op).
 	cancel <-chan struct{}
+
+	// retSnap, when non-nil, puts the incremental drivers in snapshot
+	// mode: the first time a phase is about to overwrite a component's
+	// node sets, snapshotRets records its return nodes' MAY-USE sets —
+	// the previous analysis's converged liveness. The in-place
+	// re-analysis solves into the previous analysis's own slab, so the
+	// phase-2 cutoff cannot read the "previous" values out of a second
+	// copy the way the copying re-analysis does; it reads them from
+	// these snapshots instead. Indexed by component; nil entries mean
+	// "not yet captured".
+	retSnap [][]regset.Set
+}
+
+// emptyRetSnap marks a snapshotted component with no return nodes,
+// keeping nil as retSnap's "not yet captured" sentinel.
+var emptyRetSnap = []regset.Set{}
+
+// snapshotRets records component c's return-node MAY-USE sets, in
+// member order, before a phase overwrites them. No-op outside snapshot
+// mode; idempotent per component (the first caller — phase-1 prep or
+// the phase-2 reset, whichever touches the component first — wins).
+// Distinct components may snapshot concurrently: each writes only its
+// own slot.
+func (s *phaseSched) snapshotRets(c int) {
+	if s.retSnap == nil || s.retSnap[c] != nil {
+		return
+	}
+	g := s.g
+	var snap []regset.Set
+	for _, nid := range s.nodes(c) {
+		if g.Nodes[nid].Kind == NodeReturn {
+			snap = append(snap, g.Nodes[nid].MayUse)
+		}
+	}
+	if snap == nil {
+		snap = emptyRetSnap
+	}
+	s.retSnap[c] = snap
 }
 
 // cancelStride bounds how many worklist pops a solve loop performs
@@ -223,6 +261,71 @@ func newPhaseSched(g *PSG, cg *callgraph.Graph, conf Config) *phaseSched {
 		s.obs2 = newPhaseObs(conf.Metrics, "phase2")
 	}
 	s.computePriorities()
+	return s
+}
+
+// schedShape is the structure-dependent half of a phaseSched: the
+// component membership maps and seed orders plus the §3.5 indirect-call
+// machinery. All of it is a pure function of the PSG's structure and
+// the call graph's condensation, written once at scheduler construction
+// (or phase-1 start, for the indirect arrays) and read-only afterwards,
+// so an Analysis may retain it and a later structurally identical
+// re-analysis may share it wholesale.
+type schedShape struct {
+	compOff     []int32
+	compNodeIDs []int32
+	compOrder   []int32
+	nodeComp    []int32
+	localIdx    []int32
+
+	indirectEdges    []int32
+	addrTakenEntries []int
+	pinnedComp       int
+}
+
+// shape captures the scheduler's structure-dependent arrays for reuse.
+// Call it only after the indirect machinery is populated (after the
+// phases ran, or after prepareIndirect).
+func (s *phaseSched) shape() *schedShape {
+	return &schedShape{
+		compOff:          s.compOff,
+		compNodeIDs:      s.compNodeIDs,
+		compOrder:        s.compOrder,
+		nodeComp:         s.nodeComp,
+		localIdx:         s.localIdx,
+		indirectEdges:    s.indirectEdges,
+		addrTakenEntries: s.addrTakenEntries,
+		pinnedComp:       s.pinnedComp,
+	}
+}
+
+// newPhaseSchedFromShape rebuilds a scheduler from a retained shape,
+// skipping the membership passes, the priority DFS and prepareIndirect.
+// Valid only when g's node IDs and cg's component structure are
+// identical to the analysis the shape was captured from (the caller
+// proves this via the PSG same-shape check and the call graph's
+// StructureReused), and when the configuration agrees on the
+// result-determining fields (Config.Key equality guarantees it).
+func newPhaseSchedFromShape(g *PSG, cg *callgraph.Graph, conf Config, sh *schedShape) *phaseSched {
+	s := &phaseSched{
+		g:                g,
+		cg:               cg,
+		conf:             conf,
+		workers:          conf.Workers(),
+		compOff:          sh.compOff,
+		compNodeIDs:      sh.compNodeIDs,
+		compOrder:        sh.compOrder,
+		nodeComp:         sh.nodeComp,
+		localIdx:         sh.localIdx,
+		indirectEdges:    sh.indirectEdges,
+		addrTakenEntries: sh.addrTakenEntries,
+		pinnedComp:       sh.pinnedComp,
+		cancel:           conf.cancelCh(),
+	}
+	if conf.Metrics != nil {
+		s.obs1 = newPhaseObs(conf.Metrics, "phase1")
+		s.obs2 = newPhaseObs(conf.Metrics, "phase2")
+	}
 	return s
 }
 

@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 	"unsafe"
 
@@ -185,7 +186,53 @@ type PSG struct {
 	// SavedRestored[r] is the set of callee-saved registers routine r
 	// saves in its prologues and restores in its epilogues (§3.4).
 	SavedRestored []regset.Set
+
+	// frames caches the per-routine body facts behind SavedRestored so
+	// the incremental re-analysis can recompute the set for unedited
+	// routines without rescanning their bodies (see FrameFact).
+	frames []FrameFact
+
+	// Per-routine slab bounds: routine ri's nodes occupy
+	// Nodes[nodeStart[ri]:nodeStart[ri+1]] and its edges
+	// Edges[edgeStart[ri]:edgeStart[ri+1]] (both slabs are
+	// routine-contiguous in index order). Builders that know the bounds
+	// fill them directly; routineBounds computes them on demand
+	// otherwise. Used by the incremental re-assembly to address a
+	// routine's ranges without scanning the slabs.
+	nodeStart  []int32
+	edgeStart  []int32
+	boundsOnce sync.Once
 }
+
+// routineBounds returns the per-routine node and edge slab bounds,
+// computing and memoizing them on first use. Safe for concurrent
+// callers (several re-analyses may diff against one base analysis).
+func (g *PSG) routineBounds() (nodeStart, edgeStart []int32) {
+	g.boundsOnce.Do(func() {
+		if g.nodeStart != nil {
+			return
+		}
+		n := len(g.Prog.Routines)
+		ns := make([]int32, n+1)
+		es := make([]int32, n+1)
+		for i := range g.Nodes {
+			ns[g.Nodes[i].Routine+1]++
+		}
+		for i := range g.Edges {
+			es[g.Nodes[g.Edges[i].Src].Routine+1]++
+		}
+		for ri := 0; ri < n; ri++ {
+			ns[ri+1] += ns[ri]
+			es[ri+1] += es[ri]
+		}
+		g.nodeStart, g.edgeStart = ns, es
+	})
+	return g.nodeStart, g.edgeStart
+}
+
+// FrameFacts returns the cached per-routine §3.4 body facts, indexed by
+// routine. The slice is shared; callers must not modify it.
+func (g *PSG) FrameFacts() []FrameFact { return g.frames }
 
 // OutEdges returns the IDs of the edges with node id as source, in
 // ascending edge-ID order.
@@ -345,9 +392,15 @@ func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) (*PSG, time.Dur
 	ssp := conf.Tracer.MainThread().Begin("psg structure")
 	var scratch buildScratch
 	tasks := make([]labelTask, len(p.Routines))
+	g.nodeStart = make([]int32, len(p.Routines)+1)
+	g.edgeStart = make([]int32, len(p.Routines)+1)
 	for ri := range p.Routines {
+		g.nodeStart[ri] = int32(len(g.Nodes))
+		g.edgeStart[ri] = int32(len(g.Edges))
 		tasks[ri] = g.buildRoutine(ri, conf, &scratch)
 	}
+	g.nodeStart[len(p.Routines)] = int32(len(g.Nodes))
+	g.edgeStart[len(p.Routines)] = int32(len(g.Edges))
 	g.buildAdjacency()
 	ssp.Arg("nodes", int64(len(g.Nodes))).Arg("edges", int64(len(g.Edges))).End()
 	cpu := time.Since(serial)
@@ -516,8 +569,14 @@ func (g *PSG) buildRoutine(ri int, conf Config, scratch *buildScratch) labelTask
 			// for indirect calls (§3.5).
 			eid := g.addEdge(EdgeCallReturn, callID, retID)
 			if call.CallTarget >= 0 {
-				tgt := call.CallTarget
-				g.CallerEdges[tgt][call.CallEntry] = append(g.CallerEdges[tgt][call.CallEntry], eid)
+				// CallerEdges is nil while the incremental re-assembly
+				// rebuilds a dirty routine structurally (it shares the
+				// previous registration lists on success and re-registers
+				// from scratch on fallback), so registration is skipped.
+				if g.CallerEdges != nil {
+					tgt := call.CallTarget
+					g.CallerEdges[tgt][call.CallEntry] = append(g.CallerEdges[tgt][call.CallEntry], eid)
+				}
 			} else {
 				s := callstd.UnknownCallSummary()
 				e := &g.Edges[eid]

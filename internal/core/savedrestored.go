@@ -29,6 +29,7 @@ import (
 func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 	n := len(g.Prog.Routines)
 	g.SavedRestored = make([]regset.Set, n)
+	g.frames = make([]FrameFact, n)
 	infos := make([]frameInfo, n)
 
 	var addrTaken []int
@@ -54,7 +55,7 @@ func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 			case isa.OpJsr:
 				calls, callees = calls+1, callees+1
 			case isa.OpJsrInd:
-				calls, callees = calls+1, callees+len(addrTaken)
+				calls++
 			case isa.OpSt:
 				if in.Src1 == regset.SP {
 					spStores++
@@ -83,41 +84,87 @@ func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 			callDeltas:   callDeltaSlab[callOff[ri]:callOff[ri]:callOff[ri+1]],
 			bodyClobbers: clobberSlab[storeOff[ri]:storeOff[ri]:storeOff[ri+1]],
 		}
-		infos[ri] = frameScan(g.Prog.Routines[ri], addrTaken, scratch)
+		infos[ri] = frameScan(g.Prog.Routines[ri], scratch)
+		g.frames[ri] = FrameFact{Clean: infos[ri].clean, HasIndirect: infos[ri].hasIndirect}
 	})
 
-	// A routine's slots survive its calls only if every callee (and,
-	// transitively, every routine below it on the stack) restores sp:
-	// greatest fixed point, so mutual recursion between disciplined
-	// routines stays disciplined.
-	preserving := make([]bool, n)
+	callees := make([][]int, n)
 	for ri := range infos {
-		preserving[ri] = infos[ri].clean
+		callees[ri] = infos[ri].callees
 	}
-	for changed := true; changed; {
-		changed = false
-		for ri := range infos {
-			if !preserving[ri] {
-				continue
-			}
-			for _, callee := range infos[ri].callees {
-				if callee < 0 || callee >= n || !preserving[callee] {
-					preserving[ri] = false
-					changed = true
-					break
-				}
-			}
-		}
-	}
+	preserving := solvePreserving(g.frames, callees, addrTaken)
 
 	d += par.ForEachSpan(tr, "saved-restored", n, workers, func(ri int) {
+		// localSaved is computed for every clean-frame routine, not only
+		// the preserving ones: it depends solely on the routine's own
+		// body, so the incremental re-analysis can re-run the call-graph
+		// fixed point over cached facts without rescanning any body.
+		if g.frames[ri].Clean {
+			g.frames[ri].LocalSaved = savedRestored(g.Prog.Routines[ri], &infos[ri])
+		}
 		if preserving[ri] {
-			g.SavedRestored[ri] = savedRestored(g.Prog.Routines[ri], &infos[ri])
+			g.SavedRestored[ri] = g.frames[ri].LocalSaved
 		} else {
 			g.SavedRestored[ri] = regset.Empty
 		}
 	})
 	return d
+}
+
+// FrameFact caches what the §3.4 frame passes learned about one
+// routine's body: whether it obeys the frame discipline frameScan
+// demands, whether it contains an indirect call, and the
+// saved/restored set its prologues and epilogues establish in
+// isolation (meaningful only when Clean). Every field depends only on
+// the routine's own body, so unedited routines keep their facts across
+// an incremental re-analysis; only the serial call-graph fixed point
+// (solvePreserving) is re-run.
+type FrameFact struct {
+	Clean       bool
+	HasIndirect bool
+	LocalSaved  regset.Set
+}
+
+// solvePreserving runs the greatest fixed point deciding which
+// routines' save slots survive their calls: a routine preserves the
+// frame only if its own frame is clean and every callee — including,
+// for routines with indirect calls, every address-taken routine —
+// preserves it transitively. Mutual recursion between disciplined
+// routines stays disciplined.
+func solvePreserving(facts []FrameFact, callees [][]int, addrTaken []int) []bool {
+	n := len(facts)
+	preserving := make([]bool, n)
+	for ri := range facts {
+		preserving[ri] = facts[ri].Clean
+	}
+	for changed := true; changed; {
+		changed = false
+		for ri := range facts {
+			if !preserving[ri] {
+				continue
+			}
+			ok := true
+			for _, callee := range callees[ri] {
+				if callee < 0 || callee >= n || !preserving[callee] {
+					ok = false
+					break
+				}
+			}
+			if ok && facts[ri].HasIndirect {
+				for _, callee := range addrTaken {
+					if !preserving[callee] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				preserving[ri] = false
+				changed = true
+			}
+		}
+	}
+	return preserving
 }
 
 // frameInfo is what frameScan learns about one routine's stack frame.
@@ -131,11 +178,12 @@ type frameInfo struct {
 	// unknown-target jump.
 	clean bool
 
-	// callees lists the routines this one calls; for indirect calls,
-	// the address-taken routines (the calling standard lets the scan
-	// assume unknown callees preserve sp, and the address-taken set is
-	// every callee the program itself can name).
-	callees []int
+	// callees lists the routines this one calls directly; hasIndirect
+	// marks the presence of indirect calls, which solvePreserving
+	// expands to the address-taken set (every callee the program itself
+	// can name; the calling standard covers callees outside it).
+	callees     []int
+	hasIndirect bool
 
 	// bodyClobbers are the entry-sp-relative slots written by reachable
 	// sp-relative stores outside any prologue region: whatever save
@@ -186,7 +234,7 @@ type frameScratch struct {
 // caller's fixed point withdraws the assumption wherever the callee's
 // own scan disproves it, and the §3.5 calling standard covers callees
 // outside the program.
-func frameScan(r *prog.Routine, addrTaken []int, scratch frameScratch) frameInfo {
+func frameScan(r *prog.Routine, scratch frameScratch) frameInfo {
 	code := r.Code
 	deltas, work := scratch.deltas, scratch.work
 	fi := frameInfo{
@@ -312,7 +360,7 @@ func frameScan(r *prog.Routine, addrTaken []int, scratch frameScratch) frameInfo
 			fi.callDeltas = append(fi.callDeltas, d)
 			flow(i+1, nd)
 		case isa.OpJsrInd:
-			fi.callees = append(fi.callees, addrTaken...)
+			fi.hasIndirect = true
 			fi.callDeltas = append(fi.callDeltas, d)
 			flow(i+1, nd)
 		default:

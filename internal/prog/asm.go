@@ -137,6 +137,69 @@ func Assemble(src string) (*Program, error) {
 	return p, nil
 }
 
+// AssembleRoutine parses the body of a single routine — the same
+// line-oriented syntax Assemble accepts inside a .routine block
+// (.addrtaken, .entry, .table, labels, instructions) — and resolves its
+// call targets against p's symbol table (which includes the routine
+// itself when patching an existing routine). The .routine and .start
+// directives are not accepted: the routine's name arrives out of band,
+// as it does in a patch request. The returned routine is not added to
+// p and is not yet validated against it; callers substitute it and run
+// Validate (or ValidateRoutine) on the result.
+func AssembleRoutine(p *Program, name, src string) (*Routine, error) {
+	b := newRoutineBuilder(name)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...interface{}) error {
+			return fmt.Errorf("asm: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, ".routine"), strings.HasPrefix(line, ".start"):
+			return nil, errf("%s not allowed in a single-routine body", strings.Fields(line)[0])
+		case line == ".addrtaken":
+			b.addrTaken = true
+		case strings.HasPrefix(line, ".entry"):
+			label := strings.TrimSpace(strings.TrimPrefix(line, ".entry"))
+			if label == "" {
+				return nil, errf(".entry requires a label")
+			}
+			b.entryLabels = append(b.entryLabels, pending{label, lineNo + 1})
+		case strings.HasPrefix(line, ".table"):
+			if err := b.parseTable(strings.TrimPrefix(line, ".table"), lineNo+1); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(line, ":"):
+			label := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if label == "" {
+				return nil, errf("empty label")
+			}
+			if _, dup := b.labels[label]; dup {
+				return nil, errf("duplicate label %q", label)
+			}
+			b.labels[label] = len(b.code)
+		default:
+			if err := b.parseInstr(line, lineNo+1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	r, err := b.finish()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range b.calls {
+		ti, ok := p.Index(c.name)
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: unknown routine %q", c.line, c.name)
+		}
+		r.Code[c.instr].Target = ti
+	}
+	return r, nil
+}
+
 // MustAssemble is Assemble but panics on error; intended for tests and
 // examples with constant sources.
 func MustAssemble(src string) *Program {

@@ -1,0 +1,72 @@
+package prog
+
+import "fmt"
+
+// Hash returns a 64-bit content hash of the routine: its name, flags,
+// entries, jump tables and every instruction field. Two routines with
+// equal hashes are treated as identical bodies by the incremental
+// re-analysis (core.Reanalyze) and by snapshot validation, so the hash
+// must cover everything the analysis can observe about a routine except
+// its position in the program (call *targets* are included — they are
+// part of the body — but the routine's own index is not).
+//
+// The hash is a word-at-a-time mix using the splitmix64 finalizer, the
+// same generator primitive progen builds programs with: fast, stateless
+// and stable across processes, which is all the diffing needs. It is
+// not cryptographic; program-level identity uses api.ProgramID
+// (SHA-256 of the canonical SXE image) instead.
+func (r *Routine) Hash() uint64 {
+	h := uint64(0x9e3779b97f4a7c15) // non-zero seed: empty input hashes non-trivially
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	mix(uint64(len(r.Name)))
+	for i := 0; i < len(r.Name); i += 8 {
+		var w uint64
+		for j := i; j < i+8 && j < len(r.Name); j++ {
+			w = w<<8 | uint64(r.Name[j])
+		}
+		mix(w)
+	}
+	if r.AddressTaken {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		mix(uint64(e))
+	}
+	mix(uint64(len(r.Tables)))
+	for _, t := range r.Tables {
+		mix(uint64(len(t)))
+		for _, tgt := range t {
+			mix(uint64(tgt))
+		}
+	}
+	mix(uint64(len(r.Code)))
+	for i := range r.Code {
+		in := &r.Code[i]
+		mix(uint64(in.Op) | uint64(in.Dest)<<8 | uint64(in.Src1)<<16 | uint64(in.Src2)<<24)
+		mix(uint64(in.Imm))
+		mix(uint64(in.Target))
+		mix(uint64(in.Table))
+		mix(uint64(in.Use) ^ uint64(in.Def)<<1 ^ uint64(in.Kill)<<2)
+	}
+	return h
+}
+
+// ValidateRoutine checks the structural invariants of the routine at
+// index ri against the program, exactly as Validate does for every
+// routine. The incremental re-analysis uses it to validate only the
+// routines a patch actually changed.
+func (p *Program) ValidateRoutine(ri int) error {
+	if ri < 0 || ri >= len(p.Routines) {
+		return fmt.Errorf("prog: routine index %d out of range (%d routines)", ri, len(p.Routines))
+	}
+	return p.validateRoutine(ri, p.Routines[ri])
+}

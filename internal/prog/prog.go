@@ -188,6 +188,24 @@ func (p *Program) Clone() *Program {
 	return c
 }
 
+// ShallowClone returns a copy of the program that shares every
+// *Routine with p. Callers that edit a routine must first replace the
+// shared pointer with routine.Clone() ("clone on edit"); routines left
+// untouched stay pointer-identical to p's, which lets incremental
+// consumers (core.Reanalyze) prove them unchanged without rehashing.
+func (p *Program) ShallowClone() *Program {
+	c := &Program{
+		Routines: append([]*Routine(nil), p.Routines...),
+		Entry:    p.Entry,
+		Data:     append([]int64(nil), p.Data...),
+		byName:   make(map[string]int, len(p.Routines)),
+	}
+	for i, r := range p.Routines {
+		c.byName[r.Name] = i
+	}
+	return c
+}
+
 // Validate checks the structural invariants the analyses depend on. It
 // returns the first violation found, or nil.
 func (p *Program) Validate() error {

@@ -157,17 +157,29 @@ func newAnalysisEntry(key string) *analysisEntry {
 	return &analysisEntry{key: key, done: make(chan struct{})}
 }
 
+// finishedEntry wraps an already-computed analysis (from the patch or
+// snapshot-load endpoints) as a ready cache entry: done is closed, so
+// waiters return immediately.
+func finishedEntry(key string, a *core.Analysis, doc api.AnalysisDoc) *analysisEntry {
+	e := newAnalysisEntry(key)
+	e.a = a
+	e.doc = doc
+	e.finished = true
+	close(e.done)
+	return e
+}
+
 // compute runs the analysis under its own cancellable context and
 // freezes the full analysis document — built from a per-analysis
 // metrics registry, so the document (timings included) is identical
-// for every request that reads this entry.
-func (e *analysisEntry) compute(ctx context.Context, p *prog.Program, o api.Options, parallel int) {
+// for every request that reads this entry. schema stamps the document.
+func (e *analysisEntry) compute(ctx context.Context, p *prog.Program, o api.Options, schema string, parallel int) {
 	m := obs.NewMetrics()
 	a, err := core.AnalyzeContext(ctx, p,
 		o.AnalysisOptions(core.WithParallelism(parallel), core.WithMetrics(m))...)
 	if err == nil {
 		e.a = a
-		e.doc = api.BuildAnalysisDoc(a, m)
+		e.doc = api.BuildVersionedDoc(schema, a, m)
 	}
 	e.err = err
 	e.mu.Lock()

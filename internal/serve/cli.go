@@ -28,9 +28,10 @@ func RunCLI(name string, args []string, stdout, stderr io.Writer) error {
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: %s [flags]\n\n"+
-			"Serve the interprocedural analysis over HTTP/JSON (wire format %s).\n"+
+			"Serve the interprocedural analysis over HTTP/JSON (wire formats %s, %s).\n"+
 			"Endpoints: POST /v1/{programs,summary,liveness,callsite,callgraph,analyze,batch},\n"+
-			"GET /healthz, GET /metrics.\n\n", name, api.SchemaVersion)
+			"POST /v1/{patch,snapshot}, GET /healthz, GET /metrics.\n\n",
+			name, api.SchemaVersion, api.SchemaVersionV2)
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {

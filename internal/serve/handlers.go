@@ -24,14 +24,15 @@ func (s *Server) handleLoad(r *http.Request) (int, any) {
 	}
 }
 
-// query is the shared prologue of the point-query endpoints: resolve
-// the program, then the (cached or freshly computed) analysis.
+// query is the shared prologue of the v1 point-query endpoints:
+// resolve the program, then the (cached or freshly computed) analysis
+// under the spike.v1 cache key.
 func (s *Server) query(ctx context.Context, program string, o api.Options) (*loadedProgram, *analysisEntry, int, error) {
 	lp, err := s.program(program)
 	if err != nil {
 		return nil, nil, http.StatusNotFound, err
 	}
-	ent, err := s.analysis(ctx, lp, o)
+	ent, err := s.analysis(ctx, lp, o, api.SchemaVersion)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

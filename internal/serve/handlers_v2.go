@@ -1,0 +1,231 @@
+package serve
+
+// The spike.v2 endpoints: POST /v1/patch (incremental re-analysis of
+// an edited program) and POST /v1/snapshot (save/load a converged
+// analysis in the internal/snapshot binary format). Everything here
+// stamps documents with api.SchemaVersionV2 and caches analyses under
+// the v2 component of the cache key; the v1 surface is untouched.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/prog"
+	"repro/internal/snapshot"
+	"repro/internal/sxe"
+)
+
+// v2Status maps an analysis-layer error to an HTTP status: the typed
+// mismatches — wrong option set, wrong program bytes — are conflicts
+// between the request and existing state (409); everything else is a
+// bad request.
+func v2Status(err error) int {
+	var cm *core.ConfigMismatchError
+	var pm *core.ProgramMismatchError
+	if errors.As(err, &cm) || errors.As(err, &pm) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handlePatch(r *http.Request) (int, any) {
+	const schema = api.SchemaVersionV2
+	var req api.PatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		return errRespV(schema, http.StatusBadRequest, "decode: %v", err)
+	}
+	if len(req.Routines) == 0 {
+		return errRespV(schema, http.StatusBadRequest, "patch: no routine bodies to replace")
+	}
+	lp, err := s.program(req.Program)
+	if err != nil {
+		return errRespV(schema, http.StatusNotFound, "%v", err)
+	}
+	// The base analysis is the warm start; computed on demand like any
+	// query, and shared with other v2 requests for the base program.
+	ent, err := s.analysis(r.Context(), lp, req.Options, schema)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499
+		}
+		return errRespV(schema, status, "%v", err)
+	}
+
+	// Clone-on-edit: only patched routines get fresh *Routine values;
+	// everything else stays pointer-shared with the base program so
+	// Reanalyze can prove it clean without rehashing.
+	patched := lp.prog.ShallowClone()
+	for _, rp := range req.Routines {
+		ri, ok := patched.Index(rp.Routine)
+		if !ok {
+			return errRespV(schema, http.StatusNotFound,
+				"program %s has no routine %q", lp.id, rp.Routine)
+		}
+		nr, err := prog.AssembleRoutine(patched, rp.Routine, rp.Asm)
+		if err != nil {
+			return errRespV(schema, http.StatusBadRequest, "patch %s: %v", rp.Routine, err)
+		}
+		// A patch replaces the body, not the address-taken-ness: that
+		// property belongs to the rest of the program (data references
+		// to the routine), which the patch text cannot see.
+		nr.AddressTaken = nr.AddressTaken || patched.Routines[ri].AddressTaken
+		patched.Routines[ri] = nr
+	}
+	patched.RebuildIndex()
+	canonical, err := sxe.Encode(patched)
+	if err != nil {
+		return errRespV(schema, http.StatusBadRequest, "patched program: %v", err)
+	}
+	info := api.ProgramInfoOf(patched, canonical)
+
+	m := obs.NewMetrics()
+	inc, err := core.ReanalyzeContext(r.Context(), ent.a, patched,
+		req.Options.AnalysisOptions(core.WithParallelism(s.conf.Parallelism), core.WithMetrics(m))...)
+	if err != nil {
+		return errRespV(schema, v2Status(err), "reanalyze: %v", err)
+	}
+
+	// The patched program becomes a first-class loaded program, its
+	// incremental analysis a ready cache entry: follow-up v2 queries on
+	// the new ID hit the cache instead of re-solving.
+	newLP := &loadedProgram{id: info.ID, prog: patched, info: info}
+	s.programs.add(newLP.id, newLP)
+	s.progLoads.Add(1)
+	doc := api.BuildVersionedDoc(schema, inc, m)
+	key := analysisKey(newLP.id, req.Options, schema)
+	s.analyses.add(key, finishedEntry(key, inc, doc))
+
+	return http.StatusOK, api.PatchResponse{
+		SchemaVersion: schema,
+		Base:          lp.id,
+		Program:       info,
+		Incremental:   api.IncrementalInfoOf(inc.Incremental),
+		Analysis:      doc,
+	}
+}
+
+func (s *Server) handleSnapshot(r *http.Request) (int, any) {
+	const schema = api.SchemaVersionV2
+	var req api.SnapshotRequest
+	if err := decodeBody(r, &req); err != nil {
+		return errRespV(schema, http.StatusBadRequest, "decode: %v", err)
+	}
+	switch req.Action {
+	case "save":
+		return s.snapshotSave(r.Context(), &req)
+	case "load":
+		return s.snapshotLoad(r.Context(), &req)
+	default:
+		return errRespV(schema, http.StatusBadRequest,
+			"snapshot: unknown action %q (want save or load)", req.Action)
+	}
+}
+
+// snapshotSave captures the converged analysis of (program, options)
+// as a binary snapshot image — inline in the response, or written to
+// the daemon's filesystem when the request names a path.
+func (s *Server) snapshotSave(ctx context.Context, req *api.SnapshotRequest) (int, any) {
+	const schema = api.SchemaVersionV2
+	lp, err := s.program(req.Program)
+	if err != nil {
+		return errRespV(schema, http.StatusNotFound, "%v", err)
+	}
+	var o api.Options
+	if req.Options != nil {
+		o = *req.Options
+	}
+	ent, err := s.analysis(ctx, lp, o, schema)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499
+		}
+		return errRespV(schema, status, "%v", err)
+	}
+	img := snapshot.Capture(ent.a, lp.id).Encode()
+	resp := api.SnapshotResponse{
+		SchemaVersion: schema,
+		Action:        "save",
+		Program:       lp.id,
+		OptionKey:     o.Key(),
+		Bytes:         len(img),
+	}
+	if req.Path != "" {
+		if err := os.WriteFile(req.Path, img, 0o644); err != nil {
+			return errRespV(schema, http.StatusInternalServerError, "snapshot save: %v", err)
+		}
+		resp.Path = req.Path
+	} else {
+		resp.Snapshot = img
+	}
+	return http.StatusOK, resp
+}
+
+// snapshotLoad restores an analysis from a snapshot image and warms
+// the analysis cache with it. The image binds its own program identity
+// (per-routine body hashes) and option set; the program must already
+// be loaded, and request fields that contradict the snapshot are a
+// conflict, not an override.
+func (s *Server) snapshotLoad(ctx context.Context, req *api.SnapshotRequest) (int, any) {
+	const schema = api.SchemaVersionV2
+	img := req.Snapshot
+	if req.Path != "" {
+		if len(img) > 0 {
+			return errRespV(schema, http.StatusBadRequest,
+				"snapshot load: set path or snapshot, not both")
+		}
+		var err error
+		img, err = os.ReadFile(req.Path)
+		if err != nil {
+			return errRespV(schema, http.StatusBadRequest, "snapshot load: %v", err)
+		}
+	}
+	if len(img) == 0 {
+		return errRespV(schema, http.StatusBadRequest,
+			"snapshot load: no image (set path or snapshot)")
+	}
+	snap, err := snapshot.Decode(img)
+	if err != nil {
+		return errRespV(schema, http.StatusBadRequest, "snapshot load: %v", err)
+	}
+	o, err := api.ParseOptionsKey(snap.OptionKey())
+	if err != nil {
+		return errRespV(schema, http.StatusBadRequest, "snapshot load: %v", err)
+	}
+	if req.Options != nil && req.Options.Key() != o.Key() {
+		return errRespV(schema, http.StatusConflict, "snapshot load: %v",
+			&core.ConfigMismatchError{Want: o.Key(), Got: req.Options.Key()})
+	}
+	id := snap.ProgramID
+	if req.Program != "" && req.Program != id {
+		return errRespV(schema, http.StatusConflict,
+			"snapshot load: snapshot is of program %s, request names %s", id, req.Program)
+	}
+	lp, err := s.program(id)
+	if err != nil {
+		return errRespV(schema, http.StatusNotFound,
+			"snapshot load: program %s is not loaded (load it via POST /v1/programs first)", id)
+	}
+	m := obs.NewMetrics()
+	a, err := snap.RestoreContext(ctx, lp.prog,
+		o.AnalysisOptions(core.WithParallelism(s.conf.Parallelism), core.WithMetrics(m))...)
+	if err != nil {
+		return errRespV(schema, v2Status(err), "snapshot load: %v", err)
+	}
+	doc := api.BuildVersionedDoc(schema, a, m)
+	key := analysisKey(lp.id, o, schema)
+	s.analyses.add(key, finishedEntry(key, a, doc))
+	return http.StatusOK, api.SnapshotResponse{
+		SchemaVersion: schema,
+		Action:        "load",
+		Program:       lp.id,
+		OptionKey:     o.Key(),
+		Bytes:         len(img),
+	}
+}

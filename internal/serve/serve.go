@@ -77,7 +77,7 @@ type Server struct {
 	mux     *http.ServeMux
 
 	programs *lruCache // program id → *loadedProgram
-	analyses *lruCache // program id + "|" + options key → *analysisEntry
+	analyses *lruCache // analysisKey(id, options, schema) → *analysisEntry
 
 	progLoads  *obs.Counter
 	progHits   *obs.Counter
@@ -124,6 +124,8 @@ func New(conf Config) *Server {
 	s.route("POST /v1/callgraph", "callgraph", s.handleCallGraph)
 	s.route("POST /v1/analyze", "analyze", s.handleAnalyze)
 	s.route("POST /v1/batch", "batch", s.handleBatch)
+	s.route("POST /v1/patch", "patch", s.handlePatch)
+	s.route("POST /v1/snapshot", "snapshot", s.handleSnapshot)
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	return s
@@ -195,10 +197,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// errResp builds an error reply.
+// errResp builds an error reply stamped spike.v1 (the v1 endpoints);
+// errRespV stamps an explicit schema version (the v2 endpoints).
 func errResp(status int, format string, args ...any) (int, any) {
+	return errRespV(api.SchemaVersion, status, format, args...)
+}
+
+func errRespV(schema string, status int, format string, args ...any) (int, any) {
 	return status, api.ErrorResponse{
-		SchemaVersion: api.SchemaVersion,
+		SchemaVersion: schema,
 		Error:         fmt.Sprintf(format, args...),
 	}
 }
@@ -270,13 +277,24 @@ func (s *Server) program(id string) (*loadedProgram, error) {
 	return v.(*loadedProgram), nil
 }
 
-// analysis returns the converged analysis of (program, options),
-// computing it at most once per key. It blocks until the analysis is
-// ready or ctx is cancelled; when the last waiting request abandons an
-// in-flight compute, the compute is cancelled and its cache slot
-// dropped.
-func (s *Server) analysis(ctx context.Context, lp *loadedProgram, o api.Options) (*analysisEntry, error) {
-	key := lp.id + "|" + o.Key()
+// analysisKey indexes the analysis cache by program identity, option
+// set and wire schema version. The schema component is load-bearing:
+// the frozen document inside an entry is stamped with the schema it
+// was built under (and a spike.v2 document may carry the incremental
+// provenance block), so an entry warmed through the v2 patch or
+// snapshot endpoints must never answer a spike.v1 request — which is
+// exactly what happened when the key was only id + option key.
+func analysisKey(id string, o api.Options, schema string) string {
+	return id + "|" + o.Key() + "|" + schema
+}
+
+// analysis returns the converged analysis of (program, options,
+// schema), computing it at most once per key. It blocks until the
+// analysis is ready or ctx is cancelled; when the last waiting request
+// abandons an in-flight compute, the compute is cancelled and its
+// cache slot dropped.
+func (s *Server) analysis(ctx context.Context, lp *loadedProgram, o api.Options, schema string) (*analysisEntry, error) {
+	key := analysisKey(lp.id, o, schema)
 	for {
 		v, created := s.analyses.getOrCreate(key, func() any { return newAnalysisEntry(key) })
 		ent := v.(*analysisEntry)
@@ -284,7 +302,7 @@ func (s *Server) analysis(ctx context.Context, lp *loadedProgram, o api.Options)
 			s.anaMisses.Add(1)
 			cctx, cancel := context.WithCancel(context.Background())
 			ent.cancel = cancel
-			go ent.compute(cctx, lp.prog, o, s.conf.Parallelism)
+			go ent.compute(cctx, lp.prog, o, schema, s.conf.Parallelism)
 		} else {
 			s.anaHits.Add(1)
 		}

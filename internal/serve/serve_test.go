@@ -439,7 +439,7 @@ func TestAbandonedRequestCancelsAnalysis(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = s.analysis(ctx, lp, api.Options{})
+	_, err = s.analysis(ctx, lp, api.Options{}, api.SchemaVersion)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("analysis under cancelled context: err = %v, want context.Canceled", err)
 	}
@@ -447,7 +447,7 @@ func TestAbandonedRequestCancelsAnalysis(t *testing.T) {
 		t.Errorf("abandoned analysis left %d cache entries, want 0", n)
 	}
 	// The slot is clean: a live request computes from scratch.
-	ent, err := s.analysis(context.Background(), lp, api.Options{})
+	ent, err := s.analysis(context.Background(), lp, api.Options{}, api.SchemaVersion)
 	if err != nil {
 		t.Fatal(err)
 	}

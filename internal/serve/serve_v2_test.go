@@ -1,0 +1,398 @@
+package serve
+
+// Tests of the spike.v2 surface: the patch and snapshot endpoints and
+// the schema-versioned analysis cache key.
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// patchedDouble gives double a use of its second argument, changing
+// its summary (a1 stops being dead in main).
+const patchedDouble = `
+  add v0, a0, a0
+  add v0, v0, a1
+  ret
+`
+
+// mustPatch posts a single-routine patch and decodes the response.
+func (c *testClient) mustPatch(id string, o api.Options, routine, asm string) api.PatchResponse {
+	c.t.Helper()
+	status, body := c.post("/v1/patch", api.PatchRequest{
+		Program:  id,
+		Options:  o,
+		Routines: []api.RoutinePatch{{Routine: routine, Asm: asm}},
+	})
+	if status != http.StatusOK {
+		c.t.Fatalf("patch: status %d: %s", status, body)
+	}
+	var resp api.PatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		c.t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPatchEndpoint drives the incremental re-analysis endpoint end to
+// end: the patched program gets its own identity, the response carries
+// the reuse provenance, and the incremental document's summaries match
+// a from-scratch analysis of the patched program.
+func TestPatchEndpoint(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	id := c.mustLoad()
+	resp := c.mustPatch(id, api.Options{}, "double", patchedDouble)
+
+	if resp.SchemaVersion != api.SchemaVersionV2 {
+		t.Errorf("schema = %q, want %q", resp.SchemaVersion, api.SchemaVersionV2)
+	}
+	if resp.Base != id {
+		t.Errorf("base = %q, want %q", resp.Base, id)
+	}
+	if resp.Program.ID == id {
+		t.Error("patched program kept the base identity")
+	}
+	if resp.Incremental.DirtyRoutines != 1 {
+		t.Errorf("dirty routines = %d, want 1", resp.Incremental.DirtyRoutines)
+	}
+	if resp.Analysis.SchemaVersion != api.SchemaVersionV2 {
+		t.Errorf("analysis doc schema = %q, want %q", resp.Analysis.SchemaVersion, api.SchemaVersionV2)
+	}
+	if resp.Analysis.Incremental == nil {
+		t.Error("analysis doc lacks the incremental block")
+	}
+
+	// The incremental result must equal a from-scratch analysis of the
+	// patched source, which the daemon serves for the new ID via v1.
+	status, body := c.post("/v1/summary", api.SummaryRequest{
+		Program: resp.Program.ID, Routine: "double",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("summary of patched program: status %d: %s", status, body)
+	}
+	var sum api.SummaryResponse
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	var fromPatch *api.RoutineSummary
+	for i := range resp.Analysis.Routines {
+		if resp.Analysis.Routines[i].Routine == "double" {
+			fromPatch = &resp.Analysis.Routines[i]
+		}
+	}
+	if fromPatch == nil {
+		t.Fatal("patch document has no summary for double")
+	}
+	a, b := *fromPatch, sum.Summary
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("incremental summary differs from scratch:\n inc: %s\n scr: %s", aj, bj)
+	}
+
+	// The edit is visible: a1 is now used by double.
+	if len(a.Entries) != 1 || !strings.Contains(a.Entries[0].CallUsed, "a1") {
+		t.Errorf("patched double call-used = %+v, want a1 used", a.Entries)
+	}
+}
+
+// TestPatchErrors pins the failure statuses: unknown program 404,
+// unknown routine 404, bad assembly 400, empty patch 400.
+func TestPatchErrors(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	id := c.mustLoad()
+	for _, tc := range []struct {
+		name   string
+		req    api.PatchRequest
+		status int
+	}{
+		{"unknown program", api.PatchRequest{Program: "sha256:0",
+			Routines: []api.RoutinePatch{{Routine: "double", Asm: "  ret"}}}, http.StatusNotFound},
+		{"unknown routine", api.PatchRequest{Program: id,
+			Routines: []api.RoutinePatch{{Routine: "nope", Asm: "  ret"}}}, http.StatusNotFound},
+		{"bad asm", api.PatchRequest{Program: id,
+			Routines: []api.RoutinePatch{{Routine: "double", Asm: "  bogus x, y"}}}, http.StatusBadRequest},
+		{"empty", api.PatchRequest{Program: id}, http.StatusBadRequest},
+	} {
+		status, body := c.post("/v1/patch", tc.req)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, status, tc.status, body)
+		}
+		var er api.ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if er.SchemaVersion != api.SchemaVersionV2 {
+			t.Errorf("%s: error schema = %q, want %q", tc.name, er.SchemaVersion, api.SchemaVersionV2)
+		}
+	}
+}
+
+// TestAnalysisCacheKeyIncludesSchema is the regression test for the
+// cache-key bug: entries warmed through the v2 endpoints carry
+// v2-stamped documents, so a v1 /v1/analyze for the same (program,
+// options) must not be served from them. Before the schema version
+// joined the key, it was.
+func TestAnalysisCacheKeyIncludesSchema(t *testing.T) {
+	s, c := newTestClient(t, Config{})
+	id := c.mustLoad()
+	resp := c.mustPatch(id, api.Options{}, "double", patchedDouble)
+	patchedID := resp.Program.ID
+
+	// The patch warmed a v2 entry for the patched program.
+	wantV2 := analysisKey(patchedID, api.Options{}, api.SchemaVersionV2)
+	found := false
+	for _, k := range s.analyses.keys() {
+		if k == wantV2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("analysis cache lacks the patch-warmed key %q (have %v)", wantV2, s.analyses.keys())
+	}
+
+	// A v1 analyze of the patched program must produce a v1 document —
+	// a fresh compute under the v1 key, not the warmed v2 entry.
+	status, body := c.post("/v1/analyze", api.AnalyzeRequest{Program: patchedID})
+	if status != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", status, body)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if v := doc["schema_version"]; v != api.SchemaVersion {
+		t.Errorf("v1 analyze served schema %v, want %v", v, api.SchemaVersion)
+	}
+	if _, leaked := doc["incremental"]; leaked {
+		t.Error("v1 analyze served a document with the v2 incremental block")
+	}
+	wantV1 := analysisKey(patchedID, api.Options{}, api.SchemaVersion)
+	haveV1 := false
+	for _, k := range s.analyses.keys() {
+		if k == wantV1 {
+			haveV1 = true
+		}
+	}
+	if !haveV1 {
+		t.Errorf("analysis cache lacks a distinct v1 key %q (have %v)", wantV1, s.analyses.keys())
+	}
+}
+
+// TestSnapshotSaveLoad round-trips a converged analysis through the
+// snapshot endpoint: save on one daemon, load on a fresh one, where it
+// warms the analysis cache without re-running the solver.
+func TestSnapshotSaveLoad(t *testing.T) {
+	_, c1 := newTestClient(t, Config{})
+	id := c1.mustLoad()
+	status, body := c1.post("/v1/snapshot", api.SnapshotRequest{Action: "save", Program: id})
+	if status != http.StatusOK {
+		t.Fatalf("save: status %d: %s", status, body)
+	}
+	var saved api.SnapshotResponse
+	if err := json.Unmarshal(body, &saved); err != nil {
+		t.Fatal(err)
+	}
+	if saved.Program != id || len(saved.Snapshot) == 0 || saved.Bytes != len(saved.Snapshot) {
+		t.Fatalf("save response inconsistent: %+v", saved)
+	}
+	if saved.OptionKey != (api.Options{}).Key() {
+		t.Errorf("option key = %q, want default", saved.OptionKey)
+	}
+
+	// A fresh daemon: load the program, then the snapshot.
+	s2, c2 := newTestClient(t, Config{})
+	if got := c2.mustLoad(); got != id {
+		t.Fatalf("program ID drifted: %s vs %s", got, id)
+	}
+	status, body = c2.post("/v1/snapshot", api.SnapshotRequest{Action: "load", Snapshot: saved.Snapshot})
+	if status != http.StatusOK {
+		t.Fatalf("load: status %d: %s", status, body)
+	}
+	var loaded api.SnapshotResponse
+	if err := json.Unmarshal(body, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Action != "load" || loaded.Program != id {
+		t.Fatalf("load response inconsistent: %+v", loaded)
+	}
+	wantKey := analysisKey(id, api.Options{}, api.SchemaVersionV2)
+	warm := false
+	for _, k := range s2.analyses.keys() {
+		if k == wantKey {
+			warm = true
+		}
+	}
+	if !warm {
+		t.Fatalf("snapshot load did not warm the cache under %q (have %v)", wantKey, s2.analyses.keys())
+	}
+
+	// The warmed entry answers the patch endpoint without a base
+	// compute: the analysis-cache hit counter moves, the miss stays.
+	misses := counterValue(t, s2, "serve/analysis_cache_misses")
+	resp := c2.mustPatch(id, api.Options{}, "double", patchedDouble)
+	if resp.Incremental.DirtyRoutines != 1 {
+		t.Errorf("patch from warmed cache: dirty = %d, want 1", resp.Incremental.DirtyRoutines)
+	}
+	if got := counterValue(t, s2, "serve/analysis_cache_misses"); got != misses {
+		t.Errorf("patch from warmed cache recomputed the base analysis (misses %d -> %d)", misses, got)
+	}
+}
+
+func counterValue(t *testing.T, s *Server, name string) uint64 {
+	t.Helper()
+	for _, cv := range s.metrics.Snapshot().Counters {
+		if cv.Name == name {
+			return cv.Value
+		}
+	}
+	return 0
+}
+
+// TestSnapshotPathRoundTrip exercises the filesystem form: save to a
+// path, load from it on a fresh daemon.
+func TestSnapshotPathRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.snap")
+	_, c1 := newTestClient(t, Config{})
+	id := c1.mustLoad()
+	o := api.Options{OpenWorld: true}
+	status, body := c1.post("/v1/snapshot", api.SnapshotRequest{
+		Action: "save", Program: id, Options: &o, Path: path,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("save: status %d: %s", status, body)
+	}
+	var saved api.SnapshotResponse
+	if err := json.Unmarshal(body, &saved); err != nil {
+		t.Fatal(err)
+	}
+	if len(saved.Snapshot) != 0 {
+		t.Error("path save also returned the image inline")
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(saved.Bytes) {
+		t.Fatalf("snapshot file: %v (size %v, want %d)", err, fi, saved.Bytes)
+	}
+
+	s2, c2 := newTestClient(t, Config{})
+	c2.mustLoad()
+	status, body = c2.post("/v1/snapshot", api.SnapshotRequest{Action: "load", Path: path})
+	if status != http.StatusOK {
+		t.Fatalf("load: status %d: %s", status, body)
+	}
+	wantKey := analysisKey(id, o, api.SchemaVersionV2)
+	warm := false
+	for _, k := range s2.analyses.keys() {
+		if k == wantKey {
+			warm = true
+		}
+	}
+	if !warm {
+		t.Fatalf("load from path did not warm %q (have %v)", wantKey, s2.analyses.keys())
+	}
+}
+
+// TestSnapshotErrors pins the failure statuses, in particular the
+// typed 409 conflicts for option and program mismatches.
+func TestSnapshotErrors(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	id := c.mustLoad()
+	status, body := c.post("/v1/snapshot", api.SnapshotRequest{Action: "save", Program: id})
+	if status != http.StatusOK {
+		t.Fatalf("save: status %d: %s", status, body)
+	}
+	var saved api.SnapshotResponse
+	if err := json.Unmarshal(body, &saved); err != nil {
+		t.Fatal(err)
+	}
+	img := saved.Snapshot
+
+	wrong := api.Options{OpenWorld: true}
+	for _, tc := range []struct {
+		name   string
+		req    api.SnapshotRequest
+		status int
+	}{
+		{"bad action", api.SnapshotRequest{Action: "rotate"}, http.StatusBadRequest},
+		{"save unknown program", api.SnapshotRequest{Action: "save", Program: "sha256:0"}, http.StatusNotFound},
+		{"load no image", api.SnapshotRequest{Action: "load"}, http.StatusBadRequest},
+		{"load corrupt", api.SnapshotRequest{Action: "load", Snapshot: img[:len(img)/2]}, http.StatusBadRequest},
+		{"load option conflict", api.SnapshotRequest{Action: "load", Snapshot: img, Options: &wrong}, http.StatusConflict},
+		{"load program conflict", api.SnapshotRequest{Action: "load", Snapshot: img, Program: "sha256:0"}, http.StatusConflict},
+	} {
+		status, body := c.post("/v1/snapshot", tc.req)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, status, tc.status, body)
+		}
+	}
+
+	// The option-conflict error is the typed core mismatch, rendered.
+	status, body = c.post("/v1/snapshot", api.SnapshotRequest{Action: "load", Snapshot: img, Options: &wrong})
+	if status != http.StatusConflict {
+		t.Fatalf("conflict: status %d", status)
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	want := (&core.ConfigMismatchError{Want: (api.Options{}).Key(), Got: wrong.Key()}).Error()
+	if !strings.Contains(er.Error, want) {
+		t.Errorf("conflict error = %q, want it to contain %q", er.Error, want)
+	}
+
+	// A snapshot of a program the daemon does not hold is a 404 telling
+	// the client to load the program first.
+	_, c2 := newTestClient(t, Config{})
+	status, body = c2.post("/v1/snapshot", api.SnapshotRequest{Action: "load", Snapshot: img})
+	if status != http.StatusNotFound {
+		t.Errorf("load without program: status %d, want 404: %s", status, body)
+	}
+}
+
+// TestPatchChain edits twice, the second patch building on the first:
+// each hop is one dirty routine, and identity chains through Base.
+func TestPatchChain(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	id := c.mustLoad()
+	r1 := c.mustPatch(id, api.Options{}, "double", patchedDouble)
+	r2 := c.mustPatch(r1.Program.ID, api.Options{}, "main", `
+  lda a0, 7(zero)
+  lda a1, 2(zero)
+  jsr double
+  print v0
+  halt
+`)
+	if r2.Base != r1.Program.ID {
+		t.Errorf("second patch base = %q, want %q", r2.Base, r1.Program.ID)
+	}
+	if r2.Incremental.DirtyRoutines != 1 {
+		t.Errorf("second patch dirty = %d, want 1", r2.Incremental.DirtyRoutines)
+	}
+	// The second hop's base analysis was the cached incremental result
+	// of the first — reanalysis of a reanalysis still matches scratch.
+	status, body := c.post("/v1/summary", api.SummaryRequest{Program: r2.Program.ID, Routine: "main"})
+	if status != http.StatusOK {
+		t.Fatalf("summary: status %d: %s", status, body)
+	}
+	var sum api.SummaryResponse
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	var inc *api.RoutineSummary
+	for i := range r2.Analysis.Routines {
+		if r2.Analysis.Routines[i].Routine == "main" {
+			inc = &r2.Analysis.Routines[i]
+		}
+	}
+	aj, _ := json.Marshal(inc)
+	bj, _ := json.Marshal(sum.Summary)
+	if string(aj) != string(bj) {
+		t.Errorf("chained incremental summary differs from scratch:\n inc: %s\n scr: %s", aj, bj)
+	}
+}
