@@ -9,7 +9,11 @@ GO ?= go
 # allocation benchmarks in internal/core, and the analysis-service
 # endpoint benchmarks (BenchmarkServe*, routed into the document's
 # "serve" section with queries/sec and latency quantiles).
-BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkLabeling|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe|BenchmarkReanalyze
+BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe|BenchmarkReanalyze
+# The per-routine labeling benchmarks are microsecond-scale, so three
+# iterations are dominated by first-run slab allocation; they get a
+# steady-state iteration count of their own.
+BENCH_LABEL_SET = BenchmarkLabeling|BenchmarkDefUseBuild$$
 BENCH_PKGS = . ./internal/core/ ./internal/serve/
 
 # Baseline git ref for `make bench-compare`.
@@ -43,8 +47,10 @@ bench:
 # diffs cleanly across PRs. Wall-time metrics are meaningful relative to
 # the machine that produced them; allocs/op and B/op are portable.
 bench-json:
-	$(GO) test -run XXX -bench '$(BENCH_SET)' -benchmem -benchtime 3x -json \
-		$(BENCH_PKGS) | $(GO) run ./cmd/benchjson > BENCH_phases.json
+	( $(GO) test -run XXX -bench '$(BENCH_SET)' -benchmem -benchtime 3x -json \
+		$(BENCH_PKGS) ; \
+	  $(GO) test -run XXX -bench '$(BENCH_LABEL_SET)' -benchmem -benchtime 500x -json \
+		./internal/core/ ) | $(GO) run ./cmd/benchjson > BENCH_phases.json
 
 # Benchstat-style comparison of the benchmark set against a baseline
 # ref (default HEAD~1): checks the baseline out into a scratch worktree,
@@ -106,8 +112,10 @@ soak:
 soak-ci:
 	CHECK_SOAK_N=2000 $(GO) test ./internal/check/ -run TestGeneratedProgramsClean -count=1 -timeout 30m
 	CHECK_INCR_N=2000 $(GO) test ./internal/check/ -run TestIncrementalClean -count=1 -timeout 30m
+	$(GO) test ./internal/check/ -run TestLabelingExamples -count=1 -timeout 10m
 	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzAnalyze -fuzztime 30s -count=1
 	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzSavedRestored -fuzztime 30s -count=1
+	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzLabeling -fuzztime 30s -count=1
 	$(GO) test ./internal/snapshot/ -run '^$$' -fuzz FuzzSnapshot -fuzztime 30s -count=1
 
 # Incremental re-analysis soak: the incremental oracle alone, over

@@ -69,7 +69,25 @@ func load(path string) (*doc, error) {
 	if err := json.Unmarshal(data, &d); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	d.aliasLabeling()
 	return &d, nil
+}
+
+// aliasLabeling lines up documents across the PR 8 labeler rename: the
+// sparse def-use labeler became the default and "BenchmarkLabeling/
+// forward" is kept as an alias of "sparse". Documents that predate the
+// rename carry only "forward"; mirror it onto "sparse" (and leave
+// "dense" absent — the old dense solver *was* the forward one) so the
+// sparse rows compare against the historical trajectory.
+func (d *doc) aliasLabeling() {
+	const fwd, sparse = "BenchmarkLabeling/forward", "BenchmarkLabeling/sparse"
+	for _, section := range []map[string]map[string]float64{d.Benchmarks, d.Counters} {
+		if m, ok := section[fwd]; ok {
+			if _, exists := section[sparse]; !exists {
+				section[sparse] = m
+			}
+		}
+	}
 }
 
 func report(old, new_ *doc) {

@@ -129,6 +129,10 @@ type Graph struct {
 	blockStore []Block
 	succArena  []int
 	predArena  []int
+
+	// loopMemo caches BlockInLoop's per-block answers, computed lazily
+	// by one SCC pass on the first query (see scc.go).
+	loopMemo []bool
 }
 
 // MemoryFootprint returns the resident bytes of the graph's arena

@@ -17,10 +17,18 @@
 //
 //   - The differential runner (differential.go) runs the analysis
 //     across the full option matrix (open/closed world × branch nodes ×
-//     per-edge labeling × parallelism 1/2/8), requires byte-identical
-//     summaries within each world, and bounds the result against the
-//     context-insensitive supergraph baseline, which by construction
-//     includes every path the PSG analysis reasons about.
+//     per-edge labeling × dense/sparse labeler × parallelism 1/2/8),
+//     requires byte-identical summaries within each world, and bounds
+//     the result against the context-insensitive supergraph baseline,
+//     which by construction includes every path the PSG analysis
+//     reasons about.
+//
+//   - The labeling oracle (labeling.go) pits the default sparse
+//     def-use chain labeler against the dense Figure 6 solver kept
+//     behind WithDenseLabeling: the two share no propagation code, so
+//     identical PSGs — every node, every edge label set, every shared
+//     stable metric — are two independent derivations of one fixed
+//     point.
 //
 // The oracles report Violations rather than failing a *testing.T, so
 // the same harness backs the package's tests, the fuzz targets, the
@@ -38,7 +46,7 @@ import (
 
 // Violation is one failed check. A sound analysis produces none.
 type Violation struct {
-	Oracle  string // "invariant", "dynamic" or "differential"
+	Oracle  string // "invariant", "dynamic", "differential" or "labeling"
 	Rule    string // stable rule identifier, e.g. "dynamic-use-subset"
 	Routine string // routine name, when the violation is per-routine
 	Detail  string // human-readable specifics
@@ -94,6 +102,11 @@ func Program(p *prog.Program, opts *Options) []Violation {
 	for _, a := range []*core.Analysis{diff.closed, diff.open} {
 		vs = append(vs, Invariants(a)...)
 	}
+
+	// The labeling oracle digs below the summaries the matrix compares:
+	// per-edge and per-node label sets plus the shared stable metrics
+	// must be identical between the sparse and dense labelers.
+	vs = append(vs, Labeling(p)...)
 
 	// The dynamic oracle checks each world's summaries against the same
 	// execution: open-world sets are the tighter claim, closed-world

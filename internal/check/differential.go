@@ -22,6 +22,7 @@ type diffConfig struct {
 	open        bool
 	branchNodes bool
 	perEdge     bool
+	dense       bool
 	parallelism int
 }
 
@@ -30,13 +31,15 @@ func (d diffConfig) String() string {
 	if d.open {
 		world = "open"
 	}
-	return fmt.Sprintf("%s/branch=%v/peredge=%v/par=%d", world, d.branchNodes, d.perEdge, d.parallelism)
+	return fmt.Sprintf("%s/branch=%v/peredge=%v/dense=%v/par=%d",
+		world, d.branchNodes, d.perEdge, d.dense, d.parallelism)
 }
 
 func (d diffConfig) options() []core.Option {
 	opts := []core.Option{
 		core.WithBranchNodes(d.branchNodes),
 		core.WithPerEdgeLabeling(d.perEdge),
+		core.WithDenseLabeling(d.dense),
 		core.WithParallelism(d.parallelism),
 	}
 	if d.open {
@@ -48,13 +51,13 @@ func (d diffConfig) options() []core.Option {
 }
 
 // differential runs the analysis across the full option matrix — world
-// × branch nodes × per-edge labeling × parallelism — and checks three
-// relations:
+// × branch nodes × per-edge labeling × dense/sparse labeler ×
+// parallelism — and checks three relations:
 //
 //   - within one world, every configuration publishes identical
-//     summaries: branch nodes, per-edge labeling and the worker count
-//     are representation and scheduling choices, not semantics
-//     ("config-determinism");
+//     summaries: branch nodes, per-edge labeling, the labeling solver
+//     and the worker count are representation and scheduling choices,
+//     not semantics ("config-determinism");
 //   - each world's liveness is bounded by the context-insensitive
 //     supergraph baseline, which by construction merges every calling
 //     context the PSG analysis distinguishes ("baseline-subset");
@@ -71,23 +74,31 @@ func differential(p *prog.Program, parallelisms []int) diffResult {
 		var anchorCfg diffConfig
 		for _, branch := range []bool{true, false} {
 			for _, perEdge := range []bool{false, true} {
-				for _, par := range parallelisms {
-					cfg := diffConfig{open: open, branchNodes: branch, perEdge: perEdge, parallelism: par}
-					a, err := core.Analyze(p, cfg.options()...)
-					if err != nil {
-						if !open && branch && !perEdge && par == parallelisms[0] {
-							// First cell: the program itself is rejected.
-							c.vs = append(c.vs, Violation{Oracle: "analyze", Rule: "rejected", Detail: err.Error()})
-							return diffResult{violations: c.vs}
+				// Per-edge labeling already runs on the dense solver, so
+				// the dense toggle only adds a distinct cell without it.
+				denses := []bool{false, true}
+				if perEdge {
+					denses = []bool{false}
+				}
+				for _, dense := range denses {
+					for _, par := range parallelisms {
+						cfg := diffConfig{open: open, branchNodes: branch, perEdge: perEdge, dense: dense, parallelism: par}
+						a, err := core.Analyze(p, cfg.options()...)
+						if err != nil {
+							if !open && branch && !perEdge && !dense && par == parallelisms[0] {
+								// First cell: the program itself is rejected.
+								c.vs = append(c.vs, Violation{Oracle: "analyze", Rule: "rejected", Detail: err.Error()})
+								return diffResult{violations: c.vs}
+							}
+							c.addf("config-determinism", "", "%s failed (%v) where the first configuration succeeded", cfg, err)
+							continue
 						}
-						c.addf("config-determinism", "", "%s failed (%v) where the first configuration succeeded", cfg, err)
-						continue
+						if anchor == nil {
+							anchor, anchorCfg = a, cfg
+							continue
+						}
+						compareSummaries(c, anchorCfg, anchor, cfg, a)
 					}
-					if anchor == nil {
-						anchor, anchorCfg = a, cfg
-						continue
-					}
-					compareSummaries(c, anchorCfg, anchor, cfg, a)
 				}
 			}
 		}

@@ -1,0 +1,153 @@
+package check
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/prog"
+)
+
+// Labeling is the sparse-vs-dense labeling oracle: it runs the analysis
+// twice per world — once on the default sparse def-use chain labeler,
+// once on the dense Figure 6 solver behind WithDenseLabeling — and
+// requires the two to agree program-wide, below the summary level the
+// differential matrix already compares:
+//
+//   - every PSG node and edge, including the three flow-summary label
+//     sets on each edge and the converged sets on each node
+//     ("label-psg-identical");
+//   - every routine summary ("label-summary-identical");
+//   - every stable metric the two modes share — the sparse labeler's
+//     own counters (label/chain_steps, label/defuse_links,
+//     label/dense_fallbacks) are mode-specific by construction and
+//     excluded ("label-metrics-identical").
+//
+// The dense solver predates the sparse one and shares no propagation
+// code with it, so agreement here is an independent derivation of the
+// same fixed point, not a self-check.
+func Labeling(p *prog.Program) []Violation {
+	c := &collector{oracle: "labeling"}
+	for _, open := range []bool{false, true} {
+		world := "closed"
+		worldOpt := core.WithClosedWorld()
+		if open {
+			world = "open"
+			worldOpt = core.WithOpenWorld()
+		}
+		ms, md := obs.NewMetrics(), obs.NewMetrics()
+		sparse, serr := core.Analyze(p, worldOpt, core.WithMetrics(ms))
+		dense, derr := core.Analyze(p, worldOpt, core.WithDenseLabeling(true), core.WithMetrics(md))
+		if serr != nil || derr != nil {
+			if (serr == nil) != (derr == nil) {
+				c.addf("label-reject-identical", "",
+					"%s world: sparse error %v, dense error %v", world, serr, derr)
+			}
+			continue
+		}
+		compareLabeledPSG(c, world, sparse.PSG, dense.PSG)
+		compareLabelSummaries(c, world, sparse, dense)
+		compareStableCounters(c, world, ms, md)
+	}
+	return c.result()
+}
+
+// compareLabeledPSG requires the two analyses' program summary graphs
+// to be identical node by node and edge by edge — structure and labels.
+func compareLabeledPSG(c *collector, world string, sp, dp *core.PSG) {
+	if len(sp.Nodes) != len(dp.Nodes) || len(sp.Edges) != len(dp.Edges) {
+		c.addf("label-psg-identical", "",
+			"%s world: sparse PSG %d nodes/%d edges, dense %d/%d",
+			world, len(sp.Nodes), len(sp.Edges), len(dp.Nodes), len(dp.Edges))
+		return
+	}
+	for i := range sp.Nodes {
+		sn, dn := &sp.Nodes[i], &dp.Nodes[i]
+		if sn.Kind != dn.Kind || sn.Routine != dn.Routine || sn.Block != dn.Block ||
+			sn.EntryIdx != dn.EntryIdx || sn.CallTarget != dn.CallTarget ||
+			sn.CallEntry != dn.CallEntry || sn.Unknown != dn.Unknown {
+			c.addf("label-psg-identical", "", "%s world: node %d shape differs", world, i)
+		}
+		if sn.MayUse != dn.MayUse || sn.MayDef != dn.MayDef || sn.MustDef != dn.MustDef {
+			c.addf("label-psg-identical", "",
+				"%s world: node %d sets sparse (%v, %v, %v) ≠ dense (%v, %v, %v)",
+				world, i, sn.MayUse, sn.MayDef, sn.MustDef, dn.MayUse, dn.MayDef, dn.MustDef)
+		}
+	}
+	for i := range sp.Edges {
+		se, de := &sp.Edges[i], &dp.Edges[i]
+		if se.Kind != de.Kind || se.Src != de.Src || se.Dst != de.Dst {
+			c.addf("label-psg-identical", "", "%s world: edge %d shape differs", world, i)
+		}
+		if se.MayUse != de.MayUse || se.MayDef != de.MayDef || se.MustDef != de.MustDef {
+			c.addf("label-psg-identical", "",
+				"%s world: edge %d labels sparse (%v, %v, %v) ≠ dense (%v, %v, %v)",
+				world, i, se.MayUse, se.MayDef, se.MustDef, de.MayUse, de.MayDef, de.MustDef)
+		}
+	}
+}
+
+func compareLabelSummaries(c *collector, world string, sparse, dense *core.Analysis) {
+	for ri := range sparse.Prog.Routines {
+		name := sparse.Prog.Routines[ri].Name
+		ss, ds := sparse.Summary(ri), dense.Summary(ri)
+		if ss.SavedRestored != ds.SavedRestored {
+			c.addf("label-summary-identical", name,
+				"%s world: saved/restored sparse %v ≠ dense %v", world, ss.SavedRestored, ds.SavedRestored)
+		}
+		if len(ss.CallUsed) != len(ds.CallUsed) || len(ss.LiveAtExit) != len(ds.LiveAtExit) {
+			c.addf("label-summary-identical", name, "%s world: summary shape differs", world)
+			continue
+		}
+		for e := range ss.CallUsed {
+			if ss.CallUsed[e] != ds.CallUsed[e] || ss.CallDefined[e] != ds.CallDefined[e] ||
+				ss.CallKilled[e] != ds.CallKilled[e] || ss.LiveAtEntry[e] != ds.LiveAtEntry[e] {
+				c.addf("label-summary-identical", name, "%s world: entry %d summary differs", world, e)
+			}
+		}
+		for x := range ss.LiveAtExit {
+			if ss.LiveAtExit[x] != ds.LiveAtExit[x] || ss.ExitBlocks[x] != ds.ExitBlocks[x] {
+				c.addf("label-summary-identical", name, "%s world: exit %d differs", world, x)
+			}
+		}
+	}
+}
+
+// labelModeCounters are the counters that describe the labeling solver
+// itself rather than the analysis result; they necessarily differ
+// between the sparse and dense modes and are skipped by the comparison.
+var labelModeCounters = map[string]bool{
+	"label/chain_steps":     true,
+	"label/defuse_links":    true,
+	"label/dense_fallbacks": true,
+}
+
+func compareStableCounters(c *collector, world string, sparse, dense *obs.Metrics) {
+	sv := stableCounters(sparse)
+	dv := stableCounters(dense)
+	for name, v := range sv {
+		dvv, ok := dv[name]
+		if !ok {
+			c.addf("label-metrics-identical", "", "%s world: counter %s missing in dense run", world, name)
+			continue
+		}
+		if v != dvv {
+			c.addf("label-metrics-identical", "",
+				"%s world: counter %s sparse %d ≠ dense %d", world, name, v, dvv)
+		}
+	}
+	for name := range dv {
+		if _, ok := sv[name]; !ok {
+			c.addf("label-metrics-identical", "", "%s world: counter %s missing in sparse run", world, name)
+		}
+	}
+}
+
+func stableCounters(m *obs.Metrics) map[string]uint64 {
+	vals := map[string]uint64{}
+	for _, cv := range m.Snapshot().Counters {
+		if cv.Unstable || labelModeCounters[cv.Name] {
+			continue
+		}
+		vals[cv.Name] = cv.Value
+	}
+	return vals
+}

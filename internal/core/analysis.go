@@ -234,12 +234,13 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 	a := &Analysis{Prog: p, Config: conf}
 	a.Stats.Parallelism = workers
 
-	// Pool baselines: the worklist/label-scratch pools are process
-	// globals, so this run's hit/miss telemetry is the delta.
-	var wlGets0, wlNews0, lbGets0, lbNews0 uint64
+	// Pool baselines: the worklist/label-scratch/def-use pools are
+	// process globals, so this run's hit/miss telemetry is the delta.
+	var wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0 uint64
 	if conf.Metrics != nil {
 		wlGets0, wlNews0 = wlPool.Stats()
 		lbGets0, lbNews0 = labelPool.Stats()
+		duGets0, duNews0 = defusePool.Stats()
 	}
 	th := conf.Tracer.MainThread()
 	asp := th.Begin("analyze").
@@ -323,7 +324,7 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 	a.liv = make([]*dataflow.Liveness, len(p.Routines))
 	ssp.End()
 	asp.End()
-	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0)
+	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0)
 	return a, nil
 }
 
@@ -331,7 +332,7 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 // deltas into the configured registry. The gauges are deterministic
 // (Store, not Add, so a re-analysis over the same registry overwrites
 // rather than double-counts); the pool deltas are unstable by nature.
-func (a *Analysis) publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0 uint64) {
+func (a *Analysis) publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0 uint64) {
 	m := a.Config.Metrics
 	if m == nil {
 		return
@@ -346,10 +347,13 @@ func (a *Analysis) publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0 uint64) {
 	m.Counter("sched/phase2_waves").Store(uint64(st.Phase2Waves))
 	wlGets, wlNews := wlPool.Stats()
 	lbGets, lbNews := labelPool.Stats()
+	duGets, duNews := defusePool.Stats()
 	m.UnstableCounter("pool/worklist_gets").Add(wlGets - wlGets0)
 	m.UnstableCounter("pool/worklist_misses").Add(wlNews - wlNews0)
 	m.UnstableCounter("pool/label_scratch_gets").Add(lbGets - lbGets0)
 	m.UnstableCounter("pool/label_scratch_misses").Add(lbNews - lbNews0)
+	m.UnstableCounter("pool/defuse_gets").Add(duGets - duGets0)
+	m.UnstableCounter("pool/defuse_misses").Add(duNews - duNews0)
 }
 
 // collectSummaries reads the converged node sets out of the PSG: the

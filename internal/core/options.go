@@ -84,6 +84,18 @@ func WithPerEdgeLabeling(on bool) Option {
 	return func(c *Config) { c.PerEdgeLabeling = on }
 }
 
+// WithDenseLabeling toggles the dense per-CFG-block Figure 6 forward
+// solver instead of the default sparse def-use chain labeler (default
+// off; results are byte-identical either way). The dense solver is kept
+// as the in-tree oracle the differential checker (internal/check)
+// compares the sparse labeler against, and as an ablation benchmark.
+// Like PerEdgeLabeling it changes how the labels are computed, never
+// what they are, so it is excluded from Config.Key — analyses and PSS1
+// snapshots produced under either labeler interoperate freely.
+func WithDenseLabeling(on bool) Option {
+	return func(c *Config) { c.DenseLabeling = on }
+}
+
 // WithParallelism bounds the worker pool the per-routine stages (CFG
 // construction, DEF/UBD initialization, flow-summary edge labeling)
 // run on. n <= 0 selects runtime.GOMAXPROCS; n == 1 runs the whole

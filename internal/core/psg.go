@@ -285,6 +285,16 @@ type Config struct {
 	// check and an ablation benchmark.
 	PerEdgeLabeling bool
 
+	// DenseLabeling restores the dense per-CFG-block forward solver
+	// (labelForward) instead of the default sparse def-use chain
+	// labeler (defuse.go). Results are byte-identical; the dense
+	// solver is kept as an in-tree oracle for the differential checker
+	// and as an ablation benchmark. PerEdgeLabeling implies the dense
+	// representation (the literal Figure 6 procedure iterates CFG
+	// subgraphs), so this flag only matters when PerEdgeLabeling is
+	// off.
+	DenseLabeling bool
+
 	// Parallelism bounds the worker pool used by the per-routine
 	// stages (CFG construction, DEF/UBD initialization, flow-summary
 	// edge labeling). <= 0 selects runtime.GOMAXPROCS; 1 runs the
@@ -308,6 +318,12 @@ type Config struct {
 	// configurations (a Config kept in an options struct must not pin a
 	// request-scoped context).
 	ctx context.Context
+}
+
+// sparseLabeling reports whether this configuration labels flow-summary
+// edges on the sparse def-use chain representation (the default).
+func (c Config) sparseLabeling() bool {
+	return !c.DenseLabeling && !c.PerEdgeLabeling
 }
 
 // cancelCh returns the configuration's cancellation channel, nil when
@@ -363,66 +379,133 @@ func buildPSG(p *prog.Program, graphs []*cfg.Graph, conf Config) (*PSG, time.Dur
 	// multiway blocks outside loops don't get a branch node (a small
 	// overcount), and the edge count is capped by the observed flow-edge
 	// density (≈2 per node across the benchmark profiles; exceeding the
-	// guess just falls back to amortized growth).
+	// guess just falls back to amortized growth). The same walk counts
+	// the entry, exit and per-(routine, entrance) caller-edge totals, so
+	// EntryNodes, ExitNodes and CallerEdges are carved as exact-capacity
+	// windows of four slabs instead of per-routine lists — buildRoutine's
+	// appends fill them in place.
+	n := len(p.Routines)
+	entryOff := make([]int32, n+1)
+	for ri, r := range p.Routines {
+		entryOff[ri+1] = entryOff[ri] + int32(len(r.Entries))
+	}
+	ebOff := make([]int32, n+1)
+	exOff := make([]int32, n+1)
+	callerOff := make([]int32, entryOff[n]+1)
 	nodeCap := 0
-	for _, g := range graphs {
-		nodeCap += len(g.EntryBlocks)
-		for _, b := range g.Blocks {
+	for gi, gr := range graphs {
+		ebOff[gi+1] = ebOff[gi] + int32(len(gr.EntryBlocks))
+		exits := int32(0)
+		nodeCap += len(gr.EntryBlocks)
+		for _, b := range gr.Blocks {
 			switch b.Term {
-			case cfg.TermExit, cfg.TermUnknownJump, cfg.TermMultiway:
+			case cfg.TermExit:
+				nodeCap++
+				exits++
+			case cfg.TermUnknownJump, cfg.TermMultiway:
 				nodeCap++
 			case cfg.TermCall:
 				nodeCap += 2
+				// Mirrors buildRoutine's caller-edge registration.
+				if in := gr.Terminator(b); in.Op == isa.OpJsr && in.Target >= 0 {
+					callerOff[entryOff[in.Target]+int32(in.Imm)+1]++
+				}
 			}
 		}
+		exOff[gi+1] = exOff[gi] + exits
 	}
+	for k := int32(0); k < entryOff[n]; k++ {
+		callerOff[k+1] += callerOff[k]
+	}
+	entrySlab := make([]int, ebOff[n])
+	exitSlab := make([]int, exOff[n])
+	pairSlab := make([][]int, entryOff[n])
+	edgeSlab := make([]int, callerOff[entryOff[n]])
 	g := &PSG{
 		Prog:        p,
 		Graphs:      graphs,
 		Nodes:       make([]Node, 0, nodeCap),
 		Edges:       make([]Edge, 0, 2*nodeCap),
-		EntryNodes:  make([][]int, len(p.Routines)),
-		ExitNodes:   make([][]int, len(p.Routines)),
-		CallerEdges: make([][][]int, len(p.Routines)),
+		EntryNodes:  make([][]int, n),
+		ExitNodes:   make([][]int, n),
+		CallerEdges: make([][][]int, n),
 	}
 	for ri := range p.Routines {
-		g.CallerEdges[ri] = make([][]int, len(p.Routines[ri].Entries))
+		g.EntryNodes[ri] = entrySlab[ebOff[ri]:ebOff[ri]:ebOff[ri+1]]
+		g.ExitNodes[ri] = exitSlab[exOff[ri]:exOff[ri]:exOff[ri+1]]
+		pairs := pairSlab[entryOff[ri]:entryOff[ri+1]]
+		for e := range pairs {
+			k := entryOff[ri] + int32(e)
+			pairs[e] = edgeSlab[callerOff[k]:callerOff[k]:callerOff[k+1]]
+		}
+		g.CallerEdges[ri] = pairs
 	}
 	serial := time.Now()
 	ssp := conf.Tracer.MainThread().Begin("psg structure")
-	var scratch buildScratch
+	scratch := psgScratchPool.Get().(*buildScratch)
 	tasks := make([]labelTask, len(p.Routines))
 	g.nodeStart = make([]int32, len(p.Routines)+1)
 	g.edgeStart = make([]int32, len(p.Routines)+1)
 	for ri := range p.Routines {
 		g.nodeStart[ri] = int32(len(g.Nodes))
 		g.edgeStart[ri] = int32(len(g.Edges))
-		tasks[ri] = g.buildRoutine(ri, conf, &scratch)
+		g.buildRoutine(&tasks[ri], ri, conf, scratch)
 	}
 	g.nodeStart[len(p.Routines)] = int32(len(g.Nodes))
 	g.edgeStart[len(p.Routines)] = int32(len(g.Edges))
+	// The defuse arena's ownership moved to the tasks; drop the
+	// reference before pooling the scratch.
+	scratch.defuse = nil
+	psgScratchPool.Put(scratch)
 	g.buildAdjacency()
 	ssp.Arg("nodes", int64(len(g.Nodes))).Arg("edges", int64(len(g.Edges))).End()
 	cpu := time.Since(serial)
 	workers := conf.Workers()
 	flowEdges := conf.Metrics.Counter("label/flow_edges")
+	defuseLinks := conf.Metrics.Counter("label/defuse_links")
+	chainSteps := conf.Metrics.Counter("label/chain_steps")
+	denseFallbacks := conf.Metrics.Counter("label/dense_fallbacks")
 	cpu += par.ForEachSpan(conf.Tracer, "label", len(tasks), workers, func(ri int) {
-		tasks[ri].label(g, conf)
+		st := tasks[ri].label(g, conf)
 		flowEdges.Add(uint64(len(tasks[ri].refs)))
+		defuseLinks.Add(st.links)
+		chainSteps.Add(st.steps)
+		denseFallbacks.Add(st.dense)
 	})
+	releaseTasks(tasks)
 	cpu += g.computeSavedRestored(workers, conf.Tracer)
 	return g, cpu
 }
 
-func (g *PSG) addNode(n Node) int {
-	n.ID = len(g.Nodes)
-	g.Nodes = append(g.Nodes, n)
-	return n.ID
+// newNode appends a node with the common fields set and returns its ID;
+// callers fill kind-specific fields through g.Nodes[id]. Extending into
+// capacity writes four scalars instead of copying a 100-byte Node
+// value. This relies on the slab's spare capacity being zero: fresh
+// makes and append growth both yield zeroed memory, and the in-place
+// re-assembly clears each rebuilt window before handing it back.
+func (g *PSG) newNode(kind NodeKind, routine, block int) int {
+	id := len(g.Nodes)
+	if id < cap(g.Nodes) {
+		g.Nodes = g.Nodes[:id+1]
+	} else {
+		g.Nodes = append(g.Nodes, Node{})
+	}
+	n := &g.Nodes[id]
+	n.ID, n.Kind, n.Routine, n.Block = id, kind, routine, block
+	return id
 }
 
+// addEdge appends an unlabeled edge; like newNode it extends into
+// spare capacity (guaranteed zero) and writes only the scalar fields.
 func (g *PSG) addEdge(kind EdgeKind, src, dst int) int {
 	id := len(g.Edges)
-	g.Edges = append(g.Edges, Edge{ID: id, Kind: kind, Src: src, Dst: dst})
+	if id < cap(g.Edges) {
+		g.Edges = g.Edges[:id+1]
+	} else {
+		g.Edges = append(g.Edges, Edge{})
+	}
+	e := &g.Edges[id]
+	e.ID, e.Kind, e.Src, e.Dst = id, kind, src, dst
 	return id
 }
 
@@ -433,27 +516,35 @@ func (g *PSG) addEdge(kind EdgeKind, src, dst int) int {
 // would have produced.
 func (g *PSG) buildAdjacency() {
 	n, m := len(g.Nodes), len(g.Edges)
-	g.outStart = make([]int32, n+1)
-	g.inStart = make([]int32, n+1)
+	idx := make([]int32, 2*(n+1)+2*m)
+	g.outStart, idx = idx[:n+1:n+1], idx[n+1:]
+	g.inStart, idx = idx[:n+1:n+1], idx[n+1:]
+	g.outEdgeIDs, idx = idx[:m:m], idx[m:]
+	g.inEdgeIDs = idx
+	outStart, inStart := g.outStart, g.inStart
 	for i := range g.Edges {
-		g.outStart[g.Edges[i].Src+1]++
-		g.inStart[g.Edges[i].Dst+1]++
+		outStart[g.Edges[i].Src+1]++
+		inStart[g.Edges[i].Dst+1]++
 	}
 	for i := 0; i < n; i++ {
-		g.outStart[i+1] += g.outStart[i]
-		g.inStart[i+1] += g.inStart[i]
+		outStart[i+1] += outStart[i]
+		inStart[i+1] += inStart[i]
 	}
-	g.outEdgeIDs = make([]int32, m)
-	g.inEdgeIDs = make([]int32, m)
-	outNext := make([]int32, n)
-	inNext := make([]int32, n)
+	// Fill using the start arrays themselves as write cursors, then
+	// shift them back one slot: after the fill outStart[v] has advanced
+	// to the end of v's window, which is exactly the start of v+1's.
 	for i := range g.Edges {
 		e := &g.Edges[i]
-		g.outEdgeIDs[g.outStart[e.Src]+outNext[e.Src]] = int32(i)
-		outNext[e.Src]++
-		g.inEdgeIDs[g.inStart[e.Dst]+inNext[e.Dst]] = int32(i)
-		inNext[e.Dst]++
+		g.outEdgeIDs[outStart[e.Src]] = int32(i)
+		outStart[e.Src]++
+		g.inEdgeIDs[inStart[e.Dst]] = int32(i)
+		inStart[e.Dst]++
 	}
+	for i := n; i > 0; i-- {
+		outStart[i] = outStart[i-1]
+		inStart[i] = inStart[i-1]
+	}
+	outStart[0], inStart[0] = 0, 0
 }
 
 // flowEdgeRef ties a discovered flow-summary edge to the sink block it
@@ -474,11 +565,35 @@ type labelTask struct {
 	sources  []int32 // source node IDs
 	refStart []int32 // len(sources)+1; refs of source i in [refStart[i], refStart[i+1])
 	refs     []flowEdgeRef
+
+	// du is the routine's def-use chain slab when the sparse labeler is
+	// selected (Config.sparseLabeling), built by the structural pass and
+	// consumed by label; arena owns it (one arena per structural pass,
+	// released by releaseTasks once every task is labeled). Both nil
+	// under WithDenseLabeling / per-edge labeling.
+	du    *defUse
+	arena *defUseArena
+}
+
+// labelStats reports one task's labeling telemetry, aggregated into the
+// label/* counters by the callers' labeling loops. All three values are
+// deterministic per routine (the chain slab and the priority worklist's
+// pop sequence don't depend on worker scheduling), so the counters stay
+// parallelism-invariant and are published as stable metrics.
+type labelStats struct {
+	links uint64 // def-use link arcs in the routine's chain CSR
+	steps uint64 // chain worklist pops across the routine's sources
+	dense uint64 // 1 when the routine was labeled by a dense solver
 }
 
 // label computes the Figure 6 labels of the task's flow-summary edges,
 // using pooled scratch so steady-state labeling allocates nothing.
-func (t *labelTask) label(g *PSG, conf Config) {
+func (t *labelTask) label(g *PSG, conf Config) labelStats {
+	if t.du != nil {
+		st := t.labelSparse(g)
+		t.du = nil
+		return st
+	}
 	s := labelPool.Get().(*labelScratch)
 	if conf.PerEdgeLabeling {
 		t.labelPerEdge(g, s)
@@ -486,6 +601,24 @@ func (t *labelTask) label(g *PSG, conf Config) {
 		t.labelForward(g, s)
 	}
 	labelPool.Put(s)
+	return labelStats{dense: 1}
+}
+
+// releaseTasks returns the tasks' chain-slab arena to its pool, after
+// the labeling loop has consumed every task — or without labeling at
+// all, for the incremental assembly paths that abandon a batch of built
+// tasks when a structural-reuse attempt fails. One structural pass uses
+// one arena, so tasks sharing it are contiguous.
+func releaseTasks(tasks []labelTask) {
+	var last *defUseArena
+	for i := range tasks {
+		if a := tasks[i].arena; a != nil && a != last {
+			a.reset()
+			defusePool.Put(a)
+			last = a
+		}
+		tasks[i].arena, tasks[i].du = nil, nil
+	}
 }
 
 // routineNodes carries the per-routine node placement used while
@@ -520,7 +653,16 @@ type buildScratch struct {
 	seen     []bool
 	stack    []int32
 	startBuf [1]int
+	// defuse is the chain-slab arena of this structural pass, acquired
+	// lazily on the first sparse-labeled routine. Ownership passes to
+	// the built tasks (labelTask.arena); the labeling loop releases it.
+	defuse *defUseArena
 }
+
+// psgScratchPool recycles the structural pass's scratch across builds;
+// the defuse reference is cleared before Put (the arena is owned by the
+// labeling pass by then).
+var psgScratchPool = obs.NewPool(func() any { return new(buildScratch) })
 
 func (s *buildScratch) grow(n int) {
 	if cap(s.seen) < n {
@@ -529,13 +671,30 @@ func (s *buildScratch) grow(n int) {
 	s.seen = s.seen[:n]
 }
 
-func (g *PSG) buildRoutine(ri int, conf Config, scratch *buildScratch) labelTask {
+func (g *PSG) buildRoutine(t *labelTask, ri int, conf Config, scratch *buildScratch) {
 	graph := g.Graphs[ri]
-	rn := newRoutineNodes(len(graph.Blocks))
+	// Under the sparse labeler the routine's chain slab is taken up
+	// front so the node-placement arrays and the discovery buffers live
+	// in it: slab k always serves the k-th routine of a structural pass,
+	// so the buffers converge to that routine's sizes and the steady
+	// state allocates nothing (see defUseArena).
+	var du *defUse
+	var rn routineNodes
+	if conf.sparseLabeling() {
+		if scratch.defuse == nil {
+			scratch.defuse = defusePool.Get().(*defUseArena)
+			scratch.defuse.reset()
+		}
+		du = scratch.defuse.take()
+		rn = du.routineNodes(len(graph.Blocks))
+	} else {
+		rn = newRoutineNodes(len(graph.Blocks))
+	}
 
 	// Entry nodes: one per entrance (§3.1).
 	for ei, blockID := range graph.EntryBlocks {
-		id := g.addNode(Node{Kind: NodeEntry, Routine: ri, Block: blockID, EntryIdx: ei})
+		id := g.newNode(NodeEntry, ri, blockID)
+		g.Nodes[id].EntryIdx = ei
 		g.EntryNodes[ri] = append(g.EntryNodes[ri], id)
 	}
 
@@ -543,39 +702,41 @@ func (g *PSG) buildRoutine(ri int, conf Config, scratch *buildScratch) labelTask
 	for _, b := range graph.Blocks {
 		switch b.Term {
 		case cfg.TermExit:
-			id := g.addNode(Node{Kind: NodeExit, Routine: ri, Block: b.ID, EntryIdx: exitOrdinal})
+			id := g.newNode(NodeExit, ri, b.ID)
+			g.Nodes[id].EntryIdx = exitOrdinal
 			exitOrdinal++
 			g.ExitNodes[ri] = append(g.ExitNodes[ri], id)
 			rn.sinkAt[b.ID] = int32(id)
 		case cfg.TermUnknownJump:
-			id := g.addNode(Node{Kind: NodeExit, Routine: ri, Block: b.ID, Unknown: true})
+			id := g.newNode(NodeExit, ri, b.ID)
+			g.Nodes[id].Unknown = true
 			rn.sinkAt[b.ID] = int32(id)
 		case cfg.TermCall:
 			in := graph.Terminator(b)
-			call := Node{Kind: NodeCall, Routine: ri, Block: b.ID, CallTarget: -1}
+			callTarget, callEntry := -1, 0
 			if in.Op == isa.OpJsr {
-				call.CallTarget = in.Target
-				call.CallEntry = int(in.Imm)
+				callTarget, callEntry = in.Target, int(in.Imm)
 			}
-			callID := g.addNode(call)
+			callID := g.newNode(NodeCall, ri, b.ID)
+			g.Nodes[callID].CallTarget = callTarget
+			g.Nodes[callID].CallEntry = callEntry
 			rn.sinkAt[b.ID] = int32(callID)
 			// The return node lives at the start of the call's
 			// unique successor block.
 			retBlock := b.Succs[0]
-			retID := g.addNode(Node{Kind: NodeReturn, Routine: ri, Block: retBlock})
+			retID := g.newNode(NodeReturn, ri, retBlock)
 			rn.returnAt[retBlock] = int32(retID)
 			// Call-return edge (§3.1); labeled during phase 1 for
 			// direct calls, pinned to the calling-standard summary
 			// for indirect calls (§3.5).
 			eid := g.addEdge(EdgeCallReturn, callID, retID)
-			if call.CallTarget >= 0 {
+			if callTarget >= 0 {
 				// CallerEdges is nil while the incremental re-assembly
 				// rebuilds a dirty routine structurally (it shares the
 				// previous registration lists on success and re-registers
 				// from scratch on fallback), so registration is skipped.
 				if g.CallerEdges != nil {
-					tgt := call.CallTarget
-					g.CallerEdges[tgt][call.CallEntry] = append(g.CallerEdges[tgt][call.CallEntry], eid)
+					g.CallerEdges[callTarget][callEntry] = append(g.CallerEdges[callTarget][callEntry], eid)
 				}
 			} else {
 				s := callstd.UnknownCallSummary()
@@ -587,15 +748,21 @@ func (g *PSG) buildRoutine(ri int, conf Config, scratch *buildScratch) labelTask
 			// multiply PSG edges (every return reaches every call
 			// through the back edge); an isolated switch with one
 			// source and one sink would gain an edge from the split.
-			if conf.BranchNodes && blockInLoop(graph, b, scratch) {
-				id := g.addNode(Node{Kind: NodeBranch, Routine: ri, Block: b.ID})
+			if conf.BranchNodes && graph.BlockInLoop(b.ID) {
+				id := g.newNode(NodeBranch, ri, b.ID)
 				rn.branchAt[b.ID] = int32(id)
 				rn.sinkAt[b.ID] = int32(id)
 			}
 		}
 	}
 
-	return g.discoverFlowEdges(graph, rn, scratch)
+	if du != nil {
+		du.build(graph, rn)
+		g.discoverFlowEdgesSparse(t, graph, rn, du, scratch)
+		t.arena = scratch.defuse
+		return
+	}
+	g.discoverFlowEdges(t, graph, rn, scratch)
 }
 
 // discoverFlowEdges creates this routine's flow-summary edges with
@@ -605,8 +772,8 @@ func (g *PSG) buildRoutine(ri int, conf Config, scratch *buildScratch) labelTask
 // reachability the labeling dataflows compute — and adds one edge per
 // sink, in ascending block order. The labels are filled in later by
 // labelTask.label, possibly on a worker pool.
-func (g *PSG) discoverFlowEdges(graph *cfg.Graph, rn routineNodes, scratch *buildScratch) labelTask {
-	t := labelTask{graph: graph, rn: rn}
+func (g *PSG) discoverFlowEdges(t *labelTask, graph *cfg.Graph, rn routineNodes, scratch *buildScratch) {
+	t.graph, t.rn = graph, rn
 	for _, id := range g.EntryNodes[graph.RoutineIndex] {
 		t.sources = append(t.sources, int32(id))
 	}
@@ -661,38 +828,6 @@ func (g *PSG) discoverFlowEdges(graph *cfg.Graph, rn routineNodes, scratch *buil
 		}
 		t.refStart[si+1] = int32(len(t.refs))
 	}
-	return t
-}
-
-// blockInLoop reports whether control can flow from b back to b.
-func blockInLoop(graph *cfg.Graph, b *cfg.Block, scratch *buildScratch) bool {
-	scratch.grow(len(graph.Blocks))
-	seen := scratch.seen
-	for i := range seen {
-		seen[i] = false
-	}
-	stack := scratch.stack[:0]
-	for _, s := range b.Succs {
-		stack = append(stack, int32(s))
-	}
-	found := false
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if int(id) == b.ID {
-			found = true
-			break
-		}
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		for _, s := range graph.Blocks[id].Succs {
-			stack = append(stack, int32(s))
-		}
-	}
-	scratch.stack = stack[:0]
-	return found
 }
 
 // sourceStartBlocks returns the CFG blocks at which paths from node n

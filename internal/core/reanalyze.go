@@ -107,10 +107,11 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	a := &Analysis{Prog: patched, Config: conf}
 	a.Stats.Parallelism = workers
 
-	var wlGets0, wlNews0, lbGets0, lbNews0 uint64
+	var wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0 uint64
 	if conf.Metrics != nil {
 		wlGets0, wlNews0 = wlPool.Stats()
 		lbGets0, lbNews0 = labelPool.Stats()
+		duGets0, duNews0 = defusePool.Stats()
 	}
 	th := conf.Tracer.MainThread()
 	asp := th.Begin("reanalyze").
@@ -199,10 +200,17 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	cpu := time.Since(start)
 	ltasks := tasks
 	flowEdges := conf.Metrics.Counter("label/flow_edges")
+	defuseLinks := conf.Metrics.Counter("label/defuse_links")
+	chainSteps := conf.Metrics.Counter("label/chain_steps")
+	denseFallbacks := conf.Metrics.Counter("label/dense_fallbacks")
 	cpu += par.ForEachSpan(conf.Tracer, "label", len(ltasks), workers, func(i int) {
-		ltasks[i].label(a.PSG, conf)
+		st := ltasks[i].label(a.PSG, conf)
 		flowEdges.Add(uint64(len(ltasks[i].refs)))
+		defuseLinks.Add(st.links)
+		chainSteps.Add(st.steps)
+		denseFallbacks.Add(st.dense)
 	})
+	releaseTasks(ltasks)
 	srCPU, srShared := a.incrementalSavedRestored(prev, cg, clean, dirty)
 	cpu += srCPU
 	a.Stats.PSGBuildCPU = cpu
@@ -368,7 +376,7 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	a.Incremental = inc
 	asp.Arg("resolved_components", int64(inc.ResolvedComponents)).
 		Arg("reused_components", int64(inc.ReusedComponents))
-	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0)
+	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0)
 	return a, nil
 }
 
@@ -482,7 +490,8 @@ func (a *Analysis) assemblePSG(prev *Analysis, clean []bool, dirty []int, conf C
 		g.nodeStart[ri] = int32(len(g.Nodes))
 		g.edgeStart[ri] = int32(len(g.Edges))
 		if !clean[ri] {
-			tasks = append(tasks, g.buildRoutine(ri, conf, &scratch))
+			tasks = append(tasks, labelTask{})
+			g.buildRoutine(&tasks[len(tasks)-1], ri, conf, &scratch)
 			continue
 		}
 		nlo, nhi := int(oldNodeStart[ri]), int(oldNodeStart[ri+1])
@@ -570,8 +579,10 @@ func (a *Analysis) assemblePSGShared(prev *Analysis, dirty []int, conf Config, n
 		// stale range in place.
 		g.Nodes = nodes[:nlo]
 		g.Edges = edges[:elo]
-		tasks = append(tasks, g.buildRoutine(ri, conf, &scratch))
+		tasks = append(tasks, labelTask{})
+		g.buildRoutine(&tasks[len(tasks)-1], ri, conf, &scratch)
 		if len(g.Nodes) != nhi || len(g.Edges) != ehi {
+			releaseTasks(tasks)
 			return nil, nil, false, false
 		}
 		for i := nlo; i < nhi; i++ {
@@ -579,12 +590,14 @@ func (a *Analysis) assemblePSGShared(prev *Analysis, dirty []int, conf Config, n
 			if n.Kind != p.Kind || n.Block != p.Block || n.EntryIdx != p.EntryIdx ||
 				n.CallTarget != p.CallTarget || n.CallEntry != p.CallEntry ||
 				n.Unknown != p.Unknown {
+				releaseTasks(tasks)
 				return nil, nil, false, false
 			}
 		}
 		for i := elo; i < ehi; i++ {
 			e, p := &g.Edges[i], &pg.Edges[i]
 			if e.Kind != p.Kind || e.Src != p.Src || e.Dst != p.Dst {
+				releaseTasks(tasks)
 				return nil, nil, false, false
 			}
 		}
@@ -595,6 +608,7 @@ func (a *Analysis) assemblePSGShared(prev *Analysis, dirty []int, conf Config, n
 		for _, x := range g.ExitNodes[ri] {
 			n := &g.Nodes[x]
 			if !n.Unknown && g.isRetExit(n) != pg.isRetExit(&pg.Nodes[x]) {
+				releaseTasks(tasks)
 				return nil, nil, false, false
 			}
 		}
@@ -642,7 +656,8 @@ func (a *Analysis) incrementalSavedRestored(prev *Analysis, cg *callgraph.Graph,
 			flags:  make([]uint8, len(r.Code)),
 			work:   make([]int32, 0, len(r.Code)),
 		}
-		fi := frameScan(r, scratch)
+		var fi frameInfo
+		frameScan(&fi, r, &scratch)
 		f := FrameFact{Clean: fi.clean, HasIndirect: fi.hasIndirect}
 		if fi.clean {
 			f.LocalSaved = savedRestored(r, &fi)

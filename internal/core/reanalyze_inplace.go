@@ -102,10 +102,11 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 		return nil, false, nil
 	}
 	workers := conf.Workers()
-	var wlGets0, wlNews0, lbGets0, lbNews0 uint64
+	var wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0 uint64
 	if conf.Metrics != nil {
 		wlGets0, wlNews0 = wlPool.Stats()
 		lbGets0, lbNews0 = labelPool.Stats()
+		duGets0, duNews0 = defusePool.Stats()
 	}
 	th := conf.Tracer.MainThread()
 	asp := th.Begin("reanalyze inplace").
@@ -181,7 +182,8 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 			flags:  make([]uint8, len(r.Code)),
 			work:   make([]int32, 0, len(r.Code)),
 		}
-		fi := frameScan(r, scratch)
+		var fi frameInfo
+		frameScan(&fi, r, &scratch)
 		f := FrameFact{Clean: fi.clean, HasIndirect: fi.hasIndirect}
 		if fi.clean {
 			f.LocalSaved = savedRestored(r, &fi)
@@ -226,6 +228,11 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 		elo, ehi := int(edgeStart[ri]), int(edgeStart[ri+1])
 		bakN = append(bakN[:0], g.Nodes[nlo:nhi]...)
 		bakE = append(bakE[:0], g.Edges[elo:ehi]...)
+		// newNode/addEdge extend into spare capacity assuming zeroed
+		// memory; these windows hold the old routine's nodes and edges,
+		// so clear them (the fallback path restores from bakN/bakE).
+		clear(g.Nodes[nlo:nhi])
+		clear(g.Edges[elo:ehi])
 		a.Graphs[ri] = work[k].graph
 		g.Graphs[ri] = work[k].graph
 		en[ri], ex[ri] = nil, nil
@@ -241,7 +248,8 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 			EntryNodes: en,
 			ExitNodes:  ex,
 		}
-		tasks = append(tasks, v.buildRoutine(ri, conf, &scratch))
+		tasks = append(tasks, labelTask{})
+		v.buildRoutine(&tasks[len(tasks)-1], ri, conf, &scratch)
 		if len(v.Nodes) != nhi || len(v.Edges) != ehi ||
 			!inPlaceShapeSame(g, bakN, bakE, nlo, elo, work[k].oldGraph, work[k].graph, ex[ri]) {
 			copy(g.Nodes[nlo:nhi], bakN)
@@ -250,6 +258,7 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 				a.Graphs[work[j].ri] = work[j].oldGraph
 				g.Graphs[work[j].ri] = work[j].oldGraph
 			}
+			releaseTasks(tasks)
 			return nil, false, nil
 		}
 	}
@@ -258,11 +267,18 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 	// From here on prev is gone; every structure now describes patched.
 	cpu := time.Since(start)
 	flowEdges := conf.Metrics.Counter("label/flow_edges")
+	defuseLinks := conf.Metrics.Counter("label/defuse_links")
+	chainSteps := conf.Metrics.Counter("label/chain_steps")
+	denseFallbacks := conf.Metrics.Counter("label/dense_fallbacks")
 	ltasks := tasks
 	cpu += par.ForEachSpan(conf.Tracer, "label", len(ltasks), workers, func(i int) {
-		ltasks[i].label(g, conf)
+		st := ltasks[i].label(g, conf)
 		flowEdges.Add(uint64(len(ltasks[i].refs)))
+		defuseLinks.Add(st.links)
+		chainSteps.Add(st.steps)
+		denseFallbacks.Add(st.dense)
 	})
+	releaseTasks(ltasks)
 	psgWall := time.Since(start)
 	a.Prog = patched
 	g.Prog = patched
@@ -398,7 +414,7 @@ func reanalyzeInPlace(ctx context.Context, conf Config, prev *Analysis, patched 
 	a.liv = make([]*dataflow.Liveness, nNew)
 	asp.Arg("resolved_components", int64(inc.ResolvedComponents)).
 		Arg("reused_components", int64(inc.ReusedComponents))
-	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0)
+	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0)
 	return a, true, nil
 }
 

@@ -11,6 +11,67 @@ import (
 	"repro/internal/regset"
 )
 
+// frameSlabs is the scratch memory of one computeSavedRestored run:
+// the per-instruction delta/flag/work slabs, the sizing prefix sums,
+// the callee/call-delta/clobber windows and the per-routine frameInfo
+// records. Everything here dies when computeSavedRestored returns, so
+// the slabs are pooled and reused across analyses — they are the
+// largest transient allocation of a PSG build.
+type frameSlabs struct {
+	off         []int
+	deltas      []int64
+	flags       []uint8
+	work        []int32
+	infos       []frameInfo
+	calleeLists [][]int
+
+	// perR holds each routine's callee/call-delta/clobber output buffers.
+	// They grow by append on first contact with a routine and keep their
+	// capacity across runs (the pool pairs slab index ri with routine ri
+	// every time), so the steady state allocates nothing and no sizing
+	// pre-scan of the instructions is needed.
+	perR []frameBufs
+}
+
+type frameBufs struct {
+	callees    []int
+	callDeltas []int64
+	clobbers   []int64
+}
+
+var framePool = obs.NewPool(func() any { return new(frameSlabs) })
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growSlabs resizes the per-instruction slabs for a program with n
+// routines and code instructions in total. Only flags needs clearing:
+// deltas entries are meaningful only under flagSeen, work starts as an
+// empty window, and infos entries are fully overwritten.
+func (fs *frameSlabs) growSlabs(n, code int) {
+	if cap(fs.deltas) < code {
+		fs.deltas = make([]int64, code)
+		fs.flags = make([]uint8, code)
+		fs.work = make([]int32, code)
+	}
+	fs.deltas = fs.deltas[:code]
+	fs.flags = fs.flags[:code]
+	fs.work = fs.work[:code]
+	clear(fs.flags)
+	if cap(fs.infos) < n {
+		fs.infos = make([]frameInfo, n)
+		fs.calleeLists = make([][]int, n)
+		fs.perR = make([]frameBufs, n)
+	}
+	fs.infos = fs.infos[:n]
+	fs.calleeLists = fs.calleeLists[:n]
+	fs.perR = fs.perR[:n]
+}
+
 // computeSavedRestored detects, for every routine, the callee-saved
 // registers the routine saves in its prologue(s) and restores in its
 // epilogue(s) (§3.4). Definitions and uses of such registers must not
@@ -30,7 +91,7 @@ func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 	n := len(g.Prog.Routines)
 	g.SavedRestored = make([]regset.Set, n)
 	g.frames = make([]FrameFact, n)
-	infos := make([]frameInfo, n)
+	fs := framePool.Get().(*frameSlabs)
 
 	var addrTaken []int
 	for ri, r := range g.Prog.Routines {
@@ -39,58 +100,44 @@ func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 		}
 	}
 
-	// One slab per scratch array, sliced per routine: the workers write
-	// disjoint ranges, and the hot path stays within its allocation
-	// budget (see core's perf tests). The callee/call-delta/clobber
-	// outputs get exact-capacity windows from the same sizing pass, so
-	// frameScan's appends never reallocate.
-	off := make([]int, n+1)
-	callOff := make([]int, n+1)
-	calleeOff := make([]int, n+1)
-	storeOff := make([]int, n+1)
+	// One slab per per-instruction scratch array, sliced per routine:
+	// the workers write disjoint ranges, and the hot path stays within
+	// its allocation budget (see core's perf tests). The callee,
+	// call-delta and clobber outputs append into per-routine buffers
+	// that keep their capacity across runs.
+	off := growInts(fs.off, n+1)
+	fs.off = off
+	off[0] = 0
 	for ri, r := range g.Prog.Routines {
-		calls, callees, spStores := 0, 0, 0
-		for i := range r.Code {
-			switch in := &r.Code[i]; in.Op {
-			case isa.OpJsr:
-				calls, callees = calls+1, callees+1
-			case isa.OpJsrInd:
-				calls++
-			case isa.OpSt:
-				if in.Src1 == regset.SP {
-					spStores++
-				}
-			}
-		}
 		off[ri+1] = off[ri] + len(r.Code)
-		callOff[ri+1] = callOff[ri] + calls
-		calleeOff[ri+1] = calleeOff[ri] + callees
-		storeOff[ri+1] = storeOff[ri] + spStores
 	}
-	deltaSlab := make([]int64, off[n])
-	flagSlab := make([]uint8, off[n])
-	workSlab := make([]int32, off[n])
-	calleeSlab := make([]int, calleeOff[n])
-	callDeltaSlab := make([]int64, callOff[n])
-	clobberSlab := make([]int64, storeOff[n])
+	fs.growSlabs(n, off[n])
+	infos := fs.infos
 
 	d := par.ForEachSpan(tr, "saved-restored-scan", n, workers, func(ri int) {
 		lo, hi := off[ri], off[ri+1]
+		bufs := &fs.perR[ri]
 		scratch := frameScratch{
-			deltas:       deltaSlab[lo:hi],
-			flags:        flagSlab[lo:hi],
-			work:         workSlab[lo:hi:hi],
-			callees:      calleeSlab[calleeOff[ri]:calleeOff[ri]:calleeOff[ri+1]],
-			callDeltas:   callDeltaSlab[callOff[ri]:callOff[ri]:callOff[ri+1]],
-			bodyClobbers: clobberSlab[storeOff[ri]:storeOff[ri]:storeOff[ri+1]],
+			deltas:       fs.deltas[lo:hi],
+			flags:        fs.flags[lo:hi],
+			work:         fs.work[lo:hi:hi],
+			callees:      bufs.callees[:0],
+			callDeltas:   bufs.callDeltas[:0],
+			bodyClobbers: bufs.clobbers[:0],
 		}
-		infos[ri] = frameScan(g.Prog.Routines[ri], scratch)
+		frameScan(&infos[ri], g.Prog.Routines[ri], &scratch)
 		g.frames[ri] = FrameFact{Clean: infos[ri].clean, HasIndirect: infos[ri].hasIndirect}
 	})
 
-	callees := make([][]int, n)
+	callees := fs.calleeLists
 	for ri := range infos {
 		callees[ri] = infos[ri].callees
+		// Keep whatever capacity the appends grew for the next run.
+		fs.perR[ri] = frameBufs{
+			callees:    infos[ri].callees,
+			callDeltas: infos[ri].callDeltas,
+			clobbers:   infos[ri].bodyClobbers,
+		}
 	}
 	preserving := solvePreserving(g.frames, callees, addrTaken)
 
@@ -108,6 +155,7 @@ func (g *PSG) computeSavedRestored(workers int, tr *obs.Tracer) time.Duration {
 			g.SavedRestored[ri] = regset.Empty
 		}
 	})
+	framePool.Put(fs)
 	return d
 }
 
@@ -205,17 +253,18 @@ type frameInfo struct {
 const (
 	flagPrologue uint8 = 1 << iota
 	flagTarget
+
+	// flagSeen marks instructions the forward scan has reached; deltas
+	// entries are meaningful only under it, which saves re-initializing
+	// the (8× wider) delta slab between runs.
+	flagSeen
 )
 
-// unknownDelta marks instructions the frame scan never reached.
-const unknownDelta = int64(-1) << 62
-
 // frameScratch is caller-provided storage for frameScan: deltas, flags
-// and work are len(r.Code) (flags zeroed); the output slices are empty
-// windows whose capacities were sized from the instruction counts, so
-// appends never reallocate. An instruction enters the worklist at most
-// once (its delta is set exactly once), so work never outgrows its
-// capacity.
+// and work are len(r.Code) (flags zeroed); the output slices append into
+// per-routine buffers that retain capacity across runs (frameSlabs.perR).
+// An instruction enters the worklist at most once (flagSeen is set
+// exactly once), so work never outgrows its capacity.
 type frameScratch struct {
 	deltas []int64
 	flags  []uint8
@@ -226,18 +275,24 @@ type frameScratch struct {
 	bodyClobbers []int64
 }
 
-// frameScan analyses one routine's stack discipline: a forward
-// worklist pass assigns every reachable instruction its sp delta
-// relative to entry (conflicting deltas at a join fail the scan — slot
-// arithmetic would be path-dependent) while checking the conditions
-// listed on frameInfo.clean. Calls are assumed sp-preserving here; the
-// caller's fixed point withdraws the assumption wherever the callee's
-// own scan disproves it, and the §3.5 calling standard covers callees
-// outside the program.
-func frameScan(r *prog.Routine, scratch frameScratch) frameInfo {
+// frameScan analyses one routine's stack discipline: a forward pass
+// assigns every reachable instruction its sp delta relative to entry
+// (conflicting deltas at a join fail the scan — slot arithmetic would
+// be path-dependent) while checking the conditions listed on
+// frameInfo.clean. Calls are assumed sp-preserving here; the caller's
+// fixed point withdraws the assumption wherever the callee's own scan
+// disproves it, and the §3.5 calling standard covers callees outside
+// the program.
+//
+// The pass drains straight-line runs inline — only branch targets go
+// through the worklist — and gates the sp-discipline checks on a cheap
+// operand screen: an instruction whose three operand fields avoid sp
+// and whose opcode carries no register sets cannot read or write sp,
+// so the common instruction costs a handful of byte compares.
+func frameScan(fi *frameInfo, r *prog.Routine, scratch *frameScratch) {
 	code := r.Code
-	deltas, work := scratch.deltas, scratch.work
-	fi := frameInfo{
+	deltas, work, flags := scratch.deltas, scratch.work, scratch.flags
+	*fi = frameInfo{
 		clean:        true,
 		flags:        scratch.flags,
 		callees:      scratch.callees,
@@ -252,81 +307,84 @@ func frameScan(r *prog.Routine, scratch frameScratch) frameInfo {
 			if !isPrologueInstr(&code[i]) {
 				break
 			}
-			fi.flags[i] |= flagPrologue
+			flags[i] |= flagPrologue
 		}
 	}
 
-	for i := range deltas {
-		deltas[i] = unknownDelta
-	}
 	work = work[:0]
 	for _, e := range r.Entries {
 		if e < 0 || e >= len(code) {
 			fi.clean = false
-			return fi
+			return
 		}
 		// Entrances behave like branch targets for the epilogue scan:
 		// executions entering here skip everything upstream.
-		fi.flags[e] |= flagTarget
-		if deltas[e] == unknownDelta {
+		if flags[e]&flagSeen == 0 {
+			flags[e] |= flagTarget | flagSeen
 			deltas[e] = 0
 			work = append(work, int32(e))
-		} else if deltas[e] != 0 {
-			fi.clean = false
+		} else {
+			flags[e] |= flagTarget
+			if deltas[e] != 0 {
+				fi.clean = false
+			}
 		}
 	}
 
-	flow := func(i int, d int64) {
+	target := func(i int, d int64) {
 		if i < 0 || i >= len(code) {
 			fi.clean = false
 			return
 		}
-		if deltas[i] == unknownDelta {
+		if flags[i]&flagSeen == 0 {
+			flags[i] |= flagTarget | flagSeen
 			deltas[i] = d
 			work = append(work, int32(i))
-		} else if deltas[i] != d {
-			fi.clean = false
+		} else {
+			flags[i] |= flagTarget
+			if deltas[i] != d {
+				fi.clean = false
+			}
 		}
-	}
-	target := func(i int, d int64) {
-		if i >= 0 && i < len(code) {
-			fi.flags[i] |= flagTarget
-		}
-		flow(i, d)
 	}
 
 	for len(work) > 0 && fi.clean {
 		i := int(work[len(work)-1])
 		work = work[:len(work)-1]
-		in := &code[i]
 		d := deltas[i]
+	run:
+		in := &code[i]
 
-		spAdjust := in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP
-		if in.Defs().Contains(regset.SP) && !spAdjust {
-			fi.clean = false // sp computed from something other than sp
-			return fi
-		}
-		if in.Uses().Contains(regset.SP) {
-			// sp may be read only as a load/store base or to adjust
-			// itself; anything else lets its value escape, after which
-			// stores through other registers could alias the frame.
-			switch {
-			case spAdjust:
-			case in.Op == isa.OpLd && in.Src1 == regset.SP:
-			case in.Op == isa.OpSt && in.Src1 == regset.SP && in.Src2 != regset.SP:
-			default:
-				fi.clean = false
-				return fi
+		spAdjust := false
+		if in.Dest == regset.SP || in.Src1 == regset.SP || in.Src2 == regset.SP ||
+			in.Op.Format() == isa.FmtSets {
+			spAdjust = in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP
+			if in.DefsReg(regset.SP) && !spAdjust {
+				fi.clean = false // sp computed from something other than sp
+				return
 			}
-		}
-		if in.Op == isa.OpSt && in.Src1 == regset.SP {
-			slot := d + in.Imm
-			if slot >= 0 {
-				fi.clean = false // writes into the caller's frame
-				return fi
+			if in.UsesReg(regset.SP) {
+				// sp may be read only as a load/store base or to adjust
+				// itself; anything else lets its value escape, after which
+				// stores through other registers could alias the frame.
+				switch {
+				case spAdjust:
+				case in.Op == isa.OpLd && in.Src1 == regset.SP:
+				case in.Op == isa.OpSt && in.Src1 == regset.SP && in.Src2 != regset.SP:
+				default:
+					fi.clean = false
+					return
+				}
 			}
-			if fi.flags[i]&flagPrologue == 0 {
-				fi.bodyClobbers = append(fi.bodyClobbers, slot)
+			if in.Op == isa.OpSt && in.Src1 == regset.SP {
+				slot := d + in.Imm
+				if slot >= 0 {
+					fi.clean = false // writes into the caller's frame
+					return
+				}
+				if flags[i]&flagPrologue == 0 {
+					fi.bodyClobbers = append(fi.bodyClobbers, slot)
+				}
 			}
 		}
 
@@ -334,40 +392,62 @@ func frameScan(r *prog.Routine, scratch frameScratch) frameInfo {
 		if spAdjust {
 			nd = d + in.Imm
 		}
-		switch in.Op {
-		case isa.OpBr:
-			target(in.Target, nd)
-		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
-			target(in.Target, nd)
-			flow(i+1, nd)
-		case isa.OpJmp:
-			if in.Table == isa.UnknownTable || in.Table < 0 || in.Table >= len(r.Tables) {
-				fi.clean = false // may leave the routine with sp anywhere
-				return fi
+		next := -1
+		// Single-load screen: the common instruction ends no block and
+		// just falls through, skipping the terminator switch entirely.
+		if !in.IsBlockEnd() {
+			next = i + 1
+		} else {
+			switch in.Op {
+			case isa.OpBr:
+				target(in.Target, nd)
+			case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+				target(in.Target, nd)
+				next = i + 1
+			case isa.OpJmp:
+				if in.Table == isa.UnknownTable || in.Table < 0 || in.Table >= len(r.Tables) {
+					fi.clean = false // may leave the routine with sp anywhere
+					return
+				}
+				for _, t := range r.Tables[in.Table] {
+					target(t, nd)
+				}
+			case isa.OpRet:
+				if d != 0 {
+					fi.clean = false // epilogue slot math would be shifted
+					return
+				}
+			case isa.OpHalt:
+				// Ends the program; no frame to restore.
+			case isa.OpJsr:
+				fi.callees = append(fi.callees, in.Target)
+				fi.callDeltas = append(fi.callDeltas, d)
+				next = i + 1
+			case isa.OpJsrInd:
+				fi.hasIndirect = true
+				fi.callDeltas = append(fi.callDeltas, d)
+				next = i + 1
+			default:
+				next = i + 1
 			}
-			for _, t := range r.Tables[in.Table] {
-				target(t, nd)
+		}
+		if next >= 0 && fi.clean {
+			// Continue the straight-line run without worklist traffic.
+			if next >= len(code) {
+				fi.clean = false
+				return
 			}
-		case isa.OpRet:
-			if d != 0 {
-				fi.clean = false // epilogue slot math would be shifted
-				return fi
+			if flags[next]&flagSeen == 0 {
+				flags[next] |= flagSeen
+				deltas[next] = nd
+				i, d = next, nd
+				goto run
 			}
-		case isa.OpHalt:
-			// Ends the program; no frame to restore.
-		case isa.OpJsr:
-			fi.callees = append(fi.callees, in.Target)
-			fi.callDeltas = append(fi.callDeltas, d)
-			flow(i+1, nd)
-		case isa.OpJsrInd:
-			fi.hasIndirect = true
-			fi.callDeltas = append(fi.callDeltas, d)
-			flow(i+1, nd)
-		default:
-			flow(i+1, nd)
+			if deltas[next] != nd {
+				fi.clean = false
+			}
 		}
 	}
-	return fi
 }
 
 func isPrologueInstr(in *isa.Instr) bool {
@@ -401,17 +481,26 @@ func isPrologueInstr(in *isa.Instr) bool {
 func savedRestored(r *prog.Routine, fi *frameInfo) regset.Set {
 	var saves saveSlots
 	for ei, e := range r.Entries {
-		s := prologueSaves(r.Code, e)
 		if ei == 0 {
-			saves = s
+			prologueSaves(&saves, r.Code, e)
 		} else {
+			var s saveSlots
+			prologueSaves(&s, r.Code, e)
 			saves.intersect(&s)
 		}
 	}
 	for _, slot := range fi.bodyClobbers {
 		saves.clobber(slot, noOwner)
 	}
-	for _, d := range fi.callDeltas {
+	// A slot survives every call iff it sits at or above each call's sp
+	// delta, i.e. at or above the maximum — one clobberBelow suffices.
+	if len(fi.callDeltas) > 0 {
+		d := fi.callDeltas[0]
+		for _, x := range fi.callDeltas[1:] {
+			if x > d {
+				d = x
+			}
+		}
 		saves.clobberBelow(d)
 	}
 	restored := regset.All
@@ -518,13 +607,13 @@ func (s *saveSlots) intersect(t *saveSlots) {
 }
 
 // prologueSaves scans forward from entry index e over the prologue
-// pattern (sp-relative stores and sp adjustments), recording which
-// slots hold which register's entry value when the run ends. Offsets
-// are normalized to the sp at entry. Register values are unchanged
-// inside the region (stores write memory; the only register written is
-// sp itself), so every store captures its register's entry value.
-func prologueSaves(code []isa.Instr, e int) saveSlots {
-	var s saveSlots
+// pattern (sp-relative stores and sp adjustments), recording into s —
+// which must start empty — which slots hold which register's entry
+// value when the run ends. Offsets are normalized to the sp at entry.
+// Register values are unchanged inside the region (stores write memory;
+// the only register written is sp itself), so every store captures its
+// register's entry value.
+func prologueSaves(s *saveSlots, code []isa.Instr, e int) {
 	var delta int64 // sp − entry sp at the current instruction
 	for i := e; i < len(code); i++ {
 		in := &code[i]
@@ -536,10 +625,9 @@ func prologueSaves(code []isa.Instr, e int) saveSlots {
 		case in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP:
 			delta += in.Imm
 		default:
-			return s
+			return
 		}
 	}
-	return s
 }
 
 // epilogueRestores scans backward from the ret at index x over the

@@ -41,22 +41,18 @@ var hardwired = regset.Of(regset.Zero, regset.FZero)
 
 // Uses returns the registers this instruction may read before writing.
 func (in *Instr) Uses() regset.Set {
-	var s regset.Set
-	switch in.Op.Format() {
-	case FmtDSS:
-		s = regset.Of(in.Src1, in.Src2)
-	case FmtDS, FmtDSI, FmtS, FmtCallInd:
-		s = regset.Of(in.Src1)
-	case FmtSSI:
-		s = regset.Of(in.Src1, in.Src2)
-	case FmtSTarget, FmtJump:
-		s = regset.Of(in.Src1)
-	case FmtSets:
-		s = in.Use
-	case FmtNone, FmtTarget, FmtCall:
-		// no register reads
+	a := attrTable[in.Op]
+	if a&attrSets != 0 {
+		return in.Use.Minus(hardwired)
 	}
-	if in.Op == OpRet {
+	var s regset.Set
+	if a&attrUsesSrc1 != 0 {
+		s = regset.Of(in.Src1)
+	}
+	if a&attrUsesSrc2 != 0 {
+		s = s.Add(in.Src2)
+	}
+	if a&attrUsesRA != 0 {
 		s = s.Add(regset.RA)
 	}
 	return s.Minus(hardwired)
@@ -64,17 +60,48 @@ func (in *Instr) Uses() regset.Set {
 
 // Defs returns the registers this instruction writes on every execution.
 func (in *Instr) Defs() regset.Set {
-	var s regset.Set
-	switch in.Op.Format() {
-	case FmtDSS, FmtDS, FmtDSI:
-		s = regset.Of(in.Dest)
-	case FmtSets:
-		s = in.Def
+	a := attrTable[in.Op]
+	if a&attrSets != 0 {
+		return in.Def.Minus(hardwired)
 	}
-	if in.Op.IsCall() {
+	var s regset.Set
+	if a&attrDefsDest != 0 {
+		s = regset.Of(in.Dest)
+	}
+	if a&attrDefsRA != 0 {
 		s = s.Add(regset.RA)
 	}
 	return s.Minus(hardwired)
+}
+
+// UsesReg reports whether r ∈ Uses() without materializing the set: for
+// ordinary instructions it compares the operand fields directly, which
+// keeps per-instruction scans (notably the stack-slot scan in
+// internal/core) off the set-construction path.
+func (in *Instr) UsesReg(r regset.Reg) bool {
+	if hardwired.Contains(r) {
+		return false
+	}
+	a := attrTable[in.Op]
+	if a&attrSets != 0 {
+		return in.Use.Contains(r)
+	}
+	return (a&attrUsesSrc1 != 0 && in.Src1 == r) ||
+		(a&attrUsesSrc2 != 0 && in.Src2 == r) ||
+		(a&attrUsesRA != 0 && r == regset.RA)
+}
+
+// DefsReg reports whether r ∈ Defs() without materializing the set.
+func (in *Instr) DefsReg(r regset.Reg) bool {
+	if hardwired.Contains(r) {
+		return false
+	}
+	a := attrTable[in.Op]
+	if a&attrSets != 0 {
+		return in.Def.Contains(r)
+	}
+	return (a&attrDefsDest != 0 && in.Dest == r) ||
+		(a&attrDefsRA != 0 && r == regset.RA)
 }
 
 // Kills returns the registers this instruction may write: a superset of
@@ -92,8 +119,7 @@ func (in *Instr) Kills() regset.Set {
 // under the paper's convention (§4): branches, returns and calls all end
 // blocks. OpCallSummary replaces a call and therefore also ends a block.
 func (in *Instr) IsBlockEnd() bool {
-	return in.Op.IsBranch() || in.Op.IsReturn() || in.Op.IsCall() ||
-		in.Op == OpCallSummary
+	return attrTable[in.Op]&attrEndsBlock != 0
 }
 
 // String renders the instruction in assembler syntax (without resolving

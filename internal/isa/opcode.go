@@ -191,6 +191,85 @@ var opTable = [numOpcodes]opInfo{
 	OpCallSummary: {name: ".callsum", format: FmtSets},
 }
 
+// opAttr packs the per-opcode facts the hot paths ask about into one
+// word, so each predicate below is a single load from a 256-entry table
+// indexed by the opcode byte — no bounds check (the byte can't exceed
+// the table) and no validity pre-check (undefined opcodes hold zero,
+// which answers every predicate with the conservative "no"). The
+// attribute and format tables are derived from opTable at init;
+// opTable stays the single source of truth.
+type opAttr uint16
+
+const (
+	attrValid      opAttr = 1 << iota
+	attrBranch            // may transfer control within the routine
+	attrCondBranch        // has a fallthrough successor too
+	attrCall              // transfers control to another routine
+	attrRet               // exits the routine
+	attrBarrier           // no fallthrough
+	attrUsesSrc1          // reads Src1
+	attrUsesSrc2          // reads Src2
+	attrUsesRA            // reads ra implicitly (ret)
+	attrDefsDest          // writes Dest
+	attrDefsRA            // writes ra implicitly (calls)
+	attrSets              // pseudo carrying explicit Use/Def/Kill sets
+	attrEndsBlock         // terminates a basic block (branch/call/ret/callsum)
+)
+
+var attrTable = func() (t [256]opAttr) {
+	for op := range opTable {
+		info := &opTable[op]
+		if info.name == "" {
+			continue
+		}
+		a := attrValid
+		if info.branch {
+			a |= attrBranch
+		}
+		if info.call {
+			a |= attrCall | attrDefsRA
+		}
+		if info.ret {
+			a |= attrRet
+		}
+		if info.barrier {
+			a |= attrBarrier
+		}
+		switch info.format {
+		case FmtDSS, FmtSSI:
+			a |= attrUsesSrc1 | attrUsesSrc2
+		case FmtDS, FmtDSI, FmtS, FmtCallInd, FmtSTarget, FmtJump:
+			a |= attrUsesSrc1
+		case FmtSets:
+			a |= attrSets
+		}
+		switch info.format {
+		case FmtDSS, FmtDS, FmtDSI:
+			a |= attrDefsDest
+		}
+		t[op] = a
+	}
+	t[OpRet] |= attrUsesRA
+	t[OpBeq] |= attrCondBranch
+	t[OpBne] |= attrCondBranch
+	t[OpBlt] |= attrCondBranch
+	t[OpBge] |= attrCondBranch
+	for op := range t {
+		if t[op]&(attrBranch|attrCall|attrRet) != 0 {
+			t[op] |= attrEndsBlock
+		}
+	}
+	t[OpCallSummary] |= attrEndsBlock
+	return
+}()
+
+var fmtTable = func() (t [256]Format) {
+	for op := range opTable {
+		t[op] = opTable[op].format
+	}
+	return
+}()
+
 // String returns the assembler mnemonic for op.
 func (op Opcode) String() string {
 	if int(op) < len(opTable) && opTable[op].name != "" {
@@ -200,37 +279,28 @@ func (op Opcode) String() string {
 }
 
 // Valid reports whether op is a defined opcode.
-func (op Opcode) Valid() bool {
-	return int(op) < len(opTable) && opTable[op].name != ""
-}
+func (op Opcode) Valid() bool { return attrTable[op]&attrValid != 0 }
 
 // Format returns the operand format of op.
-func (op Opcode) Format() Format {
-	if op.Valid() {
-		return opTable[op].format
-	}
-	return FmtNone
-}
+func (op Opcode) Format() Format { return fmtTable[op] }
 
 // IsBranch reports whether op may transfer control within its routine.
-func (op Opcode) IsBranch() bool { return op.Valid() && opTable[op].branch }
+func (op Opcode) IsBranch() bool { return attrTable[op]&attrBranch != 0 }
 
 // IsCondBranch reports whether op is a conditional branch (has a
 // fallthrough successor in addition to its target).
-func (op Opcode) IsCondBranch() bool {
-	return op == OpBeq || op == OpBne || op == OpBlt || op == OpBge
-}
+func (op Opcode) IsCondBranch() bool { return attrTable[op]&attrCondBranch != 0 }
 
 // IsCall reports whether op transfers control to another routine and
 // returns.
-func (op Opcode) IsCall() bool { return op.Valid() && opTable[op].call }
+func (op Opcode) IsCall() bool { return attrTable[op]&attrCall != 0 }
 
 // IsReturn reports whether op exits the routine (ret or halt).
-func (op Opcode) IsReturn() bool { return op.Valid() && opTable[op].ret }
+func (op Opcode) IsReturn() bool { return attrTable[op]&attrRet != 0 }
 
 // IsBarrier reports whether control never falls through op to the next
 // instruction.
-func (op Opcode) IsBarrier() bool { return op.Valid() && opTable[op].barrier }
+func (op Opcode) IsBarrier() bool { return attrTable[op]&attrBarrier != 0 }
 
 // opByName maps mnemonics back to opcodes for the assembler.
 var opByName = func() map[string]Opcode {

@@ -1,0 +1,66 @@
+package regset
+
+// Bank is a flat array of register sets, one 64-bit word per entry —
+// the storage shape of the analysis's per-block and per-chain-node set
+// banks (the sparse labeler's def/use slab, solver state columns). The
+// batch operations below process whole banks in tight word-parallel
+// loops: each iteration touches all 64 registers of one entry, the
+// loops carry no branches, and the compiler can unroll or vectorize
+// them — so transferring a run of blocks costs a few instructions per
+// block instead of per register.
+//
+// All operations require the operand banks to have the same length as
+// dst (the usual Go slice bounds rules apply); dst may alias either
+// operand.
+type Bank []Set
+
+// MakeBank returns a zeroed (all-empty-sets) bank of n entries.
+func MakeBank(n int) Bank { return make(Bank, n) }
+
+// Fill sets every entry of b to s.
+func (b Bank) Fill(s Set) {
+	for i := range b {
+		b[i] = s
+	}
+}
+
+// CopyFrom copies src into b entry-wise.
+func (b Bank) CopyFrom(src Bank) {
+	copy(b, src)
+}
+
+// UnionInto stores a[i] ∪ b[i] into dst[i] for every entry.
+func UnionInto(dst, a, b []Set) {
+	if len(a) == 0 {
+		return
+	}
+	_ = dst[len(a)-1]
+	_ = b[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// IntersectInto stores a[i] ∩ b[i] into dst[i] for every entry.
+func IntersectInto(dst, a, b []Set) {
+	if len(a) == 0 {
+		return
+	}
+	_ = dst[len(a)-1]
+	_ = b[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// MinusInto stores a[i] − b[i] into dst[i] for every entry.
+func MinusInto(dst, a, b []Set) {
+	if len(a) == 0 {
+		return
+	}
+	_ = dst[len(a)-1]
+	_ = b[len(a)-1]
+	for i := range a {
+		dst[i] = a[i] &^ b[i]
+	}
+}

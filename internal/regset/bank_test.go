@@ -1,0 +1,154 @@
+package regset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBank fills a bank with pseudo-random sets from rng.
+func randBank(rng *rand.Rand, n int) Bank {
+	b := MakeBank(n)
+	for i := range b {
+		b[i] = Set(rng.Uint64())
+	}
+	return b
+}
+
+// scalarOp applies op register by register — the obvious per-register
+// loop the batch operations replace. The properties below require the
+// word-parallel results to match it on every entry.
+func scalarOp(a, b Set, op func(in, has bool) bool) Set {
+	var out Set
+	for r := Reg(0); r < NumRegs; r++ {
+		if op(a.Contains(r), b.Contains(r)) {
+			out = out.Add(r)
+		}
+	}
+	return out
+}
+
+// TestBankOpsMatchScalar checks each batch operation against its
+// per-register definition on random banks of varying lengths,
+// including length 0.
+func TestBankOpsMatchScalar(t *testing.T) {
+	ops := []struct {
+		name  string
+		batch func(dst, a, b []Set)
+		reg   func(a, b bool) bool
+	}{
+		{"UnionInto", UnionInto, func(a, b bool) bool { return a || b }},
+		{"IntersectInto", IntersectInto, func(a, b bool) bool { return a && b }},
+		{"MinusInto", MinusInto, func(a, b bool) bool { return a && !b }},
+	}
+	rng := rand.New(rand.NewSource(0x5eed8))
+	for _, op := range ops {
+		for _, n := range []int{0, 1, 3, 64, 257} {
+			a, b := randBank(rng, n), randBank(rng, n)
+			dst := MakeBank(n)
+			op.batch(dst, a, b)
+			for i := range dst {
+				want := scalarOp(a[i], b[i], func(x, y bool) bool { return op.reg(x, y) })
+				if dst[i] != want {
+					t.Fatalf("%s n=%d entry %d: got %v want %v", op.name, n, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBankOpsAliasing pins the documented aliasing contract: dst may be
+// the same slice as either operand.
+func TestBankOpsAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xa11a5))
+	ops := []struct {
+		name  string
+		batch func(dst, a, b []Set)
+	}{
+		{"UnionInto", UnionInto},
+		{"IntersectInto", IntersectInto},
+		{"MinusInto", MinusInto},
+	}
+	for _, op := range ops {
+		a0, b0 := randBank(rng, 100), randBank(rng, 100)
+		want := MakeBank(100)
+		op.batch(want, a0, b0)
+
+		a := append(Bank(nil), a0...)
+		op.batch(a, a, b0) // dst aliases a
+		b := append(Bank(nil), b0...)
+		op.batch(b, a0, b) // dst aliases b
+		for i := range want {
+			if a[i] != want[i] {
+				t.Fatalf("%s: dst=a aliasing diverges at %d: got %v want %v", op.name, i, a[i], want[i])
+			}
+			if b[i] != want[i] {
+				t.Fatalf("%s: dst=b aliasing diverges at %d: got %v want %v", op.name, i, b[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBankFillCopy covers the bank constructors and bulk setters.
+func TestBankFillCopy(t *testing.T) {
+	b := MakeBank(17)
+	for i := range b {
+		if b[i] != Empty {
+			t.Fatalf("MakeBank entry %d = %v, want empty", i, b[i])
+		}
+	}
+	b.Fill(All)
+	for i := range b {
+		if b[i] != All {
+			t.Fatalf("Fill(All) entry %d = %v", i, b[i])
+		}
+	}
+	src := randBank(rand.New(rand.NewSource(42)), 17)
+	b.CopyFrom(src)
+	for i := range b {
+		if b[i] != src[i] {
+			t.Fatalf("CopyFrom entry %d = %v, want %v", i, b[i], src[i])
+		}
+	}
+}
+
+// TestBankOpsLattice spot-checks the algebraic identities the labeling
+// solver leans on: union/intersection idempotence, absorption with the
+// ∅ and All banks, and MinusInto against its complement form.
+func TestBankOpsLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randBank(rng, 64)
+	empty, all := MakeBank(64), MakeBank(64)
+	all.Fill(All)
+
+	got := MakeBank(64)
+	UnionInto(got, a, a)
+	for i := range got {
+		if got[i] != a[i] {
+			t.Fatalf("a ∪ a ≠ a at %d", i)
+		}
+	}
+	UnionInto(got, a, empty)
+	for i := range got {
+		if got[i] != a[i] {
+			t.Fatalf("a ∪ ∅ ≠ a at %d", i)
+		}
+	}
+	IntersectInto(got, a, all)
+	for i := range got {
+		if got[i] != a[i] {
+			t.Fatalf("a ∩ All ≠ a at %d", i)
+		}
+	}
+	MinusInto(got, a, empty)
+	for i := range got {
+		if got[i] != a[i] {
+			t.Fatalf("a − ∅ ≠ a at %d", i)
+		}
+	}
+	MinusInto(got, a, all)
+	for i := range got {
+		if got[i] != Empty {
+			t.Fatalf("a − All ≠ ∅ at %d", i)
+		}
+	}
+}
