@@ -98,7 +98,7 @@ serve-smoke:
 obs-guard:
 	$(GO) vet ./...
 	$(GO) test ./internal/obs/ ./internal/core/ \
-		-run 'TestAllocationBudget|TestAnalyzeAllocationBudget|TestPSGBuildAllocationBudget|TestPhasesAllocationBudget|TestDisabledObsAllocParity|TestMetricsDeterminism|TestAnalyzeTracing|TestNilObserverZeroAlloc' -v
+		-run 'TestAllocationBudget|TestAnalyzeAllocationBudget|TestPSGBuildAllocationBudget|TestPhasesAllocationBudget|TestDisabledObsAllocParity|TestMetricsDeterminism|TestAnalyzeTracing|TestNilObserverZeroAlloc|TestNilRequestObserverZeroAlloc|TestAnalyzeRequestSpans' -v
 
 # Correctness soak: the internal/check harness — differential runner
 # across the option matrix, PSG invariant checker, emulator-backed

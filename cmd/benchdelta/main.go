@@ -10,7 +10,9 @@
 // headings — these are exact, machine-independent values, so any
 // nonzero delta there reflects an algorithmic change, not noise. The
 // "incremental" section (re-analysis benchmarks, headline metric
-// speedup-vs-full) gets its own "incremental:" tables.
+// speedup-vs-full) gets its own "incremental:" tables, and the "serve"
+// section (daemon benchmarks: qps, client-side quantiles, per-route
+// p50/p99 SLO gauges) its own "serve:" tables.
 //
 // It is intentionally dependency-free: `make bench-compare` runs it
 // against a baseline checkout, so it must build from a bare toolchain.
@@ -34,6 +36,7 @@ import (
 
 type doc struct {
 	Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
+	Serve       map[string]map[string]float64 `json:"serve"`
 	Incremental map[string]map[string]float64 `json:"incremental"`
 	Counters    map[string]map[string]float64 `json:"counters"`
 }
@@ -41,6 +44,11 @@ type doc struct {
 // coreMetrics are printed first, in this order; any other metric the two
 // documents share follows alphabetically.
 var coreMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// serveMetrics order the analysis-service tables: throughput first,
+// then the client-observed quantiles; the daemon-side per-route SLO
+// gauges (serve/p50_us/<route> etc.) follow alphabetically.
+var serveMetrics = []string{"qps", "p50-ns", "p99-ns", "ns/op"}
 
 func main() {
 	if len(os.Args) != 3 {
@@ -93,6 +101,7 @@ func (d *doc) aliasLabeling() {
 func report(old, new_ *doc) {
 	first := true
 	emitTables(old.Benchmarks, new_.Benchmarks, "metric", coreMetrics, &first)
+	emitTables(old.Serve, new_.Serve, "serve", serveMetrics, &first)
 	emitTables(old.Incremental, new_.Incremental, "incremental", coreMetrics, &first)
 	emitTables(old.Counters, new_.Counters, "counter", nil, &first)
 }

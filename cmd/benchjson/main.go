@@ -21,7 +21,11 @@
 //
 // Benchmarks named BenchmarkServe* land in a separate "serve" section:
 // they measure the analysis service (queries/sec, latency quantiles of
-// the daemon endpoints) rather than the solver itself. Benchmarks named
+// the daemon endpoints) rather than the solver itself. The daemon-side
+// SLO gauges they publish (serve/p50_us/<route>, serve/p99_us/<route>,
+// computed from the server's rolling windows) also land there — they
+// are latencies, so they belong with the timing metrics, not with the
+// exact counters. Benchmarks named
 // BenchmarkReanalyze* land in an "incremental" section: they measure
 // re-analysis after an edit (copying and in-place modes), whose
 // headline metric is speedup-vs-full rather than ns/op.
@@ -142,8 +146,9 @@ func parse(r io.Reader) (*doc, error) {
 // observation wins instead of averaging.
 func (d *doc) record(name string, metrics map[string]float64) {
 	section := d.Benchmarks
+	isServe := strings.HasPrefix(name, "BenchmarkServe")
 	switch {
-	case strings.HasPrefix(name, "BenchmarkServe"):
+	case isServe:
 		if d.Serve == nil {
 			d.Serve = map[string]map[string]float64{}
 		}
@@ -162,6 +167,17 @@ func (d *doc) record(name string, metrics map[string]float64) {
 	runs := m["runs"] + 1
 	for k, v := range metrics {
 		if ctr, ok := strings.CutSuffix(k, "/run"); ok {
+			// The per-route SLO gauges the serve benchmarks publish
+			// (serve/p50_us/<route>, serve/p99_us/<route>) are
+			// latencies, not exact counters: they stay in the serve
+			// section next to qps and the client-side quantiles, where
+			// benchdelta reads them as noisy timing metrics rather than
+			// algorithm counters. Last observation wins — they are
+			// gauges of the final window, not per-run accumulations.
+			if isServe && (strings.HasPrefix(ctr, "serve/p50_us/") || strings.HasPrefix(ctr, "serve/p99_us/")) {
+				m[ctr] = v
+				continue
+			}
 			if d.Counters == nil {
 				d.Counters = map[string]map[string]float64{}
 			}

@@ -13,6 +13,7 @@ func TestRecordSections(t *testing.T) {
 	d.record("BenchmarkAnalyzeParallel", map[string]float64{"ns/op": 100})
 	d.record("BenchmarkServeSummary", map[string]float64{
 		"qps": 4000, "p50-ns": 90000, "serve/analysis_cache_hits/run": 5,
+		"serve/p50_us/summary/run": 63, "serve/p99_us/summary/run": 127,
 	})
 
 	if _, ok := d.Benchmarks["BenchmarkAnalyzeParallel"]; !ok {
@@ -30,6 +31,14 @@ func TestRecordSections(t *testing.T) {
 	}
 	if d.Counters["BenchmarkServeSummary"]["serve/analysis_cache_hits"] != 5 {
 		t.Errorf("counters = %v", d.Counters)
+	}
+	// SLO gauges are latencies: they ride in the serve section with the
+	// "/run" suffix stripped, not in the exact-counter section.
+	if m["serve/p50_us/summary"] != 63 || m["serve/p99_us/summary"] != 127 {
+		t.Errorf("SLO gauges missing from serve section: %v", m)
+	}
+	if _, ok := d.Counters["BenchmarkServeSummary"]["serve/p50_us/summary"]; ok {
+		t.Error("SLO gauge leaked into counters section")
 	}
 }
 

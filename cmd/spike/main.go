@@ -1,4 +1,4 @@
-// Command spike is the post-link-time optimizer driver. It has four
+// Command spike is the post-link-time optimizer driver. It has five
 // subcommands:
 //
 //	spike analyze [flags] input   analyze (and optionally optimize) one
@@ -13,6 +13,10 @@
 //	                              persist a converged analysis as a
 //	                              binary snapshot image, or restore one
 //	                              without re-running the solver
+//	spike top     [flags]         poll a running daemon's /metrics and
+//	                              render a live table: per-route qps,
+//	                              p50/p99, cache hit ratio, inflight,
+//	                              slow queries
 //
 // A bare `spike [flags] input` still works as an alias for `spike
 // analyze` (with a deprecation note on stderr), so existing scripts
@@ -107,6 +111,7 @@ Commands:
   serve    [flags]                  run the analysis service daemon (HTTP/JSON)
   check    [flags] input            run the correctness harness on the input
   snapshot <save|load> input snap   persist or restore a converged analysis
+  top      [flags]                  live serving metrics of a running daemon
 
 Run 'spike <command> -h' for a command's flags. A bare
 'spike [flags] input' is a deprecated alias for 'spike analyze'.
@@ -118,7 +123,7 @@ func main() {
 	cmd := ""
 	if len(args) > 0 {
 		switch args[0] {
-		case "analyze", "serve", "check", "snapshot":
+		case "analyze", "serve", "check", "snapshot", "top":
 			cmd, args = args[0], args[1:]
 		case "help", "-h", "--help":
 			usage(os.Stdout)
@@ -133,6 +138,8 @@ func main() {
 		err = checkMain(args)
 	case "snapshot":
 		err = snapshotMain(args)
+	case "top":
+		err = topMain(args)
 	case "analyze":
 		err = analyzeMain(args)
 	default:

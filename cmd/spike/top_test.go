@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/serve"
+)
+
+func TestRenderTop(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	prev := &topSample{at: t0, counters: map[string]uint64{
+		"serve/requests/summary": 10,
+	}}
+	cur := &topSample{at: t0.Add(5 * time.Second), counters: map[string]uint64{
+		"serve/requests/summary":         60,
+		"serve/requests/liveness":        5,
+		"serve/p50_us/summary":           120,
+		"serve/p99_us/summary":           900,
+		"serve/analysis_cache_hits":      3,
+		"serve/analysis_cache_misses":    1,
+		"serve/analysis_cache_evictions": 2,
+		"serve/slow_queries":             7,
+		"serve/inflight":                 4,
+	}}
+	out := renderTop(prev, cur, "http://x:1")
+	for _, want := range []string{
+		"inflight 4",
+		"cache hit 75.0% (3/4)",
+		"evictions 2",
+		"slow 7",
+		"ROUTE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("renderTop missing %q:\n%s", want, out)
+		}
+	}
+	// 50 new summary requests over 5s → 10.0 qps; rows sort by request
+	// count, so summary precedes liveness.
+	lines := strings.Split(out, "\n")
+	var sumLine, livLine int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "summary") {
+			sumLine = i
+			fields := strings.Fields(l)
+			if len(fields) != 5 || fields[1] != "60" || fields[2] != "10.0" ||
+				fields[3] != "120" || fields[4] != "900" {
+				t.Errorf("summary row = %q", l)
+			}
+		}
+		if strings.HasPrefix(l, "liveness") {
+			livLine = i
+		}
+	}
+	if sumLine == 0 || livLine == 0 || sumLine > livLine {
+		t.Errorf("row order wrong (summary at %d, liveness at %d):\n%s", sumLine, livLine, out)
+	}
+	// First sample has no rate baseline.
+	first := renderTop(nil, cur, "http://x:1")
+	if !strings.Contains(first, "-") {
+		t.Errorf("first render should show '-' for qps:\n%s", first)
+	}
+}
+
+// TestRunTopAgainstDaemon polls a real in-process daemon once and
+// checks the table reflects the traffic it served.
+func TestRunTopAgainstDaemon(t *testing.T) {
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	asm, err := json.Marshal(api.LoadRequest{Asm: "\n.start m\n.routine m\n  halt\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/programs", "application/json", bytes.NewReader(asm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded api.LoadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+
+	var out bytes.Buffer
+	if err := runTop(ts.URL, time.Millisecond, 2, true, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"spike top —", "ROUTE", "programs"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("top output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunTopBadDaemon(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := runTop(ts.URL, time.Millisecond, 1, true, &out); err == nil {
+		t.Error("runTop against a 404 daemon should fail")
+	}
+}

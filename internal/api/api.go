@@ -286,3 +286,41 @@ type MetricsResponse struct {
 	SchemaVersion string       `json:"schema_version"`
 	Metrics       obs.Snapshot `json:"metrics"`
 }
+
+// StageDuration attributes part of a request's latency to one named
+// stage (cache lookup, analysis phase, ...), in span-tree recording
+// order.
+type StageDuration struct {
+	Name       string `json:"name"`
+	DurationUS int64  `json:"duration_us"`
+}
+
+// SlowQuery is one slow-query log record: a request that exceeded the
+// daemon's slow threshold, with the identity needed to reproduce it
+// (program hash, option key) and its per-stage latency breakdown.
+type SlowQuery struct {
+	RequestID  uint64          `json:"request_id"`
+	Route      string          `json:"route"`
+	Program    string          `json:"program,omitempty"`
+	OptionKey  string          `json:"option_key,omitempty"`
+	Status     int             `json:"status"`
+	DurationUS int64           `json:"duration_us"`
+	Stages     []StageDuration `json:"stages,omitempty"`
+}
+
+// SlowLogResponse answers GET /debug/slowlog: the retained slow-query
+// records, oldest first.
+type SlowLogResponse struct {
+	SchemaVersion string      `json:"schema_version"`
+	ThresholdUS   int64       `json:"threshold_us"`
+	Slow          []SlowQuery `json:"slow,omitempty"`
+}
+
+// TraceInfoResponse answers GET /debug/trace?format=info: the flight
+// recorder's shape without the trace payload.
+type TraceInfoResponse struct {
+	SchemaVersion string `json:"schema_version"`
+	Capacity      int    `json:"capacity"`
+	Recorded      uint64 `json:"recorded"`
+	Retained      int    `json:"retained"`
+}

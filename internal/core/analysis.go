@@ -246,6 +246,11 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 	asp := th.Begin("analyze").
 		Arg("routines", int64(len(p.Routines))).
 		Arg("workers", int64(workers))
+	// The request-scoped view, when a daemon request carried one in:
+	// one span per stage under the caller's parent, coarse enough to
+	// record on every live request (see WithRequestSpans).
+	rt, rparent := conf.ReqTrace, conf.ReqParent
+	rt.Arg(rparent, "routines", int64(len(p.Routines)))
 
 	// cancelled is the between-stage cancellation point: each stage
 	// boundary checks it so an abandoned caller stops paying for the
@@ -261,8 +266,10 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 
 	start := time.Now()
 	ssp := th.Begin("cfg build")
+	rsp := rt.Begin(rparent, "cfg build")
 	a.Graphs, a.Stats.CFGBuildCPU = cfg.BuildAllTraced(p, workers, conf.Tracer)
 	ssp.End()
+	rt.End(rsp)
 	a.Stats.CFGBuild = time.Since(start)
 	if err := cancelled(); err != nil {
 		return nil, err
@@ -270,8 +277,10 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 
 	start = time.Now()
 	ssp = th.Begin("init")
+	rsp = rt.Begin(rparent, "init")
 	a.Stats.InitCPU = cfg.ComputeDefUBDAllTraced(a.Graphs, workers, conf.Tracer)
 	ssp.End()
+	rt.End(rsp)
 	a.Stats.Init = time.Since(start)
 	if err := cancelled(); err != nil {
 		return nil, err
@@ -279,8 +288,10 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 
 	start = time.Now()
 	ssp = th.Begin("psg build")
+	rsp = rt.Begin(rparent, "psg build")
 	a.PSG, a.Stats.PSGBuildCPU = buildPSG(p, a.Graphs, conf)
 	ssp.End()
+	rt.End(rsp)
 	a.Stats.PSGBuild = time.Since(start)
 	if err := cancelled(); err != nil {
 		return nil, err
@@ -288,19 +299,25 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 
 	start = time.Now()
 	ssp = th.Begin("callgraph build")
+	rsp = rt.Begin(rparent, "callgraph build")
 	a.callGraph = callgraph.Build(p,
 		callgraph.WithIndirectPinning(conf.LinkIndirectCalls),
 		callgraph.WithObs(conf.Tracer, conf.Metrics))
 	ssp.End()
+	rt.End(rsp)
 	a.Stats.CallGraphBuild = time.Since(start)
 	a.Stats.SCCComponents = a.callGraph.NumComponents()
 	sched := newPhaseSched(a.PSG, a.callGraph, conf)
 
 	start = time.Now()
 	ssp = th.Begin("phase1")
+	rsp = rt.Begin(rparent, "phase1")
 	a.Stats.Phase1Waves, a.Stats.Phase1Iterations, a.Stats.Phase1CPU = sched.runPhase1()
 	ssp.Arg("waves", int64(a.Stats.Phase1Waves)).
 		Arg("iterations", int64(a.Stats.Phase1Iterations)).End()
+	rt.Arg(rsp, "waves", int64(a.Stats.Phase1Waves))
+	rt.Arg(rsp, "iterations", int64(a.Stats.Phase1Iterations))
+	rt.End(rsp)
 	a.Stats.Phase1 = time.Since(start)
 	if err := cancelled(); err != nil {
 		return nil, err
@@ -308,9 +325,13 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 
 	start = time.Now()
 	ssp = th.Begin("phase2")
+	rsp = rt.Begin(rparent, "phase2")
 	a.Stats.Phase2Waves, a.Stats.Phase2Iterations, a.Stats.Phase2CPU = sched.runPhase2()
 	ssp.Arg("waves", int64(a.Stats.Phase2Waves)).
 		Arg("iterations", int64(a.Stats.Phase2Iterations)).End()
+	rt.Arg(rsp, "waves", int64(a.Stats.Phase2Waves))
+	rt.Arg(rsp, "iterations", int64(a.Stats.Phase2Iterations))
+	rt.End(rsp)
 	a.Stats.Phase2 = time.Since(start)
 	if err := cancelled(); err != nil {
 		return nil, err
@@ -318,11 +339,13 @@ func AnalyzeContext(ctx context.Context, p *prog.Program, opts ...Option) (*Anal
 	a.schedShape = sched.shape()
 
 	ssp = th.Begin("summaries")
+	rsp = rt.Begin(rparent, "summaries")
 	a.collectSummaries()
 	a.collectCounts()
 	a.livOnce = make([]sync.Once, len(p.Routines))
 	a.liv = make([]*dataflow.Liveness, len(p.Routines))
 	ssp.End()
+	rt.End(rsp)
 	asp.End()
 	a.publishMetrics(wlGets0, wlNews0, lbGets0, lbNews0, duGets0, duNews0)
 	return a, nil

@@ -142,7 +142,51 @@ func TestDisabledObsAllocParity(t *testing.T) {
 	if explicit != base {
 		t.Errorf("explicit nil observer allocates %.0f/run vs %.0f/run default", explicit, base)
 	}
+	// The serving daemon's request-span plumbing must be free when no
+	// request trace rides the config (the flight recorder disabled).
+	reqspans := testing.AllocsPerRun(5, func() {
+		if _, err := Analyze(p, WithParallelism(1), WithRequestSpans(nil, obs.NoSpan)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reqspans != base {
+		t.Errorf("nil request-span observer allocates %.0f/run vs %.0f/run default", reqspans, base)
+	}
 	if base > analyzeAllocBudget {
 		t.Errorf("disabled-tracing Analyze allocates %.0f/run, budget %d", base, analyzeAllocBudget)
+	}
+}
+
+// TestAnalyzeRequestSpans checks the request-scoped stage inventory: an
+// analysis run under WithRequestSpans records one child span per
+// pipeline stage, all parented to the span the caller supplied.
+func TestAnalyzeRequestSpans(t *testing.T) {
+	p := perfProgram()
+	rt := obs.NewRequestTrace(1, "/v1/summary")
+	an := rt.Begin(rt.Root(), "analyze")
+	if _, err := Analyze(p, WithParallelism(2), WithRequestSpans(rt, an)); err != nil {
+		t.Fatal(err)
+	}
+	rt.End(an)
+	rt.Finish(200)
+
+	spans := rt.Spans()
+	count := map[string]int{}
+	for i, sp := range spans {
+		count[sp.Name]++
+		if i >= 2 && sp.Parent != an {
+			t.Errorf("stage span %q parented to %d, want %d", sp.Name, sp.Parent, an)
+		}
+		if sp.Dur < 0 {
+			t.Errorf("span %q left open", sp.Name)
+		}
+	}
+	for _, stage := range []string{
+		"cfg build", "init", "psg build", "callgraph build",
+		"phase1", "phase2", "summaries",
+	} {
+		if count[stage] != 1 {
+			t.Errorf("request span %q appears %d times, want 1", stage, count[stage])
+		}
 	}
 }

@@ -112,6 +112,17 @@ func WithTracer(tr *obs.Tracer) Option {
 	return func(c *Config) { c.Tracer = tr }
 }
 
+// WithRequestSpans records coarse per-stage spans (cfg build, init,
+// phase1, phase2, summaries, ...) into rt as children of parent — the
+// serving daemon's request-scoped view of an analysis. Unlike
+// WithTracer's per-wave/per-component detail, these are a handful of
+// spans per analysis, cheap enough to record on every live request and
+// to retain in the flight recorder. A nil rt — the default — records
+// nothing with zero allocations.
+func WithRequestSpans(rt *obs.RequestTrace, parent obs.RSpan) Option {
+	return func(c *Config) { c.ReqTrace, c.ReqParent = rt, parent }
+}
+
 // WithMetrics publishes the solver telemetry — worklist traffic,
 // per-component fixed-point iterations, edge relabels, graph-shape
 // gauges, pool hit rates — into m (see obs.Metrics.Snapshot). A nil m

@@ -312,6 +312,16 @@ type Config struct {
 	// graph-shape gauges). nil disables them the same way.
 	Metrics *obs.Metrics
 
+	// ReqTrace, when non-nil, receives coarse per-stage spans (cfg
+	// build, phase1, phase2, ...) as children of ReqParent — the serving
+	// daemon's request-scoped view of an analysis, attributing one
+	// request's latency to pipeline stages (WithRequestSpans). Parallel
+	// to Tracer, which records the fine-grained per-wave/per-component
+	// offline view. nil — the default — records nothing and allocates
+	// nothing.
+	ReqTrace  *obs.RequestTrace
+	ReqParent obs.RSpan
+
 	// ctx is the cancellation context AnalyzeContext threads through
 	// the pipeline; nil means no cancellation. Deliberately unexported:
 	// contexts travel through AnalyzeContext calls, not through stored

@@ -118,6 +118,11 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 		Arg("routines", int64(len(patched.Routines))).
 		Arg("workers", int64(workers))
 	defer asp.End()
+	// Request-scoped stage spans, when a daemon request carried a trace
+	// in (WithRequestSpans); same stage names as AnalyzeContext plus the
+	// incremental-only "diff".
+	rt, rparent := conf.ReqTrace, conf.ReqParent
+	rt.Arg(rparent, "routines", int64(len(patched.Routines)))
 
 	cancelled := func() error {
 		if err := ctx.Err(); err != nil {
@@ -134,6 +139,7 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	// (a rewrite landing on identical bytes, or a deep Clone) are still
 	// clean. The hashes assembled here are adopted by the new analysis so
 	// chained re-analyses never rescan clean bodies.
+	rsp := rt.Begin(rparent, "diff")
 	nNew, nOld := len(patched.Routines), len(prev.Prog.Routines)
 	prevHashes := prev.BodyHashes()
 	newHashes := make([]uint64, nNew)
@@ -154,6 +160,8 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	}
 	a.adoptBodyHashes(newHashes)
 	asp.Arg("dirty_routines", int64(len(dirty)))
+	rt.Arg(rsp, "dirty_routines", int64(len(dirty)))
+	rt.End(rsp)
 
 	if err := validatePatched(patched, prev, dirty); err != nil {
 		return nil, err
@@ -164,6 +172,7 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 
 	// ---- per-routine artifacts: CFGs and DEF/UBD -----------------------
 	start := time.Now()
+	rsp = rt.Begin(rparent, "cfg build")
 	a.Graphs = make([]*cfg.Graph, nNew)
 	for ri := range patched.Routines {
 		if clean[ri] {
@@ -174,28 +183,34 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 		a.Graphs[dirty[i]] = cfg.Build(patched, dirty[i])
 	})
 	a.Stats.CFGBuild = time.Since(start)
+	rt.End(rsp)
 
 	start = time.Now()
+	rsp = rt.Begin(rparent, "init")
 	a.Stats.InitCPU = par.ForEachSpan(conf.Tracer, "defubd", len(dirty), workers, func(i int) {
 		cfg.ComputeDefUBD(a.Graphs[dirty[i]])
 	})
 	a.Stats.Init = time.Since(start)
+	rt.End(rsp)
 	if err := cancelled(); err != nil {
 		return nil, err
 	}
 
 	// ---- call graph ----------------------------------------------------
 	start = time.Now()
+	rsp = rt.Begin(rparent, "callgraph build")
 	cg := callgraph.BuildIncremental(patched, prev.CallGraph(), clean,
 		callgraph.WithIndirectPinning(conf.LinkIndirectCalls),
 		callgraph.WithObs(conf.Tracer, conf.Metrics))
 	a.callGraph = cg
 	a.Stats.CallGraphBuild = time.Since(start)
+	rt.End(rsp)
 	a.Stats.SCCComponents = cg.NumComponents()
 	prevCG := prev.CallGraph()
 
 	// ---- PSG assembly --------------------------------------------------
 	start = time.Now()
+	rsp = rt.Begin(rparent, "psg build")
 	nodeDelta, tasks, shapeSame, linksShared := a.assemblePSG(prev, clean, dirty, conf)
 	cpu := time.Since(start)
 	ltasks := tasks
@@ -215,6 +230,7 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	cpu += srCPU
 	a.Stats.PSGBuildCPU = cpu
 	a.Stats.PSGBuild = time.Since(start)
+	rt.End(rsp)
 	if err := cancelled(); err != nil {
 		return nil, err
 	}
@@ -278,16 +294,20 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 
 	// ---- phase 1 -------------------------------------------------------
 	start = time.Now()
+	rsp = rt.Begin(rparent, "phase1")
 	resolved1 := make([]bool, nComp)
 	a.Stats.Phase1Waves, a.Stats.Phase1Iterations, a.Stats.Phase1CPU =
 		a.runIncremental1(prev, sched, dirtyComp, resolved1)
 	a.Stats.Phase1 = time.Since(start)
+	rt.Arg(rsp, "iterations", int64(a.Stats.Phase1Iterations))
+	rt.End(rsp)
 	if err := cancelled(); err != nil {
 		return nil, err
 	}
 
 	// ---- phase 2 -------------------------------------------------------
 	start = time.Now()
+	rsp = rt.Begin(rparent, "phase2")
 	if !linksShared {
 		g.linkReturnSites(conf)
 	}
@@ -351,6 +371,8 @@ func ReanalyzeContext(ctx context.Context, prev *Analysis, patched *prog.Program
 	a.Stats.Phase2Waves, a.Stats.Phase2Iterations, a.Stats.Phase2CPU =
 		a.runIncremental2(prev, sched, clean, nodeDelta, dirty2, resolved2)
 	a.Stats.Phase2 = time.Since(start)
+	rt.Arg(rsp, "iterations", int64(a.Stats.Phase2Iterations))
+	rt.End(rsp)
 	if err := cancelled(); err != nil {
 		return nil, err
 	}

@@ -38,16 +38,23 @@ func NewMetrics() *Metrics {
 // input and parallelism-invariant; they participate in
 // Snapshot.Stable() and the determinism tests. Returns nil when m is
 // nil.
-func (m *Metrics) Counter(name string) *Counter { return m.counter(name, false) }
+func (m *Metrics) Counter(name string) *Counter { return m.counter(name, false, false) }
 
 // UnstableCounter is Counter for quantities that legitimately vary
 // across runs or worker counts (sync.Pool hits, scheduling artifacts).
 // Unstable counters are reported but excluded from Snapshot.Stable().
 // If the same name was first registered with the other stability
 // class, the first registration wins.
-func (m *Metrics) UnstableCounter(name string) *Counter { return m.counter(name, true) }
+func (m *Metrics) UnstableCounter(name string) *Counter { return m.counter(name, true, false) }
 
-func (m *Metrics) counter(name string, unstable bool) *Counter {
+// Gauge is Counter for instantaneous values (inflight requests, cache
+// sizes, window quantiles) that are Stored or moved up and down rather
+// than accumulated. Gauges are unstable by definition — they reflect a
+// moment, not a deterministic total — so they are excluded from
+// Snapshot.Stable(), and the Prometheus exposition types them `gauge`.
+func (m *Metrics) Gauge(name string) *Counter { return m.counter(name, true, true) }
+
+func (m *Metrics) counter(name string, unstable, gauge bool) *Counter {
 	if m == nil {
 		return nil
 	}
@@ -55,7 +62,7 @@ func (m *Metrics) counter(name string, unstable bool) *Counter {
 	defer m.mu.Unlock()
 	c, ok := m.counters[name]
 	if !ok {
-		c = &Counter{name: name, unstable: unstable}
+		c = &Counter{name: name, unstable: unstable, gauge: gauge}
 		m.counters[name] = c
 	}
 	return c
@@ -81,6 +88,7 @@ func (m *Metrics) Histogram(name string) *Histogram {
 type Counter struct {
 	name     string
 	unstable bool
+	gauge    bool
 	v        atomic.Uint64
 }
 
@@ -99,6 +107,16 @@ func (c *Counter) Store(v uint64) {
 		return
 	}
 	c.v.Store(v)
+}
+
+// Sub subtracts n from the counter. Only meaningful on gauges (a
+// monotone counter must never go down); pairs with Add to track
+// level-style quantities such as inflight requests.
+func (c *Counter) Sub(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(^(n - 1))
 }
 
 // Value returns the current count (0 on nil).
@@ -146,6 +164,7 @@ type CounterValue struct {
 	Name     string `json:"name"`
 	Value    uint64 `json:"value"`
 	Unstable bool   `json:"unstable,omitempty"`
+	Gauge    bool   `json:"gauge,omitempty"`
 }
 
 // Bucket is one populated histogram bucket: Count observations with
@@ -202,7 +221,7 @@ func (m *Metrics) Snapshot() Snapshot {
 
 	for _, c := range counters {
 		s.Counters = append(s.Counters, CounterValue{
-			Name: c.name, Value: c.v.Load(), Unstable: c.unstable,
+			Name: c.name, Value: c.v.Load(), Unstable: c.unstable, Gauge: c.gauge,
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })

@@ -1,0 +1,169 @@
+package obs
+
+// Prometheus text exposition (format 0.0.4) for a metrics Snapshot.
+// The registry's slash-separated names map onto Prometheus conventions
+// mechanically:
+//
+//   - '/' and any other character outside [a-zA-Z0-9_] become '_', and
+//     the whole name is prefixed with the namespace ("spike_" for the
+//     daemon).
+//   - A name with three or more segments is treated as a per-route
+//     family: the last segment becomes a route="..." label and the
+//     remaining segments the family name, so serve/requests/liveness
+//     and serve/requests/summary render as two samples of one
+//     spike_serve_requests family — the shape PromQL aggregation
+//     expects.
+//   - Counters are typed `counter`; instruments registered via
+//     Metrics.Gauge are typed `gauge`; histograms render cumulative
+//     `_bucket{le="..."}` series plus `_sum` and `_count`, converting
+//     the registry's per-bucket counts (power-of-two upper bounds)
+//     into the cumulative form Prometheus requires.
+//
+// The rendering is a pure function of the snapshot with families
+// sorted by name, so a fixed snapshot produces byte-identical text —
+// that is what testdata/prom.txt pins.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName mangles a slash-separated registry name into a Prometheus
+// metric name, splitting off a route label when the name has three or
+// more segments.
+func promName(namespace, name string) (fam, route string) {
+	segs := strings.Split(name, "/")
+	if len(segs) >= 3 {
+		route = segs[len(segs)-1]
+		segs = segs[:len(segs)-1]
+	}
+	fam = mangle(namespace + "_" + strings.Join(segs, "_"))
+	return fam, route
+}
+
+func mangle(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func routeLabel(route string) string {
+	if route == "" {
+		return ""
+	}
+	return `{route="` + promLabelEscaper.Replace(route) + `"}`
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format under the given namespace prefix. Safe on the zero
+// snapshot (renders nothing).
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	type sample struct {
+		route string
+		cv    CounterValue
+	}
+	counterFams := make(map[string][]sample)
+	for _, cv := range s.Counters {
+		fam, route := promName(namespace, cv.Name)
+		counterFams[fam] = append(counterFams[fam], sample{route, cv})
+	}
+	famNames := make([]string, 0, len(counterFams))
+	for fam := range counterFams {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+
+	for _, fam := range famNames {
+		samples := counterFams[fam]
+		// Stability class and kind come from the first sample; the
+		// registry only mixes kinds within a family if callers
+		// register inconsistently, which vet-by-convention forbids.
+		kind := "counter"
+		if samples[0].cv.Gauge {
+			kind = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind); err != nil {
+			return err
+		}
+		for _, sm := range samples {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", fam, routeLabel(sm.route), sm.cv.Value); err != nil {
+				return err
+			}
+		}
+	}
+
+	type hsample struct {
+		route string
+		hv    HistogramValue
+	}
+	histFams := make(map[string][]hsample)
+	for _, hv := range s.Histograms {
+		fam, route := promName(namespace, hv.Name)
+		histFams[fam] = append(histFams[fam], hsample{route, hv})
+	}
+	hfamNames := make([]string, 0, len(histFams))
+	for fam := range histFams {
+		hfamNames = append(hfamNames, fam)
+	}
+	sort.Strings(hfamNames)
+
+	for _, fam := range hfamNames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		for _, sm := range histFams[fam] {
+			var cum uint64
+			for _, b := range sm.hv.Buckets {
+				cum += b.Count
+				le := fmt.Sprintf("%d", b.Le)
+				if b.Le == ^uint64(0) {
+					le = "+Inf"
+				}
+				if err := writeBucket(w, fam, sm.route, le, cum); err != nil {
+					return err
+				}
+			}
+			if cum < sm.hv.Count || len(sm.hv.Buckets) == 0 ||
+				sm.hv.Buckets[len(sm.hv.Buckets)-1].Le != ^uint64(0) {
+				if err := writeBucket(w, fam, sm.route, "+Inf", sm.hv.Count); err != nil {
+					return err
+				}
+			}
+			suffix := routeLabel(sm.route)
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", fam, suffix, sm.hv.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, sm.hv.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeBucket(w io.Writer, fam, route, le string, cum uint64) error {
+	labels := `{le="` + le + `"}`
+	if route != "" {
+		labels = `{route="` + promLabelEscaper.Replace(route) + `",le="` + le + `"}`
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, labels, cum)
+	return err
+}

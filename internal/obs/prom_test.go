@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// promSnapshot builds a fixed registry covering every exposition case:
+// plain counters, per-route counters (3+ segments → route label),
+// gauges, and histograms with and without a route segment.
+func promSnapshot() Snapshot {
+	m := NewMetrics()
+	m.Counter("analyze/runs").Add(3)
+	m.Counter("serve/requests/liveness").Add(10)
+	m.Counter("serve/requests/summary").Add(4)
+	m.Counter("serve/errors/encode").Add(1)
+	m.UnstableCounter("pool/gets").Add(7)
+	m.Gauge("serve/inflight").Store(2)
+	m.Gauge("serve/p99_us/liveness").Store(1500)
+	m.Gauge("serve/p99_us/summary").Store(900)
+	h := m.Histogram("serve/latency_ns/liveness")
+	h.Observe(0)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(900)
+	m.Histogram("analyze/waves").Observe(6)
+	return m.Snapshot()
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promSnapshot().WritePrometheus(&buf, "spike"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus rendering drifted from golden (run with -update):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promSnapshot().WritePrometheus(&buf, "spike"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Per-route counters collapse into one family with route labels.
+	if strings.Count(out, "# TYPE spike_serve_requests counter") != 1 {
+		t.Errorf("serve_requests family not typed exactly once:\n%s", out)
+	}
+	for _, want := range []string{
+		`spike_serve_requests{route="liveness"} 10`,
+		`spike_serve_requests{route="summary"} 4`,
+		`spike_serve_errors{route="encode"} 1`,
+		"# TYPE spike_serve_inflight gauge",
+		"spike_serve_inflight 2",
+		"# TYPE spike_serve_p99_us gauge",
+		`spike_serve_p99_us{route="liveness"} 1500`,
+		"# TYPE spike_serve_latency_ns histogram",
+		`spike_serve_latency_ns_bucket{route="liveness",le="0"} 1`,
+		`spike_serve_latency_ns_bucket{route="liveness",le="3"} 3`,
+		`spike_serve_latency_ns_bucket{route="liveness",le="1023"} 4`,
+		`spike_serve_latency_ns_bucket{route="liveness",le="+Inf"} 4`,
+		`spike_serve_latency_ns_sum{route="liveness"} 906`,
+		`spike_serve_latency_ns_count{route="liveness"} 4`,
+		"spike_analyze_waves_bucket{le=\"+Inf\"} 1",
+		"spike_analyze_runs 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative and end at +Inf == count.
+	if strings.Contains(out, `le="3"} 2`) {
+		t.Errorf("buckets look non-cumulative:\n%s", out)
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	cases := []struct {
+		in, fam, route string
+	}{
+		{"analyze/runs", "spike_analyze_runs", ""},
+		{"serve/requests/liveness", "spike_serve_requests", "liveness"},
+		{"serve/p99_us/v2.patch", "spike_serve_p99_us", "v2.patch"},
+		{"a/b/c/d", "spike_a_b_c", "d"},
+		{"weird-name", "spike_weird_name", ""},
+	}
+	for _, tc := range cases {
+		fam, route := promName("spike", tc.in)
+		if fam != tc.fam || route != tc.route {
+			t.Errorf("promName(%q) = %q,%q want %q,%q", tc.in, fam, route, tc.fam, tc.route)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package obs
+
+// Request-scoped tracing for the serving path. The offline Tracer in
+// trace.go observes one pipeline at a time through per-thread buffers;
+// a daemon instead needs one span tree per *request*, alive only for
+// the request's duration, cheap enough to record unconditionally, and
+// retained after completion so an operator can ask "what did the last
+// N requests do" without having arranged a capture in advance.
+//
+// Three pieces cooperate:
+//
+//   - RequestTrace: one request's span tree. Spans carry an explicit
+//     parent, so the tree survives goroutine hops (handler → compute
+//     goroutine → worker pool) that defeat the per-thread model.
+//   - FlightRecorder: a bounded lock-free ring of completed request
+//     traces — the "black box". Recording is one atomic increment and
+//     one atomic pointer store; the ring overwrites oldest-first and
+//     never allocates after construction.
+//   - WriteRequestTraces: renders a set of request traces as one
+//     Chrome trace_event JSON document (one track per request), the
+//     format Perfetto and chrome://tracing load directly.
+//
+// Everything is nil-safe: a nil *RequestTrace or *FlightRecorder
+// no-ops at the cost of a branch-predictable nil check, so the serving
+// hot path is instrumented unconditionally and the disabled
+// configuration allocates nothing (TestNilRequestObserverZeroAlloc).
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RSpan identifies one span within a RequestTrace: its index in the
+// trace's span slab. NoSpan is the nil handle (and the root's parent).
+type RSpan int32
+
+// NoSpan is the invalid span handle: begun on a nil trace, or the
+// parent of a root span.
+const NoSpan RSpan = -1
+
+// ReqSpan is one completed (or still open) span of a request trace.
+type ReqSpan struct {
+	Name   string
+	Parent RSpan // index of the parent span; NoSpan for the root
+	Start  int64 // ns since the request started
+	Dur    int64 // ns; -1 while open
+	nargs  int32
+	args   [4]Arg
+}
+
+// Args returns the span's annotations.
+func (sp *ReqSpan) Args() []Arg { return sp.args[:sp.nargs] }
+
+// RequestTrace is the span tree of one request. It is created by the
+// server's route wrapper when the flight recorder or the slow-query
+// log is enabled, travels through the request's context, and is
+// recorded into the flight recorder when the request completes.
+//
+// Spans may be recorded from several goroutines (the handler, and the
+// analysis compute the request triggered), so the span slab is guarded
+// by a mutex — fine at request granularity, where a trace holds tens
+// of spans, not the solver's millions of events. All methods are safe
+// on a nil receiver and no-op without allocating.
+type RequestTrace struct {
+	// ID is the daemon-assigned request sequence number; Route the
+	// endpoint name the request hit. Immutable after creation.
+	ID    uint64
+	Route string
+	// Start anchors the trace on the wall clock; span times are
+	// nanoseconds since Start.
+	Start time.Time
+
+	mu        sync.Mutex
+	spans     []ReqSpan
+	program   string
+	optionKey string
+	status    int
+}
+
+// NewRequestTrace starts a request trace whose root span is named
+// route. The root is open until Finish.
+func NewRequestTrace(id uint64, route string) *RequestTrace {
+	rt := &RequestTrace{ID: id, Route: route, Start: time.Now()}
+	rt.spans = make([]ReqSpan, 1, 8)
+	rt.spans[0] = ReqSpan{Name: route, Parent: NoSpan, Dur: -1}
+	return rt
+}
+
+// Root returns the root span handle (the whole request).
+func (rt *RequestTrace) Root() RSpan {
+	if rt == nil {
+		return NoSpan
+	}
+	return 0
+}
+
+// Begin opens a child span of parent and returns its handle.
+func (rt *RequestTrace) Begin(parent RSpan, name string) RSpan {
+	if rt == nil {
+		return NoSpan
+	}
+	now := int64(time.Since(rt.Start))
+	rt.mu.Lock()
+	idx := RSpan(len(rt.spans))
+	rt.spans = append(rt.spans, ReqSpan{Name: name, Parent: parent, Start: now, Dur: -1})
+	rt.mu.Unlock()
+	return idx
+}
+
+// End closes the span, fixing its duration. Ending NoSpan no-ops.
+func (rt *RequestTrace) End(s RSpan) {
+	if rt == nil || s < 0 {
+		return
+	}
+	now := int64(time.Since(rt.Start))
+	rt.mu.Lock()
+	sp := &rt.spans[s]
+	sp.Dur = now - sp.Start
+	rt.mu.Unlock()
+}
+
+// Arg annotates the span with an integer value (at most four per span;
+// extras are dropped).
+func (rt *RequestTrace) Arg(s RSpan, key string, val int64) {
+	if rt == nil || s < 0 {
+		return
+	}
+	rt.mu.Lock()
+	sp := &rt.spans[s]
+	if int(sp.nargs) < len(sp.args) {
+		sp.args[sp.nargs] = Arg{Key: key, Val: val}
+		sp.nargs++
+	}
+	rt.mu.Unlock()
+}
+
+// SetContext attaches the program identity and option key the request
+// resolved to — the slow-query log's correlation fields.
+func (rt *RequestTrace) SetContext(program, optionKey string) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.program, rt.optionKey = program, optionKey
+	rt.mu.Unlock()
+}
+
+// Finish closes the root span and records the response status.
+func (rt *RequestTrace) Finish(status int) {
+	if rt == nil {
+		return
+	}
+	now := int64(time.Since(rt.Start))
+	rt.mu.Lock()
+	rt.status = status
+	rt.spans[0].Dur = now - rt.spans[0].Start
+	rt.mu.Unlock()
+}
+
+// Duration returns the root span's duration (elapsed-so-far while the
+// request is still in flight; 0 on nil).
+func (rt *RequestTrace) Duration() time.Duration {
+	if rt == nil {
+		return 0
+	}
+	rt.mu.Lock()
+	d := rt.spans[0].Dur
+	rt.mu.Unlock()
+	if d < 0 {
+		return time.Since(rt.Start)
+	}
+	return time.Duration(d)
+}
+
+// Program and OptionKey return the SetContext annotations; Status the
+// response status Finish recorded.
+func (rt *RequestTrace) Program() string {
+	if rt == nil {
+		return ""
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.program
+}
+
+func (rt *RequestTrace) OptionKey() string {
+	if rt == nil {
+		return ""
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.optionKey
+}
+
+func (rt *RequestTrace) Status() int {
+	if rt == nil {
+		return 0
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.status
+}
+
+// Spans returns a copy of the span slab (index order = recording
+// order; parents always precede children). A compute the request
+// abandoned may still be appending, so callers get a snapshot.
+func (rt *RequestTrace) Spans() []ReqSpan {
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]ReqSpan(nil), rt.spans...)
+}
+
+// request traces in contexts -----------------------------------------------
+
+type rtCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying rt; handlers and the analysis
+// layer retrieve it with TraceFrom. When rt is nil, ctx is returned
+// unchanged (no allocation on the disabled path).
+func ContextWithTrace(ctx context.Context, rt *RequestTrace) context.Context {
+	if rt == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, rtCtxKey{}, rt)
+}
+
+// TraceFrom returns the request trace ctx carries, or nil.
+func TraceFrom(ctx context.Context) *RequestTrace {
+	rt, _ := ctx.Value(rtCtxKey{}).(*RequestTrace)
+	return rt
+}
+
+// flight recorder -----------------------------------------------------------
+
+// FlightRecorder is a bounded lock-free ring of completed request
+// traces. Record claims a slot with one atomic increment and publishes
+// the trace with one atomic store; once every slot has been written
+// the ring overwrites oldest-first. Memory is bounded by slots × the
+// size of a trace (tens of spans ≈ a few KB), independent of uptime —
+// see DESIGN.md §12 for the budget.
+//
+// A nil *FlightRecorder is the disabled recorder: Record no-ops and
+// Last returns nothing.
+type FlightRecorder struct {
+	slots []atomic.Pointer[RequestTrace]
+	seq   atomic.Uint64
+}
+
+// NewFlightRecorder returns a recorder retaining the last `slots`
+// request traces (minimum 1).
+func NewFlightRecorder(slots int) *FlightRecorder {
+	if slots < 1 {
+		slots = 1
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[RequestTrace], slots)}
+}
+
+// Record retains rt, evicting the oldest retained trace when full.
+func (f *FlightRecorder) Record(rt *RequestTrace) {
+	if f == nil || rt == nil {
+		return
+	}
+	idx := f.seq.Add(1) - 1
+	f.slots[idx%uint64(len(f.slots))].Store(rt)
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Recorded returns the total number of traces ever recorded.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Last returns up to n retained traces in ascending request-ID order
+// (n <= 0 means all). Concurrent Records may overwrite slots while the
+// snapshot is taken; each slot read is atomic, so the result is always
+// a set of valid traces, merely not a perfectly instantaneous cut.
+func (f *FlightRecorder) Last(n int) []*RequestTrace {
+	if f == nil {
+		return nil
+	}
+	out := make([]*RequestTrace, 0, len(f.slots))
+	for i := range f.slots {
+		if rt := f.slots[i].Load(); rt != nil {
+			out = append(out, rt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Chrome export -------------------------------------------------------------
+
+// WriteRequestTraces renders the traces as one Chrome trace_event JSON
+// document: one track (tid = request ID) per request, timestamps
+// relative to the earliest request's start so concurrent requests
+// align on a shared timeline. Each span carries its parent's index
+// under the "parent" arg, so the tree is explicit as well as implied
+// by nesting. Load the output in https://ui.perfetto.dev or
+// chrome://tracing.
+func WriteRequestTraces(w io.Writer, traces []*RequestTrace) error {
+	var base time.Time
+	for _, rt := range traces {
+		if base.IsZero() || rt.Start.Before(base) {
+			base = rt.Start
+		}
+	}
+	type rawEvent map[string]any
+	events := make([]rawEvent, 0, len(traces)*4)
+	for _, rt := range traces {
+		events = append(events, rawEvent{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": rt.ID,
+			"args": map[string]string{"name": "req " + rt.Route},
+		})
+	}
+	for _, rt := range traces {
+		off := rt.Start.Sub(base).Nanoseconds()
+		for _, sp := range rt.Spans() {
+			dur := sp.Dur
+			if dur < 0 {
+				dur = 0
+			}
+			args := make(map[string]int64, int(sp.nargs)+1)
+			args["parent"] = int64(sp.Parent)
+			for _, a := range sp.Args() {
+				args[a.Key] = a.Val
+			}
+			events = append(events, rawEvent{
+				"name": sp.Name, "ph": "X", "pid": 1, "tid": rt.ID,
+				"ts":   float64(off+sp.Start) / 1e3,
+				"dur":  float64(dur) / 1e3,
+				"args": args,
+			})
+		}
+	}
+	out := map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RollingWindow is a sliding-window histogram for SLO gauges: it keeps
+// a ring of power-of-two bucket histograms, one per time slice, and
+// answers quantile queries over the slices still inside the window.
+// The serving layer keeps one per route and publishes p50/p99 gauges
+// from it at scrape time — unlike the cumulative latency histograms,
+// these reflect the last windowWidth of traffic, so a latency
+// regression shows up in the gauge instead of being averaged into
+// history.
+//
+// Resolution is the histogram's: quantiles land on power-of-two bucket
+// upper bounds. That is deliberate — the gauges are operator signals,
+// not billing records — and it keeps Observe at two array increments
+// under a mutex. Quantile values depend on timing and traffic, so the
+// gauges computed from a window are unstable-class by construction
+// (DESIGN.md §12); they must never feed a determinism golden.
+//
+// A nil *RollingWindow no-ops.
+type RollingWindow struct {
+	mu     sync.Mutex
+	width  time.Duration // duration of one slice
+	slices [][65]uint64  // ring of per-slice bucket counts
+	counts []uint64      // per-slice observation totals
+	epoch  int64         // slice index (now/width) the ring is rotated to
+	now    func() time.Time
+}
+
+// NewRollingWindow returns a window of `slices` slices of `width`
+// each; the window covers slices×width of history (minimums 2 and
+// 1ms). A typical serving configuration is 12 slices × 5s = one
+// minute.
+func NewRollingWindow(slices int, width time.Duration) *RollingWindow {
+	return NewRollingWindowClock(slices, width, time.Now)
+}
+
+// NewRollingWindowClock is NewRollingWindow with an injectable clock,
+// for tests that need to step time explicitly.
+func NewRollingWindowClock(slices int, width time.Duration, now func() time.Time) *RollingWindow {
+	if slices < 2 {
+		slices = 2
+	}
+	if width < time.Millisecond {
+		width = time.Millisecond
+	}
+	w := &RollingWindow{
+		width:  width,
+		slices: make([][65]uint64, slices),
+		counts: make([]uint64, slices),
+		now:    now,
+	}
+	w.epoch = w.tick()
+	return w
+}
+
+func (w *RollingWindow) tick() int64 {
+	return w.now().UnixNano() / int64(w.width)
+}
+
+// rotate advances the ring to the current slice, zeroing every slice
+// that expired since the last touch. Called with the mutex held.
+func (w *RollingWindow) rotate() {
+	t := w.tick()
+	if t == w.epoch {
+		return
+	}
+	// Cap the walk at the ring size: after a long idle stretch every
+	// slice is stale and one pass clears them all.
+	steps := t - w.epoch
+	if steps > int64(len(w.slices)) {
+		steps = int64(len(w.slices))
+	}
+	for i := int64(1); i <= steps; i++ {
+		idx := (w.epoch + i) % int64(len(w.slices))
+		w.slices[idx] = [65]uint64{}
+		w.counts[idx] = 0
+	}
+	w.epoch = t
+}
+
+// Observe records one value into the current slice.
+func (w *RollingWindow) Observe(v uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.rotate()
+	idx := w.epoch % int64(len(w.slices))
+	w.slices[idx][bucketOf(v)]++
+	w.counts[idx]++
+	w.mu.Unlock()
+}
+
+// bucketOf mirrors Histogram's bucketing: bucket k counts values whose
+// bit length is k (bucket 0 counts zeros).
+func bucketOf(v uint64) int {
+	k := 0
+	for x := v; x != 0; x >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Count returns the number of observations inside the window.
+func (w *RollingWindow) Count() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate()
+	var n uint64
+	for _, c := range w.counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the upper bound of the bucket containing the p-th
+// quantile (0 < p <= 1) of the window, or 0 when the window is empty.
+func (w *RollingWindow) Quantile(p float64) uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate()
+	var merged [65]uint64
+	var total uint64
+	for i := range w.slices {
+		for k, c := range w.slices[i] {
+			merged[k] += c
+		}
+		total += w.counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for k, c := range merged {
+		seen += c
+		if seen >= rank {
+			if k == 0 {
+				return 0
+			}
+			if k >= 64 {
+				return ^uint64(0)
+			}
+			return (uint64(1) << uint(k)) - 1
+		}
+	}
+	return 0
+}

@@ -22,11 +22,14 @@ import (
 // BenchmarkServe* into the "serve" section of BENCH_phases.json.
 
 // benchServer brings up a daemon with a mid-sized generated program
-// loaded and its default-options analysis already cached.
-func benchServer(b *testing.B) (*testClient, string, *obs.Metrics) {
+// loaded and its default-options analysis already cached. conf lets a
+// benchmark turn the observability surfaces on; Metrics is always
+// installed.
+func benchServer(b *testing.B, conf Config) (*Server, *testClient, string, *obs.Metrics) {
 	b.Helper()
 	m := obs.NewMetrics()
-	_, c := newTestClient(b, Config{Metrics: m})
+	conf.Metrics = m
+	s, c := newTestClient(b, conf)
 	p := progen.Generate(progen.TestProfile(60), progen.DefaultOptions(1))
 	image, err := sxe.Encode(p)
 	if err != nil {
@@ -45,7 +48,7 @@ func benchServer(b *testing.B) (*testClient, string, *obs.Metrics) {
 	if status, body := c.post("/v1/callgraph", api.CallGraphRequest{Program: id}); status != http.StatusOK {
 		b.Fatalf("warm: status %d: %s", status, body)
 	}
-	return c, id, m
+	return s, c, id, m
 }
 
 // driveRequests posts payload b.N times, recording per-request
@@ -95,24 +98,46 @@ func reportLatencies(b *testing.B, lats []time.Duration, elapsed time.Duration) 
 	b.ReportMetric(float64(q(0.99).Nanoseconds()), "p99-ns")
 }
 
-// BenchmarkServeSummary is one point query against the warm cache.
+// reportSLO publishes the per-route p50/p99 gauges the daemon computed
+// from its rolling windows, so benchjson carries them in the "serve"
+// section alongside the client-side quantiles.
+func reportSLO(b *testing.B, s *Server, m *obs.Metrics, route string) {
+	s.publishSLOGauges()
+	obs.ReportCounters(b, m, "serve/p50_us/"+route, "serve/p99_us/"+route)
+}
+
+// BenchmarkServeSummary is one point query against the warm cache,
+// with request tracing off (the zero-alloc disabled path).
 func BenchmarkServeSummary(b *testing.B) {
-	c, id, m := benchServer(b)
+	s, c, id, m := benchServer(b, Config{})
 	driveRequests(b, c, "/v1/summary", api.SummaryRequest{Program: id, Routine: "main"})
 	obs.ReportCounters(b, m, "serve/analysis_cache_hits", "serve/analysis_cache_misses")
+	reportSLO(b, s, m, "summary")
+}
+
+// BenchmarkServeSummaryObserved is the same query with the production
+// observability on — flight recorder retaining 256 span trees and the
+// slow-query log armed (threshold high enough that cache hits never
+// trip it). Comparing against BenchmarkServeSummary bounds the tracing
+// overhead; the budget is <3%.
+func BenchmarkServeSummaryObserved(b *testing.B) {
+	s, c, id, m := benchServer(b, Config{FlightRecorder: 256, SlowQuery: time.Second, SlowLog: io.Discard})
+	driveRequests(b, c, "/v1/summary", api.SummaryRequest{Program: id, Routine: "main"})
+	obs.ReportCounters(b, m, "serve/analysis_cache_hits", "serve/slow_queries")
+	reportSLO(b, s, m, "summary")
 }
 
 // BenchmarkServeLiveness exercises the memoized per-routine liveness
 // path.
 func BenchmarkServeLiveness(b *testing.B) {
-	c, id, _ := benchServer(b)
+	_, c, id, _ := benchServer(b, Config{})
 	driveRequests(b, c, "/v1/liveness", api.LivenessRequest{Program: id, Routine: "main", Instr: 0})
 }
 
 // BenchmarkServeBatch fans 32 mixed queries per request over the
 // worker pool.
 func BenchmarkServeBatch(b *testing.B) {
-	c, id, _ := benchServer(b)
+	_, c, id, _ := benchServer(b, Config{})
 	queries := make([]api.Query, 0, 32)
 	for i := 0; i < 16; i++ {
 		queries = append(queries,

@@ -173,19 +173,38 @@ func finishedEntry(key string, a *core.Analysis, doc api.AnalysisDoc) *analysisE
 // freezes the full analysis document — built from a per-analysis
 // metrics registry, so the document (timings included) is identical
 // for every request that reads this entry. schema stamps the document.
-func (e *analysisEntry) compute(ctx context.Context, p *prog.Program, o api.Options, schema string, parallel int) {
+//
+// rt/span belong to the request that created the entry: the analysis
+// records its per-stage spans under span, and span is closed here —
+// not by the creator — so the tree stays truthful even when the
+// creating request abandons and another waiter inherits the compute.
+// Both are nil/NoSpan when that request was untraced.
+func (e *analysisEntry) compute(ctx context.Context, p *prog.Program, o api.Options, schema string, parallel int, rt *obs.RequestTrace, span obs.RSpan) {
 	m := obs.NewMetrics()
 	a, err := core.AnalyzeContext(ctx, p,
-		o.AnalysisOptions(core.WithParallelism(parallel), core.WithMetrics(m))...)
+		o.AnalysisOptions(core.WithParallelism(parallel), core.WithMetrics(m),
+			core.WithRequestSpans(rt, span))...)
 	if err == nil {
 		e.a = a
 		e.doc = api.BuildVersionedDoc(schema, a, m)
 	}
+	rt.End(span)
 	e.err = err
 	e.mu.Lock()
 	e.finished = true
 	e.mu.Unlock()
 	close(e.done)
+}
+
+// ready reports whether the entry's analysis has already finished —
+// a waiter joining now will not block.
+func (e *analysisEntry) ready() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // wait blocks until the entry's analysis is ready or ctx is cancelled.

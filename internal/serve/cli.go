@@ -25,12 +25,16 @@ func RunCLI(name string, args []string, stdout, stderr io.Writer) error {
 		maxAna   = fs.Int("max-analyses", DefaultMaxAnalyses, "analysis cache capacity (entries)")
 		smoke    = fs.String("smoke", "", "self-test: load `program`, drive the query surface in-process, exit")
 		preload  = fs.String("load", "", "load `program` (SXE image or .s assembly) at startup")
+		flight   = fs.Int("flightrecorder", 0, "retain the last `n` request span trees for GET /debug/trace (0 = off)")
+		slowlog  = fs.Duration("slowlog", 0, "log queries slower than `threshold` to stderr and GET /debug/slowlog (0 = off)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: %s [flags]\n\n"+
 			"Serve the interprocedural analysis over HTTP/JSON (wire formats %s, %s).\n"+
 			"Endpoints: POST /v1/{programs,summary,liveness,callsite,callgraph,analyze,batch},\n"+
-			"POST /v1/{patch,snapshot}, GET /healthz, GET /metrics.\n\n",
+			"POST /v1/{patch,snapshot}, GET /healthz, GET /metrics[?format=prometheus],\n"+
+			"GET /debug/{trace,slowlog}, and GET /debug/pprof/ with -pprof.\n\n",
 			name, api.SchemaVersion, api.SchemaVersionV2)
 		fs.PrintDefaults()
 	}
@@ -42,10 +46,16 @@ func RunCLI(name string, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	conf := Config{
-		Addr:        *addr,
-		Parallelism: *parallel,
-		MaxPrograms: *maxProg,
-		MaxAnalyses: *maxAna,
+		Addr:           *addr,
+		Parallelism:    *parallel,
+		MaxPrograms:    *maxProg,
+		MaxAnalyses:    *maxAna,
+		FlightRecorder: *flight,
+		SlowQuery:      *slowlog,
+		Pprof:          *pprofOn,
+	}
+	if *slowlog > 0 {
+		conf.SlowLog = stderr
 	}
 	if *smoke != "" {
 		return Smoke(*smoke, conf, stdout)

@@ -208,9 +208,22 @@ func (s *Server) handleHealth(*http.Request) (int, any) {
 	}
 }
 
-func (s *Server) handleMetrics(*http.Request) (int, any) {
-	return http.StatusOK, api.MetricsResponse{
-		SchemaVersion: api.SchemaVersion,
-		Metrics:       s.metrics.Snapshot(),
+// handleMetrics serves the registry snapshot. The default rendering is
+// the JSON document (api.MetricsResponse); ?format=prometheus selects
+// the text exposition format scrapers consume. Either way the per-route
+// SLO gauges are refreshed from the rolling windows first, so a scrape
+// always sees current p50/p99.
+func (s *Server) handleMetrics(r *http.Request) (int, any) {
+	s.publishSLOGauges()
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		return http.StatusOK, api.MetricsResponse{
+			SchemaVersion: api.SchemaVersion,
+			Metrics:       s.metrics.Snapshot(),
+		}
+	case "prometheus":
+		return s.metricsPrometheus()
+	default:
+		return errResp(http.StatusBadRequest, "unknown format %q (want json or prometheus)", f)
 	}
 }

@@ -85,8 +85,12 @@ func (s *Server) handlePatch(r *http.Request) (int, any) {
 	info := api.ProgramInfoOf(patched, canonical)
 
 	m := obs.NewMetrics()
+	rt := obs.TraceFrom(r.Context())
+	rsp := rt.Begin(rt.Root(), "reanalyze")
 	inc, err := core.ReanalyzeContext(r.Context(), ent.a, patched,
-		req.Options.AnalysisOptions(core.WithParallelism(s.conf.Parallelism), core.WithMetrics(m))...)
+		req.Options.AnalysisOptions(core.WithParallelism(s.conf.Parallelism), core.WithMetrics(m),
+			core.WithRequestSpans(rt, rsp))...)
+	rt.End(rsp)
 	if err != nil {
 		return errRespV(schema, v2Status(err), "reanalyze: %v", err)
 	}

@@ -22,9 +22,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -66,6 +70,28 @@ type Config struct {
 	// the daemon's own; each cached analysis runs against a private
 	// registry whose snapshot is frozen into the analysis document.
 	Metrics *obs.Metrics
+
+	// FlightRecorder, when > 0, retains the span trees of the last N
+	// completed requests in a lock-free ring, dumpable as Chrome
+	// trace_event JSON via GET /debug/trace. 0 — the default — disables
+	// request tracing entirely; the disabled path records nothing and
+	// allocates nothing per request.
+	FlightRecorder int
+
+	// SlowQuery, when > 0, is the latency threshold above which a
+	// completed request is recorded into the slow-query log
+	// (GET /debug/slowlog) with its program hash, option key and
+	// per-stage breakdown, and — when SlowLog is set — written there as
+	// one line. Implies request tracing even with FlightRecorder 0.
+	SlowQuery time.Duration
+
+	// SlowLog receives one line per slow query (nil: records are kept
+	// for /debug/slowlog but nothing is written).
+	SlowLog io.Writer
+
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints on a production port are an operator opt-in.
+	Pprof bool
 }
 
 // Server is the analysis service. Create with New; serve its Handler
@@ -86,6 +112,32 @@ type Server struct {
 	anaHits    *obs.Counter
 	anaMisses  *obs.Counter
 	anaEvicts  *obs.Counter
+
+	// Serving observability (DESIGN.md §12). flight is nil when request
+	// tracing is disabled; every recording site is nil-safe, so the
+	// disabled path costs nil checks only.
+	flight     *obs.FlightRecorder
+	reqSeq     atomic.Uint64
+	inflight   *obs.Counter // gauge: requests currently in flight
+	encodeErrs *obs.Counter // serve/errors/encode
+	slowCount  *obs.Counter
+	routes     []*routeObs // per-route rolling windows; fixed after New
+	encodeOnce sync.Map    // route → *sync.Once, first-encode-error log
+	slowRing   slowRing
+}
+
+// routeObs is one route's sliding latency window and the SLO gauges
+// published from it at scrape time.
+type routeObs struct {
+	name     string
+	window   *obs.RollingWindow
+	p50, p99 *obs.Counter
+}
+
+// tracing reports whether requests carry span trees: either retention
+// surface (flight recorder, slow-query log) wants them.
+func (s *Server) tracing() bool {
+	return s.flight != nil || s.conf.SlowQuery > 0
 }
 
 // New builds a Server from conf.
@@ -110,6 +162,12 @@ func New(conf Config) *Server {
 		anaHits:    m.Counter("serve/analysis_cache_hits"),
 		anaMisses:  m.Counter("serve/analysis_cache_misses"),
 		anaEvicts:  m.Counter("serve/analysis_cache_evictions"),
+		inflight:   m.Gauge("serve/inflight"),
+		encodeErrs: m.Counter("serve/errors/encode"),
+		slowCount:  m.UnstableCounter("serve/slow_queries"),
+	}
+	if conf.FlightRecorder > 0 {
+		s.flight = obs.NewFlightRecorder(conf.FlightRecorder)
 	}
 	s.programs = newLRU(conf.MaxPrograms, func(string, any) { s.progEvicts.Add(1) })
 	// An in-flight entry can be evicted under churn; its waiters hold
@@ -128,6 +186,11 @@ func New(conf Config) *Server {
 	s.route("POST /v1/snapshot", "snapshot", s.handleSnapshot)
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
+	s.route("GET /debug/trace", "debug_trace", s.handleDebugTrace)
+	s.route("GET /debug/slowlog", "debug_slowlog", s.handleDebugSlowlog)
+	if conf.Pprof {
+		mountPprof(s.mux)
+	}
 	return s
 }
 
@@ -172,22 +235,70 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // route installs one endpoint: handlers return (status, document); the
 // wrapper writes JSON and records the request count and latency under
-// the endpoint's name.
+// the endpoint's name. When request tracing is on (Config.FlightRecorder
+// or Config.SlowQuery), the wrapper also opens the request's span tree,
+// threads it through the handler's context, and retains it when the
+// request completes; when tracing is off, rt stays nil and every
+// recording site below reduces to a nil check.
 func (s *Server) route(pattern, name string, h func(r *http.Request) (int, any)) {
 	reqs := s.metrics.Counter("serve/requests/" + name)
 	lat := s.metrics.Histogram("serve/latency_us/" + name)
+	ro := &routeObs{
+		name:   name,
+		window: obs.NewRollingWindow(sloWindowSlices, sloWindowSlice),
+		p50:    s.metrics.Gauge("serve/p50_us/" + name),
+		p99:    s.metrics.Gauge("serve/p99_us/" + name),
+	}
+	s.routes = append(s.routes, ro)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		reqs.Add(1)
+		s.inflight.Add(1)
+		var rt *obs.RequestTrace
+		if s.tracing() {
+			rt = obs.NewRequestTrace(s.reqSeq.Add(1), name)
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), rt))
+		}
 		status, body := h(r)
-		writeJSON(w, status, body)
-		lat.Observe(uint64(time.Since(start).Microseconds()))
+		s.writeJSON(w, name, status, body)
+		us := uint64(time.Since(start).Microseconds())
+		lat.Observe(us)
+		ro.window.Observe(us)
+		s.inflight.Sub(1)
+		rt.Finish(status)
+		s.flight.Record(rt)
+		if rt != nil && s.conf.SlowQuery > 0 && rt.Duration() >= s.conf.SlowQuery {
+			s.recordSlow(rt)
+		}
 	})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// rawResponse lets a handler bypass the JSON envelope: the route
+// wrapper writes the bytes with the given content type verbatim, so
+// non-JSON surfaces (Prometheus text, Chrome trace dumps) still get
+// per-route counters and latency.
+type rawResponse struct {
+	contentType string
+	data        []byte
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, route string, status int, v any) {
+	if raw, ok := v.(rawResponse); ok {
+		w.Header().Set("Content-Type", raw.contentType)
+		w.WriteHeader(status)
+		w.Write(raw.data)
+		return
+	}
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
+		// An unencodable document is a server bug: count it, log the
+		// first occurrence per route (every occurrence after the first
+		// is the same bug), and degrade to a well-formed error reply.
+		s.encodeErrs.Add(1)
+		once, _ := s.encodeOnce.LoadOrStore(route, new(sync.Once))
+		once.(*sync.Once).Do(func() {
+			log.Printf("serve: %s: response encode failed: %v", route, err)
+		})
 		status = http.StatusInternalServerError
 		data = []byte(fmt.Sprintf(`{"schema_version":%q,"error":"encode: %s"}`,
 			api.SchemaVersion, err))
@@ -295,18 +406,38 @@ func analysisKey(id string, o api.Options, schema string) string {
 // cache slot dropped.
 func (s *Server) analysis(ctx context.Context, lp *loadedProgram, o api.Options, schema string) (*analysisEntry, error) {
 	key := analysisKey(lp.id, o, schema)
+	rt := obs.TraceFrom(ctx)
+	rt.SetContext(lp.id, o.Key())
 	for {
 		v, created := s.analyses.getOrCreate(key, func() any { return newAnalysisEntry(key) })
 		ent := v.(*analysisEntry)
+		// The request's span tree attributes the cache outcome: the
+		// creator records "cache miss" and hands the open "analyze" span
+		// to the compute goroutine (which closes it when the analysis
+		// converges, even if this request abandons); a request that
+		// finds a finished entry records "cache hit"; one that joins an
+		// in-flight compute records the time spent in "singleflight
+		// wait".
+		waitSpan := obs.NoSpan
 		if created {
 			s.anaMisses.Add(1)
+			missSpan := rt.Begin(rt.Root(), "cache miss")
+			rt.End(missSpan)
 			cctx, cancel := context.WithCancel(context.Background())
 			ent.cancel = cancel
-			go ent.compute(cctx, lp.prog, o, schema, s.conf.Parallelism)
+			go ent.compute(cctx, lp.prog, o, schema, s.conf.Parallelism,
+				rt, rt.Begin(rt.Root(), "analyze"))
 		} else {
 			s.anaHits.Add(1)
+			if ent.ready() {
+				hitSpan := rt.Begin(rt.Root(), "cache hit")
+				rt.End(hitSpan)
+			} else {
+				waitSpan = rt.Begin(rt.Root(), "singleflight wait")
+			}
 		}
 		abandoned, err := ent.wait(ctx)
+		rt.End(waitSpan)
 		if err == nil {
 			return ent, nil
 		}

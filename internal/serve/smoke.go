@@ -15,10 +15,21 @@ import (
 // a loopback listener, loads the program at path, and drives the query
 // surface end to end — load, summary, liveness, batch — asserting
 // every response is 200 and, on a repeated query, that the analysis
-// cache reports a hit. It is what `spiked -smoke` and `make
-// serve-smoke` run; progress goes to w, and any failure is the
-// returned error.
+// cache reports a hit. The observability surfaces are force-enabled
+// and exercised too: the flight recorder must replay the requests as a
+// Chrome trace, the Prometheus rendering must expose the request
+// counters, pprof must answer, and — with the slow threshold forced to
+// its minimum — every request must land in the slow-query log. It is
+// what `spiked -smoke` and `make serve-smoke` run; progress goes to w,
+// and any failure is the returned error.
 func Smoke(path string, conf Config, w io.Writer) error {
+	if conf.FlightRecorder <= 0 {
+		conf.FlightRecorder = 64
+	}
+	// The minimum threshold: every request exceeds 1ns, so the slow
+	// path is exercised deterministically.
+	conf.SlowQuery = 1
+	conf.Pprof = true
 	srv := New(conf)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -89,6 +100,77 @@ func Smoke(path string, conf Config, w io.Writer) error {
 	fmt.Fprintf(w, "smoke: repeat query hit the analysis cache (hits %d -> %d)\n",
 		hitsBefore, hitsAfter)
 
+	// Flight recorder: the queries above must replay as a Chrome trace
+	// with the analysis attributed inside a request span tree.
+	traceRaw, err := c.raw("/debug/trace")
+	if err != nil {
+		return fmt.Errorf("smoke: debug/trace: %w", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceRaw, &trace); err != nil {
+		return fmt.Errorf("smoke: debug/trace is not trace_event JSON: %w", err)
+	}
+	spanNames := make(map[string]bool)
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			spanNames[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"summary", "analyze", "phase1", "cache hit"} {
+		if !spanNames[want] {
+			return fmt.Errorf("smoke: flight recorder has no %q span (spans: %d events)", want, len(trace.TraceEvents))
+		}
+	}
+	fmt.Fprintf(w, "smoke: flight recorder replayed %d trace events\n", len(trace.TraceEvents))
+
+	// Prometheus exposition.
+	prom, err := c.raw("/metrics?format=prometheus")
+	if err != nil {
+		return fmt.Errorf("smoke: prometheus metrics: %w", err)
+	}
+	for _, want := range []string{
+		"# TYPE spike_serve_requests counter",
+		`spike_serve_requests{route="summary"}`,
+		"# TYPE spike_serve_p99_us gauge",
+		"# TYPE spike_serve_latency_us histogram",
+	} {
+		if !bytes.Contains(prom, []byte(want)) {
+			return fmt.Errorf("smoke: prometheus rendering missing %q", want)
+		}
+	}
+	fmt.Fprintf(w, "smoke: prometheus exposition ok (%d bytes)\n", len(prom))
+
+	// pprof index answers when the opt-in is on.
+	if _, err := c.raw("/debug/pprof/"); err != nil {
+		return fmt.Errorf("smoke: pprof index: %w", err)
+	}
+	fmt.Fprintf(w, "smoke: pprof index ok\n")
+
+	// With the threshold forced to 1ns, every request is a slow query.
+	var slow api.SlowLogResponse
+	if err := c.get("/debug/slowlog", &slow); err != nil {
+		return fmt.Errorf("smoke: debug/slowlog: %w", err)
+	}
+	if len(slow.Slow) == 0 {
+		return fmt.Errorf("smoke: slow-query log empty at minimum threshold")
+	}
+	found := false
+	for _, q := range slow.Slow {
+		if q.Route == "summary" && q.Program == id && len(q.Stages) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("smoke: no slow-query record for summary of %s with stages", id)
+	}
+	fmt.Fprintf(w, "smoke: slow-query log captured %d records\n", len(slow.Slow))
+
 	// Health.
 	var health api.HealthResponse
 	if err := c.get("/healthz", &health); err != nil {
@@ -141,6 +223,24 @@ func (c *smokeClient) do(send func() (*http.Response, error), resp any) error {
 		return fmt.Errorf("status %d: %s", r.StatusCode, data)
 	}
 	return json.Unmarshal(data, resp)
+}
+
+// raw fetches a route and returns the body bytes without assuming a
+// JSON envelope (the trace dump, Prometheus text, pprof HTML).
+func (c *smokeClient) raw(route string) ([]byte, error) {
+	r, err := c.hc.Get(c.base + route)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", r.StatusCode, data)
+	}
+	return data, nil
 }
 
 func (c *smokeClient) counter(name string) (uint64, error) {
