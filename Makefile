@@ -9,7 +9,7 @@ GO ?= go
 # allocation benchmarks in internal/core, and the analysis-service
 # endpoint benchmarks (BenchmarkServe*, routed into the document's
 # "serve" section with queries/sec and latency quantiles).
-BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe|BenchmarkReanalyze
+BENCH_SET = BenchmarkAnalyzeParallel$$|BenchmarkPhasesParallel$$|BenchmarkPSGBuild$$|BenchmarkPhases$$|BenchmarkTable2AnalyzeGcc$$|BenchmarkTable2AnalyzeAcad$$|BenchmarkServe|BenchmarkReanalyze|BenchmarkOptimize
 # The per-routine labeling benchmarks are microsecond-scale, so three
 # iterations are dominated by first-run slab allocation; they get a
 # steady-state iteration count of their own.
@@ -112,6 +112,7 @@ soak:
 soak-ci:
 	CHECK_SOAK_N=2000 $(GO) test ./internal/check/ -run TestGeneratedProgramsClean -count=1 -timeout 30m
 	CHECK_INCR_N=2000 $(GO) test ./internal/check/ -run TestIncrementalClean -count=1 -timeout 30m
+	CHECK_OPT_SCALE=0.1 $(GO) test ./internal/check/ -run TestOptimizerClean -count=1 -timeout 30m
 	$(GO) test ./internal/check/ -run TestLabelingExamples -count=1 -timeout 10m
 	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzAnalyze -fuzztime 30s -count=1
 	$(GO) test ./internal/check/ -run '^$$' -fuzz FuzzSavedRestored -fuzztime 30s -count=1

@@ -10,9 +10,11 @@
 // headings — these are exact, machine-independent values, so any
 // nonzero delta there reflects an algorithmic change, not noise. The
 // "incremental" section (re-analysis benchmarks, headline metric
-// speedup-vs-full) gets its own "incremental:" tables, and the "serve"
-// section (daemon benchmarks: qps, client-side quantiles, per-route
-// p50/p99 SLO gauges) its own "serve:" tables.
+// speedup-vs-full) gets its own "incremental:" tables, the "opt"
+// section (optimizer pipeline benchmarks, headline metrics
+// instr-removed and speedup-vs-cold) its own "opt:" tables, and the
+// "serve" section (daemon benchmarks: qps, client-side quantiles,
+// per-route p50/p99 SLO gauges) its own "serve:" tables.
 //
 // It is intentionally dependency-free: `make bench-compare` runs it
 // against a baseline checkout, so it must build from a bare toolchain.
@@ -38,6 +40,7 @@ type doc struct {
 	Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
 	Serve       map[string]map[string]float64 `json:"serve"`
 	Incremental map[string]map[string]float64 `json:"incremental"`
+	Opt         map[string]map[string]float64 `json:"opt"`
 	Counters    map[string]map[string]float64 `json:"counters"`
 }
 
@@ -103,6 +106,7 @@ func report(old, new_ *doc) {
 	emitTables(old.Benchmarks, new_.Benchmarks, "metric", coreMetrics, &first)
 	emitTables(old.Serve, new_.Serve, "serve", serveMetrics, &first)
 	emitTables(old.Incremental, new_.Incremental, "incremental", coreMetrics, &first)
+	emitTables(old.Opt, new_.Opt, "opt", coreMetrics, &first)
 	emitTables(old.Counters, new_.Counters, "counter", nil, &first)
 }
 

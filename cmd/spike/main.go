@@ -311,10 +311,51 @@ func run(w io.Writer, input string, o spikeOptions) error {
 	}
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
+
+	// The optimizer runs before any document is emitted: its report (and
+	// the -verify result) belong inside the JSON document, and its
+	// re-analyses must be in the metrics snapshot the document carries —
+	// a trailing plain-text report would make the stdout of
+	// `-format=json -opt` unparsable as a single JSON value.
+	out := p
+	var rep *opt.Report
+	var optRep *api.OptReport
+	if o.opt {
+		var before emu.Result
+		if o.verify {
+			if before, err = emu.Run(p.Clone(), o.maxSteps); err != nil {
+				return fmt.Errorf("pre-optimization run: %w", err)
+			}
+		}
+		opts := opt.DefaultOptions()
+		opts.Analysis = core.NewConfig(analysisOpts...)
+		out, rep, err = opt.Optimize(p, opts)
+		if err != nil {
+			return err
+		}
+		wr := api.OptReportOf(rep)
+		optRep = &wr
+		if o.verify {
+			after, err := emu.Run(out.Clone(), o.maxSteps)
+			if err != nil {
+				return fmt.Errorf("post-optimization run: %w", err)
+			}
+			if !emu.SameOutput(before, after) {
+				return fmt.Errorf("verification failed: output changed")
+			}
+			optRep.Verify = &api.VerifyResult{
+				OutputIdentical: true,
+				StepsBefore:     before.Steps,
+				StepsAfter:      after.Steps,
+				Improvement:     api.ImprovementPct(before.Steps, after.Steps),
+			}
+		}
+	}
+
 	if o.format == "json" {
-		// The document carries both the summaries and the stats; the
-		// flags need not be repeated.
-		if err := writeJSON(w, a, met); err != nil {
+		// The document carries the summaries, the stats and the
+		// optimizer report; the flags need not be repeated.
+		if err := writeJSON(w, a, met, optRep); err != nil {
 			return err
 		}
 	} else {
@@ -327,35 +368,12 @@ func run(w io.Writer, input string, o spikeOptions) error {
 		if o.summaries {
 			printSummaries(w, a)
 		}
-	}
-
-	out := p
-	if o.opt {
-		var before emu.Result
-		if o.verify {
-			if before, err = emu.Run(p.Clone(), o.maxSteps); err != nil {
-				return fmt.Errorf("pre-optimization run: %w", err)
+		if rep != nil {
+			fmt.Fprintln(w, rep)
+			if v := optRep.Verify; v != nil {
+				fmt.Fprintf(w, "verified: output identical; dynamic instructions %d → %d (%s improvement)\n",
+					v.StepsBefore, v.StepsAfter, v.Improvement)
 			}
-		}
-		opts := opt.DefaultOptions()
-		opts.Analysis = core.NewConfig(analysisOpts...)
-		var rep *opt.Report
-		out, rep, err = opt.Optimize(p, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, rep)
-		if o.verify {
-			after, err := emu.Run(out.Clone(), o.maxSteps)
-			if err != nil {
-				return fmt.Errorf("post-optimization run: %w", err)
-			}
-			if !emu.SameOutput(before, after) {
-				return fmt.Errorf("verification failed: output changed")
-			}
-			improv := 1 - float64(after.Steps)/float64(before.Steps)
-			fmt.Fprintf(w, "verified: output identical; dynamic instructions %d → %d (%.1f%% improvement)\n",
-				before.Steps, after.Steps, improv*100)
 		}
 	}
 

@@ -172,6 +172,77 @@ func TestRunJSONGolden(t *testing.T) {
 	}
 }
 
+// TestRunJSONOptSingleDocument pins the `-format=json -opt` regression:
+// the whole stdout must parse as ONE JSON document with the optimizer
+// report (and the -verify result) under its "opt" key — never as a
+// JSON document followed by trailing plain text.
+func TestRunJSONOptSingleDocument(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(in, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(&buf, in, spikeOptions{
+		asmIn:    true,
+		format:   "json",
+		opt:      true,
+		verify:   true,
+		parallel: 1,
+		maxSteps: 1_000_000,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// json.Unmarshal rejects trailing non-whitespace, so decoding the
+	// full stdout is exactly the regression check.
+	var doc api.AnalysisDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-format=json -opt stdout is not a single JSON document: %v\n%s",
+			err, buf.String())
+	}
+	if doc.Opt == nil {
+		t.Fatal("document has no opt report")
+	}
+	if doc.Opt.InstructionsBefore <= doc.Opt.InstructionsAfter {
+		t.Errorf("opt report shows no shrink: %d -> %d",
+			doc.Opt.InstructionsBefore, doc.Opt.InstructionsAfter)
+	}
+	if doc.Opt.Verify == nil {
+		t.Fatal("opt report has no verify result despite -verify")
+	}
+	if !doc.Opt.Verify.OutputIdentical {
+		t.Error("verify reports output not identical")
+	}
+	if doc.Opt.Verify.Improvement == "" || strings.Contains(doc.Opt.Verify.Improvement, "NaN") {
+		t.Errorf("verify improvement = %q", doc.Opt.Verify.Improvement)
+	}
+}
+
+// TestRunVerifyTrivialProgram pins the -verify zero-guard behaviour on
+// a trivial program: the improvement line must be a well-formed
+// percentage (or "n/a"), never NaN%.
+func TestRunVerifyTrivialProgram(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "p.s")
+	src := ".start main\n.routine main\n  halt\n"
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run(&buf, in, spikeOptions{asmIn: true, opt: true, verify: true, maxSteps: 1000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("-verify printed NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "verified: output identical") {
+		t.Errorf("-verify line missing:\n%s", out)
+	}
+}
+
 // TestRunTraceGolden pins the -trace capture at parallelism 1, where
 // the span schedule is fully deterministic. Timestamps and durations
 // vary run to run, so each event is projected to a stable line —

@@ -22,6 +22,12 @@ type AnalysisDoc struct {
 	// (spike.v2 documents only); absent for from-scratch analyses and
 	// in every spike.v1 document.
 	Incremental *IncrementalInfo `json:"incremental,omitempty"`
+
+	// Opt is the optimizer's report when the document describes an
+	// optimized program (`spike analyze -opt -format=json`); absent
+	// otherwise, keeping plain analysis documents byte-identical to
+	// earlier schema revisions.
+	Opt *OptReport `json:"opt,omitempty"`
 }
 
 // Stats is the wire form of core.Stats: structural counts, schedule

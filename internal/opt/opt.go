@@ -22,8 +22,15 @@ type Report struct {
 	// restore per entrance/exit.
 	SaveRestoreRewrites int
 
-	// Rounds is the number of analyze-transform iterations performed.
+	// Rounds is the number of analyze-transform iterations that
+	// performed work. An already-optimal program reports 0: the
+	// optimizer still ran every pass once, but no round changed
+	// anything.
 	Rounds int
+
+	// Reanalyses counts the warm-start incremental re-analyses that
+	// kept the summaries consistent with the edits between passes.
+	Reanalyses int
 
 	// InstructionsBefore and InstructionsAfter measure static code
 	// size.
@@ -42,8 +49,9 @@ func (r *Report) String() string {
 
 // Options configures the optimizer.
 type Options struct {
-	// Analysis configures the interprocedural analysis run before each
-	// round.
+	// Analysis configures the interprocedural analysis the passes
+	// consult. Its Parallelism also sizes the optimizer's own worker
+	// pool, and its Metrics registry receives the opt/* counters.
 	Analysis core.Config
 
 	// MaxRounds bounds the analyze-transform iterations (default 4).
@@ -53,6 +61,12 @@ type Options struct {
 	NoDeadCode     bool
 	NoSpillRemoval bool
 	NoSaveRestore  bool
+
+	// NoWarmStart re-analyzes from scratch between passes instead of
+	// warm-starting with core.Reanalyze. The result is byte-identical
+	// (Reanalyze's contract); the knob exists to quantify the warm-start
+	// advantage (BenchmarkOptimizeWarmStart), not for production use.
+	NoWarmStart bool
 
 	// ConservativeLiveness restricts dead-code elimination to what a
 	// traditional compiler could justify: intraprocedural liveness
@@ -83,59 +97,101 @@ func CompilerOptions() Options {
 
 // Optimize clones p and applies the Figure 1 optimizations to the clone
 // until a fixed point (or the round budget) is reached. Each pass runs
-// against a fresh interprocedural analysis, so every decision is
-// justified by summaries consistent with the current code.
+// against summaries consistent with the current code: the program is
+// analyzed once, and every pass's edit set is folded back in with a
+// warm-start incremental re-analysis (core.Reanalyze), so a round costs
+// O(edits) rather than O(program). The passes themselves fan out over
+// the call graph's condensation waves; the result is byte-identical at
+// any Analysis.Parallelism.
 func Optimize(p *prog.Program, opts Options) (*prog.Program, *Report, error) {
+	out, _, rep, err := OptimizeAnalyzed(p, opts)
+	return out, rep, err
+}
+
+// OptimizeAnalyzed is Optimize, additionally returning the converged
+// analysis of the optimized program — the warm-start loop's final
+// state, which is exactly what a from-scratch analysis of the result
+// would produce. Servers cache it instead of re-solving.
+func OptimizeAnalyzed(p *prog.Program, opts Options) (*prog.Program, *core.Analysis, *Report, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 4
 	}
-	out := p.Clone()
+	m := opts.Analysis.Metrics
+	workers := opts.Analysis.Workers()
 	rep := &Report{InstructionsBefore: p.NumInstructions()}
+
+	// Pre-existing nops are folded away once, before the first
+	// analysis, so the warm-start loop only ever compacts its own edit
+	// sets.
+	cur := p.Clone()
+	Compact(cur)
+	a, err := core.Analyze(cur, core.WithConfig(opts.Analysis))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
 	// Pass order matters: the save/restore reassignment (d) and spill
 	// removal (c) must see the compiler's patterns before dead-code
 	// elimination dismantles them (interprocedural liveness already
 	// proves a dead restore deletable, which would leave the paired
 	// store behind).
+	type pass struct {
+		enabled bool
+		counter string
+		tally   *int
+		run     func(a *core.Analysis, e *editSet) int
+	}
+	passes := []pass{
+		{!opts.NoSaveRestore, "opt/saverestore_rewrites", &rep.SaveRestoreRewrites,
+			func(a *core.Analysis, e *editSet) int {
+				return reassignCalleeSaved(a, e, workers)
+			}},
+		{!opts.NoSpillRemoval, "opt/spills_removed", &rep.SpillsRemoved,
+			func(a *core.Analysis, e *editSet) int {
+				return removeCallSpills(a, e, workers)
+			}},
+		{!opts.NoDeadCode, "opt/dead_instructions", &rep.DeadInstructions,
+			func(a *core.Analysis, e *editSet) int {
+				return eliminateDeadCode(a, e, opts.ConservativeLiveness, workers)
+			}},
+	}
 	for round := 0; round < opts.MaxRounds; round++ {
-		rep.Rounds = round + 1
 		changed := 0
-		if !opts.NoSaveRestore {
-			a, err := core.Analyze(out, core.WithConfig(opts.Analysis))
-			if err != nil {
-				return nil, nil, err
+		for _, ps := range passes {
+			if !ps.enabled {
+				continue
 			}
-			n := reassignCalleeSaved(a)
-			rep.SaveRestoreRewrites += n
-			changed += n
-			Compact(out)
-		}
-		if !opts.NoSpillRemoval {
-			a, err := core.Analyze(out, core.WithConfig(opts.Analysis))
-			if err != nil {
-				return nil, nil, err
+			e := newEditSet(a.Prog)
+			n := ps.run(a, e)
+			if n == 0 {
+				continue
 			}
-			n := removeCallSpills(a)
-			rep.SpillsRemoved += n
+			*ps.tally += n
 			changed += n
-			Compact(out)
-		}
-		if !opts.NoDeadCode {
-			a, err := core.Analyze(out, core.WithConfig(opts.Analysis))
-			if err != nil {
-				return nil, nil, err
+			m.Counter(ps.counter).Add(uint64(n))
+			e.compact()
+			if opts.NoWarmStart {
+				a, err = core.Analyze(e.out, core.WithConfig(opts.Analysis))
+			} else {
+				a, err = core.Reanalyze(a, e.out, core.WithConfig(opts.Analysis))
 			}
-			n := eliminateDeadCode(a, opts.ConservativeLiveness)
-			rep.DeadInstructions += n
-			changed += n
-			Compact(out)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rep.Reanalyses++
 		}
 		if changed == 0 {
 			break
 		}
+		rep.Rounds++
 	}
+	out := a.Prog
 	if err := out.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("opt: produced invalid program: %w", err)
+		return nil, nil, nil, fmt.Errorf("opt: produced invalid program: %w", err)
 	}
 	rep.InstructionsAfter = out.NumInstructions()
-	return out, rep, nil
+	m.Counter("opt/rounds").Add(uint64(rep.Rounds))
+	m.Counter("opt/reanalyses").Add(uint64(rep.Reanalyses))
+	m.Counter("opt/instructions_removed").Add(uint64(rep.Removed()))
+	return out, a, rep, nil
 }

@@ -1,0 +1,168 @@
+package opt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/progen"
+	"repro/internal/sxe"
+)
+
+// TestOptimizeParallelismInvariant pins the determinism contract of the
+// wave-parallel optimizer: the optimized program is byte-identical (as
+// its canonical SXE encoding) at any worker count, for every pass
+// combination and analysis world, and the reports agree too.
+func TestOptimizeParallelismInvariant(t *testing.T) {
+	modes := []struct {
+		name string
+		opts func() Options
+	}{
+		{"default", DefaultOptions},
+		{"compiler", CompilerOptions},
+		{"open-world", func() Options {
+			o := DefaultOptions()
+			o.Analysis = core.PaperConfig()
+			return o
+		}},
+		{"no-deadcode", func() Options {
+			o := DefaultOptions()
+			o.NoDeadCode = true
+			return o
+		}},
+		{"no-saverestore", func() Options {
+			o := DefaultOptions()
+			o.NoSaveRestore = true
+			return o
+		}},
+		{"one-round", func() Options {
+			o := DefaultOptions()
+			o.MaxRounds = 1
+			return o
+		}},
+	}
+	for _, seed := range []uint64{1, 5} {
+		p := progen.Generate(progen.TestProfile(40), progen.PaperOptOptions(seed))
+		for _, mode := range modes {
+			var refEnc []byte
+			var refRep Report
+			for _, workers := range []int{1, 2, 8} {
+				opts := mode.opts()
+				opts.Analysis.Parallelism = workers
+				out, rep, err := Optimize(p, opts)
+				if err != nil {
+					t.Fatalf("seed %d %s parallel %d: %v", seed, mode.name, workers, err)
+				}
+				enc, err := sxe.Encode(out)
+				if err != nil {
+					t.Fatalf("seed %d %s parallel %d: encode: %v", seed, mode.name, workers, err)
+				}
+				if workers == 1 {
+					refEnc, refRep = enc, *rep
+					continue
+				}
+				if !bytes.Equal(enc, refEnc) {
+					t.Errorf("seed %d %s: output at parallelism %d differs from parallelism 1",
+						seed, mode.name, workers)
+				}
+				if *rep != refRep {
+					t.Errorf("seed %d %s: report at parallelism %d = %+v, want %+v",
+						seed, mode.name, workers, *rep, refRep)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizePreservesBehaviorGenerated runs the default pipeline over
+// generated programs with the paper's slack rates and checks the
+// emulator sees identical output, exercising the warm-start re-analysis
+// loop on programs large enough to span several condensation waves.
+func TestOptimizePreservesBehaviorGenerated(t *testing.T) {
+	for _, seed := range []uint64{2, 3, 9} {
+		p := progen.Generate(progen.TestProfile(35), progen.PaperOptOptions(seed))
+		before, err := emu.Run(p.Clone(), 50_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: pre-run: %v", seed, err)
+		}
+		out, rep, err := Optimize(p, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		after, err := emu.Run(out.Clone(), 50_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: post-run: %v", seed, err)
+		}
+		if !emu.SameOutput(before, after) {
+			t.Fatalf("seed %d: output changed", seed)
+		}
+		if rep.Removed() < 0 {
+			t.Fatalf("seed %d: negative removal: %+v", seed, rep)
+		}
+	}
+}
+
+// TestRoundsCountsWorkOnly pins the Report.Rounds fix: rounds that
+// change nothing are not counted, so an already-converged program
+// reports zero rounds instead of one.
+func TestRoundsCountsWorkOnly(t *testing.T) {
+	p := progen.Generate(progen.TestProfile(20), progen.PaperOptOptions(4))
+	// Run to an actual fixed point (the default budget of 4 rounds can
+	// stop with work still left).
+	opts := DefaultOptions()
+	opts.MaxRounds = 100
+	out, rep, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Removed() == 0 || rep.Rounds == 0 {
+		t.Fatalf("generated program gave the optimizer nothing to do: %+v", rep)
+	}
+	// The second run starts from the fixed point: every pass runs, no
+	// pass changes anything, and no round may be counted.
+	_, rep2, err := Optimize(out, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Rounds != 0 {
+		t.Errorf("converged program reports Rounds = %d, want 0", rep2.Rounds)
+	}
+	if rep2.Removed() != 0 {
+		t.Errorf("converged program reports %d removed, want 0", rep2.Removed())
+	}
+	if rep2.Reanalyses != 0 {
+		t.Errorf("converged program reports %d re-analyses, want 0", rep2.Reanalyses)
+	}
+}
+
+// TestNoWarmStartByteIdentical pins the NoWarmStart A/B lever: replacing
+// every warm-start Reanalyze with a from-scratch Analyze must not change
+// the optimized program or the report — the knob may only change cost.
+func TestNoWarmStartByteIdentical(t *testing.T) {
+	p := progen.Generate(progen.TestProfile(30), progen.PaperOptOptions(7))
+	warmOut, warmRep, err := Optimize(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := DefaultOptions()
+	cold.NoWarmStart = true
+	coldOut, coldRep, err := Optimize(p, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmEnc, err := sxe.Encode(warmOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEnc, err := sxe.Encode(coldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmEnc, coldEnc) {
+		t.Fatal("cold (from-scratch) optimization produced a different program")
+	}
+	if *warmRep != *coldRep {
+		t.Fatalf("reports differ: warm %+v, cold %+v", *warmRep, *coldRep)
+	}
+}

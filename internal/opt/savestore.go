@@ -1,9 +1,11 @@
 package opt
 
 import (
+	"repro/internal/callgraph"
 	"repro/internal/callstd"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/par"
 	"repro/internal/prog"
 	"repro/internal/regset"
 )
@@ -20,96 +22,107 @@ import (
 //   - Rt appears in no instruction of R,
 //   - Rt is not live at any entrance or exit of R,
 //   - no call in R kills Rt — including kills added to callees by this
-//     same pass, tracked transitively through the call graph, and the
-//     hypothetical kill this rewrite adds to R itself (which rejects
-//     recursive routines whose recursion would clobber Rt).
-func reassignCalleeSaved(a *core.Analysis) int {
-	p := a.Prog
-	// Two direction-symmetric guards keep same-pass rewrites from
-	// colliding, regardless of processing order:
-	//
-	//   - extraKill[m] accumulates registers newly clobbered by
-	//     routines m can (transitively) call, so a later caller will
-	//     not hold a value in a register an already-rewritten callee
-	//     now kills;
-	//   - forbid[k] accumulates registers already claimed by routines
-	//     that can (transitively) call k, so a later callee will not
-	//     claim a register an already-rewritten caller keeps live
-	//     across its calls.
-	extraKill := make([]regset.Set, len(p.Routines))
-	forbid := make([]regset.Set, len(p.Routines))
-	reach := callGraphReachability(p)
-
-	rewrites := 0
-	for ri, r := range p.Routines {
-		s := a.Summary(ri)
-		if s.SavedRestored.IsEmpty() {
-			continue
-		}
-		// Registers killed by any call in the routine, including this
-		// pass's pending kills and the hypothetical self-kill.
-		callKills, anyIndirect := routineCallKills(a, ri, extraKill, reach)
-		if anyIndirect {
-			// Indirect calls kill all caller-saved registers: no
-			// candidate can survive.
-			continue
-		}
-		for _, rs := range s.SavedRestored.Regs() {
-			rt, ok := pickCandidate(a, ri, callKills.Union(forbid[ri]), reach[ri][ri])
-			if !ok {
-				break
+//     same pass, which recursion would turn into a self-clobber (so
+//     routines in recursive call-graph components are never rewritten).
+//
+// The pass walks the call graph's condensation in callee-first waves,
+// components within a wave in parallel. Processing callees before
+// callers makes the same-pass interaction one-directional: when a
+// routine is considered, every register claimed below it is already
+// accumulated in killsThrough for its callees' components, and nothing
+// above it has been rewritten yet — so no claimed register can be
+// adopted by a caller that keeps it live across the call, and no claim
+// needs to consult routines processed concurrently (same-wave
+// components are mutually unreachable). The result is identical at any
+// worker count.
+func reassignCalleeSaved(a *core.Analysis, e *editSet, workers int) int {
+	cg := a.CallGraph()
+	nc := cg.NumComponents()
+	// claims[c]: registers newly clobbered by rewrites inside component
+	// c. killsThrough[c]: claims of c and of everything reachable from
+	// it — finalized at the wave barrier, read-only afterwards.
+	claims := make([]regset.Set, nc)
+	killsThrough := make([]regset.Set, nc)
+	rewrites := make([]int, nc)
+	for _, wave := range cg.CalleeFirstWaves() {
+		wave := wave
+		par.ForEach(len(wave), workers, func(wi int) {
+			c := wave[wi]
+			if cg.Recursive(c) {
+				// Any register a recursive routine adopts is killed by
+				// its own recursion.
+				return
 			}
-			if !rewriteRoutine(r, rs, rt) {
-				continue
+			ri := cg.Members(c)[0]
+			rewrites[c], claims[c] = reassignRoutine(a, cg, ri, killsThrough, e)
+		})
+		// Barrier: publish this wave's transitive kill sets before any
+		// later wave reads them.
+		for _, c := range wave {
+			kt := claims[c]
+			for _, cc := range cg.ComponentCallees(c) {
+				kt = kt.Union(killsThrough[cc])
 			}
-			rewrites++
-			// R now clobbers Rt: every routine that can reach R must
-			// see the kill, and every routine R can reach must not
-			// claim Rt for itself.
-			for mi := range p.Routines {
-				if reach[mi][ri] || mi == ri {
-					extraKill[mi] = extraKill[mi].Add(rt)
-				}
-				if reach[ri][mi] {
-					forbid[mi] = forbid[mi].Add(rt)
-				}
-			}
-			callKills = callKills.Add(rt) // self-reaching calls
+			killsThrough[c] = kt
 		}
 	}
-	return rewrites
+	total := 0
+	for _, n := range rewrites {
+		total += n
+	}
+	return total
 }
 
-// routineCallKills unions the kill sets of every call in routine ri,
-// augmented with this pass's pending kills.
-func routineCallKills(a *core.Analysis, ri int, extraKill []regset.Set, reach [][]bool) (regset.Set, bool) {
+// reassignRoutine rewrites as many of routine ri's saved/restored
+// registers as candidates allow, returning the rewrite count and the
+// set of caller-saved registers it claimed.
+func reassignRoutine(a *core.Analysis, cg *callgraph.Graph, ri int, killsThrough []regset.Set, e *editSet) (int, regset.Set) {
+	var claimed regset.Set
+	s := a.Summary(ri)
+	if s.SavedRestored.IsEmpty() {
+		return 0, claimed
+	}
 	r := a.Prog.Routines[ri]
-	var kills regset.Set
-	anyIndirect := false
+	// Registers killed by any call in the routine, including registers
+	// claimed by this pass anywhere below the call targets.
+	var callKills regset.Set
 	for i := range r.Code {
 		switch r.Code[i].Op {
 		case isa.OpJsr:
 			tgt := r.Code[i].Target
-			killed := a.CallSummaryFor(tgt, int(r.Code[i].Imm)).Killed
-			kills = kills.Union(killed).Union(extraKill[tgt])
+			callKills = callKills.
+				Union(a.CallSummaryFor(tgt, int(r.Code[i].Imm)).Killed).
+				Union(killsThrough[cg.Component(tgt)])
 		case isa.OpJsrInd:
-			anyIndirect = true
+			// Indirect calls kill all caller-saved registers: no
+			// candidate can survive.
+			return 0, claimed
 		}
 	}
-	return kills, anyIndirect
+	rewrites := 0
+	for _, rs := range s.SavedRestored.Regs() {
+		rt, ok := pickCandidate(r, s, callKills)
+		if !ok {
+			break
+		}
+		w := e.routine(ri)
+		if !rewriteRoutine(w, rs, rt) {
+			continue
+		}
+		// Subsequent picks must see the rewritten code (Rt is now in
+		// use) and the new kill.
+		r = w
+		rewrites++
+		claimed = claimed.Add(rt)
+		callKills = callKills.Add(rt)
+	}
+	return rewrites, claimed
 }
 
 // pickCandidate returns a caller-saved register that is completely
-// unused in routine ri, dead at its boundaries, and not killed by any
-// of its calls. selfRecursive additionally rejects all candidates whose
-// adoption would be clobbered by the routine's own recursion.
-func pickCandidate(a *core.Analysis, ri int, callKills regset.Set, selfRecursive bool) (regset.Reg, bool) {
-	if selfRecursive {
-		// Any register we adopt is killed by the recursive call.
-		return 0, false
-	}
-	r := a.Prog.Routines[ri]
-	s := a.Summary(ri)
+// unused in routine r, dead at its boundaries, and not killed by any of
+// its calls.
+func pickCandidate(r *prog.Routine, s *core.RoutineSummary, callKills regset.Set) (regset.Reg, bool) {
 	candidates := callstd.Temporaries.Minus(callKills)
 	for i := range r.Code {
 		in := &r.Code[i]
@@ -204,53 +217,4 @@ func findEpilogueRestore(code []isa.Instr, ret int, rs regset.Reg) (int, bool) {
 		}
 	}
 	return 0, false
-}
-
-// callGraphReachability computes reach[a][b]: routine a's calls can
-// (transitively) invoke routine b. Indirect calls reach every
-// address-taken routine.
-func callGraphReachability(p *prog.Program) [][]bool {
-	n := len(p.Routines)
-	direct := make([][]int, n)
-	var addrTaken []int
-	for ri, r := range p.Routines {
-		if r.AddressTaken {
-			addrTaken = append(addrTaken, ri)
-		}
-	}
-	for ri, r := range p.Routines {
-		seen := map[int]bool{}
-		for i := range r.Code {
-			switch r.Code[i].Op {
-			case isa.OpJsr:
-				t := r.Code[i].Target
-				if !seen[t] {
-					seen[t] = true
-					direct[ri] = append(direct[ri], t)
-				}
-			case isa.OpJsrInd:
-				for _, t := range addrTaken {
-					if !seen[t] {
-						seen[t] = true
-						direct[ri] = append(direct[ri], t)
-					}
-				}
-			}
-		}
-	}
-	reach := make([][]bool, n)
-	for ri := range reach {
-		reach[ri] = make([]bool, n)
-		stack := append([]int(nil), direct[ri]...)
-		for len(stack) > 0 {
-			t := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if reach[ri][t] {
-				continue
-			}
-			reach[ri][t] = true
-			stack = append(stack, direct[t]...)
-		}
-	}
-	return reach
 }

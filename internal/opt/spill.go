@@ -5,7 +5,6 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/isa"
-	"repro/internal/prog"
 	"repro/internal/regset"
 )
 
@@ -26,36 +25,61 @@ import (
 // predecessor is the call block and that no other instruction in the
 // routine accesses the slot, so removing the store cannot change any
 // other load.
-func removeCallSpills(a *core.Analysis) int {
-	removed := 0
-	for ri, r := range a.Prog.Routines {
-		g := a.Graphs[ri]
-		for _, b := range g.Blocks {
-			if b.Term != cfg.TermCall {
-				continue
-			}
-			call := g.Terminator(b)
-			if call.Op != isa.OpJsr {
-				continue
-			}
-			killed := a.CallSummaryFor(call.Target, int(call.Imm)).Killed
-			retBlock := g.Blocks[b.Succs[0]]
-			if len(retBlock.Preds) != 1 {
-				continue
-			}
-			s, l, ok := findSpillPair(g, b, retBlock, killed)
-			if !ok {
-				continue
-			}
-			off := r.Code[s].Imm
-			if slotAccessedElsewhere(r.Code, off, s, l) ||
-				!spAdjustsOnlyAtBoundaries(r) {
-				continue
-			}
-			r.Code[s] = isa.Nop()
-			r.Code[l] = isa.Nop()
-			removed += 2
+//
+// Each routine consults only its own CFG and call summaries, so the
+// pass fans out over the call graph's wave schedule; per-routine counts
+// are summed in routine order, making the result identical at any
+// worker count.
+func removeCallSpills(a *core.Analysis, e *editSet, workers int) int {
+	cg := a.CallGraph()
+	counts := make([]int, len(a.Prog.Routines))
+	forEachComponentWave(cg, workers, func(c int) {
+		for _, ri := range cg.Members(c) {
+			counts[ri] = spillRoutine(a, e, ri)
 		}
+	})
+	removed := 0
+	for _, n := range counts {
+		removed += n
+	}
+	return removed
+}
+
+func spillRoutine(a *core.Analysis, e *editSet, ri int) int {
+	removed := 0
+	r := a.Prog.Routines[ri]
+	g := a.Graphs[ri]
+	// code starts as the analyzed body and switches to the private
+	// clone after the first deletion, so later pattern searches see the
+	// nops exactly as the in-place formulation did.
+	code := r.Code
+	for _, b := range g.Blocks {
+		if b.Term != cfg.TermCall {
+			continue
+		}
+		call := g.Terminator(b)
+		if call.Op != isa.OpJsr {
+			continue
+		}
+		killed := a.CallSummaryFor(call.Target, int(call.Imm)).Killed
+		retBlock := g.Blocks[b.Succs[0]]
+		if len(retBlock.Preds) != 1 {
+			continue
+		}
+		s, l, ok := findSpillPair(code, b, retBlock, killed)
+		if !ok {
+			continue
+		}
+		off := code[s].Imm
+		if slotAccessedElsewhere(code, off, s, l) ||
+			!spAdjustsOnlyAtBoundaries(code, r.Entries) {
+			continue
+		}
+		w := e.routine(ri)
+		w.Code[s] = isa.Nop()
+		w.Code[l] = isa.Nop()
+		code = w.Code
+		removed += 2
 	}
 	return removed
 }
@@ -64,8 +88,7 @@ func removeCallSpills(a *core.Analysis) int {
 // (in the return block) of the same register and slot, with Rt not
 // killed by the call and no interference between each memory operation
 // and the call.
-func findSpillPair(g *cfg.Graph, callBlock, retBlock *cfg.Block, killed regset.Set) (st, ld int, ok bool) {
-	code := g.Routine.Code
+func findSpillPair(code []isa.Instr, callBlock, retBlock *cfg.Block, killed regset.Set) (st, ld int, ok bool) {
 	// Scan backward from the call for the closest qualifying store.
 	for s := callBlock.End - 2; s >= callBlock.Start; s-- {
 		in := &code[s]
@@ -147,11 +170,11 @@ func slotAccessedElsewhere(code []isa.Instr, off int64, st, ld int) bool {
 // boundaries sp is constant, so two sp-relative accesses alias exactly
 // when their offsets are equal — the property slotAccessedElsewhere
 // relies on.
-func spAdjustsOnlyAtBoundaries(r *prog.Routine) bool {
+func spAdjustsOnlyAtBoundaries(code []isa.Instr, entries []int) bool {
 	boundary := make(map[int]bool)
-	for _, e := range r.Entries {
-		for i := e; i < len(r.Code); i++ {
-			in := &r.Code[i]
+	for _, e := range entries {
+		for i := e; i < len(code); i++ {
+			in := &code[i]
 			if in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP {
 				boundary[i] = true
 				continue
@@ -162,12 +185,12 @@ func spAdjustsOnlyAtBoundaries(r *prog.Routine) bool {
 			break
 		}
 	}
-	for i := range r.Code {
-		if r.Code[i].Op != isa.OpRet {
+	for i := range code {
+		if code[i].Op != isa.OpRet {
 			continue
 		}
 		for j := i - 1; j >= 0; j-- {
-			in := &r.Code[j]
+			in := &code[j]
 			if in.Op == isa.OpLda && in.Dest == regset.SP && in.Src1 == regset.SP {
 				boundary[j] = true
 				continue
@@ -178,8 +201,8 @@ func spAdjustsOnlyAtBoundaries(r *prog.Routine) bool {
 			break
 		}
 	}
-	for i := range r.Code {
-		in := &r.Code[i]
+	for i := range code {
+		in := &code[i]
 		if in.Defs().Contains(regset.SP) && !boundary[i] {
 			return false
 		}

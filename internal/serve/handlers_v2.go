@@ -14,7 +14,9 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/emu"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/prog"
 	"repro/internal/snapshot"
 	"repro/internal/sxe"
@@ -112,6 +114,104 @@ func (s *Server) handlePatch(r *http.Request) (int, any) {
 		Incremental:   api.IncrementalInfoOf(inc.Incremental),
 		Analysis:      doc,
 	}
+}
+
+// optVerifyMaxSteps bounds the emulator runs a verifying optimize
+// request may cost the daemon.
+const optVerifyMaxSteps = 100_000_000
+
+// optimizeEntry caches one finished optimize response in the analysis
+// LRU (whose values are untyped); the optimizer is deterministic, so
+// replaying the response for an identical request is exact.
+type optimizeEntry struct {
+	resp api.OptimizeResponse
+}
+
+// optimizeKey extends the analysis cache key with the optimizer knobs:
+// two requests share a cached response exactly when they agree on the
+// program, the analysis world and every pass toggle.
+func optimizeKey(id string, o api.Options, schema string, req *api.OptimizeRequest) string {
+	return analysisKey(id, o, schema) + "|opt|" + req.OptKey()
+}
+
+func (s *Server) handleOptimize(r *http.Request) (int, any) {
+	const schema = api.SchemaVersionV2
+	var req api.OptimizeRequest
+	if err := decodeBody(r, &req); err != nil {
+		return errRespV(schema, http.StatusBadRequest, "decode: %v", err)
+	}
+	lp, err := s.program(req.Program)
+	if err != nil {
+		return errRespV(schema, http.StatusNotFound, "%v", err)
+	}
+	key := optimizeKey(lp.id, req.Options, schema, &req)
+	if v, ok := s.analyses.get(key); ok {
+		if ent, ok := v.(*optimizeEntry); ok {
+			s.anaHits.Add(1)
+			return http.StatusOK, ent.resp
+		}
+	}
+	s.anaMisses.Add(1)
+
+	m := obs.NewMetrics()
+	rt := obs.TraceFrom(r.Context())
+	osp := rt.Begin(rt.Root(), "optimize")
+	opts := req.OptOptions()
+	opts.Analysis = core.NewConfig(req.Options.AnalysisOptions(
+		core.WithParallelism(s.conf.Parallelism), core.WithMetrics(m),
+		core.WithRequestSpans(rt, osp))...)
+	out, fa, rep, err := opt.OptimizeAnalyzed(lp.prog, opts)
+	rt.End(osp)
+	if err != nil {
+		return errRespV(schema, v2Status(err), "optimize: %v", err)
+	}
+	wrep := api.OptReportOf(rep)
+	if req.Verify {
+		before, err := emu.Run(lp.prog.Clone(), optVerifyMaxSteps)
+		if err != nil {
+			return errRespV(schema, http.StatusBadRequest, "optimize verify: pre-run: %v", err)
+		}
+		after, err := emu.Run(out.Clone(), optVerifyMaxSteps)
+		if err != nil {
+			return errRespV(schema, http.StatusBadRequest, "optimize verify: post-run: %v", err)
+		}
+		if !emu.SameOutput(before, after) {
+			return errRespV(schema, http.StatusInternalServerError,
+				"optimize verify: output changed")
+		}
+		wrep.Verify = &api.VerifyResult{
+			OutputIdentical: true,
+			StepsBefore:     before.Steps,
+			StepsAfter:      after.Steps,
+			Improvement:     api.ImprovementPct(before.Steps, after.Steps),
+		}
+	}
+
+	canonical, err := sxe.Encode(out)
+	if err != nil {
+		return errRespV(schema, http.StatusInternalServerError, "optimized program: %v", err)
+	}
+	info := api.ProgramInfoOf(out, canonical)
+
+	// Mirror handlePatch: the optimized program becomes a first-class
+	// loaded program and its converged analysis a ready cache entry, so
+	// follow-up queries on the new ID are warm.
+	newLP := &loadedProgram{id: info.ID, prog: out, info: info}
+	s.programs.add(newLP.id, newLP)
+	s.progLoads.Add(1)
+	doc := api.BuildVersionedDoc(schema, fa, m)
+	akey := analysisKey(newLP.id, req.Options, schema)
+	s.analyses.add(akey, finishedEntry(akey, fa, doc))
+
+	resp := api.OptimizeResponse{
+		SchemaVersion: schema,
+		Base:          lp.id,
+		Program:       info,
+		Report:        wrep,
+		Analysis:      doc,
+	}
+	s.analyses.add(key, &optimizeEntry{resp: resp})
+	return http.StatusOK, resp
 }
 
 func (s *Server) handleSnapshot(r *http.Request) (int, any) {

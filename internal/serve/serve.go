@@ -183,6 +183,7 @@ func New(conf Config) *Server {
 	s.route("POST /v1/analyze", "analyze", s.handleAnalyze)
 	s.route("POST /v1/batch", "batch", s.handleBatch)
 	s.route("POST /v1/patch", "patch", s.handlePatch)
+	s.route("POST /v1/optimize", "optimize", s.handleOptimize)
 	s.route("POST /v1/snapshot", "snapshot", s.handleSnapshot)
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /metrics", "metrics", s.handleMetrics)

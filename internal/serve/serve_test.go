@@ -18,8 +18,8 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/obs"
-	"repro/internal/progen"
 	"repro/internal/prog"
+	"repro/internal/progen"
 	"repro/internal/sxe"
 )
 
@@ -101,32 +101,39 @@ func (c *testClient) mustLoad() string {
 	return resp.Program.ID
 }
 
-// normalizeNs zeroes every "stats" key ending "_ns" and every unstable
-// metrics counter in an analysis document body — the only fields that
-// vary run to run.
+// normalizeNs zeroes every key ending "_ns" and every unstable metrics
+// counter anywhere in a document body — the only fields that vary run
+// to run. It recurses so nested analysis documents (the optimize
+// response) normalize the same way as top-level ones.
 func normalizeNs(t *testing.T, body []byte) []byte {
 	t.Helper()
 	var doc map[string]any
 	if err := json.Unmarshal(body, &doc); err != nil {
 		t.Fatalf("not JSON: %v", err)
 	}
-	if stats, ok := doc["stats"].(map[string]any); ok {
-		for k := range stats {
-			if strings.HasSuffix(k, "_ns") {
-				stats[k] = 0
-			}
-		}
-	}
-	if metrics, ok := doc["metrics"].(map[string]any); ok {
-		if counters, ok := metrics["counters"].([]any); ok {
-			for _, c := range counters {
-				cm := c.(map[string]any)
-				if unstable, _ := cm["unstable"].(bool); unstable {
-					cm["value"] = 0
+	var walk func(v any)
+	walk = func(v any) {
+		switch v := v.(type) {
+		case map[string]any:
+			if unstable, _ := v["unstable"].(bool); unstable {
+				if _, ok := v["value"]; ok {
+					v["value"] = 0
 				}
 			}
+			for k, child := range v {
+				if strings.HasSuffix(k, "_ns") {
+					v[k] = 0
+					continue
+				}
+				walk(child)
+			}
+		case []any:
+			for _, child := range v {
+				walk(child)
+			}
 		}
 	}
+	walk(doc)
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +182,8 @@ func TestEndpointsGolden(t *testing.T) {
 		},
 	})
 	record("batch", status, body)
+	status, body = c.post("/v1/optimize", api.OptimizeRequest{Program: id, Verify: true})
+	record("optimize", status, normalizeNs(t, body))
 	status, body = c.get("/healthz")
 	record("healthz", status, body)
 	// Error shapes.

@@ -81,6 +81,41 @@ func Smoke(path string, conf Config, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "smoke: batch answered %d queries\n", len(batch.Results))
 
+	// Optimize: the v2 endpoint must answer, register the optimized
+	// program under its own ID, and serve a repeated request from the
+	// cache.
+	var opt api.OptimizeResponse
+	if err := c.post("/v1/optimize", api.OptimizeRequest{Program: id}, &opt); err != nil {
+		return fmt.Errorf("smoke: optimize: %w", err)
+	}
+	if opt.Program.ID == "" || opt.Base != id {
+		return fmt.Errorf("smoke: optimize response malformed: base=%q new=%q", opt.Base, opt.Program.ID)
+	}
+	if opt.Report.InstructionsAfter > opt.Report.InstructionsBefore {
+		return fmt.Errorf("smoke: optimize grew the program: %d -> %d instructions",
+			opt.Report.InstructionsBefore, opt.Report.InstructionsAfter)
+	}
+	fmt.Fprintf(w, "smoke: optimize %s -> %s (%d -> %d instructions, %d rounds)\n",
+		id, opt.Program.ID, opt.Report.InstructionsBefore, opt.Report.InstructionsAfter,
+		opt.Report.Rounds)
+	optHitsBefore, err := c.counter("serve/analysis_cache_hits")
+	if err != nil {
+		return fmt.Errorf("smoke: metrics: %w", err)
+	}
+	if err := c.post("/v1/optimize", api.OptimizeRequest{Program: id}, &opt); err != nil {
+		return fmt.Errorf("smoke: repeat optimize: %w", err)
+	}
+	optHitsAfter, err := c.counter("serve/analysis_cache_hits")
+	if err != nil {
+		return fmt.Errorf("smoke: metrics: %w", err)
+	}
+	if optHitsAfter <= optHitsBefore {
+		return fmt.Errorf("smoke: repeated optimize did not hit the cache (hits %d -> %d)",
+			optHitsBefore, optHitsAfter)
+	}
+	fmt.Fprintf(w, "smoke: repeat optimize hit the cache (hits %d -> %d)\n",
+		optHitsBefore, optHitsAfter)
+
 	// Repeat the first query and verify the analysis cache served it.
 	hitsBefore, err := c.counter("serve/analysis_cache_hits")
 	if err != nil {
